@@ -1,0 +1,169 @@
+package iqrudp_test
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// iteration regenerates the experiment on the deterministic simulator
+// (scaled down from the cmd/iqbench versions to keep iterations fast) and
+// reports the headline metrics via b.ReportMetric, so `go test -bench=.`
+// prints the reproduced rows alongside the usual ns/op:
+//
+//	go test -bench=. -benchmem
+//
+// Shapes, not absolute values, are the reproduction target; EXPERIMENTS.md
+// records the full-size paper-vs-measured comparison.
+
+import (
+	"testing"
+
+	"github.com/cercs/iqrudp/internal/experiments"
+)
+
+func BenchmarkFig1Trace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr, _ := experiments.Fig1()
+		if len(tr) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkTable1Basic(b *testing.B) {
+	spec := experiments.DefaultTable1()
+	spec.Frames = 2000
+	spec.Runs = 1
+	var rows []experiments.Result
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table1(spec)
+	}
+	report(b, rows, "TCP", "IQ-RUDP")
+}
+
+func BenchmarkTable2Fairness(b *testing.B) {
+	spec := experiments.DefaultTable2()
+	spec.Messages = 6000
+	var rows []experiments.Result
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table2(spec)
+	}
+	report(b, rows, "TCP", "IQ-RUDP")
+}
+
+func BenchmarkTable3Conflict(b *testing.B) {
+	spec := experiments.DefaultTable3()
+	spec.Frames = 2000
+	spec.Runs = 1
+	var rows []experiments.Result
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table3(spec)
+	}
+	report(b, rows, "IQ-RUDP", "RUDP")
+}
+
+func BenchmarkFig23JitterSeries(b *testing.B) {
+	spec := experiments.DefaultTable3()
+	spec.Frames = 1500
+	spec.Runs = 1
+	for i := 0; i < b.N; i++ {
+		iq, ru := experiments.Fig23(spec)
+		if len(iq.JitterSeries) == 0 || len(ru.JitterSeries) == 0 {
+			b.Fatal("series missing")
+		}
+	}
+}
+
+func BenchmarkTable4ConflictNet(b *testing.B) {
+	spec := experiments.DefaultTable4()
+	spec.Messages = 4000
+	spec.Runs = 1
+	var rows []experiments.Result
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table4(spec)
+	}
+	report(b, rows, "IQ-RUDP", "RUDP")
+}
+
+func BenchmarkTable5Overreaction(b *testing.B) {
+	spec := experiments.DefaultTable5()
+	spec.Frames = 3000
+	spec.Runs = 1
+	var rows []experiments.Result
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table5(spec)
+	}
+	report(b, rows, "IQ-RUDP", "RUDP")
+}
+
+func BenchmarkTable6OverreactionNet(b *testing.B) {
+	spec := experiments.DefaultTable6()
+	spec.Messages = 4000
+	spec.Runs = 2
+	var rows []experiments.Table6Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table6(spec)
+	}
+	for _, row := range rows {
+		if row.CrossBps == 18e6 {
+			key := "18Mb-" + row.Name + "-KBps"
+			b.ReportMetric(row.ThroughputKBs, key)
+		}
+	}
+}
+
+func BenchmarkFig4Improvement(b *testing.B) {
+	spec := experiments.DefaultTable6()
+	spec.Messages = 3000
+	spec.Runs = 1
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table6(spec)
+		if experiments.Fig4(rows) == nil {
+			b.Fatal("no figure")
+		}
+	}
+}
+
+func BenchmarkTable7Granularity(b *testing.B) {
+	spec := experiments.DefaultTable7()
+	spec.Frames = 2500
+	spec.Runs = 1
+	var rows []experiments.Result
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table7(spec)
+	}
+	report(b, rows, "IQ-RUDP w/o ADAPT_COND", "RUDP")
+}
+
+func BenchmarkTable8GranularityNet(b *testing.B) {
+	spec := experiments.DefaultTable8()
+	spec.Frames = 1200
+	spec.Runs = 1
+	var rows []experiments.Result
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table8(spec)
+	}
+	report(b, rows, "IQ-RUDP w/ ADAPT_COND", "RUDP")
+}
+
+// report surfaces each named row's throughput and duration as bench metrics.
+func report(b *testing.B, rows []experiments.Result, names ...string) {
+	b.Helper()
+	for _, row := range rows {
+		for _, name := range names {
+			if row.Name == name {
+				b.ReportMetric(row.ThroughputKBs, sanitize(name)+"-KBps")
+				b.ReportMetric(row.DurationSec, sanitize(name)+"-sec")
+			}
+		}
+	}
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r == ' ' || r == '/':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

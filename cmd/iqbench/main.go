@@ -1,0 +1,92 @@
+// Command iqbench regenerates the tables and figures of the IQ-RUDP paper's
+// evaluation (HPDC 2002, §3) on the deterministic network simulator.
+//
+// Usage:
+//
+//	iqbench -experiment all            # every table and figure (default)
+//	iqbench -experiment table6         # one experiment
+//	iqbench -list                      # available experiment ids
+//	iqbench -markdown                  # GitHub-flavored markdown tables
+//
+// Absolute numbers will not match the paper (the substrate is a simulator,
+// not the authors' Emulab testbed); the shapes — which scheme wins, by
+// roughly what factor, and how the gap moves with congestion — are the
+// reproduction target. See EXPERIMENTS.md for the side-by-side record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/experiments"
+)
+
+func main() {
+	var (
+		which    = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		compare  = flag.Bool("compare", false, "emit paper-vs-measured comparison tables (table1..table8)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.AllWithAblations() {
+			fmt.Printf("%-18s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *compare {
+		ids := []string{"table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8"}
+		if *which != "all" && *which != "all+ablations" {
+			ids = strings.Split(*which, ",")
+		}
+		for _, id := range ids {
+			tb, err := experiments.Compare(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if *markdown {
+				fmt.Println(tb.Markdown())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+		return
+	}
+
+	var run []experiments.Experiment
+	switch *which {
+	case "all":
+		run = experiments.All()
+	case "all+ablations":
+		run = experiments.AllWithAblations()
+	default:
+		for _, id := range strings.Split(*which, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			run = append(run, e)
+		}
+	}
+
+	for _, e := range run {
+		start := time.Now()
+		fmt.Printf("### %s\n\n", e.Title)
+		for _, tb := range e.Run() {
+			if *markdown {
+				fmt.Println(tb.Markdown())
+			} else {
+				fmt.Println(tb.String())
+			}
+		}
+		fmt.Printf("(%s in %.1fs wall clock)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

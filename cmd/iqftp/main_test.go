@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseRanges(t *testing.T) {
+	got, err := parseRanges("0-100, 200-300 ,1000-1004096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int64{{0, 100}, {200, 300}, {1000, 1004096}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if r, err := parseRanges(""); err != nil || r != nil {
+		t.Fatalf("empty spec = %v/%v", r, err)
+	}
+	for _, bad := range []string{"5", "a-b", "10-5", "1-2,x-3"} {
+		if _, err := parseRanges(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

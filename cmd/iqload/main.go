@@ -1,0 +1,157 @@
+// Command iqload measures IQ-RUDP throughput and delivery behaviour between
+// two real hosts — an iperf-style load tool for the protocol.
+//
+// Sink (prints delivered rate once per second):
+//
+//	iqload -listen 0.0.0.0:9901 -tolerance 0.3
+//
+// Source (fills the window for a duration, or paces at a fixed rate):
+//
+//	iqload -to host:9901 -duration 10s -size 1400            # as fast as allowed
+//	iqload -to host:9901 -duration 10s -size 1200 -rate 2e6  # 2 Mb/s paced
+//	iqload -to host:9901 -unmarked 0.5                       # half droppable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	iqrudp "github.com/cercs/iqrudp"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "", "sink mode: address to listen on")
+		tolerance = flag.Float64("tolerance", 0, "sink mode: loss tolerance for unmarked messages")
+		to        = flag.String("to", "", "source mode: sink address")
+		duration  = flag.Duration("duration", 10*time.Second, "source mode: how long to send")
+		size      = flag.Int("size", 1400, "source mode: message size in bytes")
+		rate      = flag.Float64("rate", 0, "source mode: target bit rate (0 = as fast as allowed)")
+		unmarked  = flag.Float64("unmarked", 0, "source mode: fraction of messages sent unmarked")
+		seed      = flag.Int64("seed", 1, "source mode: marking RNG seed")
+	)
+	flag.Parse()
+	switch {
+	case *listen != "":
+		if err := runSink(*listen, *tolerance); err != nil {
+			log.Fatal(err)
+		}
+	case *to != "":
+		if err := runSource(*to, *duration, *size, *rate, *unmarked, *seed); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runSink(addr string, tolerance float64) error {
+	ln, err := iqrudp.Listen(addr, iqrudp.ServerConfig(tolerance))
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	fmt.Println("iqload sink on", ln.Addr())
+	for {
+		conn, err := ln.Accept(0)
+		if err != nil {
+			return err
+		}
+		go sinkConn(conn)
+	}
+}
+
+func sinkConn(conn *iqrudp.Conn) {
+	defer conn.Close()
+	fmt.Println("source connected:", conn.RemoteAddr())
+	var (
+		total, marked int
+		bytes         uint64
+		winMsgs       int
+		winBytes      uint64
+		start         = time.Now()
+		lastReport    = start
+	)
+	for {
+		msg, err := conn.Recv(2 * time.Second)
+		if err == iqrudp.ErrTimeout {
+			if conn.Closed() {
+				break
+			}
+			continue
+		}
+		if err != nil {
+			break
+		}
+		total++
+		winMsgs++
+		bytes += uint64(len(msg.Data))
+		winBytes += uint64(len(msg.Data))
+		if msg.Marked {
+			marked++
+		}
+		if since := time.Since(lastReport); since >= time.Second {
+			fmt.Printf("  %6.1fs  %8.1f KB/s  %6d msgs/s\n",
+				time.Since(start).Seconds(),
+				float64(winBytes)/since.Seconds()/1000,
+				int(float64(winMsgs)/since.Seconds()))
+			winMsgs, winBytes = 0, 0
+			lastReport = time.Now()
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	fmt.Printf("done: %d messages (%d marked), %.1f KB, %.1f KB/s average\n",
+		total, marked, float64(bytes)/1000, float64(bytes)/elapsed/1000)
+}
+
+func runSource(to string, duration time.Duration, size int, rate, unmarked float64, seed int64) error {
+	conn, err := iqrudp.Dial(to, iqrudp.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("connected to %s; sending %dB messages for %v\n", to, size, duration)
+	rng := rand.New(rand.NewSource(seed))
+	payload := make([]byte, size)
+	deadline := time.Now().Add(duration)
+	sent := 0
+
+	mark := func() bool { return !(unmarked > 0 && rng.Float64() < unmarked) }
+
+	if rate > 0 {
+		interval := time.Duration(float64(size*8) / rate * float64(time.Second))
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for time.Now().Before(deadline) {
+			<-ticker.C
+			if err := conn.Send(payload, mark()); err != nil {
+				return err
+			}
+			sent++
+		}
+	} else {
+		for time.Now().Before(deadline) {
+			if err := conn.Send(payload, mark()); err != nil {
+				return err
+			}
+			sent++
+			// Backpressure: the machine buffers without bound, so pace on
+			// the transmit backlog to keep memory sane.
+			for conn.QueuedPackets() > 2048 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	conn.Close() // graceful drain
+	mt := conn.Metrics()
+	elapsed := duration.Seconds()
+	fmt.Printf("sent %d messages (%.1f KB/s offered)\n", sent, float64(sent*size)/elapsed/1000)
+	fmt.Printf("transport: srtt=%v cwnd=%.1f loss=%.2f%% pkts=%d rtx=%d skipped=%d acked=%.1fKB\n",
+		mt.SRTT.Round(time.Microsecond), mt.Cwnd, mt.ErrorRatio*100,
+		mt.SentPackets, mt.Retransmits, mt.SkippedPackets, float64(mt.AckedBytes)/1000)
+	return nil
+}

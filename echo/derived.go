@@ -1,0 +1,143 @@
+package echo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Derived event channels — ECho's signature feature: a *sink* requests a
+// transformation that runs at the *source*, so data is reduced before it
+// crosses the network rather than after. Arbitrary code cannot cross a
+// network boundary safely, so (as in ECho's E-code subset) the request is a
+// small declarative spec: keep one event in N, truncate payloads to a
+// fraction, downsample float64 grids by a stride, and/or unmark events.
+//
+// Wire protocol: derived-channel requests travel on control channel 0 as
+// marked events; the source-side Mux interprets them and installs the
+// filters on a new derived channel that mirrors the base channel.
+
+// DeriveSpec is the declarative source-side transformation.
+type DeriveSpec struct {
+	Base      uint16  // channel to derive from
+	Derived   uint16  // channel the transformed events appear on
+	KeepOneIn int     // frequency reduction: pass one event in N (≤1 = all)
+	Scale     float64 // payload truncation fraction (0 or ≥1 = none)
+	Stride    int     // float64-grid downsample stride (≤1 = none)
+	Unmark    bool    // deliver best-effort (droppable) events
+}
+
+// ControlChannel carries derived-channel requests.
+const ControlChannel uint16 = 0
+
+// specWireLen is the fixed encoding size.
+const specWireLen = 2 + 2 + 4 + 8 + 4 + 1
+
+// ErrBadSpec reports an undecodable or invalid derive request.
+var ErrBadSpec = errors.New("echo: bad derive spec")
+
+// encodeSpec serialises the spec.
+func encodeSpec(sp DeriveSpec) []byte {
+	b := make([]byte, specWireLen)
+	binary.BigEndian.PutUint16(b[0:], sp.Base)
+	binary.BigEndian.PutUint16(b[2:], sp.Derived)
+	binary.BigEndian.PutUint32(b[4:], uint32(sp.KeepOneIn))
+	binary.BigEndian.PutUint64(b[8:], uint64(int64(sp.Scale*1e6)))
+	binary.BigEndian.PutUint32(b[16:], uint32(sp.Stride))
+	if sp.Unmark {
+		b[20] = 1
+	}
+	return b
+}
+
+// decodeSpec parses a derive request.
+func decodeSpec(b []byte) (DeriveSpec, error) {
+	if len(b) != specWireLen {
+		return DeriveSpec{}, ErrBadSpec
+	}
+	sp := DeriveSpec{
+		Base:      binary.BigEndian.Uint16(b[0:]),
+		Derived:   binary.BigEndian.Uint16(b[2:]),
+		KeepOneIn: int(binary.BigEndian.Uint32(b[4:])),
+		Scale:     float64(int64(binary.BigEndian.Uint64(b[8:]))) / 1e6,
+		Stride:    int(binary.BigEndian.Uint32(b[16:])),
+		Unmark:    b[20] == 1,
+	}
+	if sp.Derived == ControlChannel {
+		return DeriveSpec{}, fmt.Errorf("%w: derived channel must not be the control channel", ErrBadSpec)
+	}
+	return sp, nil
+}
+
+// filter builds the event filter realising the spec.
+func (sp DeriveSpec) filter() Filter {
+	n := 0
+	return func(ev *Event) bool {
+		if sp.KeepOneIn > 1 {
+			n++
+			if n%sp.KeepOneIn != 1 {
+				return false
+			}
+		}
+		if sp.Stride > 1 {
+			ev.Data = Float64sToBytes(DownsampleStride(BytesToFloat64s(ev.Data), sp.Stride))
+		}
+		if sp.Scale > 0 && sp.Scale < 1 {
+			k := int(float64(len(ev.Data)) * sp.Scale)
+			if k < 1 {
+				k = 1
+			}
+			ev.Data = ev.Data[:k]
+		}
+		if sp.Unmark {
+			ev.Marked = false
+		}
+		return true
+	}
+}
+
+// RequestDerived is called on the SINK side: it asks the remote source to
+// start publishing a derived view of base on the derived channel and
+// subscribes fn to it. The request travels reliably on the control channel.
+func (m *Mux) RequestDerived(sp DeriveSpec, fn func(Event)) error {
+	if sp.Derived == ControlChannel {
+		return ErrBadSpec
+	}
+	m.Subscribe(sp.Derived, fn)
+	src := m.NewSource(ControlChannel)
+	return src.Submit(encodeSpec(sp), true, nil)
+}
+
+// EnableDerivedChannels is called on the SOURCE side: incoming control-
+// channel requests install mirrors that republish base-channel events,
+// transformed, on the derived channel. It returns the count of installed
+// mirrors via the returned getter.
+func (m *Mux) EnableDerivedChannels() (installed func() int) {
+	count := 0
+	m.Subscribe(ControlChannel, func(req Event) {
+		sp, err := decodeSpec(req.Data)
+		if err != nil {
+			m.decodeErrs++
+			return
+		}
+		mirror := m.NewSource(sp.Derived)
+		mirror.AddFilter(sp.filter())
+		m.Subscribe(sp.Base, func(ev Event) {
+			// Republish a copy: mirror filters may mutate the payload.
+			data := append([]byte(nil), ev.Data...)
+			mirror.Submit(data, ev.Marked, ev.Attrs)
+		})
+		count++
+	})
+	return func() int { return count }
+}
+
+// PublishLocal feeds a locally produced event through the mux's subscribers
+// (including derived-channel mirrors) without a network round trip — the
+// source-side injection point for data being distributed.
+func (m *Mux) PublishLocal(ch uint16, data []byte, marked bool) {
+	ev := Event{Channel: ch, Data: data, Marked: marked}
+	for _, fn := range m.sinks[ch] {
+		fn(ev)
+	}
+}

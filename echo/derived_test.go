@@ -1,0 +1,137 @@
+package echo
+
+import (
+	"testing"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/sim"
+)
+
+func TestDeriveSpecCodec(t *testing.T) {
+	sp := DeriveSpec{Base: 3, Derived: 9, KeepOneIn: 4, Scale: 0.25, Stride: 2, Unmark: true}
+	got, err := decodeSpec(encodeSpec(sp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sp {
+		t.Fatalf("round trip: %+v vs %+v", got, sp)
+	}
+	if _, err := decodeSpec([]byte{1, 2}); err == nil {
+		t.Fatal("short spec accepted")
+	}
+	bad := sp
+	bad.Derived = ControlChannel
+	if _, err := decodeSpec(encodeSpec(bad)); err == nil {
+		t.Fatal("control-channel target accepted")
+	}
+}
+
+func TestDerivedChannelLocal(t *testing.T) {
+	// Loopback: source and sink muxes wired directly.
+	sink := NewMux(nil)
+	srcMux := NewMux(&memCarrier{mux: sink})
+	// Control requests travel sink→source: wire a reverse carrier too.
+	reverse := NewMux(&memCarrier{mux: srcMux})
+	srcMux.EnableDerivedChannels()
+
+	var got []Event
+	if err := reverse.RequestDerived(DeriveSpec{Base: 1, Derived: 7, KeepOneIn: 2}, func(ev Event) {
+		got = append(got, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The sink side must also see derived events: its subscription lives on
+	// `reverse`; deliveries from source land on `sink`, so mirror the
+	// subscription there for this loopback arrangement.
+	sink.Subscribe(7, func(ev Event) { got = append(got, ev) })
+
+	for i := 0; i < 10; i++ {
+		srcMux.PublishLocal(1, []byte{byte(i)}, true)
+	}
+	if len(got) != 5 {
+		t.Fatalf("derived events = %d, want 5 (one in two)", len(got))
+	}
+}
+
+func TestDerivedChannelOverSimulatedNetwork(t *testing.T) {
+	s := sim.New(51)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	snd, rcv := endpoint.Pair(d, core.DefaultConfig(), core.DefaultConfig())
+
+	srcMux := NewMux(snd.Machine)  // source publishes toward the sink
+	sinkMux := NewMux(rcv.Machine) // sink's requests ride the reverse path
+	snd.OnMessage = srcMux.HandleMessage
+	rcv.OnMessage = sinkMux.HandleMessage
+	srcMux.EnableDerivedChannels()
+	endpoint.WaitEstablished(s, snd, rcv, 5*time.Second)
+
+	// The sink asks for a stride-2 downsampled view of channel 1 on 7.
+	var grids [][]float64
+	if err := sinkMux.RequestDerived(DeriveSpec{Base: 1, Derived: 7, Stride: 2}, func(ev Event) {
+		grids = append(grids, BytesToFloat64s(ev.Data))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(s.Now() + 2*time.Second)
+
+	// The source publishes locally; the mirror ships the derived view.
+	for i := 0; i < 3; i++ {
+		srcMux.PublishLocal(1, Float64sToBytes([]float64{0, 1, 2, 3, 4, 5}), true)
+	}
+	s.RunUntil(s.Now() + 5*time.Second)
+
+	if len(grids) != 3 {
+		t.Fatalf("derived grids = %d, want 3", len(grids))
+	}
+	for _, g := range grids {
+		if len(g) != 3 || g[1] != 2 || g[2] != 4 {
+			t.Fatalf("downsampled grid = %v, want [0 2 4]", g)
+		}
+	}
+}
+
+func TestDerivedUnmarkAndScale(t *testing.T) {
+	sink := NewMux(nil)
+	srcMux := NewMux(&memCarrier{mux: sink})
+	reverse := NewMux(&memCarrier{mux: srcMux})
+	srcMux.EnableDerivedChannels()
+
+	var got []Event
+	reverse.RequestDerived(DeriveSpec{Base: 2, Derived: 8, Scale: 0.5, Unmark: true}, nil)
+	sink.Subscribe(8, func(ev Event) { got = append(got, ev) })
+	srcMux.PublishLocal(2, make([]byte, 100), true)
+	if len(got) != 1 {
+		t.Fatalf("events = %d", len(got))
+	}
+	if len(got[0].Data) != 50 || got[0].Marked {
+		t.Fatalf("event = len %d marked %v, want 50/unmarked", len(got[0].Data), got[0].Marked)
+	}
+}
+
+func TestDerivedRequestWithAttrsCarrier(t *testing.T) {
+	// The derive request must ride the carrier marked (reliable): use a
+	// recording carrier to verify.
+	var sentMarked []bool
+	rec := carrierFunc(func(data []byte, marked bool, attrs *attr.List) error {
+		sentMarked = append(sentMarked, marked)
+		return nil
+	})
+	m := NewMux(rec)
+	if err := m.RequestDerived(DeriveSpec{Base: 1, Derived: 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(sentMarked) != 1 || !sentMarked[0] {
+		t.Fatalf("request marking = %v, want one marked send", sentMarked)
+	}
+}
+
+// carrierFunc adapts a function to Carrier.
+type carrierFunc func(data []byte, marked bool, attrs *attr.List) error
+
+func (f carrierFunc) SendMsg(data []byte, marked bool, attrs *attr.List) error {
+	return f(data, marked, attrs)
+}

@@ -1,0 +1,243 @@
+// Package echo is the public IQ-ECho middleware: typed event channels for
+// distributing data (e.g. scientific grids for remote visualization) over an
+// IQ-RUDP connection, with source-side adaptation filters — the
+// application layer of the paper's coordinated-adaptation architecture.
+//
+// Multiple logical channels multiplex over one connection. Events carry
+// quality attributes through the transport (the CMwritev_attr path), so a
+// filter that down-samples or unmarks data can simultaneously describe the
+// adaptation to the transport's coordination engine.
+//
+// The package works over any carrier that can send attribute-bearing
+// messages: *iqrudp.Conn (real sockets) and the simulator endpoints both
+// qualify.
+package echo
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"math/rand"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+)
+
+// Carrier is the transport-side requirement: an attribute-bearing message
+// send. *iqrudp.Conn and *core.Machine satisfy it.
+type Carrier interface {
+	SendMsg(data []byte, marked bool, attrs *attr.List) error
+}
+
+// Event is one application-level datum on a channel.
+type Event struct {
+	Channel uint16
+	Seq     uint32
+	Data    []byte
+	Attrs   *attr.List
+	Marked  bool
+	Partial bool // delivered with missing fragments (sink side only)
+}
+
+const eventHeaderLen = 6 // channel(2) seq(4)
+
+// ErrShortEvent reports an undecodable delivery.
+var ErrShortEvent = errors.New("echo: short event")
+
+// EncodeEvent prepends the event header to the payload.
+func EncodeEvent(ev *Event) []byte {
+	b := make([]byte, eventHeaderLen+len(ev.Data))
+	binary.BigEndian.PutUint16(b[0:], ev.Channel)
+	binary.BigEndian.PutUint32(b[2:], ev.Seq)
+	copy(b[eventHeaderLen:], ev.Data)
+	return b
+}
+
+// DecodeEvent splits a delivered transport message back into an event.
+func DecodeEvent(msg core.Message) (Event, error) {
+	if len(msg.Data) < eventHeaderLen {
+		return Event{}, ErrShortEvent
+	}
+	return Event{
+		Channel: binary.BigEndian.Uint16(msg.Data[0:]),
+		Seq:     binary.BigEndian.Uint32(msg.Data[2:]),
+		Data:    msg.Data[eventHeaderLen:],
+		Attrs:   msg.Attrs,
+		Marked:  msg.Marked,
+		Partial: msg.Partial,
+	}, nil
+}
+
+// Filter inspects (and may mutate) an event before submission; returning
+// false drops it. Filters implement application-level adaptations.
+type Filter func(ev *Event) bool
+
+// Mux multiplexes event channels over one carrier and dispatches incoming
+// deliveries to subscribers.
+type Mux struct {
+	carrier    Carrier
+	sinks      map[uint16][]func(Event)
+	decodeErrs uint64
+}
+
+// NewMux wraps a carrier. Feed deliveries into HandleMessage — e.g. from a
+// loop over (*iqrudp.Conn).Recv, or an endpoint's OnMessage hook.
+func NewMux(c Carrier) *Mux {
+	return &Mux{carrier: c, sinks: make(map[uint16][]func(Event))}
+}
+
+// Subscribe registers fn for events on channel ch; a nil fn is ignored.
+func (m *Mux) Subscribe(ch uint16, fn func(Event)) {
+	if fn == nil {
+		return
+	}
+	m.sinks[ch] = append(m.sinks[ch], fn)
+}
+
+// HandleMessage dispatches one delivered transport message.
+func (m *Mux) HandleMessage(msg core.Message) {
+	ev, err := DecodeEvent(msg)
+	if err != nil {
+		m.decodeErrs++
+		return
+	}
+	for _, fn := range m.sinks[ev.Channel] {
+		fn(ev)
+	}
+}
+
+// DecodeErrors counts undecodable deliveries.
+func (m *Mux) DecodeErrors() uint64 { return m.decodeErrs }
+
+// Source publishes events on one channel.
+type Source struct {
+	m       *Mux
+	channel uint16
+	seq     uint32
+	filters []Filter
+
+	published uint64
+	dropped   uint64
+}
+
+// NewSource opens the source end of channel ch.
+func (m *Mux) NewSource(ch uint16) *Source { return &Source{m: m, channel: ch} }
+
+// AddFilter appends a submission filter; filters run in order.
+func (s *Source) AddFilter(f Filter) { s.filters = append(s.filters, f) }
+
+// Submit publishes one event through the filters and the carrier.
+func (s *Source) Submit(data []byte, marked bool, attrs *attr.List) error {
+	ev := &Event{Channel: s.channel, Seq: s.seq, Data: data, Attrs: attrs, Marked: marked}
+	for _, f := range s.filters {
+		if !f(ev) {
+			s.dropped++
+			s.seq++
+			return nil
+		}
+	}
+	s.seq++
+	s.published++
+	return s.m.carrier.SendMsg(EncodeEvent(ev), ev.Marked, ev.Attrs)
+}
+
+// SubmitVec publishes a vectored event (CMwritev-style).
+func (s *Source) SubmitVec(chunks [][]byte, marked bool, attrs *attr.List) error {
+	total := 0
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	data := make([]byte, 0, total)
+	for _, ch := range chunks {
+		data = append(data, ch...)
+	}
+	return s.Submit(data, marked, attrs)
+}
+
+// Published counts events handed to the carrier.
+func (s *Source) Published() uint64 { return s.published }
+
+// Dropped counts events suppressed by filters.
+func (s *Source) Dropped() uint64 { return s.dropped }
+
+// ---- Scientific-payload helpers and standard filters ----
+
+// Float64sToBytes encodes a float64 grid to a big-endian payload.
+func Float64sToBytes(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.BigEndian.PutUint64(b[i*8:], math.Float64bits(x))
+	}
+	return b
+}
+
+// BytesToFloat64s decodes a payload produced by Float64sToBytes.
+func BytesToFloat64s(b []byte) []float64 {
+	n := len(b) / 8
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = math.Float64frombits(binary.BigEndian.Uint64(b[i*8:]))
+	}
+	return xs
+}
+
+// DownsampleStride keeps every stride-th sample — the resolution adaptation.
+func DownsampleStride(xs []float64, stride int) []float64 {
+	if stride <= 1 {
+		return xs
+	}
+	out := make([]float64, 0, (len(xs)+stride-1)/stride)
+	for i := 0; i < len(xs); i += stride {
+		out = append(out, xs[i])
+	}
+	return out
+}
+
+// ScaleFilter truncates each event's payload to fraction *scale of its
+// size (payload-agnostic down-sampling); the pointer is adjusted by the
+// application's adaptation logic at runtime.
+func ScaleFilter(scale *float64) Filter {
+	return func(ev *Event) bool {
+		f := *scale
+		if f >= 1 || f <= 0 {
+			return true
+		}
+		n := int(float64(len(ev.Data)) * f)
+		if n < 1 {
+			n = 1
+		}
+		ev.Data = ev.Data[:n]
+		return true
+	}
+}
+
+// UnmarkFilter is the paper's reliability adaptation: every tagEvery-th
+// event stays marked (control data); others are unmarked with probability
+// *prob.
+func UnmarkFilter(rng *rand.Rand, tagEvery int, prob *float64) Filter {
+	n := 0
+	return func(ev *Event) bool {
+		n++
+		if tagEvery > 0 && n%tagEvery == 0 {
+			ev.Marked = true
+			return true
+		}
+		if rng.Float64() < *prob {
+			ev.Marked = false
+		}
+		return true
+	}
+}
+
+// FrequencyFilter passes only every keepOneIn-th event (adjustable).
+func FrequencyFilter(keepOneIn *int) Filter {
+	n := 0
+	return func(ev *Event) bool {
+		k := *keepOneIn
+		if k <= 1 {
+			return true
+		}
+		n++
+		return n%k == 1
+	}
+}

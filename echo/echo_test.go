@@ -1,0 +1,197 @@
+package echo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+)
+
+// memCarrier loops submissions straight back as deliveries.
+type memCarrier struct{ mux *Mux }
+
+func (m *memCarrier) SendMsg(data []byte, marked bool, attrs *attr.List) error {
+	m.mux.HandleMessage(core.Message{Data: data, Marked: marked, Attrs: attrs})
+	return nil
+}
+
+func loopback() (*Mux, *Mux) {
+	sink := NewMux(nil)
+	src := NewMux(&memCarrier{mux: sink})
+	return src, sink
+}
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	ev := &Event{Channel: 42, Seq: 7, Data: []byte("payload")}
+	msg := core.Message{Data: EncodeEvent(ev), Marked: true}
+	got, err := DecodeEvent(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Channel != 42 || got.Seq != 7 || string(got.Data) != "payload" || !got.Marked {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecodeShortEvent(t *testing.T) {
+	if _, err := DecodeEvent(core.Message{Data: []byte{1}}); err != ErrShortEvent {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: event header round-trips for arbitrary channel/seq/data.
+func TestQuickEventCodec(t *testing.T) {
+	f := func(ch uint16, seq uint32, data []byte) bool {
+		ev := &Event{Channel: ch, Seq: seq, Data: data}
+		got, err := DecodeEvent(core.Message{Data: EncodeEvent(ev)})
+		if err != nil {
+			return false
+		}
+		if got.Channel != ch || got.Seq != seq || len(got.Data) != len(data) {
+			return false
+		}
+		for i := range data {
+			if got.Data[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxDispatchAndIsolation(t *testing.T) {
+	src, sink := loopback()
+	var a, b int
+	sink.Subscribe(1, func(Event) { a++ })
+	sink.Subscribe(2, func(Event) { b++ })
+	s1 := src.NewSource(1)
+	s2 := src.NewSource(2)
+	s1.Submit([]byte("x"), true, nil)
+	s2.Submit([]byte("y"), true, nil)
+	s2.Submit([]byte("z"), true, nil)
+	if a != 1 || b != 2 {
+		t.Fatalf("a=%d b=%d", a, b)
+	}
+	if s1.Published() != 1 || s2.Published() != 2 {
+		t.Fatal("publish counters wrong")
+	}
+}
+
+func TestMuxDecodeErrors(t *testing.T) {
+	_, sink := loopback()
+	sink.HandleMessage(core.Message{Data: []byte{1, 2}})
+	if sink.DecodeErrors() != 1 {
+		t.Fatalf("decode errors = %d", sink.DecodeErrors())
+	}
+}
+
+func TestSourceSeqIncrementsAcrossDrops(t *testing.T) {
+	src, sink := loopback()
+	var seqs []uint32
+	sink.Subscribe(1, func(ev Event) { seqs = append(seqs, ev.Seq) })
+	s := src.NewSource(1)
+	drop := false
+	s.AddFilter(func(ev *Event) bool { return !drop })
+	s.Submit([]byte("a"), true, nil) // seq 0
+	drop = true
+	s.Submit([]byte("b"), true, nil) // seq 1 dropped by filter
+	drop = false
+	s.Submit([]byte("c"), true, nil) // seq 2
+	if len(seqs) != 2 || seqs[0] != 0 || seqs[1] != 2 {
+		t.Fatalf("seqs = %v (gap must reveal the filtered event)", seqs)
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("dropped = %d", s.Dropped())
+	}
+}
+
+func TestSubmitVecConcatenates(t *testing.T) {
+	src, sink := loopback()
+	var got []byte
+	sink.Subscribe(1, func(ev Event) { got = ev.Data })
+	src.NewSource(1).SubmitVec([][]byte{[]byte("a"), []byte("bc"), []byte("def")}, true, nil)
+	if string(got) != "abcdef" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestScaleFilterMutable(t *testing.T) {
+	src, sink := loopback()
+	var sizes []int
+	sink.Subscribe(1, func(ev Event) { sizes = append(sizes, len(ev.Data)) })
+	s := src.NewSource(1)
+	scale := 1.0
+	s.AddFilter(ScaleFilter(&scale))
+	s.Submit(make([]byte, 800), true, nil)
+	scale = 0.5
+	s.Submit(make([]byte, 800), true, nil)
+	if len(sizes) != 2 || sizes[0] != 800 || sizes[1] != 400 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestUnmarkFilterTagging(t *testing.T) {
+	src, sink := loopback()
+	marked := 0
+	sink.Subscribe(1, func(ev Event) {
+		if ev.Marked {
+			marked++
+		}
+	})
+	s := src.NewSource(1)
+	prob := 1.0
+	s.AddFilter(UnmarkFilter(rand.New(rand.NewSource(1)), 4, &prob))
+	for i := 0; i < 40; i++ {
+		s.Submit([]byte("e"), true, nil)
+	}
+	if marked != 10 {
+		t.Fatalf("marked = %d, want every 4th = 10", marked)
+	}
+}
+
+func TestFrequencyFilter(t *testing.T) {
+	src, sink := loopback()
+	got := 0
+	sink.Subscribe(1, func(Event) { got++ })
+	s := src.NewSource(1)
+	keep := 5
+	s.AddFilter(FrequencyFilter(&keep))
+	for i := 0; i < 25; i++ {
+		s.Submit([]byte("f"), true, nil)
+	}
+	if got != 5 {
+		t.Fatalf("got %d, want 5", got)
+	}
+	keep = 1 // back to full frequency
+	s.Submit([]byte("f"), true, nil)
+	if got != 6 {
+		t.Fatalf("got %d after reset", got)
+	}
+}
+
+func TestFloatHelpers(t *testing.T) {
+	xs := []float64{0, -1.5, math.Pi}
+	got := BytesToFloat64s(Float64sToBytes(xs))
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("roundtrip[%d] = %v", i, got[i])
+		}
+	}
+	ds := DownsampleStride([]float64{0, 1, 2, 3, 4}, 2)
+	if len(ds) != 3 || ds[1] != 2 {
+		t.Fatalf("downsample = %v", ds)
+	}
+}
+
+func TestSubscribeNilIgnored(t *testing.T) {
+	src, sink := loopback()
+	sink.Subscribe(1, nil)
+	// Must not panic when an event arrives on the channel.
+	src.NewSource(1).Submit([]byte("x"), true, nil)
+}

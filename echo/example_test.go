@@ -1,0 +1,58 @@
+package echo_test
+
+import (
+	"fmt"
+
+	"github.com/cercs/iqrudp/echo"
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+)
+
+// loop delivers every submission straight back into a sink mux.
+type loop struct{ sink *echo.Mux }
+
+func (l loop) SendMsg(data []byte, marked bool, attrs *attr.List) error {
+	l.sink.HandleMessage(core.Message{Data: data, Marked: marked, Attrs: attrs})
+	return nil
+}
+
+// Example publishes float64 grids on a channel with a runtime-adjustable
+// down-sampling filter — the application side of a resolution adaptation.
+func Example() {
+	sink := echo.NewMux(nil)
+	src := echo.NewMux(loop{sink})
+
+	sink.Subscribe(1, func(ev echo.Event) {
+		fmt.Printf("frame seq=%d cells=%d\n", ev.Seq, len(ev.Data)/8)
+	})
+
+	scale := 1.0
+	source := src.NewSource(1)
+	source.AddFilter(echo.ScaleFilter(&scale))
+
+	grid := echo.Float64sToBytes(make([]float64, 100))
+	source.Submit(grid, true, nil)
+	scale = 0.5 // congestion: halve the resolution
+	source.Submit(grid, true, nil)
+	// Output:
+	// frame seq=0 cells=100
+	// frame seq=1 cells=50
+}
+
+// ExampleMux_RequestDerived shows a sink asking the remote source for a
+// stride-2 downsampled view — ECho's derived event channels.
+func ExampleMux_RequestDerived() {
+	sink := echo.NewMux(nil)
+	srcMux := echo.NewMux(loop{sink})
+	control := echo.NewMux(loop{srcMux}) // sink→source control path
+	srcMux.EnableDerivedChannels()
+
+	sink.Subscribe(9, func(ev echo.Event) {
+		fmt.Println("derived grid:", echo.BytesToFloat64s(ev.Data))
+	})
+	control.RequestDerived(echo.DeriveSpec{Base: 1, Derived: 9, Stride: 2}, nil)
+
+	srcMux.PublishLocal(1, echo.Float64sToBytes([]float64{0, 1, 2, 3, 4, 5}), true)
+	// Output:
+	// derived grid: [0 2 4]
+}

@@ -1,0 +1,100 @@
+package iqrudp_test
+
+import (
+	"fmt"
+	"time"
+
+	iqrudp "github.com/cercs/iqrudp"
+	"github.com/cercs/iqrudp/simnet"
+)
+
+// Example demonstrates the real-socket API on loopback: a listener with a
+// 30% loss tolerance, a dialer, one reliable and one droppable message.
+func Example() {
+	ln, err := iqrudp.Listen("127.0.0.1:0", iqrudp.ServerConfig(0.3))
+	if err != nil {
+		fmt.Println("listen:", err)
+		return
+	}
+	defer ln.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept(5 * time.Second)
+		if err != nil {
+			return
+		}
+		for i := 0; i < 2; i++ {
+			msg, err := conn.Recv(5 * time.Second)
+			if err != nil {
+				return
+			}
+			fmt.Printf("got %q (marked=%v)\n", msg.Data, msg.Marked)
+		}
+	}()
+
+	conn, err := iqrudp.Dial(ln.Addr().String(), iqrudp.DefaultConfig())
+	if err != nil {
+		fmt.Println("dial:", err)
+		return
+	}
+	defer conn.Close()
+	conn.Send([]byte("checkpoint"), true) // must arrive
+	conn.Send([]byte("raw-frame"), false) // droppable within tolerance
+	<-done
+	// Output:
+	// got "checkpoint" (marked=true)
+	// got "raw-frame" (marked=false)
+}
+
+// ExampleAdaptationReport shows the coordination handshake: the transport
+// reports congestion, the application adapts and describes the adaptation,
+// and the transport rescales its window (paper §3.4).
+func ExampleAdaptationReport() {
+	s := simnet.NewScheduler(7)
+	d := simnet.NewDumbbell(s, simnet.DefaultDumbbell())
+	snd, rcv := simnet.Pair(d, iqrudp.DefaultConfig(), iqrudp.DefaultConfig())
+	simnet.WaitEstablished(s, snd, rcv, 5*time.Second)
+
+	frameSize := 1200
+	snd.Machine.RegisterThresholds(0.05, 0.005,
+		func(info iqrudp.CallbackInfo) *iqrudp.AdaptationReport {
+			frameSize = frameSize * 3 / 4    // the application downsamples…
+			return &iqrudp.AdaptationReport{ // …and tells the transport
+				Kind:      iqrudp.AdaptResolution,
+				Degree:    0.25,
+				FrameSize: frameSize,
+			}
+		}, nil)
+
+	// Equivalent out-of-band path (the application adapted on its own):
+	before := snd.Machine.Metrics().Cwnd
+	snd.Machine.Report(&iqrudp.AdaptationReport{
+		Kind: iqrudp.AdaptResolution, Degree: 0.25, FrameSize: 900,
+	})
+	after := snd.Machine.Metrics().Cwnd
+	fmt.Printf("window rescaled by %.2fx\n", after/before)
+	// Output:
+	// window rescaled by 1.33x
+}
+
+// ExampleListen_metrics shows the exported network metrics (paper §2.1): the
+// transport continuously publishes NET_* quality attributes.
+func ExampleListen_metrics() {
+	s := simnet.NewScheduler(3)
+	d := simnet.NewDumbbell(s, simnet.DefaultDumbbell())
+	snd, rcv := simnet.Pair(d, iqrudp.DefaultConfig(), iqrudp.DefaultConfig())
+	simnet.WaitEstablished(s, snd, rcv, 5*time.Second)
+	for i := 0; i < 100; i++ {
+		snd.Machine.Send(make([]byte, 1400), true)
+	}
+	s.RunUntil(s.Now() + 5*time.Second)
+	reg := snd.Machine.Registry()
+	fmt.Printf("loss=%.2f rtt<50ms: %v window>1: %v\n",
+		reg.FloatOr(iqrudp.NetLossAttr, -1),
+		reg.FloatOr(iqrudp.NetRTTAttr, 1) < 0.05,
+		reg.FloatOr(iqrudp.NetCwndAttr, 0) > 1)
+	// Output:
+	// loss=0.00 rtt<50ms: true window>1: true
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	iqrudp "github.com/cercs/iqrudp"
+	"github.com/cercs/iqrudp/simnet"
+)
+
+func main() {
+	s := simnet.NewScheduler(7)
+	d := simnet.NewDumbbell(s, simnet.DefaultDumbbell())
+	snd, rcv := simnet.Pair(d, iqrudp.DefaultConfig(), iqrudp.ServerConfig(0.4))
+	simnet.WaitEstablished(s, snd, rcv, 5*time.Second)
+	simnet.NewCBR(d, 18e6, 1000).Start()
+	fired := 0
+	snd.Machine.RegisterThresholds(0.08, 0.01,
+		func(info iqrudp.CallbackInfo) *iqrudp.AdaptationReport {
+			fired++
+			return nil
+		}, nil)
+	sent := 0
+	payload := make([]byte, 2400)
+	simnet.NewTicker(s, time.Second/130, func() {
+		if sent < 4000 {
+			snd.Machine.Send(payload, true)
+			sent++
+		}
+	})
+	for i := 0; i < 12; i++ {
+		s.RunUntil(s.Now() + 10*time.Second)
+		m := snd.Machine.Metrics()
+		fmt.Printf("t=%v sent=%d fired=%d loss=%.3f raw=%.3f cwnd=%.1f queued=%d rtx=%d\n",
+			s.Now().Truncate(time.Second), sent, fired, m.ErrorRatio, m.RawRatio, m.Cwnd, snd.Machine.QueuedPackets(), m.Retransmits)
+	}
+}

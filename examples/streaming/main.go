@@ -1,0 +1,138 @@
+// Adaptive streaming with a resolution adaptation — the paper's
+// "over-reaction" scenario (§3.4).
+//
+// A sensor stream downsamples its frames when the transport reports
+// congestion. Without coordination both the application (smaller frames) and
+// the transport (smaller window) cut the rate, compounding into
+// under-utilisation. With coordination, the transport re-grows its packet
+// window by 1/(1−rate_chg) when the application reports the downsampling, so
+// the byte rate stays at the connection's share.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"time"
+
+	iqrudp "github.com/cercs/iqrudp"
+	"github.com/cercs/iqrudp/simnet"
+)
+
+const (
+	messages = 6000
+	baseSize = 1300
+	minSize  = 400
+)
+
+func run(coordinate bool, seed int64) (dur time.Duration, kbs float64, rescales uint64) {
+	s := simnet.NewScheduler(seed)
+	d := simnet.NewDumbbell(s, simnet.DefaultDumbbell())
+	cfg := iqrudp.DefaultConfig()
+	cfg.Coordinate = coordinate
+	snd, rcv := simnet.Pair(d, cfg, cfg)
+	simnet.WaitEstablished(s, snd, rcv, 5*time.Second)
+
+	// Cross traffic: steady 16 Mb/s plus bursty VBR spikes.
+	simnet.NewCBR(d, 16e6, 1000).Start()
+	burst := simnet.MembershipTrace(simnet.TraceConfig{
+		Seed: 99, Duration: 300 * time.Second, Step: time.Second,
+		Base: 0, Max: 0, BurstProb: 0.06, BurstMax: 3,
+	})
+	vbr := simnet.NewVBR(d, burst, 500, 2000)
+	vbr.Loop = true
+	vbr.Start()
+
+	// Receiver-side accounting.
+	var delivered int
+	var bytes uint64
+	var last time.Duration
+	rcv.OnMessage = func(msg iqrudp.Message) {
+		delivered++
+		bytes += uint64(len(msg.Data))
+		last = msg.DeliveredAt
+	}
+
+	// The adaptive application: shrink on congestion, regrow when clear.
+	size := baseSize
+	lastShrink := time.Duration(-10 * time.Second)
+	snd.Machine.RegisterThresholds(0.08, 0.01,
+		func(info iqrudp.CallbackInfo) *iqrudp.AdaptationReport {
+			if info.Now-lastShrink < 4*time.Second {
+				return nil // adapt on coarse-grained changes only
+			}
+			lastShrink = info.Now
+			deg := info.Smoothed
+			if deg > 0.5 {
+				deg = 0.5
+			}
+			old := size
+			size = int(float64(size) * (1 - deg))
+			if size < minSize {
+				size = minSize
+			}
+			if size == old {
+				return nil
+			}
+			return &iqrudp.AdaptationReport{
+				Kind:      iqrudp.AdaptResolution,
+				Degree:    1 - float64(size)/float64(old),
+				FrameSize: size,
+			}
+		},
+		func(info iqrudp.CallbackInfo) *iqrudp.AdaptationReport {
+			old := size
+			size = int(float64(size) * 1.1)
+			if size > baseSize {
+				size = baseSize
+			}
+			if size == old {
+				return nil
+			}
+			return &iqrudp.AdaptationReport{
+				Kind:      iqrudp.AdaptResolution,
+				Degree:    1 - float64(size)/float64(old), // negative: growth
+				FrameSize: size,
+			}
+		})
+
+	// Send as fast as the window allows.
+	sent := 0
+	var pump func()
+	pump = func() {
+		for sent < messages && snd.Machine.CanSend() {
+			if err := snd.Machine.Send(make([]byte, size), true); err != nil {
+				return
+			}
+			sent++
+		}
+	}
+	snd.Machine.OnWritable(pump)
+	pump()
+	for sent < messages && s.Now() < 600*time.Second {
+		s.RunUntil(s.Now() + time.Second)
+	}
+	s.RunUntil(s.Now() + 5*time.Second)
+
+	kbs = 0
+	if last > 0 {
+		kbs = float64(bytes) / last.Seconds() / 1000
+	}
+	return last, kbs, snd.Machine.Metrics().WindowRescales
+}
+
+func main() {
+	fmt.Printf("streaming %d adaptive messages across a congested bottleneck\n\n", messages)
+	iqDur, iqKBs, iqRescales := run(true, 11)
+	ruDur, ruKBs, _ := run(false, 11)
+	fmt.Printf("%-22s %10s %16s %10s\n", "scheme", "duration", "tput (KB/s)", "rescales")
+	fmt.Printf("%-22s %10.1fs %16.1f %10d\n", "IQ-RUDP (coordinated)", iqDur.Seconds(), iqKBs, iqRescales)
+	fmt.Printf("%-22s %10.1fs %16.1f %10s\n", "RUDP (uncoordinated)", ruDur.Seconds(), ruKBs, "-")
+	fmt.Println()
+	fmt.Println("Each coordinated window rescale compensates the application's downsampling,")
+	fmt.Println("so the transport does not also give up the bandwidth the application ceded.")
+	fmt.Println()
+	fmt.Println("Note: this is one seed. Across many seeds the mean effect of this")
+	fmt.Println("coordination case is small (see EXPERIMENTS.md, Table 6): single runs")
+	fmt.Println("swing tens of percent either way under bursty cross traffic.")
+}

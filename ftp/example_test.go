@@ -1,0 +1,43 @@
+package ftp_test
+
+import (
+	"fmt"
+
+	"github.com/cercs/iqrudp/ftp"
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+)
+
+// loopCarrier hands every sent message straight to a Receiver — the minimal
+// Carrier for documentation purposes (real code passes an *iqrudp.Conn).
+type loopCarrier struct{ r *ftp.Receiver }
+
+func (c loopCarrier) SendMsg(data []byte, marked bool, attrs *attr.List) error {
+	c.r.Handle(core.Message{Data: data, Marked: marked})
+	return nil
+}
+
+// Example transfers a file where only the header region is critical.
+func Example() {
+	recv := ftp.NewReceiver()
+	carrier := loopCarrier{r: recv}
+
+	data := make([]byte, 40_000)
+	copy(data, "HEADER: the part that must survive")
+	st, err := ftp.Send(carrier, "dataset.bin", data, ftp.Ranges([2]int64{0, 4096}), 0)
+	if err != nil {
+		fmt.Println("send:", err)
+		return
+	}
+	rec, err := recv.Receipt()
+	if err != nil {
+		fmt.Println("receipt:", err)
+		return
+	}
+	fmt.Printf("chunks=%d critical=%d complete=%v coverage=%.0f%%\n",
+		st.Chunks, st.CriticalChunks, rec.Complete, rec.Coverage()*100)
+	fmt.Printf("header intact: %v\n", string(rec.Data[:6]) == "HEADER")
+	// Output:
+	// chunks=5 critical=1 complete=true coverage=100%
+	// header intact: true
+}

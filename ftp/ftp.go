@@ -1,0 +1,287 @@
+// Package ftp implements IQ-FTP, the selectively lossy file transfer the
+// paper names as future work: "end users can dynamically select (with
+// user-provided functions) the most critical file contents to be transferred
+// to their local sites."
+//
+// A file is split into fixed-size chunks. A user-provided Critical function
+// (or a set of byte ranges) decides which chunks are marked — delivered
+// reliably — while the rest travel unmarked and may be abandoned within the
+// receiver's loss tolerance. The receiver reconstructs the file, zero-fills
+// the holes, and reports exactly which regions arrived.
+//
+// The package runs over any attribute-bearing transport message carrier
+// (*iqrudp.Conn or a simulator machine), so transfers are testable
+// deterministically and usable over real sockets unchanged.
+package ftp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+)
+
+// DefaultChunkSize is the transfer granularity in bytes.
+const DefaultChunkSize = 8192
+
+// Carrier is the sending half of a transport connection.
+type Carrier interface {
+	SendMsg(data []byte, marked bool, attrs *attr.List) error
+}
+
+// Critical decides whether the chunk covering [from, to) must be delivered
+// reliably.
+type Critical func(from, to int64) bool
+
+// Ranges builds a Critical function from half-open byte ranges.
+func Ranges(ranges ...[2]int64) Critical {
+	return func(from, to int64) bool {
+		for _, r := range ranges {
+			if from < r[1] && r[0] < to {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// AllCritical marks every chunk (fully reliable transfer).
+func AllCritical(int64, int64) bool { return true }
+
+// Message kinds on the wire; every message starts with a kind byte.
+const (
+	kindMeta  = 1 // file name and size (marked)
+	kindChunk = 2 // chunk index + data
+	kindEnd   = 3 // trailer: total chunks (marked)
+)
+
+// Errors.
+var (
+	ErrNoMeta   = errors.New("ftp: transfer ended before metadata arrived")
+	ErrTooLarge = errors.New("ftp: file exceeds the 1 GiB transfer bound")
+)
+
+// maxFileSize bounds a single transfer (the chunk index is 32-bit and the
+// receiver buffers the whole file).
+const maxFileSize = 1 << 30
+
+// SendStats summarises a completed send.
+type SendStats struct {
+	Bytes          int
+	Chunks         int
+	CriticalChunks int
+}
+
+// Send transfers data as the named file over the carrier. Chunks the
+// critical function selects are marked; others are droppable. chunkSize ≤ 0
+// selects DefaultChunkSize.
+func Send(c Carrier, name string, data []byte, critical Critical, chunkSize int) (SendStats, error) {
+	var st SendStats
+	if len(data) > maxFileSize {
+		return st, ErrTooLarge
+	}
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if critical == nil {
+		critical = AllCritical
+	}
+	meta := make([]byte, 1+8+4+len(name))
+	meta[0] = kindMeta
+	binary.BigEndian.PutUint64(meta[1:], uint64(len(data)))
+	binary.BigEndian.PutUint32(meta[9:], uint32(chunkSize))
+	copy(meta[13:], name)
+	if err := c.SendMsg(meta, true, nil); err != nil {
+		return st, err
+	}
+	chunks := (len(data) + chunkSize - 1) / chunkSize
+	for i := 0; i < chunks; i++ {
+		lo, hi := i*chunkSize, (i+1)*chunkSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		msg := make([]byte, 5+hi-lo)
+		msg[0] = kindChunk
+		binary.BigEndian.PutUint32(msg[1:], uint32(i))
+		copy(msg[5:], data[lo:hi])
+		marked := critical(int64(lo), int64(hi))
+		if marked {
+			st.CriticalChunks++
+		}
+		if err := c.SendMsg(msg, marked, nil); err != nil {
+			return st, err
+		}
+	}
+	end := make([]byte, 5)
+	end[0] = kindEnd
+	binary.BigEndian.PutUint32(end[1:], uint32(chunks))
+	if err := c.SendMsg(end, true, nil); err != nil {
+		return st, err
+	}
+	st.Bytes = len(data)
+	st.Chunks = chunks
+	return st, nil
+}
+
+// Region is a contiguous received byte range.
+type Region struct{ From, To int64 }
+
+// Receipt is the result of a transfer.
+type Receipt struct {
+	Name      string
+	Data      []byte // holes zero-filled
+	Size      int64
+	Chunks    uint32 // total chunks announced by the sender
+	GotChunks int
+	Received  []Region // coalesced received regions
+	Complete  bool     // every chunk arrived
+}
+
+// Coverage returns the received fraction of the file in [0,1].
+func (r *Receipt) Coverage() float64 {
+	if r.Size == 0 {
+		return 1
+	}
+	var got int64
+	for _, reg := range r.Received {
+		got += reg.To - reg.From
+	}
+	return float64(got) / float64(r.Size)
+}
+
+// Receiver assembles one incoming transfer from delivered messages. Feed
+// every delivered core.Message to Handle; Done reports completion (trailer
+// seen and all straggling chunks accounted for or abandoned by the sender).
+type Receiver struct {
+	name      string
+	size      int64
+	data      []byte
+	chunkSize int
+	got       map[uint32]bool
+	chunks    uint32
+	end       bool
+}
+
+// NewReceiver returns an empty assembler.
+func NewReceiver() *Receiver {
+	return &Receiver{got: make(map[uint32]bool), chunkSize: DefaultChunkSize}
+}
+
+// Handle consumes one delivered message; non-transfer messages are ignored.
+func (r *Receiver) Handle(msg core.Message) {
+	if len(msg.Data) < 1 {
+		return
+	}
+	switch msg.Data[0] {
+	case kindMeta:
+		if len(msg.Data) < 13 {
+			return
+		}
+		r.size = int64(binary.BigEndian.Uint64(msg.Data[1:]))
+		if r.size < 0 || r.size > maxFileSize {
+			r.size = 0
+			return
+		}
+		if cs := int(binary.BigEndian.Uint32(msg.Data[9:])); cs > 0 {
+			r.chunkSize = cs
+		}
+		r.name = string(msg.Data[13:])
+		r.data = make([]byte, r.size)
+	case kindChunk:
+		if len(msg.Data) < 5 || r.data == nil {
+			return
+		}
+		idx := binary.BigEndian.Uint32(msg.Data[1:])
+		off := int64(idx) * int64(r.chunkSize)
+		if off >= r.size {
+			return
+		}
+		copy(r.data[off:], msg.Data[5:])
+		r.got[idx] = true
+	case kindEnd:
+		if len(msg.Data) >= 5 {
+			r.chunks = binary.BigEndian.Uint32(msg.Data[1:])
+		}
+		r.end = true
+	}
+}
+
+// Done reports whether the trailer has arrived. (Marked chunks are already
+// reliable below this layer, so trailer receipt means every chunk that will
+// ever arrive has either arrived or been abandoned within tolerance — modulo
+// reordering, which the transport's in-order delivery rules out.)
+func (r *Receiver) Done() bool { return r.end && (r.data != nil || r.size == 0) }
+
+// Receipt finalises the transfer.
+func (r *Receiver) Receipt() (*Receipt, error) {
+	if r.data == nil && r.size != 0 {
+		return nil, ErrNoMeta
+	}
+	if r.name == "" && !r.end {
+		return nil, ErrNoMeta
+	}
+	rec := &Receipt{
+		Name:      r.name,
+		Data:      r.data,
+		Size:      r.size,
+		Chunks:    r.chunks,
+		GotChunks: len(r.got),
+		Complete:  uint32(len(r.got)) == r.chunks,
+	}
+	rec.Received = r.regions()
+	return rec, nil
+}
+
+// regions coalesces received chunk indices into byte ranges.
+func (r *Receiver) regions() []Region {
+	if len(r.got) == 0 {
+		return nil
+	}
+	idxs := make([]uint32, 0, len(r.got))
+	for i := range r.got {
+		idxs = append(idxs, i)
+	}
+	sort.Slice(idxs, func(a, b int) bool { return idxs[a] < idxs[b] })
+	var out []Region
+	cs := int64(r.chunkSize)
+	for _, i := range idxs {
+		from := int64(i) * cs
+		to := from + cs
+		if to > r.size {
+			to = r.size
+		}
+		if n := len(out); n > 0 && out[n-1].To == from {
+			out[n-1].To = to
+			continue
+		}
+		out = append(out, Region{From: from, To: to})
+	}
+	return out
+}
+
+// ReceiveConn drains a connection-like receiver (anything with a Recv
+// method matching *iqrudp.Conn) until the transfer completes or idleTimeout
+// passes with no progress.
+func ReceiveConn(conn interface {
+	Recv(timeout time.Duration) (core.Message, error)
+}, idleTimeout time.Duration) (*Receipt, error) {
+	if idleTimeout <= 0 {
+		idleTimeout = 30 * time.Second
+	}
+	r := NewReceiver()
+	for !r.Done() {
+		msg, err := conn.Recv(idleTimeout)
+		if err != nil {
+			if r.end {
+				break
+			}
+			return nil, fmt.Errorf("ftp: receive: %w", err)
+		}
+		r.Handle(msg)
+	}
+	return r.Receipt()
+}

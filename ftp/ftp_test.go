@@ -1,0 +1,205 @@
+package ftp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/sim"
+)
+
+// memCarrier delivers every sent message straight to a Receiver, optionally
+// dropping unmarked messages with probability p (the transport's adaptive
+// reliability, collapsed to its observable effect).
+type memCarrier struct {
+	r   *Receiver
+	rng *rand.Rand
+	p   float64
+}
+
+func (m *memCarrier) SendMsg(data []byte, marked bool, attrs *attr.List) error {
+	if !marked && m.p > 0 && m.rng.Float64() < m.p {
+		return nil
+	}
+	m.r.Handle(core.Message{Data: data, Marked: marked})
+	return nil
+}
+
+func TestLosslessRoundTrip(t *testing.T) {
+	r := NewReceiver()
+	c := &memCarrier{r: r}
+	data := bytes.Repeat([]byte("0123456789abcdef"), 4000) // 64 KB
+	st, err := Send(c, "grid.dat", data, AllCritical, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Chunks != 8 || st.CriticalChunks != 8 || st.Bytes != len(data) {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !r.Done() {
+		t.Fatal("receiver not done")
+	}
+	rec, err := r.Receipt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Complete || rec.Coverage() != 1 || !bytes.Equal(rec.Data, data) {
+		t.Fatalf("receipt = %+v coverage=%v", rec, rec.Coverage())
+	}
+	if rec.Name != "grid.dat" {
+		t.Fatalf("name = %q", rec.Name)
+	}
+	if len(rec.Received) != 1 || rec.Received[0].From != 0 || rec.Received[0].To != int64(len(data)) {
+		t.Fatalf("regions = %v", rec.Received)
+	}
+}
+
+func TestCriticalRangesSurviveLoss(t *testing.T) {
+	r := NewReceiver()
+	c := &memCarrier{r: r, rng: rand.New(rand.NewSource(5)), p: 0.5}
+	data := make([]byte, 200_000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	crit := Ranges([2]int64{0, 16384}, [2]int64{100_000, 110_000})
+	st, err := Send(c, "f", data, crit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CriticalChunks == 0 || st.CriticalChunks == st.Chunks {
+		t.Fatalf("critical chunks = %d of %d, want a proper subset", st.CriticalChunks, st.Chunks)
+	}
+	rec, err := r.Receipt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Complete {
+		t.Fatal("transfer should be lossy at p=0.5")
+	}
+	// Every critical byte must be intact.
+	if !bytes.Equal(rec.Data[:16384], data[:16384]) {
+		t.Fatal("first critical range corrupted")
+	}
+	if !bytes.Equal(rec.Data[98304:114688], data[98304:114688]) {
+		// chunk-aligned containing range [100000,110000)
+		t.Fatal("second critical range corrupted")
+	}
+	if rec.Coverage() >= 1 || rec.Coverage() <= 0.2 {
+		t.Fatalf("coverage = %v", rec.Coverage())
+	}
+}
+
+func TestRangesPredicate(t *testing.T) {
+	crit := Ranges([2]int64{100, 200})
+	cases := []struct {
+		from, to int64
+		want     bool
+	}{
+		{0, 50, false}, {0, 100, false}, {0, 101, true},
+		{150, 160, true}, {199, 300, true}, {200, 300, false},
+	}
+	for _, c := range cases {
+		if got := crit(c.from, c.to); got != c.want {
+			t.Errorf("crit(%d,%d) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestReceiptErrors(t *testing.T) {
+	r := NewReceiver()
+	r.Handle(core.Message{Data: []byte{kindChunk, 0, 0, 0, 0, 1}}) // chunk before meta
+	if _, err := r.Receipt(); err == nil {
+		t.Fatal("receipt without metadata should fail")
+	}
+	if r.Done() {
+		t.Fatal("done without trailer")
+	}
+	// Oversized metadata is rejected.
+	big := make([]byte, 9)
+	big[0] = kindMeta
+	for i := 1; i < 9; i++ {
+		big[i] = 0xFF
+	}
+	r2 := NewReceiver()
+	r2.Handle(core.Message{Data: big})
+	if r2.data != nil {
+		t.Fatal("oversized file accepted")
+	}
+}
+
+func TestSendTooLarge(t *testing.T) {
+	// Don't allocate 1 GiB; fake it through the size check with a crafted
+	// slice header is unsafe — instead verify the bound constant is enforced
+	// by the metadata path (above) and skip the send-side allocation test.
+	t.Skip("send-side bound requires a 1 GiB allocation; covered by the metadata path")
+}
+
+// Property: for arbitrary data and chunk sizes, a lossless transfer
+// reconstructs the file exactly.
+func TestQuickLosslessReconstruction(t *testing.T) {
+	f := func(data []byte, csRaw uint8) bool {
+		cs := int(csRaw)%512 + 1
+		r := NewReceiver()
+		c := &memCarrier{r: r}
+		if len(data) == 0 {
+			data = []byte{1}
+		}
+		if _, err := Send(c, "q", data, AllCritical, cs); err != nil {
+			return false
+		}
+		rec, err := r.Receipt()
+		if err != nil {
+			return false
+		}
+		return rec.Complete && bytes.Equal(rec.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverSimulatedLossyNetwork(t *testing.T) {
+	// Full stack: IQ-RUDP over a lossy dumbbell with receiver tolerance.
+	s := sim.New(9)
+	dcfg := netem.DefaultDumbbell()
+	dcfg.LossProb = 0.05
+	d := netem.NewDumbbell(s, dcfg)
+	rcvCfg := core.DefaultConfig()
+	rcvCfg.LossTolerance = 0.4
+	snd, rcv := endpoint.Pair(d, core.DefaultConfig(), rcvCfg)
+	if !endpoint.WaitEstablished(s, snd, rcv, 20*time.Second) {
+		t.Fatal("handshake failed")
+	}
+	r := NewReceiver()
+	rcv.OnMessage = r.Handle
+
+	data := make([]byte, 500_000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	crit := Ranges([2]int64{0, 65536})
+	if _, err := Send(snd.Machine, "sim.dat", data, crit, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(s.Now() + 300*time.Second)
+	if !r.Done() {
+		t.Fatal("transfer never completed")
+	}
+	rec, err := r.Receipt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Data[:65536], data[:65536]) {
+		t.Fatal("critical prefix corrupted")
+	}
+	if rec.Coverage() < 0.6 {
+		t.Fatalf("coverage %.2f below the tolerance floor", rec.Coverage())
+	}
+	t.Logf("coverage %.1f%%, %d/%d chunks", rec.Coverage()*100, rec.GotChunks, rec.Chunks)
+}

@@ -1,0 +1,3 @@
+module github.com/cercs/iqrudp
+
+go 1.24

@@ -1,0 +1,336 @@
+// Package attr implements IQ-ECho quality attributes: lightweight
+// <name, value> tuples that carry quality-of-service information across the
+// application/transport boundary in both directions. Attributes are the
+// coordination mechanism of the paper: network metrics are exported from
+// IQ-RUDP to the application as attributes, and the application describes its
+// adaptations to the transport with the ADAPT_* attributes, either as
+// parameters to a send call (CMwritevAttr) or via a shared connection
+// registry.
+package attr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind is the dynamic type of an attribute value.
+type Kind uint8
+
+// Supported attribute value kinds.
+const (
+	KindInt Kind = iota + 1
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a typed attribute value. The zero Value is invalid.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating-point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// String_ returns a string value. (Named with a trailing underscore because
+// Value.String is the Stringer method.)
+func String_(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind returns the value's dynamic kind (0 for the zero Value).
+func (v Value) Kind() Kind { return v.kind }
+
+// Valid reports whether the value carries a kind.
+func (v Value) Valid() bool { return v.kind != 0 }
+
+// AsInt returns the value as int64. Floats truncate; bools map to 0/1;
+// strings parse or yield 0.
+func (v Value) AsInt() int64 {
+	switch v.kind {
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return int64(v.f)
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindString:
+		n, _ := strconv.ParseInt(v.s, 10, 64)
+		return n
+	}
+	return 0
+}
+
+// AsFloat returns the value as float64.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i)
+	case KindFloat:
+		return v.f
+	case KindBool:
+		if v.b {
+			return 1
+		}
+		return 0
+	case KindString:
+		f, _ := strconv.ParseFloat(v.s, 64)
+		return f
+	}
+	return 0
+}
+
+// AsBool returns the value as bool (non-zero numbers are true).
+func (v Value) AsBool() bool {
+	switch v.kind {
+	case KindInt:
+		return v.i != 0
+	case KindFloat:
+		return v.f != 0
+	case KindBool:
+		return v.b
+	case KindString:
+		b, _ := strconv.ParseBool(v.s)
+		return b
+	}
+	return false
+}
+
+// String implements fmt.Stringer with a round-trippable textual form.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	}
+	return "<invalid>"
+}
+
+// Equal reports deep equality of two values, treating NaN floats as equal so
+// lists containing them remain comparable.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	case KindString:
+		return v.s == o.s
+	case KindBool:
+		return v.b == o.b
+	}
+	return true
+}
+
+// Attr is a single <name, value> tuple.
+type Attr struct {
+	Name  string
+	Value Value
+}
+
+// List is an ordered collection of attributes with unique names. The zero
+// List is empty and ready to use. Lookups are linear: lists are tiny (a
+// handful of entries piggybacked on a send call).
+type List struct {
+	attrs []Attr
+}
+
+// ErrNotFound is returned by typed getters when the name is absent.
+var ErrNotFound = errors.New("attr: not found")
+
+// NewList builds a list from the given attributes; later duplicates
+// overwrite earlier ones.
+func NewList(attrs ...Attr) *List {
+	l := &List{}
+	for _, a := range attrs {
+		l.Set(a.Name, a.Value)
+	}
+	return l
+}
+
+// Len returns the number of attributes.
+func (l *List) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.attrs)
+}
+
+// Set inserts or replaces the attribute with the given name.
+func (l *List) Set(name string, v Value) {
+	for i := range l.attrs {
+		if l.attrs[i].Name == name {
+			l.attrs[i].Value = v
+			return
+		}
+	}
+	l.attrs = append(l.attrs, Attr{Name: name, Value: v})
+}
+
+// Get returns the value for name and whether it is present.
+func (l *List) Get(name string) (Value, bool) {
+	if l == nil {
+		return Value{}, false
+	}
+	for _, a := range l.attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return Value{}, false
+}
+
+// Delete removes name, reporting whether it was present.
+func (l *List) Delete(name string) bool {
+	for i, a := range l.attrs {
+		if a.Name == name {
+			l.attrs = append(l.attrs[:i], l.attrs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Float returns a float attribute or ErrNotFound.
+func (l *List) Float(name string) (float64, error) {
+	v, ok := l.Get(name)
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return v.AsFloat(), nil
+}
+
+// Int returns an int attribute or ErrNotFound.
+func (l *List) Int(name string) (int64, error) {
+	v, ok := l.Get(name)
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return v.AsInt(), nil
+}
+
+// FloatOr returns the float value or def when absent.
+func (l *List) FloatOr(name string, def float64) float64 {
+	v, ok := l.Get(name)
+	if !ok {
+		return def
+	}
+	return v.AsFloat()
+}
+
+// IntOr returns the int value or def when absent.
+func (l *List) IntOr(name string, def int64) int64 {
+	v, ok := l.Get(name)
+	if !ok {
+		return def
+	}
+	return v.AsInt()
+}
+
+// BoolOr returns the bool value or def when absent.
+func (l *List) BoolOr(name string, def bool) bool {
+	v, ok := l.Get(name)
+	if !ok {
+		return def
+	}
+	return v.AsBool()
+}
+
+// Has reports whether name is present.
+func (l *List) Has(name string) bool {
+	_, ok := l.Get(name)
+	return ok
+}
+
+// All returns a copy of the attributes in insertion order.
+func (l *List) All() []Attr {
+	if l == nil {
+		return nil
+	}
+	out := make([]Attr, len(l.attrs))
+	copy(out, l.attrs)
+	return out
+}
+
+// Clone returns a deep copy (nil-safe).
+func (l *List) Clone() *List {
+	if l == nil {
+		return nil
+	}
+	return &List{attrs: append([]Attr(nil), l.attrs...)}
+}
+
+// Merge copies every attribute from o into l, overwriting duplicates.
+func (l *List) Merge(o *List) {
+	if o == nil {
+		return
+	}
+	for _, a := range o.attrs {
+		l.Set(a.Name, a.Value)
+	}
+}
+
+// Equal reports whether two lists hold the same name→value mapping,
+// regardless of insertion order.
+func (l *List) Equal(o *List) bool {
+	if l.Len() != o.Len() {
+		return false
+	}
+	for _, a := range l.All() {
+		v, ok := o.Get(a.Name)
+		if !ok || !v.Equal(a.Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "name=value" pairs sorted by name.
+func (l *List) String() string {
+	attrs := l.All()
+	sort.Slice(attrs, func(i, j int) bool { return attrs[i].Name < attrs[j].Name })
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a.Name + "=" + a.Value.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

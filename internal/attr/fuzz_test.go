@@ -1,0 +1,44 @@
+package attr
+
+import "testing"
+
+// Fuzz target for the attribute-block decoder: arbitrary bytes must never
+// panic, and successful decodes must round-trip.
+// Run with: go test -fuzz=FuzzAttrDecode ./internal/attr
+
+func FuzzAttrDecode(f *testing.F) {
+	seeds := []*List{
+		nil,
+		NewList(Attr{AdaptPktSize, Float(0.3)}),
+		NewList(Attr{AdaptWhen, Int(20)}, Attr{Marked, Bool(true)}),
+		NewList(Attr{"s", String_("hello")}, Attr{NetLoss, Float(0.01)}),
+	}
+	for _, l := range seeds {
+		if b, err := Encode(l); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{255})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		l, n, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		b2, err := Encode(l)
+		if err != nil {
+			t.Fatalf("decoded list failed to encode: %v (%v)", err, l)
+		}
+		l2, _, err := Decode(b2)
+		if err != nil {
+			t.Fatalf("re-encoded list failed to decode: %v", err)
+		}
+		if !l2.Equal(l) {
+			t.Fatalf("round-trip mismatch: %v vs %v", l2, l)
+		}
+	})
+}

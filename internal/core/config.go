@@ -1,0 +1,248 @@
+// Package core implements the IQ-RUDP protocol machine: a connection-
+// oriented, datagram-based reliable UDP transport with window-based
+// congestion control resembling Loss-Delay Adjustment (LDA), adaptive
+// reliability (sender packet marking and receiver loss tolerance), exported
+// network performance metrics, application-registered threshold callbacks,
+// and — the paper's contribution — coordination of transport-level
+// adaptation with application-level adaptation via quality attributes.
+//
+// The machine is sans-I/O: it consumes decoded packets and timer
+// expirations, and produces outputs through an injected Env. The same
+// machine runs under the deterministic simulator (internal/netem) and over
+// real UDP sockets (internal/udpwire).
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// Config parameterises a Machine. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// MSS is the maximum DATA payload per packet in bytes (paper: 1400).
+	MSS int
+
+	// InitialCwnd is the initial congestion window in packets.
+	InitialCwnd float64
+
+	// MaxCwnd caps the congestion window in packets.
+	MaxCwnd float64
+
+	// RecvWindow is the advertised receive window in packets.
+	RecvWindow uint16
+
+	// MeasurementPeriod is the interval over which the error ratio is
+	// computed and callbacks/metrics are refreshed.
+	MeasurementPeriod time.Duration
+
+	// LossRatioAlpha is the EWMA weight for smoothing the per-period error
+	// ratio.
+	LossRatioAlpha float64
+
+	// LossTolerance is this endpoint's tolerance, as a receiver, for lost
+	// unmarked traffic: the fraction of all application messages it can
+	// tolerate not receiving. Advertised to the peer during the handshake.
+	LossTolerance float64
+
+	// Coordinate enables the IQ-RUDP coordination schemes. With it false the
+	// machine behaves as plain RUDP: application adaptation reports are
+	// accepted but ignored by the transport.
+	Coordinate bool
+
+	// DisableCC freezes the congestion window at FixedWindow packets
+	// (used by the paper's "application adaptation only" configuration,
+	// which disables the adaptive congestion window algorithm but keeps
+	// providing performance metrics).
+	DisableCC bool
+
+	// FixedWindow is the frozen window size in packets when DisableCC is
+	// set; 0 selects a bandwidth-delay-product-ish 54 packets.
+	FixedWindow float64
+
+	// HalvingDecrease switches the congestion controller's multiplicative
+	// decrease from the LDA-like loss-proportional factor to TCP-style
+	// halving (ablation).
+	HalvingDecrease bool
+
+	// RTOMin and RTOMax bound the retransmission timeout.
+	RTOMin, RTOMax time.Duration
+
+	// ConnID identifies the connection on the wire; 0 lets the machine pick.
+	ConnID uint32
+
+	// InitialSeq overrides the initial sequence number (0 = default 1).
+	// Primarily for tests exercising sequence-space wraparound.
+	InitialSeq uint32
+
+	// Paced spreads transmissions over the round-trip time (one packet every
+	// srtt/cwnd) instead of sending window bursts back to back. Pacing
+	// trades a little latency for markedly smoother queue occupancy — the
+	// traffic-smoothness theme of the paper, available as an ablation.
+	Paced bool
+
+	// Keepalive, when positive, sends a NUL probe after that much send-side
+	// idle time (the RUDP draft's keepalive). Probes elicit acknowledgements,
+	// so they also feed DeadInterval.
+	Keepalive time.Duration
+
+	// DeadInterval, when positive, aborts the connection after hearing
+	// nothing from the peer for that long. Combine with Keepalive shorter
+	// than DeadInterval so an idle-but-healthy peer stays provably alive.
+	DeadInterval time.Duration
+}
+
+// DefaultConfig returns the paper's standard transport parameters.
+func DefaultConfig() Config {
+	return Config{
+		MSS:               1400,
+		InitialCwnd:       2,
+		MaxCwnd:           1024,
+		RecvWindow:        512,
+		MeasurementPeriod: 500 * time.Millisecond,
+		LossRatioAlpha:    0.5,
+		LossTolerance:     0,
+		Coordinate:        true,
+		RTOMin:            200 * time.Millisecond,
+		RTOMax:            10 * time.Second,
+	}
+}
+
+// sanitize fills defaults for unset fields.
+func (c *Config) sanitize() {
+	if c.MSS <= 0 {
+		c.MSS = 1400
+	}
+	if c.InitialCwnd <= 0 {
+		c.InitialCwnd = 2
+	}
+	if c.MaxCwnd <= 0 {
+		c.MaxCwnd = 1024
+	}
+	if c.RecvWindow == 0 {
+		c.RecvWindow = 512
+	}
+	if c.MeasurementPeriod <= 0 {
+		c.MeasurementPeriod = 500 * time.Millisecond
+	}
+	if c.LossRatioAlpha <= 0 || c.LossRatioAlpha > 1 {
+		c.LossRatioAlpha = 0.5
+	}
+	if c.RTOMin <= 0 {
+		c.RTOMin = 200 * time.Millisecond
+	}
+	if c.RTOMax <= 0 {
+		c.RTOMax = 10 * time.Second
+	}
+	if c.DisableCC && c.FixedWindow <= 0 {
+		c.FixedWindow = 54
+	}
+}
+
+// AdaptKind classifies an application adaptation for the transport.
+type AdaptKind uint8
+
+// Application adaptation kinds (paper §2.3.2).
+const (
+	// AdaptNone reports no adaptation.
+	AdaptNone AdaptKind = iota
+	// AdaptFrequency: same message size, lower frequency. No window change.
+	AdaptFrequency
+	// AdaptResolution: smaller messages at the same frequency. The
+	// coordinated transport grows its packet window by 1/(1−Degree) while
+	// frames are below the MSS.
+	AdaptResolution
+	// AdaptReliability: the application unmarks a fraction of its traffic.
+	// The coordinated transport discards unmarked messages before they reach
+	// the network, within the receiver's loss tolerance.
+	AdaptReliability
+)
+
+// String names the kind.
+func (k AdaptKind) String() string {
+	switch k {
+	case AdaptNone:
+		return "none"
+	case AdaptFrequency:
+		return "frequency"
+	case AdaptResolution:
+		return "resolution"
+	case AdaptReliability:
+		return "reliability"
+	default:
+		return "invalid"
+	}
+}
+
+// AdaptationReport describes an application-level adaptation to the
+// transport. It is the structured form of the ADAPT_* attribute set: a
+// callback may return one, or the application passes the equivalent
+// attributes on a SendMsg call.
+type AdaptationReport struct {
+	Kind AdaptKind
+
+	// Degree quantifies the adaptation: for resolution, the frame-size
+	// reduction rate_chg in [0,1) (negative for increases); for reliability,
+	// the unmark probability in [0,1]; for frequency, the frequency factor.
+	Degree float64
+
+	// WhenFrames is the number of application frames until the adaptation
+	// takes effect: 0 means immediately, >0 means delayed (ADAPT_WHEN), and
+	// −1 means the application will not adapt.
+	WhenFrames int
+
+	// CondErrorRatio is the error ratio the application based this
+	// adaptation on (ADAPT_COND); NaN when not supplied.
+	CondErrorRatio float64
+
+	// FrameSize is the application's frame size in bytes after the
+	// adaptation, used for the below-MSS window-growth condition. 0 means
+	// unknown (treated as below MSS).
+	FrameSize int
+}
+
+// NoAdaptation is the report meaning "the application will not adapt".
+func NoAdaptation() *AdaptationReport {
+	return &AdaptationReport{Kind: AdaptNone, WhenFrames: -1, CondErrorRatio: math.NaN()}
+}
+
+// CallbackInfo is the network state snapshot passed to threshold callbacks.
+type CallbackInfo struct {
+	Now        time.Duration // virtual time of the callback
+	ErrorRatio float64       // per-period error ratio that crossed the threshold
+	RawRatio   float64       // same as ErrorRatio (kept for clarity at call sites)
+	Smoothed   float64       // EWMA-smoothed ratio (what the controller uses)
+	RateBps    float64       // delivery rate estimate, bytes/s
+	SRTT       time.Duration // smoothed round-trip time
+	Cwnd       float64       // current congestion window, packets
+}
+
+// ThresholdCallback is invoked when the measured error ratio crosses a
+// registered threshold. The return value describes the application's
+// adaptation (nil means none). With coordination enabled the transport
+// re-adapts accordingly (paper §2.3).
+type ThresholdCallback func(info CallbackInfo) *AdaptationReport
+
+// Metrics is a snapshot of the transport's internal measurements, the
+// queryable network performance metrics of paper §2.1.
+type Metrics struct {
+	SRTT       time.Duration
+	RTTVar     time.Duration
+	ErrorRatio float64 // smoothed
+	RawRatio   float64 // last period, unsmoothed
+	RateBps    float64 // acked bytes/s over the last period
+	Cwnd       float64 // packets
+	InFlight   int
+
+	SentPackets    uint64 // DATA transmissions, including retransmissions
+	Retransmits    uint64
+	SkippedPackets uint64 // abandoned unmarked packets (forward-seq)
+	SenderDiscards uint64 // unmarked messages discarded before sending (Case 1)
+	DeadlineDrops  uint64 // unmarked packets abandoned after their deadline
+	AckedPackets   uint64
+	DeliveredMsgs  uint64 // messages delivered to the local application
+	PartialMsgs    uint64 // delivered with missing fragments
+	LostMsgs       uint64 // messages skipped entirely
+	AckedBytes     uint64
+	WindowRescales uint64 // coordination window adjustments (Cases 2/3)
+}

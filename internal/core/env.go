@@ -1,0 +1,51 @@
+package core
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/packet"
+)
+
+// Timer is a cancellable deadline armed through the Env.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it was still pending.
+	Stop() bool
+}
+
+// Env is the machine's window on the outside world. All methods are invoked
+// from whatever context drives the machine (the simulator event loop or the
+// socket driver's lock); the machine itself never creates goroutines and
+// never consults wall-clock time.
+type Env interface {
+	// Now returns the current (virtual) time.
+	Now() time.Duration
+
+	// Emit hands a packet to the wire. The machine retains no reference to
+	// the packet after Emit returns.
+	Emit(p *packet.Packet)
+
+	// Deliver hands a reassembled application message up the stack.
+	Deliver(msg Message)
+
+	// After arms a timer that invokes fn from the driving context.
+	After(d time.Duration, fn func()) Timer
+}
+
+// Message is a reassembled application message delivered to the receiver.
+type Message struct {
+	ID      uint32
+	Data    []byte
+	Marked  bool
+	Partial bool // one or more fragments were skipped (unmarked loss)
+
+	// Attrs carries the quality attributes the sender attached to the
+	// message's first fragment (nil when none).
+	Attrs *attr.List
+
+	// SentAt is the sender's timestamp from the first received fragment;
+	// DeliveredAt is the local delivery time. Their difference is one-way
+	// delay in the simulator (clocks are shared there).
+	SentAt      time.Duration
+	DeliveredAt time.Duration
+}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/packet"
+	"github.com/cercs/iqrudp/internal/stats"
+)
+
+// connState is the connection state machine phase.
+type connState uint8
+
+const (
+	stClosed connState = iota
+	stSynSent
+	stSynRcvd
+	stEstablished
+	stFinWait // FIN sent, awaiting FINACK
+	stDead    // closed or reset
+)
+
+func (s connState) String() string {
+	switch s {
+	case stClosed:
+		return "closed"
+	case stSynSent:
+		return "syn-sent"
+	case stSynRcvd:
+		return "syn-rcvd"
+	case stEstablished:
+		return "established"
+	case stFinWait:
+		return "fin-wait"
+	case stDead:
+		return "dead"
+	default:
+		return "invalid"
+	}
+}
+
+// Machine errors.
+var (
+	ErrClosed       = errors.New("core: connection closed")
+	ErrPayloadEmpty = errors.New("core: empty message")
+)
+
+// sendPkt is one outgoing DATA packet's bookkeeping.
+type sendPkt struct {
+	seq     uint32
+	msgID   uint32
+	frag    uint16
+	fragCnt uint16
+	flags   uint8
+	payload []byte
+	attrs   *attr.List
+
+	sentAt   time.Duration
+	deadline time.Duration // absolute; 0 = none (DEADLINE attribute)
+	txCount  int
+	rtxEpoch uint64 // loss episode this packet was last retransmitted in
+	sacked   bool   // acknowledged out of order (EACK)
+	skipped  bool   // abandoned: receiver will be forwarded past it
+}
+
+func (p *sendPkt) marked() bool { return p.flags&packet.FlagMarked != 0 }
+
+// done reports whether the packet no longer occupies the flight window.
+func (p *sendPkt) done() bool { return p.sacked || p.skipped }
+
+// Machine is one endpoint of an IQ-RUDP connection. It is not safe for
+// concurrent use; the driver serialises all calls (see package doc).
+type Machine struct {
+	cfg Config
+	env Env
+
+	state     connState
+	connID    uint32
+	initiator bool
+
+	// Send side.
+	sndISN     uint32
+	sndNxt     uint32     // next sequence number to assign
+	sndUna     uint32     // oldest unacknowledged sequence number
+	pending    []*sendPkt // segmented, not yet transmitted
+	flight     []*sendPkt // transmitted, not yet cumulatively acked
+	nextMsgID  uint32
+	lastAck    uint32 // last cumulative ack seen
+	dupAcks    int
+	inRecovery bool   // a loss episode is being repaired
+	recoverTo  uint32 // episode ends when sndUna passes this
+	epoch      uint64 // loss-episode counter
+	peerWnd    uint16 // last advertised window from peer
+	fwdSeq     uint32 // forward point: everything below is acked or skipped
+	fwdPending bool   // fwdSeq must be communicated
+
+	// Receive side.
+	rcvNxt   uint32
+	ooo      map[uint32]*packet.Packet // out-of-order buffer
+	reasm    *reassembler
+	peerTol  float64 // peer's (receiver) declared loss tolerance — our budget when sending
+	localTol float64
+
+	// Adaptive reliability accounting (sender side): fraction of application
+	// messages not delivered must stay within peerTol.
+	relMsgsTotal   uint64          // messages offered by the application
+	relMsgsDropped uint64          // messages discarded or skipped (≥1 fragment lost)
+	skippedMsgs    map[uint32]bool // msgIDs with at least one skipped fragment
+
+	cc   *congestion
+	rtt  *rttEstimator
+	meas *measurement
+	coo  *coordinator
+
+	reg *attr.Registry
+
+	// Callbacks.
+	upperThresh, lowerThresh float64
+	onUpper, onLower         ThresholdCallback
+	onEstablished            func()
+	onWritable               func()
+	onClosed                 func()
+
+	// Timers.
+	rtxTimer   Timer
+	connTimer  Timer
+	measTicker Timer
+
+	closing  bool // Close requested; FIN once the pipeline drains
+	tolDirty bool // localTol changed; piggyback on next ack
+
+	lastHeard time.Duration // when the peer was last heard from
+	lastSent  time.Duration // when we last emitted anything
+	liveTimer Timer
+	paceTimer Timer // armed while a paced transmission gap is pending
+
+	metrics Metrics
+
+	// Receiver-side delivery stats (also exposed in Metrics).
+	arrivals *stats.Arrivals
+}
+
+// NewMachine builds a machine over env. Call StartClient or StartServer to
+// begin the handshake.
+func NewMachine(cfg Config, env Env) *Machine {
+	cfg.sanitize()
+	isn := uint32(1)
+	if cfg.InitialSeq != 0 {
+		isn = cfg.InitialSeq
+	}
+	m := &Machine{
+		cfg:    cfg,
+		env:    env,
+		connID: cfg.ConnID,
+		sndISN: isn,
+		// SYN/SYNACK consume the ISN; data starts at ISN+1, matching the
+		// peer's rcvNxt after the handshake.
+		sndNxt:      isn + 1,
+		sndUna:      isn + 1,
+		rcvNxt:      0,
+		ooo:         make(map[uint32]*packet.Packet),
+		skippedMsgs: make(map[uint32]bool),
+		cc:          newCongestion(&cfg),
+		rtt:         newRTTEstimator(cfg.RTOMin, cfg.RTOMax),
+		reg:         attr.NewRegistry(),
+		localTol:    cfg.LossTolerance,
+		peerWnd:     cfg.RecvWindow,
+		arrivals:    stats.NewArrivals(false),
+	}
+	m.reasm = newReassembler(m)
+	m.meas = newMeasurement(m)
+	m.coo = newCoordinator(m)
+	m.reg.Set(attr.LossTolerance, attr.Float(m.localTol))
+	return m
+}
+
+// Registry returns the connection's shared quality-attribute registry. The
+// transport publishes NET_* metrics there each measurement period; the
+// application may publish its own attributes (e.g. LOSS_TOLERANCE).
+func (m *Machine) Registry() *attr.Registry { return m.reg }
+
+// State returns a debugging name for the connection phase.
+func (m *Machine) State() string { return m.state.String() }
+
+// Established reports whether the connection is open for data.
+func (m *Machine) Established() bool { return m.state == stEstablished }
+
+// OnEstablished registers fn to run once the handshake completes.
+func (m *Machine) OnEstablished(fn func()) { m.onEstablished = fn }
+
+// OnWritable registers fn to run whenever window space frees up after a
+// period of blockage. Applications that send "as fast as allowed" drive
+// their transmission from this hook.
+func (m *Machine) OnWritable(fn func()) { m.onWritable = fn }
+
+// OnClosed registers fn to run when the connection fully closes.
+func (m *Machine) OnClosed(fn func()) { m.onClosed = fn }
+
+// RegisterThresholds installs the application's error-ratio callbacks
+// (paper §2.1 mechanism 2): onUpper fires when the smoothed error ratio
+// reaches upper; onLower when it falls to lower or below. Either callback
+// may be nil.
+func (m *Machine) RegisterThresholds(upper, lower float64, onUpper, onLower ThresholdCallback) {
+	m.upperThresh, m.lowerThresh = upper, lower
+	m.onUpper, m.onLower = onUpper, onLower
+}
+
+// SetLossTolerance updates this endpoint's receiver loss tolerance at
+// runtime; the new value is piggybacked to the peer on the next
+// acknowledgement.
+func (m *Machine) SetLossTolerance(tol float64) {
+	if tol < 0 {
+		tol = 0
+	}
+	if tol > 1 {
+		tol = 1
+	}
+	m.localTol = tol
+	m.reg.Set(attr.LossTolerance, attr.Float(tol))
+	m.tolDirty = true
+}
+
+// StartClient begins an active open (SYN).
+func (m *Machine) StartClient() {
+	if m.state != stClosed {
+		return
+	}
+	m.initiator = true
+	if m.connID == 0 {
+		m.connID = 0x1001
+	}
+	m.state = stSynSent
+	m.sendSyn()
+}
+
+// StartServer begins a passive open: the machine waits for a SYN.
+func (m *Machine) StartServer() {
+	if m.state != stClosed {
+		return
+	}
+	m.state = stClosed // remains closed until SYN arrives
+}
+
+func (m *Machine) sendSyn() {
+	p := &packet.Packet{
+		Type:   packet.SYN,
+		ConnID: m.connID,
+		Seq:    m.sndISN,
+		Wnd:    m.cfg.RecvWindow,
+		TS:     m.env.Now(),
+		Attrs:  attr.NewList(attr.Attr{Name: attr.LossTolerance, Value: attr.Float(m.localTol)}),
+	}
+	m.env.Emit(p)
+	m.armConnRetry(func() {
+		if m.state == stSynSent {
+			m.sendSyn()
+		}
+	})
+}
+
+func (m *Machine) armConnRetry(fn func()) {
+	if m.connTimer != nil {
+		m.connTimer.Stop()
+	}
+	m.connTimer = m.env.After(m.rtt.RTO(), fn)
+}
+
+// establish transitions to the established state exactly once.
+func (m *Machine) establish() {
+	if m.state == stEstablished {
+		return
+	}
+	m.state = stEstablished
+	if m.connTimer != nil {
+		m.connTimer.Stop()
+		m.connTimer = nil
+	}
+	m.lastHeard = m.env.Now()
+	m.lastSent = m.env.Now()
+	m.startLiveness()
+	m.meas.start()
+	if m.onEstablished != nil {
+		m.onEstablished()
+	}
+	m.trySend()
+}
+
+// Close initiates an orderly shutdown once all pending data is sent and
+// acknowledged. Data still queued continues to flow first.
+func (m *Machine) Close() {
+	switch m.state {
+	case stDead, stFinWait:
+		return
+	case stClosed, stSynSent, stSynRcvd:
+		m.abort()
+		return
+	}
+	m.closing = true
+	m.maybeFinish()
+}
+
+// maybeFinish sends FIN when the send pipeline is empty.
+func (m *Machine) maybeFinish() {
+	if !m.closing || m.state != stEstablished {
+		return
+	}
+	if len(m.pending) > 0 || m.inFlightCount() > 0 {
+		return
+	}
+	m.state = stFinWait
+	m.env.Emit(&packet.Packet{
+		Type: packet.FIN, ConnID: m.connID, Seq: m.sndNxt, Ack: m.rcvNxt,
+		TS: m.env.Now(),
+	})
+	m.armConnRetry(func() {
+		if m.state == stFinWait {
+			m.abort() // give up after one retry interval
+		}
+	})
+}
+
+func (m *Machine) abort() {
+	if m.state == stDead {
+		return
+	}
+	m.state = stDead
+	m.stopTimers()
+	if m.onClosed != nil {
+		m.onClosed()
+	}
+}
+
+func (m *Machine) stopTimers() {
+	for _, t := range []Timer{m.rtxTimer, m.connTimer, m.measTicker, m.liveTimer, m.paceTimer} {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	m.rtxTimer, m.connTimer, m.measTicker, m.liveTimer, m.paceTimer = nil, nil, nil, nil, nil
+	m.meas.stop()
+}
+
+// startLiveness arms the keepalive/dead-peer loop when configured.
+func (m *Machine) startLiveness() {
+	interval := m.cfg.Keepalive
+	if interval <= 0 && m.cfg.DeadInterval > 0 {
+		interval = m.cfg.DeadInterval / 3
+	}
+	if interval <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if m.state != stEstablished && m.state != stFinWait {
+			return
+		}
+		now := m.env.Now()
+		if m.cfg.DeadInterval > 0 && now-m.lastHeard >= m.cfg.DeadInterval {
+			m.abort()
+			return
+		}
+		if m.cfg.Keepalive > 0 && now-m.lastSent >= m.cfg.Keepalive {
+			m.env.Emit(&packet.Packet{
+				Type: packet.NUL, ConnID: m.connID,
+				Seq: m.sndNxt, Ack: m.rcvNxt, Wnd: m.advertiseWnd(), TS: now,
+			})
+			m.lastSent = now
+		}
+		m.liveTimer = m.env.After(interval, tick)
+	}
+	m.liveTimer = m.env.After(interval, tick)
+}
+
+// HandlePacket feeds one decoded packet into the machine.
+func (m *Machine) HandlePacket(p *packet.Packet) {
+	if m.state == stDead {
+		return
+	}
+	m.lastHeard = m.env.Now()
+	switch p.Type {
+	case packet.SYN:
+		m.handleSyn(p)
+	case packet.SYNACK:
+		m.handleSynAck(p)
+	case packet.DATA:
+		m.handleData(p)
+	case packet.ACK, packet.EACK:
+		m.handleAck(p)
+	case packet.NUL:
+		m.handleNul(p)
+	case packet.FIN:
+		m.env.Emit(&packet.Packet{Type: packet.FINACK, ConnID: m.connID, Ack: p.Seq, TS: m.env.Now()})
+		m.abort()
+	case packet.FINACK:
+		if m.state == stFinWait {
+			m.abort()
+		}
+	case packet.RST:
+		m.abort()
+	}
+}
+
+func (m *Machine) handleSyn(p *packet.Packet) {
+	// Passive side: adopt the initiator's connection ID, record its window
+	// and tolerance, reply SYNACK. Retransmitted SYNs re-trigger the reply.
+	if m.state == stClosed || m.state == stSynRcvd {
+		m.state = stSynRcvd
+		m.connID = p.ConnID
+		m.peerWnd = p.Wnd
+		m.rcvNxt = p.Seq + 1
+		if tol, err := p.Attrs.Float(attr.LossTolerance); err == nil {
+			m.peerTol = tol
+		}
+		m.sendSynAck(p.TS)
+		// Retry until the initiator's first ACK or DATA establishes us: the
+		// SYNACK (or the final handshake leg) can be lost.
+		m.armConnRetry(m.synAckRetry)
+	}
+}
+
+func (m *Machine) sendSynAck(tsEcho time.Duration) {
+	m.env.Emit(&packet.Packet{
+		Type:   packet.SYNACK,
+		ConnID: m.connID,
+		Seq:    m.sndISN,
+		Ack:    m.rcvNxt,
+		Wnd:    m.cfg.RecvWindow,
+		TS:     m.env.Now(),
+		TSEcho: tsEcho,
+		Attrs:  attr.NewList(attr.Attr{Name: attr.LossTolerance, Value: attr.Float(m.localTol)}),
+	})
+}
+
+func (m *Machine) synAckRetry() {
+	if m.state != stSynRcvd {
+		return
+	}
+	m.sendSynAck(0)
+	m.armConnRetry(m.synAckRetry)
+}
+
+func (m *Machine) handleSynAck(p *packet.Packet) {
+	if m.state == stEstablished && m.initiator {
+		// Our final handshake ACK was lost; the peer is retrying.
+		m.sendAck(false)
+		return
+	}
+	if m.state != stSynSent {
+		return
+	}
+	m.peerWnd = p.Wnd
+	m.rcvNxt = p.Seq + 1
+	if tol, err := p.Attrs.Float(attr.LossTolerance); err == nil {
+		m.peerTol = tol
+	}
+	if p.TSEcho > 0 {
+		m.rtt.Sample(m.env.Now() - p.TSEcho)
+	}
+	m.establish()
+	// Complete the three-way exchange so the passive side establishes too.
+	m.sendAck(false)
+}
+
+func (m *Machine) handleNul(p *packet.Packet) {
+	if p.HasFwd() {
+		m.applyFwd(p.Fwd)
+	}
+	// NUL probes elicit an acknowledgement so the sender sees liveness.
+	m.sendAck(false)
+}
+
+// PeerTolerance returns the loss tolerance declared by the remote receiver.
+func (m *Machine) PeerTolerance() float64 { return m.peerTol }
+
+// Metrics returns a snapshot of the transport's measurements.
+func (m *Machine) Metrics() Metrics {
+	mt := m.metrics
+	mt.SRTT = m.rtt.SRTT()
+	mt.RTTVar = m.rtt.RTTVar()
+	mt.ErrorRatio = m.meas.smoothed()
+	mt.RawRatio = m.meas.lastRaw()
+	mt.RateBps = m.meas.rate()
+	mt.Cwnd = m.cc.Window()
+	mt.InFlight = m.inFlightCount()
+	return mt
+}
+
+// String summarises the connection for debugging.
+func (m *Machine) String() string {
+	return fmt.Sprintf("iqrudp(%s id=%d una=%d nxt=%d cwnd=%.1f loss=%.3f)",
+		m.state, m.connID, m.sndUna, m.sndNxt, m.cc.Window(), m.meas.smoothed())
+}

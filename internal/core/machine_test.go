@@ -1,0 +1,512 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/sim"
+)
+
+// rig builds a standard 20 Mb/30 ms dumbbell with a connected pair.
+type rig struct {
+	s        *sim.Scheduler
+	d        *netem.Dumbbell
+	snd, rcv *endpoint.Endpoint
+}
+
+func newRig(t *testing.T, seed int64, dcfg netem.DumbbellConfig, sndCfg, rcvCfg core.Config) *rig {
+	t.Helper()
+	s := sim.New(seed)
+	d := netem.NewDumbbell(s, dcfg)
+	snd, rcv := endpoint.Pair(d, sndCfg, rcvCfg)
+	rcv.Record = true
+	if !endpoint.WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatalf("handshake did not complete: snd=%s rcv=%s", snd.Machine.State(), rcv.Machine.State())
+	}
+	return &rig{s: s, d: d, snd: snd, rcv: rcv}
+}
+
+func defaultRig(t *testing.T, seed int64) *rig {
+	return newRig(t, seed, netem.DefaultDumbbell(), core.DefaultConfig(), core.DefaultConfig())
+}
+
+func TestHandshake(t *testing.T) {
+	r := defaultRig(t, 1)
+	if !r.snd.Machine.Established() || !r.rcv.Machine.Established() {
+		t.Fatal("not established")
+	}
+	// Handshake should take about one RTT.
+	if r.s.Now() > 100*time.Millisecond {
+		t.Fatalf("handshake took %v", r.s.Now())
+	}
+}
+
+func TestSingleMessageDelivery(t *testing.T) {
+	r := defaultRig(t, 1)
+	payload := []byte("hello, remote visualization")
+	if err := r.snd.Machine.Send(payload, true); err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunUntil(r.s.Now() + time.Second)
+	if len(r.rcv.Delivered) != 1 {
+		t.Fatalf("delivered %d messages", len(r.rcv.Delivered))
+	}
+	msg := r.rcv.Delivered[0]
+	if !bytes.Equal(msg.Data, payload) {
+		t.Fatalf("payload corrupted: %q", msg.Data)
+	}
+	if !msg.Marked || msg.Partial {
+		t.Fatalf("flags wrong: %+v", msg)
+	}
+	if msg.DeliveredAt-msg.SentAt < 15*time.Millisecond {
+		t.Fatalf("one-way delay %v below propagation", msg.DeliveredAt-msg.SentAt)
+	}
+}
+
+func TestLargeMessageFragmentation(t *testing.T) {
+	r := defaultRig(t, 2)
+	payload := make([]byte, 100_000) // 72 fragments at MSS 1400
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := r.snd.Machine.Send(payload, true); err != nil {
+		t.Fatal(err)
+	}
+	r.s.RunUntil(r.s.Now() + 10*time.Second)
+	if len(r.rcv.Delivered) != 1 {
+		t.Fatalf("delivered %d messages", len(r.rcv.Delivered))
+	}
+	if !bytes.Equal(r.rcv.Delivered[0].Data, payload) {
+		t.Fatal("fragmented payload corrupted")
+	}
+}
+
+func TestManyMessagesInOrder(t *testing.T) {
+	r := defaultRig(t, 3)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := r.snd.Machine.Send([]byte(fmt.Sprintf("msg-%04d", i)), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.s.RunUntil(r.s.Now() + 30*time.Second)
+	if len(r.rcv.Delivered) != n {
+		t.Fatalf("delivered %d of %d", len(r.rcv.Delivered), n)
+	}
+	for i, msg := range r.rcv.Delivered {
+		if want := fmt.Sprintf("msg-%04d", i); string(msg.Data) != want {
+			t.Fatalf("message %d out of order: %q", i, msg.Data)
+		}
+	}
+}
+
+func TestReliableDeliveryUnderLoss(t *testing.T) {
+	dcfg := netem.DefaultDumbbell()
+	dcfg.LossProb = 0.05
+	r := newRig(t, 4, dcfg, core.DefaultConfig(), core.DefaultConfig())
+	const n = 300
+	for i := 0; i < n; i++ {
+		r.snd.Machine.Send([]byte(fmt.Sprintf("m%05d", i)), true)
+	}
+	r.s.RunUntil(r.s.Now() + 120*time.Second)
+	if len(r.rcv.Delivered) != n {
+		t.Fatalf("delivered %d of %d under 5%% loss", len(r.rcv.Delivered), n)
+	}
+	for i, msg := range r.rcv.Delivered {
+		if want := fmt.Sprintf("m%05d", i); string(msg.Data) != want {
+			t.Fatalf("message %d wrong/out of order: %q", i, msg.Data)
+		}
+	}
+	if r.snd.Machine.Metrics().Retransmits == 0 {
+		t.Fatal("5% loss should force retransmissions")
+	}
+}
+
+func TestUnmarkedSkippingWithinTolerance(t *testing.T) {
+	dcfg := netem.DefaultDumbbell()
+	dcfg.LossProb = 0.08
+	rcvCfg := core.DefaultConfig()
+	rcvCfg.LossTolerance = 0.4
+	r := newRig(t, 5, dcfg, core.DefaultConfig(), rcvCfg)
+	if got := r.snd.Machine.PeerTolerance(); got != 0.4 {
+		t.Fatalf("peer tolerance = %v, want 0.4 (handshake exchange)", got)
+	}
+	const n = 400
+	marked := 0
+	for i := 0; i < n; i++ {
+		m := i%5 == 0 // every 5th is control traffic, must arrive
+		if m {
+			marked++
+		}
+		r.snd.Machine.Send([]byte(fmt.Sprintf("p%05d", i)), m)
+	}
+	r.s.RunUntil(r.s.Now() + 120*time.Second)
+
+	gotMarked := 0
+	for _, msg := range r.rcv.Delivered {
+		if msg.Marked {
+			gotMarked++
+		}
+	}
+	if gotMarked != marked {
+		t.Fatalf("marked delivered %d of %d — marked packets must never be lost", gotMarked, marked)
+	}
+	if len(r.rcv.Delivered) < int(float64(n)*0.6) {
+		t.Fatalf("delivered %d of %d, below tolerance floor", len(r.rcv.Delivered), n)
+	}
+	mt := r.snd.Machine.Metrics()
+	t.Logf("delivered=%d skipped=%d rtx=%d", len(r.rcv.Delivered), mt.SkippedPackets, mt.Retransmits)
+}
+
+func TestCwndGrowsAndShrinks(t *testing.T) {
+	// A queue too large to overflow: slow start should grow the window
+	// monotonically while the transfer lasts.
+	dcfg := netem.DefaultDumbbell()
+	dcfg.QueueMax = 64 << 20
+	r := newRig(t, 6, dcfg, core.DefaultConfig(), core.DefaultConfig())
+	for i := 0; i < 500; i++ {
+		r.snd.Machine.Send(make([]byte, 1400), true)
+	}
+	r.s.RunUntil(r.s.Now() + 2*time.Second)
+	if w := r.snd.Machine.Metrics().Cwnd; w <= 8 {
+		t.Fatalf("cwnd = %v after lossless bulk transfer, want substantial slow-start growth", w)
+	}
+	if rt := r.snd.Machine.Metrics().Retransmits; rt != 0 {
+		t.Fatalf("retransmits = %d on a lossless path", rt)
+	}
+}
+
+func TestRTOOnBlackhole(t *testing.T) {
+	// A dumbbell whose forward direction silently eats everything after the
+	// handshake: reduce to near-zero queue so data drops.
+	dcfg := netem.DefaultDumbbell()
+	r := newRig(t, 7, dcfg, core.DefaultConfig(), core.DefaultConfig())
+	// Detach the receiver so data is never acknowledged.
+	r.d.Attach(r.rcv.Addr(), netem.HandlerFunc(func(f *netem.Frame) {}))
+	r.snd.Machine.Send([]byte("lost to the void"), true)
+	before := r.snd.Machine.Metrics().SentPackets
+	r.s.RunUntil(r.s.Now() + 5*time.Second)
+	mt := r.snd.Machine.Metrics()
+	if mt.SentPackets <= before || mt.Retransmits == 0 {
+		t.Fatalf("no RTO retransmissions: %+v", mt)
+	}
+}
+
+func TestThresholdCallbackFires(t *testing.T) {
+	dcfg := netem.DefaultDumbbell()
+	dcfg.LossProb = 0.3
+	sndCfg := core.DefaultConfig()
+	r := newRig(t, 8, dcfg, sndCfg, core.DefaultConfig())
+	var infos []core.CallbackInfo
+	r.snd.Machine.RegisterThresholds(0.05, 0.001,
+		func(info core.CallbackInfo) *core.AdaptationReport {
+			infos = append(infos, info)
+			return nil
+		}, nil)
+	for i := 0; i < 2000; i++ {
+		r.snd.Machine.Send(make([]byte, 1000), true)
+	}
+	r.s.RunUntil(r.s.Now() + 30*time.Second)
+	if len(infos) == 0 {
+		t.Fatal("upper threshold callback never fired under 30% loss")
+	}
+	if infos[0].ErrorRatio < 0.05 {
+		t.Fatalf("callback below threshold: %+v", infos[0])
+	}
+}
+
+func TestRegistryPublishesMetrics(t *testing.T) {
+	r := defaultRig(t, 9)
+	// Enough data that the transfer is still in progress when we sample the
+	// registry (NET_RATE reflects the last measurement period).
+	for i := 0; i < 4000; i++ {
+		r.snd.Machine.Send(make([]byte, 1400), true)
+	}
+	r.s.RunUntil(r.s.Now() + 1200*time.Millisecond)
+	reg := r.snd.Machine.Registry()
+	if _, ok := reg.Get(attr.NetLoss); !ok {
+		t.Fatal("NET_LOSS not published")
+	}
+	if rtt := reg.FloatOr(attr.NetRTT, 0); rtt < 0.025 || rtt > 0.1 {
+		t.Fatalf("NET_RTT = %v, want ≈0.03", rtt)
+	}
+	if reg.FloatOr(attr.NetRate, 0) <= 0 {
+		t.Fatal("NET_RATE not positive during bulk transfer")
+	}
+	if reg.FloatOr(attr.NetCwnd, 0) < 1 {
+		t.Fatal("NET_CWND missing")
+	}
+}
+
+func TestCoordinationCase1DiscardsUnmarked(t *testing.T) {
+	rcvCfg := core.DefaultConfig()
+	rcvCfg.LossTolerance = 0.4
+	r := newRig(t, 10, netem.DefaultDumbbell(), core.DefaultConfig(), rcvCfg)
+	// Application reports a reliability adaptation: unmark probability 0.5.
+	r.snd.Machine.Report(&core.AdaptationReport{Kind: core.AdaptReliability, Degree: 0.5})
+	for i := 0; i < 100; i++ {
+		r.snd.Machine.Send(make([]byte, 1000), i%2 == 0)
+	}
+	r.s.RunUntil(r.s.Now() + 20*time.Second)
+	mt := r.snd.Machine.Metrics()
+	if mt.SenderDiscards == 0 {
+		t.Fatal("coordinated sender should discard unmarked messages")
+	}
+	// The undelivered fraction stays within the receiver tolerance.
+	undelivered := 1 - float64(len(r.rcv.Delivered))/100
+	if undelivered > 0.4+1e-9 {
+		t.Fatalf("undelivered fraction %.2f exceeds tolerance", undelivered)
+	}
+	// All marked messages arrive.
+	gotMarked := 0
+	for _, m := range r.rcv.Delivered {
+		if m.Marked {
+			gotMarked++
+		}
+	}
+	if gotMarked != 50 {
+		t.Fatalf("marked delivered = %d, want 50", gotMarked)
+	}
+}
+
+func TestCase1RespectsZeroTolerance(t *testing.T) {
+	r := defaultRig(t, 11) // receiver tolerance 0
+	r.snd.Machine.Report(&core.AdaptationReport{Kind: core.AdaptReliability, Degree: 0.9})
+	for i := 0; i < 50; i++ {
+		r.snd.Machine.Send(make([]byte, 500), false)
+	}
+	r.s.RunUntil(r.s.Now() + 20*time.Second)
+	if got := r.snd.Machine.Metrics().SenderDiscards; got != 0 {
+		t.Fatalf("discarded %d messages despite zero tolerance", got)
+	}
+	if len(r.rcv.Delivered) != 50 {
+		t.Fatalf("delivered %d of 50", len(r.rcv.Delivered))
+	}
+}
+
+func TestCoordinationCase2RescalesWindow(t *testing.T) {
+	r := defaultRig(t, 12)
+	// Pump the window up a bit first.
+	for i := 0; i < 200; i++ {
+		r.snd.Machine.Send(make([]byte, 1000), true)
+	}
+	r.s.RunUntil(r.s.Now() + 5*time.Second)
+	before := r.snd.Machine.Metrics().Cwnd
+	// Resolution adaptation: frame size reduced 30%, frames below MSS.
+	r.snd.Machine.Report(&core.AdaptationReport{
+		Kind: core.AdaptResolution, Degree: 0.3, FrameSize: 700,
+		CondErrorRatio: math.NaN(),
+	})
+	after := r.snd.Machine.Metrics().Cwnd
+	want := before / (1 - 0.3)
+	if math.Abs(after-want) > 0.02*want {
+		t.Fatalf("cwnd %v → %v, want ≈%v", before, after, want)
+	}
+	if r.snd.Machine.Metrics().WindowRescales != 1 {
+		t.Fatalf("rescales = %d", r.snd.Machine.Metrics().WindowRescales)
+	}
+}
+
+func TestCase2SkipsWhenFramesExceedMSS(t *testing.T) {
+	r := defaultRig(t, 13)
+	before := r.snd.Machine.Metrics().Cwnd
+	r.snd.Machine.Report(&core.AdaptationReport{
+		Kind: core.AdaptResolution, Degree: 0.3, FrameSize: 5000,
+		CondErrorRatio: math.NaN(),
+	})
+	if r.snd.Machine.Metrics().Cwnd != before {
+		t.Fatal("window must not change while frames exceed the MSS")
+	}
+}
+
+func TestCase3SendAttrEnactsDelayedAdaptation(t *testing.T) {
+	r := defaultRig(t, 14)
+	for i := 0; i < 200; i++ {
+		r.snd.Machine.Send(make([]byte, 1000), true)
+	}
+	r.s.RunUntil(r.s.Now() + 5*time.Second)
+
+	// Announce a delayed adaptation (ADAPT_WHEN), then enact it on a send
+	// call with ADAPT_PKTSIZE — the CMwritev_attr path.
+	r.snd.Machine.Report(&core.AdaptationReport{
+		Kind: core.AdaptResolution, Degree: 0.25, WhenFrames: 10,
+		CondErrorRatio: math.NaN(),
+	})
+	if _, left, ok := r.snd.Machine.PendingAdaptation(); !ok || left != 10 {
+		t.Fatalf("pending adaptation not recorded: %v %v", left, ok)
+	}
+	before := r.snd.Machine.Metrics().Cwnd
+	attrs := attr.NewList(attr.Attr{Name: attr.AdaptPktSize, Value: attr.Float(0.25)})
+	r.snd.Machine.SendMsg(make([]byte, 750), true, attrs)
+	after := r.snd.Machine.Metrics().Cwnd
+	want := before / (1 - 0.25)
+	if math.Abs(after-want) > 0.05*want {
+		t.Fatalf("cwnd %v → %v, want ≈%v", before, after, want)
+	}
+	if _, _, ok := r.snd.Machine.PendingAdaptation(); ok {
+		t.Fatal("pending adaptation should clear after enactment")
+	}
+}
+
+func TestCase3AdaptCondCorrection(t *testing.T) {
+	r := defaultRig(t, 15)
+	for i := 0; i < 200; i++ {
+		r.snd.Machine.Send(make([]byte, 1000), true)
+	}
+	r.s.RunUntil(r.s.Now() + 5*time.Second)
+	before := r.snd.Machine.Metrics().Cwnd
+	now := r.snd.Machine.Metrics().ErrorRatio
+	// The application based its decision on a stale 40% error ratio; the
+	// network has since improved to ≈now. Expected factor:
+	// 1/(1−0.25) · (1−now)/(1−0.4).
+	attrs := attr.NewList(
+		attr.Attr{Name: attr.AdaptPktSize, Value: attr.Float(0.25)},
+		attr.Attr{Name: attr.AdaptCond, Value: attr.Float(0.4)},
+	)
+	r.snd.Machine.SendMsg(make([]byte, 750), true, attrs)
+	after := r.snd.Machine.Metrics().Cwnd
+	want := before * (1 / (1 - 0.25)) * ((1 - now) / (1 - 0.4))
+	if want > 4*before {
+		want = 4 * before
+	}
+	if math.Abs(after-want) > 0.05*want {
+		t.Fatalf("cwnd %v → %v, want ≈%v (now=%v)", before, after, want, now)
+	}
+}
+
+func TestPlainRUDPIgnoresReports(t *testing.T) {
+	sndCfg := core.DefaultConfig()
+	sndCfg.Coordinate = false
+	rcvCfg := core.DefaultConfig()
+	rcvCfg.LossTolerance = 0.5
+	r := newRig(t, 16, netem.DefaultDumbbell(), sndCfg, rcvCfg)
+	for i := 0; i < 100; i++ {
+		r.snd.Machine.Send(make([]byte, 1000), true)
+	}
+	r.s.RunUntil(r.s.Now() + 3*time.Second)
+	before := r.snd.Machine.Metrics().Cwnd
+	r.snd.Machine.Report(&core.AdaptationReport{Kind: core.AdaptResolution, Degree: 0.3, FrameSize: 700, CondErrorRatio: math.NaN()})
+	r.snd.Machine.Report(&core.AdaptationReport{Kind: core.AdaptReliability, Degree: 0.9})
+	if r.snd.Machine.Metrics().Cwnd != before {
+		t.Fatal("uncoordinated transport must not rescale its window")
+	}
+	for i := 0; i < 40; i++ {
+		r.snd.Machine.Send(make([]byte, 500), false)
+	}
+	r.s.RunUntil(r.s.Now() + 10*time.Second)
+	if r.snd.Machine.Metrics().SenderDiscards != 0 {
+		t.Fatal("uncoordinated transport must not discard unmarked messages")
+	}
+}
+
+func TestCloseHandshake(t *testing.T) {
+	r := defaultRig(t, 17)
+	r.snd.Machine.Send([]byte("last words"), true)
+	closed := false
+	r.snd.Machine.OnClosed(func() { closed = true })
+	r.snd.Machine.Close()
+	r.s.RunUntil(r.s.Now() + 5*time.Second)
+	if len(r.rcv.Delivered) != 1 {
+		t.Fatalf("pending data lost on close: %d", len(r.rcv.Delivered))
+	}
+	if !closed {
+		t.Fatalf("sender not closed: %s", r.snd.Machine.State())
+	}
+	if err := r.snd.Machine.Send([]byte("x"), true); err == nil {
+		t.Fatal("send after close should fail")
+	}
+}
+
+func TestSendErrors(t *testing.T) {
+	r := defaultRig(t, 18)
+	if err := r.snd.Machine.Send(nil, true); err == nil {
+		t.Fatal("empty send should fail")
+	}
+}
+
+func TestOnWritableFires(t *testing.T) {
+	r := defaultRig(t, 19)
+	writable := 0
+	r.snd.Machine.OnWritable(func() { writable++ })
+	for i := 0; i < 300; i++ {
+		r.snd.Machine.Send(make([]byte, 1400), true)
+	}
+	r.s.RunUntil(r.s.Now() + 10*time.Second)
+	if writable == 0 {
+		t.Fatal("OnWritable never fired after window opened")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (uint64, int) {
+		s := sim.New(42)
+		dcfg := netem.DefaultDumbbell()
+		dcfg.LossProb = 0.05
+		d := netem.NewDumbbell(s, dcfg)
+		snd, rcv := endpoint.Pair(d, core.DefaultConfig(), core.DefaultConfig())
+		rcv.Record = true
+		endpoint.WaitEstablished(s, snd, rcv, 5*time.Second)
+		for i := 0; i < 200; i++ {
+			snd.Machine.Send(make([]byte, 1200), true)
+		}
+		s.RunUntil(s.Now() + 60*time.Second)
+		return snd.Machine.Metrics().Retransmits, len(rcv.Delivered)
+	}
+	r1a, d1a := run()
+	r1b, d1b := run()
+	if r1a != r1b || d1a != d1b {
+		t.Fatalf("same seed diverged: (%d,%d) vs (%d,%d)", r1a, d1a, r1b, d1b)
+	}
+}
+
+// Property: arbitrary mixes of message sizes, all marked, arrive complete,
+// uncorrupted and in order despite random loss.
+func TestQuickReliableInOrder(t *testing.T) {
+	f := func(seed int64, sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 60 {
+			sizes = sizes[:60]
+		}
+		s := sim.New(seed)
+		dcfg := netem.DefaultDumbbell()
+		dcfg.LossProb = 0.04
+		d := netem.NewDumbbell(s, dcfg)
+		snd, rcv := endpoint.Pair(d, core.DefaultConfig(), core.DefaultConfig())
+		rcv.Record = true
+		if !endpoint.WaitEstablished(s, snd, rcv, 10*time.Second) {
+			return false
+		}
+		var want [][]byte
+		for i, sz := range sizes {
+			n := int(sz)%4000 + 1
+			data := bytes.Repeat([]byte{byte(i + 1)}, n)
+			want = append(want, data)
+			if err := snd.Machine.Send(data, true); err != nil {
+				return false
+			}
+		}
+		s.RunUntil(s.Now() + 120*time.Second)
+		if len(rcv.Delivered) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !bytes.Equal(rcv.Delivered[i].Data, want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/stats"
+)
+
+// measurement maintains the transport's periodic network-state measurement:
+// per-period error ratio (detected losses over transmissions), its EWMA
+// smoothing, and the delivery-rate estimate. At each period boundary it
+// publishes the NET_* quality attributes and evaluates the application's
+// registered threshold callbacks — the instrumented-transport half of the
+// paper's architecture.
+type measurement struct {
+	m *Machine
+
+	sent  uint64 // DATA transmissions this period
+	lost  uint64 // losses detected this period
+	bytes uint64 // acked bytes this period
+
+	smoothedRatio *stats.EWMA
+	raw           float64
+	lastRate      float64
+	running       bool
+}
+
+func newMeasurement(m *Machine) *measurement {
+	return &measurement{m: m, smoothedRatio: stats.NewEWMA(m.cfg.LossRatioAlpha)}
+}
+
+func (me *measurement) onSend(n uint64)       { me.sent += n }
+func (me *measurement) onLoss(n uint64)       { me.lost += n }
+func (me *measurement) onAckedBytes(n uint64) { me.bytes += n }
+
+func (me *measurement) smoothed() float64 { return me.smoothedRatio.Value() }
+func (me *measurement) lastRaw() float64  { return me.raw }
+func (me *measurement) rate() float64     { return me.lastRate }
+
+// start begins the periodic loop; called when the connection establishes.
+func (me *measurement) start() {
+	if me.running {
+		return
+	}
+	me.running = true
+	me.arm()
+}
+
+func (me *measurement) stop() { me.running = false }
+
+func (me *measurement) arm() {
+	me.m.measTicker = me.m.env.After(me.m.cfg.MeasurementPeriod, func() {
+		if !me.running || me.m.state == stDead {
+			return
+		}
+		me.tick()
+		me.arm()
+	})
+}
+
+// tick closes a measurement period.
+func (me *measurement) tick() {
+	m := me.m
+	if me.sent > 0 {
+		r := float64(me.lost) / float64(me.sent)
+		if r > 1 {
+			r = 1
+		}
+		me.raw = r
+		me.smoothedRatio.Add(r)
+	} else if me.smoothedRatio.Initialized() {
+		// Idle period: decay toward zero so stale congestion doesn't pin the
+		// smoothed ratio high.
+		me.raw = 0
+		me.smoothedRatio.Add(0)
+	}
+	me.lastRate = float64(me.bytes) / m.cfg.MeasurementPeriod.Seconds()
+	me.sent, me.lost, me.bytes = 0, 0, 0
+
+	// Export network performance metrics as quality attributes (§2.1/§2.2).
+	m.reg.Set(attr.NetLoss, attr.Float(me.smoothed()))
+	m.reg.Set(attr.NetRTT, attr.Float(m.rtt.SRTT().Seconds()))
+	m.reg.Set(attr.NetRate, attr.Float(me.lastRate))
+	m.reg.Set(attr.NetCwnd, attr.Float(m.cc.Window()))
+	m.reg.Set(attr.NetRetrans, attr.Int(int64(m.metrics.Retransmits)))
+
+	me.fireCallbacks()
+}
+
+// fireCallbacks evaluates the registered thresholds against the raw
+// per-period error ratio — the "loss ratio within a measuring period" the
+// paper's applications adapt on (the congestion controller uses the
+// smoothed ratio instead). Every period ending above the upper threshold
+// fires the upper callback; every period at or below the lower threshold
+// fires the lower callback.
+func (me *measurement) fireCallbacks() {
+	m := me.m
+	if m.onUpper == nil && m.onLower == nil {
+		return
+	}
+	ratio := me.raw
+	info := CallbackInfo{
+		Now:        m.env.Now(),
+		ErrorRatio: ratio,
+		RawRatio:   me.raw,
+		Smoothed:   me.smoothed(),
+		RateBps:    me.lastRate,
+		SRTT:       m.rtt.SRTT(),
+		Cwnd:       m.cc.Window(),
+	}
+	switch {
+	case m.onUpper != nil && m.upperThresh > 0 && ratio >= m.upperThresh:
+		if rep := m.onUpper(info); rep != nil {
+			m.coo.onReport(rep, info)
+		}
+	case m.onLower != nil && ratio <= m.lowerThresh:
+		if rep := m.onLower(info); rep != nil {
+			m.coo.onReport(rep, info)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/packet"
+)
+
+// handleData processes an incoming DATA packet: buffer or deliver in order,
+// then acknowledge.
+func (m *Machine) handleData(p *packet.Packet) {
+	switch m.state {
+	case stSynRcvd:
+		m.establish() // data from the initiator completes the handshake
+	case stEstablished, stFinWait:
+	default:
+		return
+	}
+	if p.HasFwd() {
+		m.applyFwd(p.Fwd)
+	}
+
+	switch {
+	case packet.SeqLT(p.Seq, m.rcvNxt):
+		// Duplicate of already-delivered data: re-ack so the sender advances.
+	case p.Seq == m.rcvNxt:
+		m.acceptInOrder(p)
+		m.drainOOO()
+	default:
+		// Out of order: buffer within the advertised window.
+		if len(m.ooo) < int(m.cfg.RecvWindow) {
+			if _, dup := m.ooo[p.Seq]; !dup {
+				m.ooo[p.Seq] = p
+			}
+		}
+	}
+	m.sendAckEcho(true, p.TS)
+}
+
+// acceptInOrder consumes the packet at rcvNxt.
+func (m *Machine) acceptInOrder(p *packet.Packet) {
+	m.rcvNxt = p.Seq + 1
+	m.reasm.addFragment(p, false)
+}
+
+// drainOOO moves now-in-order buffered packets into the stream.
+func (m *Machine) drainOOO() {
+	for {
+		p, ok := m.ooo[m.rcvNxt]
+		if !ok {
+			return
+		}
+		delete(m.ooo, m.rcvNxt)
+		m.acceptInOrder(p)
+	}
+}
+
+// applyFwd advances the in-order point past skipped packets (the sender
+// abandoned unmarked data within our declared loss tolerance). Sequence
+// numbers in [rcvNxt, fwd) that were never received count as skipped
+// fragments for reassembly.
+func (m *Machine) applyFwd(fwd uint32) {
+	if !packet.SeqGT(fwd, m.rcvNxt) {
+		return
+	}
+	for packet.SeqLT(m.rcvNxt, fwd) {
+		if p, ok := m.ooo[m.rcvNxt]; ok {
+			delete(m.ooo, m.rcvNxt)
+			m.acceptInOrder(p)
+			continue
+		}
+		m.reasm.skipSeq(m.rcvNxt)
+		m.rcvNxt++
+	}
+	m.drainOOO()
+}
+
+// reassembler rebuilds application messages from in-order fragments. Because
+// fragments of one message occupy contiguous sequence numbers and arrive (or
+// are skipped) in order, at most one message is under assembly at a time.
+type reassembler struct {
+	m *Machine
+
+	cur         uint32 // msgID under assembly
+	active      bool
+	frags       [][]byte
+	got         int
+	skipped     int
+	fragCnt     int
+	marked      bool
+	attrsSet    bool
+	attrs       *attr.List
+	sentAt      time.Duration
+	orphanSkips int // skipped seqs not attributable to an active message
+}
+
+func newReassembler(m *Machine) *reassembler { return &reassembler{m: m} }
+
+// addFragment consumes the next in-order fragment.
+func (r *reassembler) addFragment(p *packet.Packet, asSkip bool) {
+	if !r.active || r.cur != p.MsgID {
+		r.flushIncomplete()
+		r.start(p.MsgID, int(p.FragCnt))
+	}
+	idx := int(p.Frag)
+	if idx >= r.fragCnt {
+		// Malformed fragment index: drop the message.
+		r.flushIncomplete()
+		return
+	}
+	if r.frags[idx] == nil {
+		r.frags[idx] = p.Payload
+		r.got++
+	}
+	if p.Marked() {
+		r.marked = true
+	}
+	if !r.attrsSet && p.Attrs.Len() > 0 {
+		r.attrs = p.Attrs
+		r.attrsSet = true
+	}
+	if r.sentAt == 0 || p.TS < r.sentAt {
+		r.sentAt = p.TS
+	}
+	r.maybeComplete()
+}
+
+// skipSeq records that the sequence number at the in-order point was
+// abandoned by the sender. The reassembler cannot know which message the
+// hole belonged to; if a message is currently under assembly the hole is
+// charged to it, otherwise it represents an entire message (or leading
+// fragments of the next message) that was skipped — accounted when the next
+// real fragment arrives or at flush.
+func (r *reassembler) skipSeq(seq uint32) {
+	if r.active {
+		r.skipped++
+		r.maybeComplete()
+		return
+	}
+	r.orphanSkips++
+}
+
+func (r *reassembler) start(msgID uint32, fragCnt int) {
+	r.cur = msgID
+	r.active = true
+	r.fragCnt = fragCnt
+	if r.fragCnt <= 0 {
+		r.fragCnt = 1
+	}
+	r.frags = make([][]byte, r.fragCnt)
+	r.got = 0
+	r.skipped = 0
+	r.marked = false
+	r.attrsSet = false
+	r.attrs = nil
+	r.sentAt = 0
+	if r.orphanSkips > 0 {
+		// Holes that preceded this message: they were fragments of fully
+		// skipped messages.
+		r.m.metrics.LostMsgs++
+		r.orphanSkips = 0
+	}
+}
+
+// maybeComplete delivers the message once every fragment is accounted for.
+func (r *reassembler) maybeComplete() {
+	if !r.active || r.got+r.skipped < r.fragCnt {
+		return
+	}
+	if r.got == 0 {
+		r.m.metrics.LostMsgs++
+		r.reset()
+		return
+	}
+	var data []byte
+	for _, f := range r.frags {
+		data = append(data, f...)
+	}
+	msg := Message{
+		ID:          r.cur,
+		Data:        data,
+		Marked:      r.marked,
+		Partial:     r.skipped > 0,
+		Attrs:       r.attrs,
+		SentAt:      r.sentAt,
+		DeliveredAt: r.m.env.Now(),
+	}
+	r.m.metrics.DeliveredMsgs++
+	if msg.Partial {
+		r.m.metrics.PartialMsgs++
+	}
+	r.m.arrivals.Observe(msg.DeliveredAt)
+	r.reset()
+	r.m.env.Deliver(msg)
+}
+
+// flushIncomplete abandons the message under assembly (fragments lost to a
+// malformed stream); counted as lost.
+func (r *reassembler) flushIncomplete() {
+	if r.active && r.got > 0 {
+		r.m.metrics.LostMsgs++
+	}
+	r.reset()
+}
+
+func (r *reassembler) reset() {
+	r.active = false
+	r.frags = nil
+	r.got, r.skipped, r.fragCnt = 0, 0, 0
+}
+
+// sortedEacks returns the out-of-order buffer's sequence numbers in
+// ascending circular order (deterministic wire content).
+func (m *Machine) sortedEacks(limit int) []uint32 {
+	if len(m.ooo) == 0 {
+		return nil
+	}
+	out := make([]uint32, 0, len(m.ooo))
+	for seq := range m.ooo {
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return packet.SeqLT(out[i], out[j]) })
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -1,0 +1,606 @@
+package core
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/packet"
+)
+
+// Send transmits one application message (datagram) reliably when marked,
+// or best-effort within the receiver's loss tolerance when unmarked.
+func (m *Machine) Send(data []byte, marked bool) error {
+	return m.SendMsg(data, marked, nil)
+}
+
+// SendMsg is the CMwritev_attr() of the paper: it transmits a message with a
+// quality-attribute list attached. ADAPT_* attributes in the list are
+// interpreted by the coordination engine before the message is queued, so an
+// application can enact a previously announced (delayed) adaptation exactly
+// at the send call that first reflects it.
+func (m *Machine) SendMsg(data []byte, marked bool, attrs *attr.List) error {
+	if m.state == stDead || m.closing {
+		return ErrClosed
+	}
+	if len(data) == 0 {
+		return ErrPayloadEmpty
+	}
+	// Coordination first: attributes describe the traffic that FOLLOWS,
+	// starting with this message.
+	if attrs != nil {
+		m.coo.onSendAttrs(attrs, len(data))
+	}
+	m.coo.onFrame()
+
+	m.relMsgsTotal++
+	// Case 1 (conflicting interests): with coordination active and the
+	// application having reported a reliability adaptation, unmarked
+	// messages are discarded here — before they consume network resources —
+	// as long as the overall undelivered fraction stays within the
+	// receiver's declared loss tolerance.
+	if !marked && m.coo.discardUnmarked() && m.withinTolerance(1) {
+		m.relMsgsDropped++
+		m.metrics.SenderDiscards++
+		return nil
+	}
+
+	// A DEADLINE attribute (seconds from now) bounds the usefulness of an
+	// unmarked message: if it is still waiting to be transmitted when the
+	// deadline passes, the transport drops it instead of wasting bandwidth
+	// on stale data — provided the receiver's loss tolerance permits.
+	var deadline time.Duration
+	if d := attrs.FloatOr(attr.Deadline, 0); d > 0 {
+		deadline = m.env.Now() + time.Duration(d*float64(time.Second))
+	}
+
+	msgID := m.nextMsgID
+	m.nextMsgID++
+	mss := m.cfg.MSS
+	frags := (len(data) + mss - 1) / mss
+	if frags > 0xFFFF {
+		return ErrPayloadEmpty // unreachable with sane MSS; guards uint16
+	}
+	for i := 0; i < frags; i++ {
+		lo, hi := i*mss, (i+1)*mss
+		if hi > len(data) {
+			hi = len(data)
+		}
+		var flags uint8
+		if marked {
+			flags |= packet.FlagMarked
+		}
+		if i == frags-1 {
+			flags |= packet.FlagMsgEnd
+		}
+		sp := &sendPkt{
+			seq:      m.sndNxt,
+			msgID:    msgID,
+			frag:     uint16(i),
+			fragCnt:  uint16(frags),
+			flags:    flags,
+			payload:  data[lo:hi],
+			deadline: deadline,
+		}
+		if i == 0 {
+			sp.attrs = attrs.Clone()
+		}
+		m.sndNxt++
+		m.pending = append(m.pending, sp)
+	}
+	m.trySend()
+	return nil
+}
+
+// withinTolerance reports whether dropping extra more messages keeps the
+// undelivered fraction within the peer's loss tolerance.
+func (m *Machine) withinTolerance(extra uint64) bool {
+	if m.peerTol <= 0 {
+		return false
+	}
+	total := m.relMsgsTotal
+	if total == 0 {
+		return false
+	}
+	return float64(m.relMsgsDropped+extra)/float64(total) <= m.peerTol
+}
+
+// CanSend reports whether at least one packet of window space is free.
+func (m *Machine) CanSend() bool {
+	return m.state == stEstablished && float64(m.inFlightCount()) < m.effectiveWindow()
+}
+
+// QueuedPackets returns the number of segmented packets awaiting first
+// transmission.
+func (m *Machine) QueuedPackets() int { return len(m.pending) }
+
+// inFlightCount counts transmitted packets still occupying the window.
+func (m *Machine) inFlightCount() int {
+	n := 0
+	for _, p := range m.flight {
+		if !p.done() {
+			n++
+		}
+	}
+	return n
+}
+
+// windowLimited reports whether demand (in-flight plus queued) meets or
+// exceeds the congestion window — the condition for window growth.
+func (m *Machine) windowLimited() bool {
+	return float64(m.inFlightCount()+len(m.pending)) >= m.cc.Window()
+}
+
+// effectiveWindow is the sending limit in packets.
+func (m *Machine) effectiveWindow() float64 {
+	w := m.cc.Window()
+	if pw := float64(m.peerWnd); pw < w {
+		w = pw
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// trySend transmits pending packets while window space allows. With pacing
+// enabled, transmissions are spread one packet per srtt/cwnd instead of
+// bursting the whole window.
+func (m *Machine) trySend() {
+	if m.state != stEstablished {
+		return
+	}
+	if m.cfg.Paced {
+		m.pacedSend()
+		return
+	}
+	sentAny := false
+	for len(m.pending) > 0 && float64(m.inFlightCount()) < m.effectiveWindow() {
+		sp := m.pending[0]
+		m.pending = m.pending[1:]
+		// Expired unmarked data is abandoned before its first transmission
+		// (deadline-based partial reliability), tolerance permitting.
+		if sp.deadline > 0 && !sp.marked() && m.env.Now() > sp.deadline && m.canSkipFragment(sp) {
+			if !m.skippedMsgs[sp.msgID] {
+				m.skippedMsgs[sp.msgID] = true
+				m.relMsgsDropped++
+			}
+			sp.skipped = true
+			m.metrics.DeadlineDrops++
+			m.flight = append(m.flight, sp)
+			m.advanceFwd()
+			continue
+		}
+		m.transmit(sp, false)
+		m.flight = append(m.flight, sp)
+		sentAny = true
+	}
+	if m.fwdPending && len(m.pending) == 0 && m.inFlightCount() == 0 {
+		m.emitFwdProbe()
+	}
+	if sentAny {
+		m.armRtx()
+	}
+	m.maybeFinish()
+}
+
+// pacedSend transmits at most one packet and arms the pacing timer for the
+// next. The pacing interval is the smoothed RTT divided by the window, i.e.
+// the window is spread evenly over one round trip.
+func (m *Machine) pacedSend() {
+	if m.paceTimer != nil {
+		return // a gap is already pending; its expiry continues the train
+	}
+	for len(m.pending) > 0 && float64(m.inFlightCount()) < m.effectiveWindow() {
+		sp := m.pending[0]
+		m.pending = m.pending[1:]
+		if sp.deadline > 0 && !sp.marked() && m.env.Now() > sp.deadline && m.canSkipFragment(sp) {
+			if !m.skippedMsgs[sp.msgID] {
+				m.skippedMsgs[sp.msgID] = true
+				m.relMsgsDropped++
+			}
+			sp.skipped = true
+			m.metrics.DeadlineDrops++
+			m.flight = append(m.flight, sp)
+			m.advanceFwd()
+			continue
+		}
+		m.transmit(sp, false)
+		m.flight = append(m.flight, sp)
+		m.armRtx()
+		interval := time.Millisecond
+		if srtt := m.rtt.SRTT(); srtt > 0 {
+			interval = time.Duration(float64(srtt) / m.effectiveWindow())
+			if interval < 100*time.Microsecond {
+				interval = 100 * time.Microsecond
+			}
+		}
+		m.paceTimer = m.env.After(interval, func() {
+			m.paceTimer = nil
+			m.trySend()
+		})
+		return
+	}
+	if m.fwdPending && len(m.pending) == 0 && m.inFlightCount() == 0 {
+		m.emitFwdProbe()
+	}
+	m.maybeFinish()
+}
+
+// transmit emits one DATA packet (first transmission or retransmission).
+func (m *Machine) transmit(sp *sendPkt, isRtx bool) {
+	now := m.env.Now()
+	sp.sentAt = now
+	sp.txCount++
+	m.metrics.SentPackets++
+	if isRtx {
+		m.metrics.Retransmits++
+	}
+	m.meas.onSend(1)
+	p := &packet.Packet{
+		Type:    packet.DATA,
+		Flags:   sp.flags,
+		ConnID:  m.connID,
+		Seq:     sp.seq,
+		Ack:     m.rcvNxt,
+		Wnd:     m.advertiseWnd(),
+		MsgID:   sp.msgID,
+		Frag:    sp.frag,
+		FragCnt: sp.fragCnt,
+		TS:      now,
+		Attrs:   sp.attrs.Clone(),
+		Payload: sp.payload,
+	}
+	if m.fwdPending {
+		p.Flags |= packet.FlagFwd
+		p.Fwd = m.fwdSeq
+		m.fwdPending = false
+	}
+	m.lastSent = now
+	m.env.Emit(p)
+}
+
+// handleAck processes cumulative acknowledgements and EACK extents.
+func (m *Machine) handleAck(p *packet.Packet) {
+	if m.state == stSynRcvd {
+		// Final leg of the handshake.
+		m.establish()
+	}
+	if m.state != stEstablished && m.state != stFinWait {
+		return
+	}
+	if p.HasFwd() {
+		m.applyFwd(p.Fwd)
+	}
+	m.peerWnd = p.Wnd
+	if tol, err := p.Attrs.Float(attr.LossTolerance); err == nil {
+		m.peerTol = tol
+	}
+	now := m.env.Now()
+	if p.TSEcho > 0 {
+		m.rtt.Sample(now - p.TSEcho)
+	}
+
+	wasLimited := m.windowLimited() // demand before this ack frees space
+	ack := p.Ack
+	progressed := false
+	if packet.SeqGT(ack, m.sndUna) {
+		newly := 0
+		var ackedBytes uint64
+		for len(m.flight) > 0 && packet.SeqLT(m.flight[0].seq, ack) {
+			sp := m.flight[0]
+			m.flight = m.flight[1:]
+			if !sp.done() {
+				newly++
+				ackedBytes += uint64(len(sp.payload))
+				m.metrics.AckedPackets++
+			}
+			// Sacked packets were counted (window growth, bytes, metrics)
+			// when their EACK arrived; skipped packets never count.
+		}
+		m.sndUna = ack
+		m.metrics.AckedBytes += ackedBytes
+		m.meas.onAckedBytes(ackedBytes)
+		m.cc.OnAck(newly, wasLimited)
+		m.dupAcks = 0
+		progressed = true
+	}
+
+	// EACK extents: out-of-order receipt.
+	sackedNew := 0
+	for _, seq := range p.Eacks {
+		for _, sp := range m.flight {
+			if sp.seq == seq && !sp.done() {
+				sp.sacked = true
+				sackedNew++
+				m.metrics.AckedPackets++
+				m.meas.onAckedBytes(uint64(len(sp.payload)))
+				m.metrics.AckedBytes += uint64(len(sp.payload))
+			}
+		}
+	}
+	if sackedNew > 0 {
+		m.cc.OnAck(sackedNew, wasLimited)
+	}
+
+	// Loss detection mirrors the SACK pipe algorithm: a packet is lost on
+	// the exact third duplicate ack, or once three packets above it have
+	// been selectively acknowledged. Repairs are grouped into episodes —
+	// one window decrease and at most one retransmission per packet per
+	// episode, at most two repair transmissions per ack.
+	dupTrigger := false
+	if !progressed && ack == m.lastAck && m.firstOutstanding() != nil {
+		m.dupAcks++
+		if m.dupAcks == 3 {
+			dupTrigger = true
+		}
+	}
+	if m.inRecovery && packet.SeqGEQ(m.sndUna, m.recoverTo) {
+		m.inRecovery = false
+	}
+	lost := m.provenLost(dupTrigger)
+	if len(lost) > 0 {
+		if !m.inRecovery {
+			m.inRecovery = true
+			m.recoverTo = m.sndNxt
+			m.epoch++
+		}
+		budget := 2
+		for _, sp := range lost {
+			if budget == 0 {
+				break
+			}
+			if sp.rtxEpoch == m.epoch && sp.txCount > 1 {
+				continue
+			}
+			sp.rtxEpoch = m.epoch
+			m.onPacketLost(sp)
+			budget--
+		}
+	}
+	m.lastAck = ack
+
+	m.advanceFwd()
+	m.trySend()
+	m.armRtx()
+	if m.onWritable != nil && m.CanSend() && len(m.pending) == 0 {
+		m.onWritable()
+	}
+	m.maybeFinish()
+}
+
+// firstOutstanding returns the earliest in-flight packet that is neither
+// sacked nor skipped, or nil.
+func (m *Machine) firstOutstanding() *sendPkt {
+	for _, sp := range m.flight {
+		if !sp.done() {
+			return sp
+		}
+	}
+	return nil
+}
+
+// provenLost returns in-flight packets demonstrably lost (three or more
+// sacked packets above them), oldest first; dupTrigger additionally nominates
+// the earliest outstanding packet (classic three-dupack signal).
+func (m *Machine) provenLost(dupTrigger bool) []*sendPkt {
+	var lost []*sendPkt
+	sackedAbove := 0
+	for i := len(m.flight) - 1; i >= 0; i-- {
+		sp := m.flight[i]
+		if sp.sacked {
+			sackedAbove++
+			continue
+		}
+		if sp.skipped {
+			continue
+		}
+		if sackedAbove >= 3 {
+			lost = append(lost, sp)
+		}
+	}
+	for i, j := 0, len(lost)-1; i < j; i, j = i+1, j-1 {
+		lost[i], lost[j] = lost[j], lost[i]
+	}
+	if dupTrigger && len(lost) == 0 {
+		if first := m.firstOutstanding(); first != nil {
+			lost = append(lost, first)
+		}
+	}
+	return lost
+}
+
+// onPacketLost reacts to a detected loss of sp: count it, shrink the window,
+// then either retransmit (marked, or tolerance exhausted) or abandon the
+// packet and forward the receiver past it (adaptive reliability).
+func (m *Machine) onPacketLost(sp *sendPkt) {
+	if sp.done() {
+		return
+	}
+	now := m.env.Now()
+	m.meas.onLoss(1)
+	m.cc.OnLoss(now, m.rtt.SRTT(), m.meas.smoothed())
+
+	if !sp.marked() && m.canSkipFragment(sp) {
+		m.skipPacket(sp)
+		return
+	}
+	m.transmit(sp, true)
+	m.armRtx()
+}
+
+// canSkipFragment checks the tolerance budget for abandoning one fragment.
+// Skipping any fragment loses the whole message, so the budget is charged at
+// message granularity the first time a fragment of that message is skipped.
+func (m *Machine) canSkipFragment(sp *sendPkt) bool {
+	if m.peerTol <= 0 {
+		return false
+	}
+	if m.skippedMsgs[sp.msgID] {
+		return true // message already charged
+	}
+	return m.withinTolerance(1)
+}
+
+// skipPacket abandons an unmarked packet: the receiver is told to advance
+// past it via the forward-seq mechanism.
+func (m *Machine) skipPacket(sp *sendPkt) {
+	if !m.skippedMsgs[sp.msgID] {
+		m.skippedMsgs[sp.msgID] = true
+		m.relMsgsDropped++
+	}
+	sp.skipped = true
+	m.metrics.SkippedPackets++
+	m.advanceFwd()
+	// Communicate the forward point immediately if it moved; otherwise it
+	// rides on the next DATA packet.
+	if m.fwdPending && len(m.pending) == 0 {
+		m.emitFwdProbe()
+	}
+	m.trySend()
+	m.armRtx()
+}
+
+// advanceFwd recomputes the forward point: the sequence number up to which
+// every packet is cumulatively acked, sacked or skipped.
+func (m *Machine) advanceFwd() {
+	fwd := m.sndUna
+	for _, sp := range m.flight {
+		if sp.seq != fwd {
+			break
+		}
+		if !sp.done() {
+			break
+		}
+		fwd = sp.seq + 1
+	}
+	if packet.SeqGT(fwd, m.fwdSeq) {
+		m.fwdSeq = fwd
+		m.fwdPending = true
+	}
+}
+
+// emitFwdProbe sends a NUL packet carrying the forward point.
+func (m *Machine) emitFwdProbe() {
+	m.env.Emit(&packet.Packet{
+		Type:   packet.NUL,
+		Flags:  packet.FlagFwd,
+		ConnID: m.connID,
+		Seq:    m.sndNxt,
+		Ack:    m.rcvNxt,
+		Fwd:    m.fwdSeq,
+		Wnd:    m.advertiseWnd(),
+		TS:     m.env.Now(),
+	})
+	m.fwdPending = false
+}
+
+// armRtx (re)arms the retransmission timer for the earliest outstanding
+// packet.
+func (m *Machine) armRtx() {
+	if m.rtxTimer != nil {
+		m.rtxTimer.Stop()
+		m.rtxTimer = nil
+	}
+	earliest := m.firstOutstanding()
+	if earliest == nil {
+		// No retransmittable packet, but the peer may still be blocked on a
+		// hole we decided to skip: keep probing the forward point until the
+		// cumulative ack passes it (the probe itself can be lost).
+		if len(m.flight) > 0 && packet.SeqLT(m.sndUna, m.fwdSeq) {
+			m.rtxTimer = m.env.After(m.rtt.RTO(), m.onProbeTimeout)
+		}
+		return
+	}
+	deadline := earliest.sentAt + m.rtt.RTO()
+	delay := deadline - m.env.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	m.rtxTimer = m.env.After(delay, m.onRtxTimeout)
+}
+
+// onProbeTimeout re-sends the forward-point probe while the peer's
+// cumulative ack lags behind a skipped hole.
+func (m *Machine) onProbeTimeout() {
+	if m.state != stEstablished && m.state != stFinWait {
+		return
+	}
+	if len(m.flight) > 0 && packet.SeqLT(m.sndUna, m.fwdSeq) {
+		m.emitFwdProbe()
+		m.rtt.Backoff()
+	}
+	m.armRtx()
+}
+
+// onRtxTimeout handles expiry of the retransmission timer.
+func (m *Machine) onRtxTimeout() {
+	if m.state != stEstablished && m.state != stFinWait {
+		return
+	}
+	var earliest *sendPkt
+	for _, sp := range m.flight {
+		if !sp.done() {
+			earliest = sp
+			break
+		}
+	}
+	if earliest == nil {
+		return
+	}
+	now := m.env.Now()
+	if now-earliest.sentAt < m.rtt.RTO() {
+		// Re-armed lazily; not actually due yet.
+		m.armRtx()
+		return
+	}
+	m.meas.onLoss(1)
+	m.rtt.Backoff()
+	m.cc.OnTimeout(now)
+	if !earliest.marked() && m.canSkipFragment(earliest) {
+		m.skipPacket(earliest)
+	} else {
+		m.transmit(earliest, true)
+	}
+	m.armRtx()
+}
+
+// advertiseWnd computes the receive window to advertise.
+func (m *Machine) advertiseWnd() uint16 {
+	used := len(m.ooo)
+	if used >= int(m.cfg.RecvWindow) {
+		return 0
+	}
+	return m.cfg.RecvWindow - uint16(used)
+}
+
+// sendAck emits a pure acknowledgement; extents selects EACK form when
+// out-of-order data is buffered.
+func (m *Machine) sendAck(dataTrigger bool) {
+	m.sendAckEcho(dataTrigger, 0)
+}
+
+// sendAckEcho emits an acknowledgement echoing tsEcho for RTT measurement.
+func (m *Machine) sendAckEcho(dataTrigger bool, tsEcho time.Duration) {
+	typ := packet.ACK
+	eacks := m.sortedEacks(64)
+	if len(eacks) > 0 {
+		typ = packet.EACK
+	}
+	p := &packet.Packet{
+		Type:   typ,
+		ConnID: m.connID,
+		Seq:    m.sndNxt,
+		Ack:    m.rcvNxt,
+		Wnd:    m.advertiseWnd(),
+		TS:     m.env.Now(),
+		TSEcho: tsEcho,
+		Eacks:  eacks,
+	}
+	if m.tolDirty {
+		p.Attrs = attr.NewList(attr.Attr{Name: attr.LossTolerance, Value: attr.Float(m.localTol)})
+		m.tolDirty = false
+	}
+	m.lastSent = m.env.Now()
+	m.env.Emit(p)
+	_ = dataTrigger
+}

@@ -1,0 +1,172 @@
+// Package echo implements the IQ-ECho middleware of the paper: typed event
+// channels for distributing scientific data to remote collaborators over the
+// IQ-RUDP transport. Multiple logical channels multiplex over one
+// connection; events carry quality attributes both ways (the CMwritev_attr
+// path), and sources can install filters — e.g. the selective down-sampling
+// the paper's applications use as their resolution adaptation.
+package echo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+)
+
+// Event is one application-level datum published on a channel.
+type Event struct {
+	Channel uint16
+	Seq     uint32 // per-channel publish sequence
+	Data    []byte
+	Attrs   *attr.List
+	Marked  bool // false = droppable within the receiver's loss tolerance
+
+	// Partial indicates the transport delivered the event with missing
+	// fragments (unmarked loss within tolerance); sink-side only.
+	Partial bool
+}
+
+// header: channel(2) seq(4).
+const eventHeaderLen = 6
+
+// encodeEvent prepends the event header to the payload.
+func encodeEvent(ev *Event) []byte {
+	b := make([]byte, eventHeaderLen+len(ev.Data))
+	binary.BigEndian.PutUint16(b[0:], ev.Channel)
+	binary.BigEndian.PutUint32(b[2:], ev.Seq)
+	copy(b[eventHeaderLen:], ev.Data)
+	return b
+}
+
+// decodeEvent splits a delivered message back into an event.
+func decodeEvent(msg core.Message) (Event, error) {
+	if len(msg.Data) < eventHeaderLen {
+		return Event{}, errors.New("echo: short event")
+	}
+	return Event{
+		Channel: binary.BigEndian.Uint16(msg.Data[0:]),
+		Seq:     binary.BigEndian.Uint32(msg.Data[2:]),
+		Data:    msg.Data[eventHeaderLen:],
+		Attrs:   msg.Attrs,
+		Marked:  msg.Marked,
+		Partial: msg.Partial,
+	}, nil
+}
+
+// Filter inspects (and may mutate) an event before submission; returning
+// false drops the event entirely. Filters implement application-level
+// adaptations: down-sampling, unmarking, frequency reduction.
+type Filter func(ev *Event) bool
+
+// Conn multiplexes event channels over one transport connection.
+type Conn struct {
+	t          endpoint.Transport
+	m          *core.Machine // non-nil when the transport is IQ-RUDP
+	sinks      map[uint16][]func(Event)
+	decodeErrs uint64
+}
+
+// NewConn wraps a transport. Attach it to deliveries with HandleMessage
+// (the endpoint's OnMessage hook).
+func NewConn(t endpoint.Transport) *Conn {
+	c := &Conn{t: t, sinks: make(map[uint16][]func(Event))}
+	if m, ok := t.(*core.Machine); ok {
+		c.m = m
+	}
+	return c
+}
+
+// Transport returns the underlying transport.
+func (c *Conn) Transport() endpoint.Transport { return c.t }
+
+// Machine returns the IQ-RUDP machine, or nil for other transports.
+func (c *Conn) Machine() *core.Machine { return c.m }
+
+// HandleMessage dispatches one delivered transport message to subscribers.
+// Wire it to the delivery path: ep.OnMessage = conn.HandleMessage.
+func (c *Conn) HandleMessage(msg core.Message) {
+	ev, err := decodeEvent(msg)
+	if err != nil {
+		c.decodeErrs++
+		return
+	}
+	for _, fn := range c.sinks[ev.Channel] {
+		fn(ev)
+	}
+}
+
+// Subscribe registers fn for events on channel ch.
+func (c *Conn) Subscribe(ch uint16, fn func(Event)) {
+	c.sinks[ch] = append(c.sinks[ch], fn)
+}
+
+// DecodeErrors returns the count of undecodable deliveries.
+func (c *Conn) DecodeErrors() uint64 { return c.decodeErrs }
+
+// Source publishes events on one channel of a Conn.
+type Source struct {
+	c       *Conn
+	channel uint16
+	seq     uint32
+	filters []Filter
+
+	published uint64
+	dropped   uint64 // dropped by filters
+}
+
+// NewSource opens a source end for channel ch.
+func (c *Conn) NewSource(ch uint16) *Source {
+	return &Source{c: c, channel: ch}
+}
+
+// AddFilter appends a submission filter; filters run in order.
+func (s *Source) AddFilter(f Filter) { s.filters = append(s.filters, f) }
+
+// Submit publishes one event, running it through the filters and then the
+// transport. Attributes on the event ride the CMwritev_attr path, so ADAPT_*
+// attributes reach the transport's coordination engine.
+func (s *Source) Submit(data []byte, marked bool, attrs *attr.List) error {
+	ev := &Event{Channel: s.channel, Seq: s.seq, Data: data, Attrs: attrs, Marked: marked}
+	for _, f := range s.filters {
+		if !f(ev) {
+			s.dropped++
+			s.seq++
+			return nil
+		}
+	}
+	s.seq++
+	s.published++
+	payload := encodeEvent(ev)
+	if s.c.m != nil {
+		return s.c.m.SendMsg(payload, ev.Marked, ev.Attrs)
+	}
+	return s.c.t.Send(payload, ev.Marked)
+}
+
+// SubmitVec publishes a vectored event (CMwritev-style): the chunks are
+// concatenated into one event payload without the caller pre-joining them.
+func (s *Source) SubmitVec(chunks [][]byte, marked bool, attrs *attr.List) error {
+	total := 0
+	for _, ch := range chunks {
+		total += len(ch)
+	}
+	data := make([]byte, 0, total)
+	for _, ch := range chunks {
+		data = append(data, ch...)
+	}
+	return s.Submit(data, marked, attrs)
+}
+
+// Published returns events actually handed to the transport.
+func (s *Source) Published() uint64 { return s.published }
+
+// Dropped returns events suppressed by filters.
+func (s *Source) Dropped() uint64 { return s.dropped }
+
+// String describes the source.
+func (s *Source) String() string {
+	return fmt.Sprintf("echo.Source(ch=%d seq=%d)", s.channel, s.seq)
+}

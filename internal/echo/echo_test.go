@@ -1,0 +1,227 @@
+package echo
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/sim"
+)
+
+func pair(t *testing.T, seed int64) (*sim.Scheduler, *Conn, *Conn) {
+	t.Helper()
+	s := sim.New(seed)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	snd, rcv := endpoint.Pair(d, core.DefaultConfig(), core.DefaultConfig())
+	src := NewConn(snd.T)
+	dst := NewConn(rcv.T)
+	rcv.OnMessage = dst.HandleMessage
+	if !endpoint.WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("handshake failed")
+	}
+	return s, src, dst
+}
+
+func TestPublishSubscribe(t *testing.T) {
+	s, src, dst := pair(t, 1)
+	var got []Event
+	dst.Subscribe(7, func(ev Event) { got = append(got, ev) })
+	source := src.NewSource(7)
+	for i := 0; i < 5; i++ {
+		if err := source.Submit([]byte{byte(i)}, true, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunUntil(s.Now() + 2*time.Second)
+	if len(got) != 5 {
+		t.Fatalf("received %d events", len(got))
+	}
+	for i, ev := range got {
+		if ev.Seq != uint32(i) || ev.Channel != 7 || ev.Data[0] != byte(i) {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	if source.Published() != 5 {
+		t.Fatalf("published = %d", source.Published())
+	}
+}
+
+func TestChannelIsolation(t *testing.T) {
+	s, src, dst := pair(t, 2)
+	var a, b int
+	dst.Subscribe(1, func(Event) { a++ })
+	dst.Subscribe(2, func(Event) { b++ })
+	s1, s2 := src.NewSource(1), src.NewSource(2)
+	s1.Submit([]byte("x"), true, nil)
+	s2.Submit([]byte("y"), true, nil)
+	s2.Submit([]byte("z"), true, nil)
+	s.RunUntil(s.Now() + 2*time.Second)
+	if a != 1 || b != 2 {
+		t.Fatalf("a=%d b=%d, want 1/2", a, b)
+	}
+}
+
+func TestAttrsRideEvents(t *testing.T) {
+	s, src, dst := pair(t, 3)
+	var got *attr.List
+	dst.Subscribe(1, func(ev Event) { got = ev.Attrs })
+	source := src.NewSource(1)
+	attrs := attr.NewList(attr.Attr{Name: attr.AdaptCond, Value: attr.Float(0.12)})
+	source.Submit([]byte("data"), true, attrs)
+	s.RunUntil(s.Now() + 2*time.Second)
+	if got == nil || got.FloatOr(attr.AdaptCond, -1) != 0.12 {
+		t.Fatalf("attrs = %v", got)
+	}
+}
+
+func TestSubmitVec(t *testing.T) {
+	s, src, dst := pair(t, 4)
+	var got []byte
+	dst.Subscribe(1, func(ev Event) { got = ev.Data })
+	source := src.NewSource(1)
+	source.SubmitVec([][]byte{[]byte("hello "), []byte("vectored "), []byte("world")}, true, nil)
+	s.RunUntil(s.Now() + 2*time.Second)
+	if string(got) != "hello vectored world" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestScaleFilter(t *testing.T) {
+	s, src, dst := pair(t, 5)
+	var sizes []int
+	dst.Subscribe(1, func(ev Event) { sizes = append(sizes, len(ev.Data)) })
+	source := src.NewSource(1)
+	scale := 1.0
+	source.AddFilter(ScaleFilter(&scale))
+	source.Submit(make([]byte, 1000), true, nil)
+	scale = 0.25
+	source.Submit(make([]byte, 1000), true, nil)
+	s.RunUntil(s.Now() + 2*time.Second)
+	if len(sizes) != 2 || sizes[0] != 1000 || sizes[1] != 250 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestUnmarkFilter(t *testing.T) {
+	s, src, dst := pair(t, 6)
+	marked, unmarked := 0, 0
+	dst.Subscribe(1, func(ev Event) {
+		if ev.Marked {
+			marked++
+		} else {
+			unmarked++
+		}
+	})
+	source := src.NewSource(1)
+	prob := 1.0 // always unmark non-control events
+	source.AddFilter(UnmarkFilter(rand.New(rand.NewSource(1)), 5, &prob))
+	for i := 0; i < 100; i++ {
+		source.Submit([]byte("e"), true, nil)
+	}
+	s.RunUntil(s.Now() + 5*time.Second)
+	if marked != 20 {
+		t.Fatalf("marked = %d, want 20 (every 5th)", marked)
+	}
+	if unmarked != 80 {
+		t.Fatalf("unmarked = %d, want 80", unmarked)
+	}
+}
+
+func TestFrequencyFilter(t *testing.T) {
+	s, src, dst := pair(t, 7)
+	got := 0
+	dst.Subscribe(1, func(Event) { got++ })
+	source := src.NewSource(1)
+	keep := 3
+	source.AddFilter(FrequencyFilter(&keep))
+	for i := 0; i < 30; i++ {
+		source.Submit([]byte("f"), true, nil)
+	}
+	s.RunUntil(s.Now() + 5*time.Second)
+	if got != 10 {
+		t.Fatalf("received %d, want 10 (1 in 3)", got)
+	}
+	if source.Dropped() != 20 {
+		t.Fatalf("dropped = %d", source.Dropped())
+	}
+}
+
+func TestFloat64Codec(t *testing.T) {
+	xs := []float64{0, 1.5, -2.25, math.Pi, math.Inf(1)}
+	got := BytesToFloat64s(Float64sToBytes(xs))
+	if len(got) != len(xs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, got[i], xs[i])
+		}
+	}
+	// Trailing partial values are dropped.
+	if n := len(BytesToFloat64s(make([]byte, 12))); n != 1 {
+		t.Fatalf("partial decode len = %d", n)
+	}
+}
+
+// Property: float64 payload round-trip through codec.
+func TestQuickFloat64RoundTrip(t *testing.T) {
+	f := func(xs []float64) bool {
+		got := BytesToFloat64s(Float64sToBytes(xs))
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] && !(math.IsNaN(got[i]) && math.IsNaN(xs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDownsampleStride(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6}
+	got := DownsampleStride(xs, 3)
+	want := []float64{0, 3, 6}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if &DownsampleStride(xs, 1)[0] != &xs[0] {
+		t.Fatal("stride 1 should return the input unchanged")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	_, _, dst := pair(t, 8)
+	dst.HandleMessage(core.Message{Data: []byte{1, 2}}) // too short
+	if dst.DecodeErrors() != 1 {
+		t.Fatalf("decode errors = %d", dst.DecodeErrors())
+	}
+}
+
+func TestLargeEventFragmentsThroughTransport(t *testing.T) {
+	s, src, dst := pair(t, 9)
+	payload := bytes.Repeat([]byte{0xAB}, 50_000)
+	var got []byte
+	dst.Subscribe(1, func(ev Event) { got = ev.Data })
+	src.NewSource(1).Submit(payload, true, nil)
+	s.RunUntil(s.Now() + 10*time.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("large event corrupted: len=%d", len(got))
+	}
+}

@@ -1,0 +1,98 @@
+package echo
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+)
+
+// Down-sampling and marking filters: the application-level adaptations the
+// paper's IQ-ECho applications perform (selective data down-sampling,
+// reliability unmarking, frequency reduction). Scientific payloads are
+// modelled as float64 grids, the common case for the remote-visualization
+// workloads the paper targets.
+
+// Float64sToBytes encodes a float64 slice to a big-endian byte payload.
+func Float64sToBytes(xs []float64) []byte {
+	b := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.BigEndian.PutUint64(b[i*8:], math.Float64bits(x))
+	}
+	return b
+}
+
+// BytesToFloat64s decodes a payload produced by Float64sToBytes; trailing
+// partial values are dropped.
+func BytesToFloat64s(b []byte) []float64 {
+	n := len(b) / 8
+	xs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = math.Float64frombits(binary.BigEndian.Uint64(b[i*8:]))
+	}
+	return xs
+}
+
+// DownsampleStride keeps every stride-th sample of a float64 grid — the
+// resolution adaptation: stride 2 halves the data volume.
+func DownsampleStride(xs []float64, stride int) []float64 {
+	if stride <= 1 {
+		return xs
+	}
+	out := make([]float64, 0, (len(xs)+stride-1)/stride)
+	for i := 0; i < len(xs); i += stride {
+		out = append(out, xs[i])
+	}
+	return out
+}
+
+// ScaleFilter reduces each event's payload to fraction `*scale` of its
+// original size by stride-style truncation of raw bytes (payload-agnostic
+// resolution adaptation). The pointer lets the adaptation logic change the
+// fraction at runtime.
+func ScaleFilter(scale *float64) Filter {
+	return func(ev *Event) bool {
+		f := *scale
+		if f >= 1 || f <= 0 {
+			return true
+		}
+		n := int(float64(len(ev.Data)) * f)
+		if n < 1 {
+			n = 1
+		}
+		ev.Data = ev.Data[:n]
+		return true
+	}
+}
+
+// UnmarkFilter implements the paper's reliability adaptation (§3.3): every
+// tagEvery-th event stays marked (control information that must be
+// delivered); other events are unmarked with probability *prob.
+func UnmarkFilter(rng *rand.Rand, tagEvery int, prob *float64) Filter {
+	n := 0
+	return func(ev *Event) bool {
+		n++
+		if tagEvery > 0 && n%tagEvery == 0 {
+			ev.Marked = true
+			return true
+		}
+		if rng.Float64() < *prob {
+			ev.Marked = false
+		}
+		return true
+	}
+}
+
+// FrequencyFilter implements a frequency adaptation: it passes only every
+// keepOneIn-th event (pointer-adjustable), dropping the rest before they
+// reach the transport.
+func FrequencyFilter(keepOneIn *int) Filter {
+	n := 0
+	return func(ev *Event) bool {
+		k := *keepOneIn
+		if k <= 1 {
+			return true
+		}
+		n++
+		return n%k == 1
+	}
+}

@@ -1,0 +1,91 @@
+package endpoint
+
+import (
+	"testing"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/sim"
+	"github.com/cercs/iqrudp/internal/tcpsim"
+)
+
+func TestPairEstablishesAndDelivers(t *testing.T) {
+	s := sim.New(1)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	snd, rcv := Pair(d, core.DefaultConfig(), core.DefaultConfig())
+	rcv.Record = true
+	if !WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("handshake failed")
+	}
+	if snd.Machine == nil || rcv.Machine == nil {
+		t.Fatal("convenience Machine pointers not set")
+	}
+	var hooked []core.Message
+	rcv.OnMessage = func(msg core.Message) { hooked = append(hooked, msg) }
+	snd.T.Send([]byte("both paths"), true)
+	s.RunUntil(s.Now() + time.Second)
+	if len(rcv.Delivered) != 1 || len(hooked) != 1 {
+		t.Fatalf("Record=%d hook=%d, want 1/1", len(rcv.Delivered), len(hooked))
+	}
+}
+
+func TestCorruptFrameCounted(t *testing.T) {
+	s := sim.New(2)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	snd, rcv := Pair(d, core.DefaultConfig(), core.DefaultConfig())
+	WaitEstablished(s, snd, rcv, 5*time.Second)
+	rcv.HandleFrame(&netem.Frame{Payload: []byte("garbage that is not a packet at all....................")})
+	if rcv.Drops != 1 {
+		t.Fatalf("drops = %d, want 1", rcv.Drops)
+	}
+}
+
+func TestWaitEstablishedTimesOut(t *testing.T) {
+	s := sim.New(3)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	snd, rcv := Pair(d, core.DefaultConfig(), core.DefaultConfig())
+	// Black-hole the receiver before anything flows.
+	d.Attach(rcv.Addr(), netem.HandlerFunc(func(f *netem.Frame) {}))
+	if WaitEstablished(s, snd, rcv, 2*time.Second) {
+		t.Fatal("established through a black hole?")
+	}
+	if s.Now() < 2*time.Second {
+		t.Fatalf("gave up early at %v", s.Now())
+	}
+}
+
+func TestPairTransportTCP(t *testing.T) {
+	s := sim.New(4)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	mk := func(env core.Env) Transport { return tcpsim.NewMachine(tcpsim.DefaultConfig(), env) }
+	snd, rcv := PairTransport(d, mk, mk)
+	rcv.Record = true
+	if !WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("tcp handshake failed")
+	}
+	if snd.Machine != nil {
+		t.Fatal("Machine must be nil for non-core transports")
+	}
+	snd.T.Send([]byte("tcp via endpoint"), true)
+	s.RunUntil(s.Now() + time.Second)
+	if len(rcv.Delivered) != 1 {
+		t.Fatalf("delivered %d", len(rcv.Delivered))
+	}
+}
+
+func TestEnvAccessor(t *testing.T) {
+	s := sim.New(5)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	snd, _ := Pair(d, core.DefaultConfig(), core.DefaultConfig())
+	env := snd.Env()
+	if env.Now() != s.Now() {
+		t.Fatal("Env clock disagrees with the scheduler")
+	}
+	fired := false
+	env.After(time.Second, func() { fired = true })
+	s.RunUntil(2 * time.Second)
+	if !fired {
+		t.Fatal("Env timer did not fire")
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/stats"
+	"github.com/cercs/iqrudp/internal/traffic"
+)
+
+// Ablations for the design choices DESIGN.md calls out. Each isolates one
+// axis of the system on the Table-1 workload (changing application, 18 Mb/s
+// CBR cross traffic) so the numbers are directly comparable.
+
+// ablationBase runs the standard changing-application bulk scenario with
+// per-run rig options.
+func ablationBase(name string, seed int64, o rigOpts, frames int) Result {
+	trace := frameTrace(frames)
+	r := newRig(o)
+	cross := traffic.NewCBR(r.d, 18e6, 1000)
+	cross.Start()
+	fs := &traffic.FrameSource{
+		S: r.s, T: r.snd.T,
+		FPS: 120, Unit: 1000,
+		Trace: trace, MaxFrames: frames,
+		IndexByFrame: true,
+		MaxBacklog:   200,
+	}
+	fs.Start()
+	r.runToCompletion(fs.Done, 3*time.Second, 1800*time.Second)
+	return r.col.result(name, nonZeroFrames(trace, frames))
+}
+
+// AblationDecrease compares IQ-RUDP's LDA-style loss-proportional window
+// decrease against TCP-style halving: the smoother decrease should buy
+// throughput and pay a little jitter.
+func AblationDecrease(seed int64, runs, frames int) []Result {
+	variants := []struct {
+		name    string
+		halving bool
+	}{
+		{"loss-proportional (LDA-style)", false},
+		{"halving (TCP-style)", true},
+	}
+	var out []Result
+	for _, v := range variants {
+		v := v
+		out = append(out, meanResults(v.name, seedsFrom(seed, runs), func(s int64) Result {
+			return ablationBase(v.name, s, rigOpts{
+				seed: s, dumbbell: bottleneck20(), scheme: SchemeIQRUDP, halving: v.halving,
+			}, frames)
+		}))
+	}
+	return out
+}
+
+// AblationPeriod sweeps the measurement period: shorter periods give the
+// congestion controller and callbacks fresher (but noisier) error ratios.
+func AblationPeriod(seed int64, runs, frames int) []Result {
+	var out []Result
+	for _, period := range []time.Duration{
+		125 * time.Millisecond,
+		250 * time.Millisecond,
+		500 * time.Millisecond, // the default
+		1 * time.Second,
+		2 * time.Second,
+	} {
+		period := period
+		name := period.String()
+		out = append(out, meanResults(name, seedsFrom(seed, runs), func(s int64) Result {
+			return ablationBase(name, s, rigOpts{
+				seed: s, dumbbell: bottleneck20(), scheme: SchemeIQRUDP, measPeriod: period,
+			}, frames)
+		}))
+	}
+	return out
+}
+
+// AblationPacing compares window-burst transmission against paced sending
+// (one packet per srtt/cwnd): smoother queues at a small latency cost.
+func AblationPacing(seed int64, runs, frames int) []Result {
+	variants := []struct {
+		name  string
+		paced bool
+	}{
+		{"bursty (window at once)", false},
+		{"paced (srtt/cwnd)", true},
+	}
+	var out []Result
+	for _, v := range variants {
+		v := v
+		out = append(out, meanResults(v.name, seedsFrom(seed, runs), func(s int64) Result {
+			return ablationBase(v.name, s, rigOpts{
+				seed: s, dumbbell: bottleneck20(), scheme: SchemeIQRUDP, paced: v.paced,
+			}, frames)
+		}))
+	}
+	return out
+}
+
+// AblationQueue compares the bottleneck queue discipline: drop-tail (what the
+// main experiments use) against RED.
+func AblationQueue(seed int64, runs, frames int) []Result {
+	variants := []struct {
+		name string
+		red  bool
+	}{
+		{"drop-tail", false},
+		{"RED", true},
+	}
+	var out []Result
+	for _, v := range variants {
+		v := v
+		out = append(out, meanResults(v.name, seedsFrom(seed, runs), func(s int64) Result {
+			return ablationBase(v.name, s, rigOpts{
+				seed: s, dumbbell: bottleneck20(), scheme: SchemeIQRUDP, useRED: v.red,
+			}, frames)
+		}))
+	}
+	return out
+}
+
+// Ablations returns the registry entries for the three ablation studies.
+func Ablations() []Experiment {
+	const (
+		runs   = 3
+		frames = 4000
+	)
+	table := func(title string, rows []Result) []*stats.Table {
+		return []*stats.Table{resultTable(title, rows,
+			"Duration(s)", "Throughput(KB/s)", "Delay(ms)", "Jitter(ms)")}
+	}
+	return []Experiment{
+		{ID: "ablation-decrease", Title: "Ablation: window decrease rule", Run: func() []*stats.Table {
+			return table("Ablation: loss-proportional vs halving decrease (Table-1 workload)",
+				AblationDecrease(101, runs, frames))
+		}},
+		{ID: "ablation-period", Title: "Ablation: measurement period", Run: func() []*stats.Table {
+			return table("Ablation: error-ratio measurement period (Table-1 workload)",
+				AblationPeriod(102, runs, frames))
+		}},
+		{ID: "ablation-queue", Title: "Ablation: bottleneck queue discipline", Run: func() []*stats.Table {
+			return table("Ablation: drop-tail vs RED at the bottleneck (Table-1 workload)",
+				AblationQueue(103, runs, frames))
+		}},
+		{ID: "ablation-pacing", Title: "Ablation: paced vs bursty transmission", Run: func() []*stats.Table {
+			return table("Ablation: window bursts vs srtt/cwnd pacing (Table-1 workload)",
+				AblationPacing(104, runs, frames))
+		}},
+	}
+}

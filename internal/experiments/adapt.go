@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+)
+
+// resolutionAdaptor implements the paper's §3.4 application adaptation: when
+// the upper error-ratio threshold fires, frame size shrinks by a factor
+// equal to the error ratio; when the lower threshold fires, it grows by 10%.
+// With a granularity limit (§3.5) the change is enacted only at frame
+// indices divisible by the granularity, announced to the transport with
+// ADAPT_WHEN and described at enactment with ADAPT_PKTSIZE (plus ADAPT_COND
+// when the scheme exchanges trigger conditions).
+type resolutionAdaptor struct {
+	// adjust applies the size change to the source and returns the factor
+	// actually applied (sources clamp at full and minimum resolution).
+	adjust    func(factor float64) float64
+	frameSize func() int // current frame size, for the below-MSS condition
+
+	granularity int  // 0 = enact immediately in the callback
+	useCond     bool // attach ADAPT_COND at enactment (scheme 3)
+
+	upper, lower float64
+
+	// cooldown is the minimum gap between adaptations: the paper's target
+	// applications adapt only on coarse-grained condition changes rather
+	// than every measuring period (§2.3.1).
+	cooldown    time.Duration
+	lastAdapt   time.Duration
+	everAdapted bool
+
+	pendingDeg  float64 // size-change degree awaiting a frame boundary
+	pendingCond float64 // error ratio at trigger time
+	hasPending  bool
+
+	adaptations int
+}
+
+// install registers the adaptor's callbacks on the machine.
+func (a *resolutionAdaptor) install(m *core.Machine) {
+	m.RegisterThresholds(a.upper, a.lower, a.onUpper, a.onLower)
+}
+
+func (a *resolutionAdaptor) onUpper(info core.CallbackInfo) *core.AdaptationReport {
+	// Trigger on the per-period ratio, but size the change by the smoothed
+	// ratio: at small windows a single period's ratio is quantisation noise
+	// (two losses out of four sends reads as 50%), and over-sized changes
+	// whipsaw both the application and the transport.
+	deg := info.Smoothed
+	if deg <= 0 {
+		deg = info.ErrorRatio
+	}
+	if deg > 0.5 {
+		deg = 0.5
+	}
+	return a.trigger(deg, info)
+}
+
+func (a *resolutionAdaptor) onLower(info core.CallbackInfo) *core.AdaptationReport {
+	// Frame size increases by 10%: a negative degree for the transport
+	// (window shrinks back by 1/1.1).
+	return a.trigger(-0.1, info)
+}
+
+// trigger handles one threshold crossing with size-change degree deg.
+func (a *resolutionAdaptor) trigger(deg float64, info core.CallbackInfo) *core.AdaptationReport {
+	if deg == 0 {
+		return nil
+	}
+	// The cooldown gates only downsampling: the paper's applications grow
+	// frame size by 10% in every lower-threshold call, so recovery runs at
+	// the measurement period, not the cooldown.
+	if deg > 0 {
+		if a.cooldown > 0 && a.everAdapted && info.Now-a.lastAdapt < a.cooldown {
+			return nil
+		}
+		a.lastAdapt = info.Now
+		a.everAdapted = true
+	}
+	if a.granularity <= 0 {
+		// Immediate enactment inside the callback. Only the change the
+		// source actually applied is reported: a clamped no-op must not
+		// cause a transport re-adaptation.
+		applied := a.adjust(1 - deg)
+		if applied == 1 {
+			return nil
+		}
+		a.adaptations++
+		return &core.AdaptationReport{
+			Kind:           core.AdaptResolution,
+			Degree:         1 - applied,
+			FrameSize:      a.frameSize(),
+			CondErrorRatio: math.NaN(),
+		}
+	}
+	// Delayed enactment: remember the change; announce ADAPT_WHEN. A newer
+	// trigger before the boundary replaces the pending change, as a real
+	// application would re-decide with fresher information. The recorded
+	// condition uses the smoothed ratio — the same scale the transport will
+	// compare against at enactment (Eq. 1).
+	a.pendingDeg = deg
+	a.pendingCond = info.Smoothed
+	a.hasPending = true
+	return &core.AdaptationReport{
+		Kind:           core.AdaptResolution,
+		Degree:         deg,
+		WhenFrames:     a.granularity,
+		CondErrorRatio: math.NaN(),
+	}
+}
+
+// attrsFor is the FrameSource/BulkSource AttrsFor hook: at an allowed frame
+// boundary it enacts the pending change and returns the ADAPT_* attribute
+// list that rides the enacting send call.
+func (a *resolutionAdaptor) attrsFor(i int, size int) *attr.List {
+	if !a.hasPending || a.granularity <= 0 || i%a.granularity != 0 {
+		return nil
+	}
+	cond := a.pendingCond
+	a.hasPending = false
+	applied := a.adjust(1 - a.pendingDeg)
+	if applied == 1 {
+		return nil
+	}
+	a.adaptations++
+	attrs := attr.NewList(attr.Attr{Name: attr.AdaptPktSize, Value: attr.Float(1 - applied)})
+	if a.useCond {
+		attrs.Set(attr.AdaptCond, attr.Float(cond))
+	}
+	return attrs
+}
+
+// markingAdaptor implements the paper's §3.3 reliability adaptation: above
+// the upper threshold, non-control messages are unmarked with probability
+// max(0.40, 1.25·eratio); below the lower threshold the probability drops by
+// 0.20. Every tagEvery-th message stays tagged (control information).
+type markingAdaptor struct {
+	rng      *rand.Rand
+	tagEvery int
+	prob     float64
+
+	upper, lower float64
+	adaptations  int
+}
+
+func (a *markingAdaptor) install(m *core.Machine) {
+	m.RegisterThresholds(a.upper, a.lower, a.onUpper, a.onLower)
+}
+
+func (a *markingAdaptor) onUpper(info core.CallbackInfo) *core.AdaptationReport {
+	p := 1.25 * info.ErrorRatio
+	if p < 0.40 {
+		p = 0.40
+	}
+	if p > 0.95 {
+		p = 0.95
+	}
+	a.prob = p
+	a.adaptations++
+	return &core.AdaptationReport{Kind: core.AdaptReliability, Degree: p, CondErrorRatio: math.NaN()}
+}
+
+func (a *markingAdaptor) onLower(info core.CallbackInfo) *core.AdaptationReport {
+	p := a.prob - 0.20
+	if p < 0 {
+		p = 0
+	}
+	if p == a.prob {
+		return nil
+	}
+	a.prob = p
+	a.adaptations++
+	return &core.AdaptationReport{Kind: core.AdaptReliability, Degree: p, CondErrorRatio: math.NaN()}
+}
+
+// markPolicy is the source's MarkPolicy hook.
+func (a *markingAdaptor) markPolicy(i int) bool {
+	if a.tagEvery > 0 && i%a.tagEvery == 0 {
+		return true // control message: must be delivered
+	}
+	return !(a.prob > 0 && a.rng.Float64() < a.prob)
+}

@@ -1,0 +1,293 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§3). Each experiment builds the Emulab-equivalent dumbbell,
+// attaches the workload and cross traffic, runs the scenario for each
+// transport/adaptation scheme, and reports the paper's metrics: duration,
+// throughput, message inter-arrival ("delay") and its deviation ("jitter"),
+// percent messages delivered, and the tagged-only variants.
+package experiments
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/sim"
+	"github.com/cercs/iqrudp/internal/stats"
+	"github.com/cercs/iqrudp/internal/tcpsim"
+)
+
+// Scheme selects the transport/adaptation configuration under test.
+type Scheme int
+
+// Schemes used across the experiments.
+const (
+	// SchemeTCP runs the TCP Reno baseline.
+	SchemeTCP Scheme = iota
+	// SchemeIQRUDP runs IQ-RUDP with coordination enabled.
+	SchemeIQRUDP
+	// SchemeRUDP runs the transport without coordination: application
+	// adaptations are never communicated to the window algorithm.
+	SchemeRUDP
+	// SchemeAppOnly disables the adaptive congestion window (fixed
+	// BDP-sized window) while still exporting metrics — the paper's
+	// "application adaptation only" configuration.
+	SchemeAppOnly
+)
+
+// String names the scheme as the paper does.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeTCP:
+		return "TCP"
+	case SchemeIQRUDP:
+		return "IQ-RUDP"
+	case SchemeRUDP:
+		return "RUDP"
+	case SchemeAppOnly:
+		return "App adaptation only"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is one row of a results table.
+type Result struct {
+	Name string
+
+	DurationSec   float64 // first send to last delivery
+	ThroughputKBs float64 // delivered payload bytes / duration / 1000
+	InterArrival  float64 // mean message inter-arrival, seconds
+	Jitter        float64 // stddev of inter-arrival, seconds
+
+	MsgsRecvdPct   float64 // delivered / offered × 100
+	TaggedDelayMs  float64 // tagged-only inter-arrival mean, ms
+	TaggedJitterMs float64
+	DelayMs        float64 // all-message inter-arrival mean, ms
+	JitterMs       float64
+
+	DeliveredMsgs int
+	OfferedMsgs   int
+
+	// JitterSeries/JitterTimes are retained when requested (Figures 2–3):
+	// per-arrival jitter values and their arrival times.
+	JitterSeries []float64
+	JitterTimes  []time.Duration
+}
+
+// collector gathers receiver-side delivery statistics.
+type collector struct {
+	all       *stats.Arrivals
+	tagged    *stats.Arrivals
+	bytes     uint64
+	count     int
+	lastAt    time.Duration
+	keepSerie bool
+}
+
+func newCollector(keepSeries bool) *collector {
+	return &collector{
+		all:       stats.NewArrivals(keepSeries),
+		tagged:    stats.NewArrivals(false),
+		keepSerie: keepSeries,
+	}
+}
+
+func (c *collector) onMessage(msg core.Message) {
+	c.count++
+	c.bytes += uint64(len(msg.Data))
+	c.lastAt = msg.DeliveredAt
+	c.all.Observe(msg.DeliveredAt)
+	if msg.Marked {
+		c.tagged.Observe(msg.DeliveredAt)
+	}
+}
+
+// result assembles the metrics, given the number of messages the application
+// offered.
+func (c *collector) result(name string, offered int) Result {
+	dur := c.lastAt.Seconds()
+	r := Result{
+		Name:           name,
+		DurationSec:    dur,
+		InterArrival:   c.all.MeanInterarrival(),
+		Jitter:         c.all.Jitter(),
+		DelayMs:        c.all.MeanInterarrival() * 1000,
+		JitterMs:       c.all.Jitter() * 1000,
+		TaggedDelayMs:  c.tagged.MeanInterarrival() * 1000,
+		TaggedJitterMs: c.tagged.Jitter() * 1000,
+		DeliveredMsgs:  c.count,
+		OfferedMsgs:    offered,
+	}
+	if dur > 0 {
+		r.ThroughputKBs = float64(c.bytes) / dur / 1000
+	}
+	if offered > 0 {
+		r.MsgsRecvdPct = float64(c.count) / float64(offered) * 100
+	}
+	if c.keepSerie {
+		serie, times := c.all.Series()
+		r.JitterSeries = serie
+		r.JitterTimes = times
+	}
+	return r
+}
+
+// rig is one experiment instance: topology, transports, collector.
+type rig struct {
+	s   *sim.Scheduler
+	d   *netem.Dumbbell
+	snd *endpoint.Endpoint
+	rcv *endpoint.Endpoint
+	col *collector
+}
+
+// rigOpts parameterises rig construction.
+type rigOpts struct {
+	seed       int64
+	dumbbell   netem.DumbbellConfig
+	scheme     Scheme
+	tolerance  float64 // receiver loss tolerance
+	keepSeries bool
+	fixedWnd   float64 // SchemeAppOnly window; 0 = default
+	mss        int
+
+	// Ablation knobs.
+	halving    bool          // TCP-style halving decrease instead of LDA-style
+	measPeriod time.Duration // measurement period override
+	useRED     bool          // RED on the bottleneck instead of drop-tail
+	paced      bool          // paced transmissions instead of window bursts
+}
+
+func newRig(o rigOpts) *rig {
+	s := sim.New(o.seed)
+	d := netem.NewDumbbell(s, o.dumbbell)
+	if o.useRED {
+		qmax := o.dumbbell.QueueMax
+		if qmax <= 0 {
+			qmax = 50 // the BDP default of the standard bottleneck
+		}
+		d.Bottleneck().EnableRED(netem.DefaultRED(qmax))
+		d.Reverse().EnableRED(netem.DefaultRED(qmax))
+	}
+	r := &rig{s: s, d: d, col: newCollector(o.keepSeries)}
+
+	mkCore := func(coordinate, disableCC bool) func(env core.Env) endpoint.Transport {
+		return func(env core.Env) endpoint.Transport {
+			cfg := core.DefaultConfig()
+			if o.mss > 0 {
+				cfg.MSS = o.mss
+			}
+			cfg.Coordinate = coordinate
+			cfg.DisableCC = disableCC
+			if disableCC && o.fixedWnd > 0 {
+				cfg.FixedWindow = o.fixedWnd
+			}
+			cfg.LossTolerance = o.tolerance
+			cfg.HalvingDecrease = o.halving
+			cfg.Paced = o.paced
+			if o.measPeriod > 0 {
+				cfg.MeasurementPeriod = o.measPeriod
+			}
+			return core.NewMachine(cfg, env)
+		}
+	}
+	switch o.scheme {
+	case SchemeTCP:
+		mk := func(env core.Env) endpoint.Transport {
+			cfg := tcpsim.DefaultConfig()
+			if o.mss > 0 {
+				cfg.MSS = o.mss
+			}
+			return tcpsim.NewMachine(cfg, env)
+		}
+		r.snd, r.rcv = endpoint.PairTransport(d, mk, mk)
+	case SchemeIQRUDP:
+		r.snd, r.rcv = endpoint.PairTransport(d, mkCore(true, false), mkCore(true, false))
+	case SchemeRUDP:
+		r.snd, r.rcv = endpoint.PairTransport(d, mkCore(false, false), mkCore(false, false))
+	case SchemeAppOnly:
+		r.snd, r.rcv = endpoint.PairTransport(d, mkCore(false, true), mkCore(false, true))
+	}
+	if m, ok := r.snd.T.(*core.Machine); ok {
+		r.snd.Machine = m
+	}
+	if m, ok := r.rcv.T.(*core.Machine); ok {
+		r.rcv.Machine = m
+	}
+	r.rcv.OnMessage = r.col.onMessage
+	endpoint.WaitEstablished(s, r.snd, r.rcv, 10*time.Second)
+	return r
+}
+
+// runToCompletion advances the simulation until the workload reports done
+// and deliveries have been quiet for quietFor, or until cap elapses.
+func (r *rig) runToCompletion(done func() bool, quietFor, cap time.Duration) {
+	lastCount := -1
+	quietSince := r.s.Now()
+	for r.s.Now() < cap {
+		r.s.RunUntil(r.s.Now() + 500*time.Millisecond)
+		if !done() {
+			quietSince = r.s.Now()
+			continue
+		}
+		if r.col.count != lastCount {
+			lastCount = r.col.count
+			quietSince = r.s.Now()
+			continue
+		}
+		if r.s.Now()-quietSince >= quietFor {
+			return
+		}
+	}
+}
+
+// bottleneck20 returns the paper's standard bottleneck: 20 Mb/s, 30 ms RTT.
+func bottleneck20() netem.DumbbellConfig { return netem.DefaultDumbbell() }
+
+// meanResults runs one experiment row across several seeds and averages the
+// metrics — congestion experiments against bursty cross traffic are noisy,
+// and single runs can invert small effects.
+func meanResults(name string, seeds []int64, run func(seed int64) Result) Result {
+	if len(seeds) == 0 {
+		panic("experiments: meanResults needs at least one seed")
+	}
+	var acc Result
+	for _, seed := range seeds {
+		r := run(seed)
+		acc.DurationSec += r.DurationSec
+		acc.ThroughputKBs += r.ThroughputKBs
+		acc.InterArrival += r.InterArrival
+		acc.Jitter += r.Jitter
+		acc.MsgsRecvdPct += r.MsgsRecvdPct
+		acc.TaggedDelayMs += r.TaggedDelayMs
+		acc.TaggedJitterMs += r.TaggedJitterMs
+		acc.DelayMs += r.DelayMs
+		acc.JitterMs += r.JitterMs
+		acc.DeliveredMsgs += r.DeliveredMsgs
+		acc.OfferedMsgs += r.OfferedMsgs
+	}
+	n := float64(len(seeds))
+	acc.Name = name
+	acc.DurationSec /= n
+	acc.ThroughputKBs /= n
+	acc.InterArrival /= n
+	acc.Jitter /= n
+	acc.MsgsRecvdPct /= n
+	acc.TaggedDelayMs /= n
+	acc.TaggedJitterMs /= n
+	acc.DelayMs /= n
+	acc.JitterMs /= n
+	acc.DeliveredMsgs /= len(seeds)
+	acc.OfferedMsgs /= len(seeds)
+	return acc
+}
+
+// seedsFrom derives n distinct seeds from a base seed.
+func seedsFrom(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)*1000003
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment tests assert the paper's qualitative shapes (who wins,
+// roughly by how much), not absolute numbers: the substrate is a simulator,
+// not the authors' Emulab testbed. Scaled-down specs keep the suite fast;
+// cmd/iqbench runs the full calibrated versions.
+
+func scaled1() Table1Spec {
+	s := DefaultTable1()
+	s.Frames = 3000
+	s.Runs = 2
+	return s
+}
+
+func TestTable1Shapes(t *testing.T) {
+	rows := Table1(scaled1())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]Result{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.MsgsRecvdPct < 99.9 {
+			t.Errorf("%s delivered %.1f%%, want 100%% (all marked)", r.Name, r.MsgsRecvdPct)
+		}
+	}
+	tcp, iq := byName["TCP"], byName["IQ-RUDP"]
+	appOnly, iqApp := byName["App adaptation only"], byName["IQ-RUDP w/ app adaptation"]
+
+	// Adaptation shortens the run substantially (paper: ≈2×).
+	if !(iqApp.DurationSec < 0.85*tcp.DurationSec) {
+		t.Errorf("adapted run %.1fs not much faster than TCP %.1fs", iqApp.DurationSec, tcp.DurationSec)
+	}
+	// IQ-RUDP is at least TCP-competitive in throughput.
+	if iq.ThroughputKBs < 0.9*tcp.ThroughputKBs {
+		t.Errorf("IQ-RUDP %.1f KB/s far below TCP %.1f", iq.ThroughputKBs, tcp.ThroughputKBs)
+	}
+	// Coordination recovers throughput over app-adaptation-only (the ~8% →
+	// ~2% gap story); allow a small noise band on the scaled-down workload.
+	if iqApp.ThroughputKBs < 0.95*appOnly.ThroughputKBs {
+		t.Errorf("coordinated %.1f KB/s below app-only %.1f", iqApp.ThroughputKBs, appOnly.ThroughputKBs)
+	}
+	// IQ-RUDP delivers better (lower) inter-arrival delay than TCP.
+	if iq.InterArrival > tcp.InterArrival {
+		t.Errorf("IQ-RUDP inter-arrival %.4f above TCP %.4f", iq.InterArrival, tcp.InterArrival)
+	}
+}
+
+func TestTable2Fairness(t *testing.T) {
+	spec := DefaultTable2()
+	spec.Messages = 8000
+	rows := Table2(spec)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tcp, iq := rows[0], rows[1]
+	// Fairness: both transports get a similar share against a TCP
+	// competitor — within 25% of each other and both a sane share of the
+	// 20 Mb/s link (fair share 1.25 MB/s).
+	ratio := iq.ThroughputKBs / tcp.ThroughputKBs
+	if ratio < 0.75 || ratio > 1.35 {
+		t.Errorf("throughput ratio IQ/TCP = %.2f, want ≈1 (fairness)", ratio)
+	}
+	for _, r := range rows {
+		if r.ThroughputKBs < 600 || r.ThroughputKBs > 1900 {
+			t.Errorf("%s throughput %.0f KB/s implausible for a fair share", r.Name, r.ThroughputKBs)
+		}
+	}
+}
+
+func TestTable3ConflictShapes(t *testing.T) {
+	spec := DefaultTable3()
+	spec.Frames = 4000
+	spec.Runs = 2
+	rows := Table3(spec)
+	iq, ru := rows[0], rows[1]
+	// Coordination shortens the run.
+	if iq.DurationSec >= ru.DurationSec {
+		t.Errorf("IQ-RUDP %.1fs not faster than RUDP %.1fs", iq.DurationSec, ru.DurationSec)
+	}
+	// Fewer messages delivered, but within the 40% tolerance.
+	if iq.MsgsRecvdPct >= ru.MsgsRecvdPct {
+		t.Errorf("IQ-RUDP delivered %.1f%% ≥ RUDP %.1f%%", iq.MsgsRecvdPct, ru.MsgsRecvdPct)
+	}
+	if iq.MsgsRecvdPct < 60-1e-9 {
+		t.Errorf("IQ-RUDP delivered %.1f%%, breaching the 40%% tolerance", iq.MsgsRecvdPct)
+	}
+	// Tagged traffic sees better delay with coordination.
+	if iq.TaggedDelayMs >= ru.TaggedDelayMs {
+		t.Errorf("tagged delay IQ %.2fms ≥ RUDP %.2fms", iq.TaggedDelayMs, ru.TaggedDelayMs)
+	}
+}
+
+func TestFig23SeriesProduced(t *testing.T) {
+	spec := DefaultTable3()
+	spec.Frames = 2000
+	spec.Runs = 1
+	iq, ru := Fig23(spec)
+	if len(iq.JitterSeries) == 0 || len(ru.JitterSeries) == 0 {
+		t.Fatalf("series lengths %d/%d", len(iq.JitterSeries), len(ru.JitterSeries))
+	}
+}
+
+func TestTable4ConflictNetShapes(t *testing.T) {
+	spec := DefaultTable4()
+	spec.Messages = 5000
+	spec.Runs = 2
+	rows := Table4(spec)
+	iq, ru := rows[0], rows[1]
+	if iq.DurationSec >= ru.DurationSec {
+		t.Errorf("IQ-RUDP %.1fs not faster than RUDP %.1fs", iq.DurationSec, ru.DurationSec)
+	}
+	if iq.MsgsRecvdPct >= ru.MsgsRecvdPct {
+		t.Errorf("IQ-RUDP delivered %.1f%% ≥ RUDP %.1f%%", iq.MsgsRecvdPct, ru.MsgsRecvdPct)
+	}
+	if iq.MsgsRecvdPct < 60-1e-9 {
+		t.Errorf("IQ-RUDP delivered %.1f%%, breaching tolerance", iq.MsgsRecvdPct)
+	}
+}
+
+func TestTable6OverreactionNonInferiority(t *testing.T) {
+	// The honest reproduction finding (EXPERIMENTS.md): the over-reaction
+	// coordination has no measurable mean effect in this substrate — per-seed
+	// spreads reach ±27% — so the assertion is non-inferiority of the mean at
+	// the heaviest congestion, not the paper's single-run +25%.
+	spec := DefaultTable6()
+	spec.CrossRates = []float64{18e6}
+	spec.Runs = 6
+	rows := Table6FixedHorizon(spec)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	iq18, ru18 := rows[0].Result, rows[1].Result
+	if iq18.ThroughputKBs < 0.85*ru18.ThroughputKBs {
+		t.Errorf("18Mb: IQ %.1f KB/s materially below RUDP %.1f (seed-averaged)",
+			iq18.ThroughputKBs, ru18.ThroughputKBs)
+	}
+	if iq18.ThroughputKBs <= 0 || ru18.ThroughputKBs <= 0 {
+		t.Error("degenerate throughputs")
+	}
+}
+
+func TestTable7RunsAndStaysClose(t *testing.T) {
+	spec := DefaultTable7()
+	spec.Frames = 3000
+	spec.Runs = 1
+	rows := Table7(spec)
+	iq, ru := rows[0], rows[1]
+	// The paper reports only small differences here (short RTT); assert the
+	// runs are sane and IQ is not materially worse.
+	if iq.ThroughputKBs < 0.9*ru.ThroughputKBs {
+		t.Errorf("IQ %.1f KB/s materially below RUDP %.1f", iq.ThroughputKBs, ru.ThroughputKBs)
+	}
+	if iq.MsgsRecvdPct < 99 || ru.MsgsRecvdPct < 99 {
+		t.Errorf("deliveries incomplete: %.1f%% / %.1f%%", iq.MsgsRecvdPct, ru.MsgsRecvdPct)
+	}
+}
+
+func TestTable8CondOrdering(t *testing.T) {
+	spec := DefaultTable8()
+	spec.Frames = 1500
+	spec.Runs = 2
+	rows := Table8(spec)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	withCond, withoutCond := rows[0], rows[1]
+	// ADAPT_COND must not hurt: the corrected scheme stays at least on par
+	// with the uncorrected one (the paper's ordering, loosely).
+	if withCond.ThroughputKBs < 0.85*withoutCond.ThroughputKBs {
+		t.Errorf("w/ COND %.1f KB/s far below w/o COND %.1f",
+			withCond.ThroughputKBs, withoutCond.ThroughputKBs)
+	}
+}
+
+func TestFig1TraceTable(t *testing.T) {
+	tr, tb := Fig1()
+	if len(tr) == 0 {
+		t.Fatal("empty trace")
+	}
+	if !strings.Contains(tb.String(), "Figure 1") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestRegistryCoversAllExperiments(t *testing.T) {
+	want := []string{"fig1", "table1", "table2", "table3", "fig23", "table4",
+		"table5", "table6", "fig4", "table7", "table8"}
+	got := All()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(got), len(want))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, got[i].ID, id)
+		}
+	}
+	if _, err := ByID("table3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestMeanResultsAverages(t *testing.T) {
+	n := 0
+	r := meanResults("x", []int64{1, 2}, func(seed int64) Result {
+		n++
+		return Result{DurationSec: float64(seed), ThroughputKBs: 10 * float64(seed), DeliveredMsgs: int(seed)}
+	})
+	if n != 2 {
+		t.Fatalf("ran %d times", n)
+	}
+	if r.DurationSec != 1.5 || r.ThroughputKBs != 15 {
+		t.Fatalf("averages wrong: %+v", r)
+	}
+	if r.Name != "x" {
+		t.Fatalf("name = %q", r.Name)
+	}
+}
+
+func TestSeedsFromDistinct(t *testing.T) {
+	s := seedsFrom(7, 5)
+	seen := map[int64]bool{}
+	for _, v := range s {
+		if seen[v] {
+			t.Fatal("duplicate seed")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	if SchemeTCP.String() != "TCP" || SchemeIQRUDP.String() != "IQ-RUDP" ||
+		SchemeRUDP.String() != "RUDP" || SchemeAppOnly.String() != "App adaptation only" {
+		t.Fatal("scheme names wrong")
+	}
+}
+
+func TestAblationDecreaseRuns(t *testing.T) {
+	rows := AblationDecrease(201, 1, 2000)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	lda, halving := rows[0], rows[1]
+	// Both complete the workload; the smoother decrease must not lose
+	// materially to halving (that is its reason to exist).
+	if lda.ThroughputKBs < 0.9*halving.ThroughputKBs {
+		t.Errorf("LDA-style %.1f KB/s far below halving %.1f", lda.ThroughputKBs, halving.ThroughputKBs)
+	}
+	if lda.MsgsRecvdPct < 99.9 || halving.MsgsRecvdPct < 99.9 {
+		t.Error("ablation runs incomplete")
+	}
+}
+
+func TestAblationQueueREDHelps(t *testing.T) {
+	rows := AblationQueue(202, 1, 2000)
+	droptail, red := rows[0], rows[1]
+	// RED keeps the standing queue short: delay must improve.
+	if red.DelayMs >= droptail.DelayMs {
+		t.Errorf("RED delay %.2fms not below drop-tail %.2fms", red.DelayMs, droptail.DelayMs)
+	}
+}
+
+func TestAblationPeriodSweepRuns(t *testing.T) {
+	rows := AblationPeriod(203, 1, 1500)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.DeliveredMsgs == 0 {
+			t.Errorf("period %s delivered nothing", r.Name)
+		}
+	}
+}
+
+func TestAblationRegistry(t *testing.T) {
+	if len(AllWithAblations()) != len(All())+5 { // 4 ablations + multiplex
+		t.Fatal("ablations/extensions missing from registry")
+	}
+	if _, err := ByID("ablation-queue"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiplexFairness(t *testing.T) {
+	spec := DefaultMultiplex()
+	spec.FlowsPer = 2
+	spec.Interval = 15 * time.Second
+	res := Multiplex(spec)
+	if len(res.PerFlowKBs) != 4 {
+		t.Fatalf("flows = %d", len(res.PerFlowKBs))
+	}
+	// The link must be near-fully used (2.5 MB/s = 2500 KB/s capacity).
+	total := res.IQAggKBs + res.TCPAggKBs
+	if total < 1800 {
+		t.Fatalf("aggregate %v KB/s leaves the link badly underused", total)
+	}
+	if res.Jain <= 0.5 || res.Jain > 1.0 {
+		t.Fatalf("Jain index %v out of plausible range", res.Jain)
+	}
+	// Halving brings the classes closer together.
+	spec.Halving = true
+	resH := Multiplex(spec)
+	iqShare := res.IQAggKBs / total
+	iqShareH := resH.IQAggKBs / (resH.IQAggKBs + resH.TCPAggKBs)
+	if !(iqShareH < iqShare) {
+		t.Errorf("halving did not reduce IQ-RUDP's share: %.2f → %.2f", iqShare, iqShareH)
+	}
+}
+
+func TestCompareTables(t *testing.T) {
+	// Compare must produce a populated table for the cheap experiments and
+	// reject unknown ids. (table2 runs quickly.)
+	tb, err := Compare("table2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tb.String()
+	if !strings.Contains(out, "TCP") || !strings.Contains(out, "IQ-RUDP") {
+		t.Fatalf("comparison missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "x") {
+		t.Fatal("comparison missing ratio cells")
+	}
+	if _, err := Compare("fig1"); err == nil {
+		t.Fatal("figures have no numeric comparison")
+	}
+}
+
+func TestAblationPacingRuns(t *testing.T) {
+	rows := AblationPacing(204, 1, 1500)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MsgsRecvdPct < 99.9 {
+			t.Errorf("%s delivered %.1f%%", r.Name, r.MsgsRecvdPct)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"github.com/cercs/iqrudp/internal/stats"
+	"github.com/cercs/iqrudp/internal/traffic"
+)
+
+// Fig1 regenerates Figure 1, "Membership Dynamics": the (synthetic) MBone
+// membership trace that drives frame sizes across the experiments. It
+// returns the series and a summary table.
+func Fig1() (traffic.Trace, *stats.Table) {
+	tr := traffic.MembershipTrace(traffic.DefaultTraceConfig())
+	tb := stats.NewTable("Figure 1: Membership dynamics (synthetic MBone-style trace)",
+		"Samples", "Duration(s)", "Mean group", "Max group")
+	tb.AddRow(len(tr), tr.Duration().Seconds(), tr.Mean(), tr.Max())
+	return tr, tb
+}
+
+// vbrTrace returns the membership series driving the VBR cross source in
+// the changing-network experiments: resting near zero with bursts, so the
+// 500 fps × group×2000 B source averages ≈5–6 Mb/s and spikes well above.
+func vbrTrace() traffic.Trace {
+	cfg := traffic.DefaultTraceConfig()
+	cfg.Seed = 99
+	cfg.Base = 0
+	cfg.Max = 0 // no resting membership: the VBR source is burst-only
+	cfg.BurstProb = 0.06
+	cfg.BurstMax = 3
+	return traffic.MembershipTrace(cfg)
+}
+
+// frameTrace returns the per-frame membership sequence used by the
+// changing-application workloads: the same generator, indexed per frame.
+func frameTrace(frames int) traffic.Trace {
+	cfg := traffic.DefaultTraceConfig()
+	cfg.Base = 2
+	cfg.Max = 5
+	cfg.BurstMax = 6
+	cfg.Duration = 0
+	// One sample per frame; Step is nominal (indexed by frame, not time).
+	cfg.Duration = timeSeconds(frames)
+	return traffic.MembershipTrace(cfg)
+}

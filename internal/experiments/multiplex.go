@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/sim"
+	"github.com/cercs/iqrudp/internal/stats"
+	"github.com/cercs/iqrudp/internal/tcpsim"
+	"github.com/cercs/iqrudp/internal/traffic"
+)
+
+// Multiplexed fairness (extension): the paper's Table 2 pits one IQ-RUDP
+// flow against one TCP flow and notes that the observed throughput
+// difference "should not be the case when there is a sufficient degree of
+// multiplexing on the path". This experiment tests that prediction: N
+// IQ-RUDP bulk flows and N TCP bulk flows share the standard bottleneck for
+// a fixed interval; we report the aggregate rate of each class and the Jain
+// fairness index over all 2N flows.
+type MultiplexSpec struct {
+	Seed     int64
+	FlowsPer int           // flows per transport class
+	Interval time.Duration // measurement interval
+	MsgSize  int
+	Halving  bool // run the IQ-RUDP flows with TCP-style halving (ablation)
+}
+
+// DefaultMultiplex returns the calibrated defaults (4 flows per class).
+func DefaultMultiplex() MultiplexSpec {
+	return MultiplexSpec{Seed: 301, FlowsPer: 4, Interval: 30 * time.Second, MsgSize: 1400}
+}
+
+// MultiplexResult summarises a multiplexing run.
+type MultiplexResult struct {
+	PerFlowKBs []float64 // IQ-RUDP flows first, then TCP flows
+	IQAggKBs   float64
+	TCPAggKBs  float64
+	Jain       float64
+}
+
+// Multiplex runs the experiment.
+func Multiplex(spec MultiplexSpec) MultiplexResult {
+	if spec.FlowsPer <= 0 {
+		spec.FlowsPer = 4
+	}
+	if spec.Interval <= 0 {
+		spec.Interval = 30 * time.Second
+	}
+	s := sim.New(spec.Seed)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+
+	type flow struct {
+		rcvd  *uint64
+		isTCP bool
+	}
+	var flows []flow
+	addFlow := func(isTCP bool) {
+		var mk func(env core.Env) endpoint.Transport
+		if isTCP {
+			mk = func(env core.Env) endpoint.Transport {
+				return tcpsim.NewMachine(tcpsim.DefaultConfig(), env)
+			}
+		} else {
+			mk = func(env core.Env) endpoint.Transport {
+				cfg := core.DefaultConfig()
+				cfg.HalvingDecrease = spec.Halving
+				return core.NewMachine(cfg, env)
+			}
+		}
+		snd, rcv := endpoint.PairTransport(d, mk, mk)
+		var bytes uint64
+		rcv.OnMessage = func(msg core.Message) { bytes += uint64(len(msg.Data)) }
+		endpoint.WaitEstablished(s, snd, rcv, 10*time.Second)
+		bulk := &traffic.BulkSource{
+			S: s, T: snd.T, Total: 1 << 30,
+			SizeOf: func(int) int { return spec.MsgSize },
+		}
+		bulk.Start()
+		flows = append(flows, flow{rcvd: &bytes, isTCP: isTCP})
+	}
+	// Interleave the classes so neither gets a startup advantage.
+	for i := 0; i < spec.FlowsPer; i++ {
+		addFlow(false)
+		addFlow(true)
+	}
+
+	// Warm up past slow start, then measure over the interval.
+	warm := 5 * time.Second
+	s.RunUntil(s.Now() + warm)
+	var base []uint64
+	for _, f := range flows {
+		base = append(base, *f.rcvd)
+	}
+	s.RunUntil(s.Now() + spec.Interval)
+
+	var res MultiplexResult
+	secs := spec.Interval.Seconds()
+	for i, f := range flows {
+		kbs := float64(*f.rcvd-base[i]) / secs / 1000
+		res.PerFlowKBs = append(res.PerFlowKBs, kbs)
+		if f.isTCP {
+			res.TCPAggKBs += kbs
+		} else {
+			res.IQAggKBs += kbs
+		}
+	}
+	res.Jain = stats.JainIndex(res.PerFlowKBs)
+	return res
+}
+
+// MultiplexExperiment is the registry entry.
+func MultiplexExperiment() Experiment {
+	return Experiment{
+		ID:    "multiplex",
+		Title: "Extension: fairness under multiplexing (N IQ-RUDP vs N TCP)",
+		Run: func() []*stats.Table {
+			spec := DefaultMultiplex()
+			res := Multiplex(spec)
+			spec.Halving = true
+			resH := Multiplex(spec)
+			tb := stats.NewTable(
+				fmt.Sprintf("Fairness with %d flows per class sharing the 20 Mb/s bottleneck", spec.FlowsPer),
+				"IQ-RUDP decrease rule", "IQ agg (KB/s)", "TCP agg (KB/s)", "Jain index")
+			tb.AddRow("loss-proportional (default)", res.IQAggKBs, res.TCPAggKBs, res.Jain)
+			tb.AddRow("halving (ablation)", resH.IQAggKBs, resH.TCPAggKBs, resH.Jain)
+			return []*stats.Table{tb}
+		},
+	}
+}

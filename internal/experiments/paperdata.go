@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/cercs/iqrudp/internal/stats"
+)
+
+// The paper's published values (HPDC 2002, §3), used for side-by-side
+// comparison output. Units follow each table's headings; rows are keyed by
+// the scheme names this package uses.
+
+// paperTable1 — Table 1, "Basic performance comparison":
+// time(s), throughput(KB/s), inter-arrival(s), jitter(s).
+var paperTable1 = map[string][4]float64{
+	"TCP":                       {313, 94.2, 0.239, 0.110},
+	"IQ-RUDP":                   {298, 98.2, 0.201, 0.098},
+	"App adaptation only":       {158, 90, 0.114, 0.008},
+	"IQ-RUDP w/ app adaptation": {144, 95.6, 0.113, 0.058},
+}
+
+// paperTable2 — Table 2, "Fairness test": time(s), throughput(KB/s).
+var paperTable2 = map[string][2]float64{
+	"TCP":     {51, 118},
+	"IQ-RUDP": {60, 99},
+}
+
+// paperTable3 — Table 3: duration(s), recvd(%), tagged delay(ms),
+// tagged jitter, delay(ms), jitter.
+var paperTable3 = map[string][6]float64{
+	"IQ-RUDP": {60.0, 72, 58.4, 6.6, 56.4, 6.6},
+	"RUDP":    {80.9, 91, 66.8, 9.1, 62.2, 7.9},
+}
+
+// paperTable4 — Table 4, same columns as Table 3.
+var paperTable4 = map[string][6]float64{
+	"IQ-RUDP": {23.9, 63, 30.2, 3.1, 29.6, 3.1},
+	"RUDP":    {32.5, 87.4, 38.1, 4.3, 29.4, 3.8},
+}
+
+// paperTable5 — Table 5: throughput(KB/s), duration(s), delay(ms), jitter.
+var paperTable5 = map[string][4]float64{
+	"IQ-RUDP": {380, 39, 10.4, 0.78},
+	"RUDP":    {367, 42, 15.2, 0.83},
+}
+
+// paperTable6 — Table 6 keyed by (rate, scheme): throughput(KB/s),
+// duration(s), delay(ms), jitter.
+var paperTable6 = map[string][4]float64{
+	"12-IQ-RUDP": {506, 9.5, 3.8, 0.20},
+	"12-RUDP":    {478, 10.9, 4.6, 0.25},
+	"16-IQ-RUDP": {131, 26.1, 10.2, 6.4},
+	"16-RUDP":    {109, 31.0, 12.4, 10.3},
+	"18-IQ-RUDP": {99, 51, 14, 19},
+	"18-RUDP":    {79, 85, 22, 80},
+}
+
+// paperTable7 — Table 7: duration(s), throughput(KB/s), delay(ms), jitter.
+var paperTable7 = map[string][4]float64{
+	"IQ-RUDP w/o ADAPT_COND": {140, 97, 0.097, 0.047},
+	"RUDP":                   {144, 95.6, 0.113, 0.058},
+}
+
+// paperTable8 — Table 8: duration(s), throughput(KB/s), delay(ms), jitter.
+var paperTable8 = map[string][4]float64{
+	"IQ-RUDP w/ ADAPT_COND":  {22.1, 37.8, 6.5, 0.8},
+	"IQ-RUDP w/o ADAPT_COND": {22.7, 33.8, 6.7, 1.1},
+	"RUDP":                   {23.2, 32.0, 6.8, 1.3},
+}
+
+// ratioCell renders measured/paper as a ratio string, the honest unit-free
+// comparison (absolute values are not comparable across substrates).
+func ratioCell(measured, paper float64) string {
+	if paper == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", measured/paper)
+}
+
+// Compare runs the named table experiment and juxtaposes the paper's values
+// with the measured ones per row, plus the measured/paper ratio per metric.
+// Supported ids: table1..table8 (except figures, which have no numeric rows).
+func Compare(id string) (*stats.Table, error) {
+	switch id {
+	case "table1":
+		rows := Table1(DefaultTable1())
+		return compareRows(id, rows,
+			[]string{"Time(s)", "Throughput(KB/s)", "Inter-arrival(s)", "Jitter(s)"},
+			func(name string) []float64 {
+				v, ok := paperTable1[name]
+				if !ok {
+					return nil
+				}
+				return v[:]
+			}), nil
+	case "table2":
+		rows := Table2(DefaultTable2())
+		return compareRows(id, rows,
+			[]string{"Time(s)", "Throughput(KB/s)"},
+			func(name string) []float64 {
+				v, ok := paperTable2[name]
+				if !ok {
+					return nil
+				}
+				return v[:]
+			}), nil
+	case "table3":
+		rows := Table3(DefaultTable3())
+		return compareRows(id, rows,
+			[]string{"Duration(s)", "Mesgs Recvd(%)", "Tagged Delay(ms)", "Tagged Jitter(ms)", "Delay(ms)", "Jitter(ms)"},
+			func(name string) []float64 {
+				v, ok := paperTable3[name]
+				if !ok {
+					return nil
+				}
+				return v[:]
+			}), nil
+	case "table4":
+		rows := Table4(DefaultTable4())
+		return compareRows(id, rows,
+			[]string{"Duration(s)", "Mesgs Recvd(%)", "Tagged Delay(ms)", "Tagged Jitter(ms)", "Delay(ms)", "Jitter(ms)"},
+			func(name string) []float64 {
+				v, ok := paperTable4[name]
+				if !ok {
+					return nil
+				}
+				return v[:]
+			}), nil
+	case "table5":
+		rows := Table5(DefaultTable5())
+		return compareRows(id, rows,
+			[]string{"Throughput(KB/s)", "Duration(s)", "Delay(ms)", "Jitter(ms)"},
+			func(name string) []float64 {
+				v, ok := paperTable5[name]
+				if !ok {
+					return nil
+				}
+				return v[:]
+			}), nil
+	case "table6":
+		t6 := Table6(DefaultTable6())
+		tb := stats.NewTable("table6: paper vs measured (ratios are measured/paper)",
+			"Cell", "Paper tput", "Measured tput", "Ratio", "Paper dur", "Measured dur", "Ratio")
+		for _, row := range t6 {
+			key := fmt.Sprintf("%.0f-%s", row.CrossBps/1e6, row.Name)
+			p, ok := paperTable6[key]
+			if !ok {
+				continue
+			}
+			tb.AddRow(key, p[0], row.ThroughputKBs, ratioCell(row.ThroughputKBs, p[0]),
+				p[1], row.DurationSec, ratioCell(row.DurationSec, p[1]))
+		}
+		return tb, nil
+	case "table7":
+		rows := Table7(DefaultTable7())
+		return compareRows(id, rows,
+			[]string{"Duration(s)", "Throughput(KB/s)"},
+			func(name string) []float64 {
+				v, ok := paperTable7[name]
+				if !ok {
+					return nil
+				}
+				return v[:2]
+			}), nil
+	case "table8":
+		rows := Table8(DefaultTable8())
+		return compareRows(id, rows,
+			[]string{"Duration(s)", "Throughput(KB/s)"},
+			func(name string) []float64 {
+				v, ok := paperTable8[name]
+				if !ok {
+					return nil
+				}
+				return v[:2]
+			}), nil
+	default:
+		return nil, fmt.Errorf("experiments: no paper data for %q", id)
+	}
+}
+
+// compareRows builds the side-by-side table for named metrics.
+func compareRows(id string, rows []Result, cols []string, paper func(name string) []float64) *stats.Table {
+	headers := []string{"Scheme"}
+	for _, c := range cols {
+		headers = append(headers, "Paper "+c, "Measured", "Ratio")
+	}
+	tb := stats.NewTable(id+": paper vs measured (ratios are measured/paper)", headers...)
+	for _, r := range rows {
+		p := paper(r.Name)
+		if p == nil {
+			continue
+		}
+		cells := []any{r.Name}
+		for i, c := range cols {
+			m := metric(r, c)
+			pv := 0.0
+			if i < len(p) {
+				pv = p[i]
+			}
+			cells = append(cells, pv, m, ratioCell(m, pv))
+		}
+		tb.AddRow(cells...)
+	}
+	return tb
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/cercs/iqrudp/internal/stats"
+)
+
+// PaperRow holds the paper's published values for one table row, for
+// side-by-side reporting in EXPERIMENTS.md and iqbench output.
+type PaperRow struct {
+	Name   string
+	Values map[string]float64 // metric name → paper value
+}
+
+// Experiment is a runnable, named reproduction of one table or figure.
+type Experiment struct {
+	ID    string // "table1" … "table8", "fig1", "fig23", "fig4"
+	Title string
+	Run   func() []*stats.Table
+}
+
+// resultTable renders rows with the standard columns.
+func resultTable(title string, rows []Result, cols ...string) *stats.Table {
+	tb := stats.NewTable(title, append([]string{"Scheme"}, cols...)...)
+	for _, r := range rows {
+		cells := []any{r.Name}
+		for _, c := range cols {
+			cells = append(cells, metric(r, c))
+		}
+		tb.AddRow(cells...)
+	}
+	return tb
+}
+
+// metric extracts a named metric from a result.
+func metric(r Result, name string) float64 {
+	switch name {
+	case "Time(s)", "Duration(s)":
+		return r.DurationSec
+	case "Throughput(KB/s)":
+		return r.ThroughputKBs
+	case "Inter-arrival(s)":
+		return r.InterArrival
+	case "Jitter(s)":
+		return r.Jitter
+	case "Mesgs Recvd(%)":
+		return r.MsgsRecvdPct
+	case "Tagged Delay(ms)":
+		return r.TaggedDelayMs
+	case "Tagged Jitter(ms)":
+		return r.TaggedJitterMs
+	case "Delay(ms)":
+		return r.DelayMs
+	case "Jitter(ms)":
+		return r.JitterMs
+	default:
+		return 0
+	}
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig1", Title: "Figure 1: Membership dynamics", Run: func() []*stats.Table {
+			tr, tb := Fig1()
+			spark := stats.NewTable("Trace (first 60 samples, group size)", "t(s)", "group", "bar")
+			for i, p := range tr {
+				if i >= 60 {
+					break
+				}
+				spark.AddRow(p.At.Seconds(), p.Group, strings.Repeat("#", p.Group))
+			}
+			return []*stats.Table{tb, spark}
+		}},
+		{ID: "table1", Title: "Table 1: Basic performance comparison", Run: func() []*stats.Table {
+			rows := Table1(DefaultTable1())
+			return []*stats.Table{resultTable(
+				"Table 1: Basic performance comparison (changing app, 18Mb CBR cross)",
+				rows, "Time(s)", "Throughput(KB/s)", "Inter-arrival(s)", "Jitter(s)")}
+		}},
+		{ID: "table2", Title: "Table 2: Fairness test", Run: func() []*stats.Table {
+			rows := Table2(DefaultTable2())
+			return []*stats.Table{resultTable(
+				"Table 2: Fairness test (bulk transfer vs one competing TCP flow)",
+				rows, "Time(s)", "Throughput(KB/s)", "Inter-arrival(s)", "Jitter(s)")}
+		}},
+		{ID: "table3", Title: "Table 3: Coordination against conflict — changing application", Run: func() []*stats.Table {
+			rows := Table3(DefaultTable3())
+			return []*stats.Table{resultTable(
+				"Table 3: Conflict, changing application (marking adaptation, 40% tolerance)",
+				rows, "Duration(s)", "Mesgs Recvd(%)", "Tagged Delay(ms)", "Tagged Jitter(ms)", "Delay(ms)", "Jitter(ms)")}
+		}},
+		{ID: "fig23", Title: "Figures 2–3: Delay jitter series", Run: func() []*stats.Table {
+			spec := DefaultTable3()
+			spec.Runs = 1
+			iq, ru := Fig23(spec)
+			tb := stats.NewTable("Figures 2–3: per-arrival jitter (seconds), summary of the series",
+				"Scheme", "Arrivals", "Mean jitter", "Max jitter")
+			out := []*stats.Table{tb}
+			for i, r := range []Result{iq, ru} {
+				n := len(r.JitterSeries)
+				mean, max := 0.0, 0.0
+				for _, v := range r.JitterSeries {
+					mean += v
+					if v > max {
+						max = v
+					}
+				}
+				if n > 0 {
+					mean /= float64(n)
+				}
+				tb.AddRow(r.Name, n, mean, max)
+				title := fmt.Sprintf("Figure %d: delay jitter over time — %s", i+2, r.Name)
+				out = append(out, stats.NewTable(stats.AsciiChart(title, r.JitterTimes, r.JitterSeries, 72, 12)))
+			}
+			return out
+		}},
+		{ID: "table4", Title: "Table 4: Coordination against conflict — changing network", Run: func() []*stats.Table {
+			rows := Table4(DefaultTable4())
+			return []*stats.Table{resultTable(
+				"Table 4: Conflict, changing network (VBR + 10Mb CBR cross)",
+				rows, "Duration(s)", "Mesgs Recvd(%)", "Tagged Delay(ms)", "Tagged Jitter(ms)", "Delay(ms)", "Jitter(ms)")}
+		}},
+		{ID: "table5", Title: "Table 5: Coordination against over-reaction — changing application", Run: func() []*stats.Table {
+			rows := Table5(DefaultTable5())
+			return []*stats.Table{resultTable(
+				"Table 5: Over-reaction, changing application (resolution adaptation)",
+				rows, "Throughput(KB/s)", "Duration(s)", "Delay(ms)", "Jitter(ms)")}
+		}},
+		{ID: "table6", Title: "Table 6: Coordination against over-reaction — changing network", Run: func() []*stats.Table {
+			rows := Table6(DefaultTable6())
+			tb := stats.NewTable("Table 6: Over-reaction, changing network (VBR + CBR sweep)",
+				"iperf traffic", "Scheme", "Throughput(KB/s)", "Duration(s)", "Delay(ms)", "Jitter(ms)")
+			for _, row := range rows {
+				tb.AddRow(formatMbps(row.CrossBps), row.Name, row.ThroughputKBs, row.DurationSec, row.DelayMs, row.JitterMs)
+			}
+			return []*stats.Table{tb, Fig4(Table6FixedHorizon(DefaultTable6()))}
+		}},
+		{ID: "fig4", Title: "Figure 4: Performance improvement — over-reaction", Run: func() []*stats.Table {
+			return []*stats.Table{
+				Fig4(Table6FixedHorizon(DefaultTable6())),
+				Fig4Distribution(DefaultTable6(), 12),
+			}
+		}},
+		{ID: "table7", Title: "Table 7: Limited granularity — changing application", Run: func() []*stats.Table {
+			rows := Table7(DefaultTable7())
+			return []*stats.Table{resultTable(
+				"Table 7: Limited granularity, changing application (adapt every 20 frames)",
+				rows, "Duration(s)", "Throughput(KB/s)", "Delay(ms)", "Jitter(ms)")}
+		}},
+		{ID: "table8", Title: "Table 8: Limited granularity — changing network", Run: func() []*stats.Table {
+			rows := Table8(DefaultTable8())
+			return []*stats.Table{resultTable(
+				"Table 8: Limited granularity, changing network (125ms one-way delay)",
+				rows, "Duration(s)", "Throughput(KB/s)", "Delay(ms)", "Jitter(ms)")}
+		}},
+	}
+}
+
+// AllWithAblations returns the paper experiments followed by the ablation
+// studies and extensions.
+func AllWithAblations() []Experiment {
+	out := append(All(), Ablations()...)
+	return append(out, MultiplexExperiment())
+}
+
+// ByID returns the experiment with the given id (paper tables/figures and
+// ablations alike).
+func ByID(id string) (Experiment, error) {
+	for _, e := range AllWithAblations() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range AllWithAblations() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (known: %s)", id, strings.Join(ids, ", "))
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/traffic"
+)
+
+// timeSeconds converts a count to a duration of that many seconds.
+func timeSeconds(n int) time.Duration { return time.Duration(n) * time.Second }
+
+// Table1Spec parameterises the basic performance comparison (§3.2, Table 1):
+// the changing-application workload (trace-driven frame sizes at a fixed
+// nominal frame rate) against 18 Mb/s of CBR cross traffic, run under four
+// schemes: TCP, IQ-RUDP, application adaptation only (fixed window), and
+// IQ-RUDP with application adaptation.
+type Table1Spec struct {
+	Seed       int64
+	Frames     int     // workload length in frames
+	FPS        float64 // nominal frame rate
+	Unit       int     // bytes per group member (paper: 3000)
+	CrossBps   float64 // iperf-like CBR rate (paper: 18 Mb/s)
+	Upper      float64 // adaptation thresholds (as in §3.4)
+	Lower      float64
+	MaxBacklog int
+	Runs       int // seeds averaged per row (0 = 3)
+}
+
+// DefaultTable1 returns the calibrated defaults.
+func DefaultTable1() Table1Spec {
+	return Table1Spec{
+		Seed:       1,
+		Frames:     6000,
+		FPS:        120,
+		Unit:       1000,
+		CrossBps:   18e6,
+		Upper:      0.08,
+		Lower:      0.01,
+		MaxBacklog: 200,
+		Runs:       3,
+	}
+}
+
+// Table1 runs all four rows.
+func Table1(spec Table1Spec) []Result {
+	trace := frameTrace(spec.Frames)
+	rows := []struct {
+		name   string
+		scheme Scheme
+		adapt  bool
+	}{
+		{"TCP", SchemeTCP, false},
+		{"IQ-RUDP", SchemeIQRUDP, false},
+		{"App adaptation only", SchemeAppOnly, true},
+		{"IQ-RUDP w/ app adaptation", SchemeIQRUDP, true},
+	}
+	var out []Result
+	for _, row := range rows {
+		out = append(out, runChangingApp(changingAppCfg{
+			name:     row.name,
+			scheme:   row.scheme,
+			adapt:    row.adapt,
+			seed:     spec.Seed,
+			trace:    trace,
+			frames:   spec.Frames,
+			fps:      spec.FPS,
+			unit:     spec.Unit,
+			crossBps: spec.CrossBps,
+			upper:    spec.Upper,
+			lower:    spec.Lower,
+			backlog:  spec.MaxBacklog,
+		}))
+	}
+	return out
+}
+
+// changingAppCfg is shared by Tables 1, 5 and 7 (the changing-application
+// scenario with a resolution adaptation).
+type changingAppCfg struct {
+	name   string
+	scheme Scheme
+	adapt  bool
+	seed   int64
+
+	trace  traffic.Trace
+	frames int
+	fps    float64
+	unit   int
+
+	crossBps float64
+	upper    float64
+	lower    float64
+	backlog  int
+
+	granularity int  // 0 = adapt immediately
+	useCond     bool // attach ADAPT_COND at enactment
+	keepSeries  bool
+}
+
+// runChangingApp executes one row of a changing-application experiment.
+func runChangingApp(c changingAppCfg) Result {
+	r := newRig(rigOpts{
+		seed:       c.seed,
+		dumbbell:   bottleneck20(),
+		scheme:     c.scheme,
+		keepSeries: c.keepSeries,
+	})
+	cross := traffic.NewCBR(r.d, c.crossBps, 1000)
+	cross.Start()
+
+	fs := &traffic.FrameSource{
+		S: r.s, T: r.snd.T,
+		FPS: c.fps, Unit: c.unit,
+		Trace: c.trace, MaxFrames: c.frames,
+		IndexByFrame: true,
+		MaxBacklog:   c.backlog,
+	}
+	var adaptor *resolutionAdaptor
+	if c.adapt && r.snd.Machine != nil {
+		adaptor = &resolutionAdaptor{
+			adjust:      fs.AdjustScale,
+			frameSize:   func() int { return int(float64(c.unit) * fs.Scale * averageGroup(c.trace)) },
+			granularity: c.granularity,
+			useCond:     c.useCond,
+			upper:       c.upper,
+			lower:       c.lower,
+			cooldown:    4 * time.Second,
+		}
+		adaptor.install(r.snd.Machine)
+		if c.granularity > 0 {
+			fs.AttrsFor = adaptor.attrsFor
+		}
+	}
+	fs.Start()
+	r.runToCompletion(fs.Done, 3*time.Second, 1800*time.Second)
+	return r.col.result(c.name, nonZeroFrames(c.trace, c.frames))
+}
+
+// averageGroup returns the trace's mean group size (cached per call site
+// needs are light).
+func averageGroup(tr traffic.Trace) float64 { return tr.Mean() }
+
+// nonZeroFrames counts workload frames with a non-zero size: zero-size
+// frames are never offered to the transport, so percentage metrics use this
+// denominator.
+func nonZeroFrames(tr traffic.Trace, frames int) int {
+	if len(tr) == 0 {
+		return frames
+	}
+	n := 0
+	for i := 0; i < frames; i++ {
+		if tr[i%len(tr)].Group > 0 {
+			n++
+		}
+	}
+	return n
+}

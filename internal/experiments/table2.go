@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/tcpsim"
+	"github.com/cercs/iqrudp/internal/traffic"
+)
+
+// Table2Spec parameterises the fairness test (§3.2, Table 2): a bulk
+// transfer over TCP or IQ-RUDP competing against one long-lived TCP flow on
+// the shared bottleneck. Fair behaviour is both transports achieving a
+// similar share, with TCP somewhat ahead.
+type Table2Spec struct {
+	Seed     int64
+	Messages int // bulk workload: fixed-size messages
+	MsgSize  int
+}
+
+// DefaultTable2 returns the calibrated defaults (≈42 MB transfer).
+func DefaultTable2() Table2Spec {
+	return Table2Spec{Seed: 2, Messages: 30000, MsgSize: 1400}
+}
+
+// Table2 runs the two rows: the application flow over TCP, then over
+// IQ-RUDP, each against a persistent competing TCP flow.
+func Table2(spec Table2Spec) []Result {
+	var out []Result
+	for _, row := range []struct {
+		name   string
+		scheme Scheme
+	}{
+		{"TCP", SchemeTCP},
+		{"IQ-RUDP", SchemeIQRUDP},
+	} {
+		r := newRig(rigOpts{seed: spec.Seed, dumbbell: bottleneck20(), scheme: row.scheme})
+
+		// Competing long-lived TCP flow on its own host pair.
+		mkTCP := func(env core.Env) endpoint.Transport {
+			return tcpsim.NewMachine(tcpsim.DefaultConfig(), env)
+		}
+		cSnd, cRcv := endpoint.PairTransport(r.d, mkTCP, mkTCP)
+		endpoint.WaitEstablished(r.s, cSnd, cRcv, 10*time.Second)
+		crossBulk := &traffic.BulkSource{
+			S: r.s, T: cSnd.T, Total: 1 << 30,
+			SizeOf: func(int) int { return 1400 },
+		}
+		crossBulk.Start()
+
+		app := &traffic.BulkSource{
+			S: r.s, T: r.snd.T, Total: spec.Messages,
+			SizeOf: func(int) int { return spec.MsgSize },
+		}
+		app.Start()
+		r.runToCompletion(app.Done, 3*time.Second, 1800*time.Second)
+		out = append(out, r.col.result(row.name, spec.Messages))
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/traffic"
+)
+
+// Table3Spec parameterises the conflicting-interests experiment (§3.3,
+// Table 3 and Figures 2–3): a remote visualization marks every tagEvery-th
+// message as control information and, when the error ratio exceeds the upper
+// threshold, unmarks raw-data messages with probability max(0.40,
+// 1.25·eratio). The receiver tolerates 40% loss. With coordination
+// (IQ-RUDP), the transport discards unmarked messages before they reach the
+// network; without it (RUDP), everything is sent and unmarked packets are
+// only abandoned at retransmission time.
+type Table3Spec struct {
+	Seed      int64
+	Frames    int
+	FPS       float64
+	Unit      int
+	CrossBps  float64 // paper: 10 Mb/s iperf
+	Upper     float64
+	Lower     float64
+	Tolerance float64
+	TagEvery  int
+	Backlog   int
+	Runs      int // seeds averaged per row (0 = 3)
+}
+
+// DefaultTable3 returns the calibrated defaults.
+func DefaultTable3() Table3Spec {
+	return Table3Spec{
+		Seed:      3,
+		Frames:    6000,
+		FPS:       120,
+		Unit:      1000,
+		CrossBps:  18e6,
+		Upper:     0.08,
+		Lower:     0.01,
+		Tolerance: 0.40,
+		TagEvery:  5,
+		Backlog:   200,
+		Runs:      3,
+	}
+}
+
+// Table3 runs the two rows (IQ-RUDP coordinated, RUDP uncoordinated) and
+// also returns the per-arrival jitter series for Figures 2 and 3.
+func Table3(spec Table3Spec) []Result {
+	runs := spec.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	var out []Result
+	for _, row := range []struct {
+		name   string
+		scheme Scheme
+	}{
+		{"IQ-RUDP", SchemeIQRUDP},
+		{"RUDP", SchemeRUDP},
+	} {
+		row := row
+		out = append(out, meanResults(row.name, seedsFrom(spec.Seed, runs), func(seed int64) Result {
+			s2 := spec
+			s2.Seed = seed
+			return runConflictApp(row.name, row.scheme, s2)
+		}))
+	}
+	return out
+}
+
+// runConflictApp executes one row of the changing-application conflict
+// scenario.
+func runConflictApp(name string, scheme Scheme, spec Table3Spec) Result {
+	r := newRig(rigOpts{
+		seed:       spec.Seed,
+		dumbbell:   bottleneck20(),
+		scheme:     scheme,
+		tolerance:  spec.Tolerance,
+		keepSeries: true,
+	})
+	cross := traffic.NewCBR(r.d, spec.CrossBps, 1000)
+	cross.Start()
+
+	adaptor := &markingAdaptor{
+		rng:      r.s.Rand(),
+		tagEvery: spec.TagEvery,
+		upper:    spec.Upper,
+		lower:    spec.Lower,
+	}
+	if r.snd.Machine != nil {
+		adaptor.install(r.snd.Machine)
+	}
+	trace := frameTrace(spec.Frames)
+	fs := &traffic.FrameSource{
+		S: r.s, T: r.snd.T,
+		FPS: spec.FPS, Unit: spec.Unit,
+		Trace: trace, MaxFrames: spec.Frames,
+		IndexByFrame: true,
+		MaxBacklog:   spec.Backlog,
+		MarkPolicy:   adaptor.markPolicy,
+	}
+	fs.Start()
+	r.runToCompletion(fs.Done, 3*time.Second, 1800*time.Second)
+	return r.col.result(name, nonZeroFrames(trace, spec.Frames))
+}
+
+// Fig23 returns the per-arrival jitter series of the two Table 3 runs:
+// Figure 2 is the coordinated (IQ-RUDP) series, Figure 3 the uncoordinated
+// (RUDP) one.
+func Fig23(spec Table3Spec) (iq Result, rudp Result) {
+	iq = runConflictApp("IQ-RUDP", SchemeIQRUDP, spec)
+	rudp = runConflictApp("RUDP", SchemeRUDP, spec)
+	return iq, rudp
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/traffic"
+)
+
+// Table4Spec parameterises the conflicting-interests experiment under a
+// changing network (§3.3, Table 4): the application sends fixed-size
+// messages as fast as the window allows while a VBR UDP source (500 fps,
+// trace-driven sizes) plus CBR cross traffic congest the bottleneck. The
+// adaptation and tolerance are as in Table 3.
+type Table4Spec struct {
+	Seed      int64
+	Messages  int
+	MsgSize   int
+	CrossBps  float64
+	VBRFps    float64
+	VBRUnit   int
+	Upper     float64
+	Lower     float64
+	Tolerance float64
+	TagEvery  int
+	Runs      int // seeds averaged per row (0 = 3)
+}
+
+// DefaultTable4 returns the calibrated defaults.
+func DefaultTable4() Table4Spec {
+	return Table4Spec{
+		Seed:      4,
+		Messages:  8000,
+		MsgSize:   1000,
+		CrossBps:  10e6,
+		VBRFps:    500,
+		VBRUnit:   2000,
+		Upper:     0.08,
+		Lower:     0.01,
+		Tolerance: 0.40,
+		TagEvery:  5,
+		Runs:      3,
+	}
+}
+
+// Table4 runs the IQ-RUDP and RUDP rows.
+func Table4(spec Table4Spec) []Result {
+	runs := spec.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	var out []Result
+	for _, row := range []struct {
+		name   string
+		scheme Scheme
+	}{
+		{"IQ-RUDP", SchemeIQRUDP},
+		{"RUDP", SchemeRUDP},
+	} {
+		row := row
+		out = append(out, meanResults(row.name, seedsFrom(spec.Seed, runs), func(seed int64) Result {
+			return runConflictNet(row.name, row.scheme, seed, spec)
+		}))
+	}
+	return out
+}
+
+// runConflictNet executes one row for one seed.
+func runConflictNet(name string, scheme Scheme, seed int64, spec Table4Spec) Result {
+	{
+		r := newRig(rigOpts{
+			seed:      seed,
+			dumbbell:  bottleneck20(),
+			scheme:    scheme,
+			tolerance: spec.Tolerance,
+		})
+		cbr := traffic.NewCBR(r.d, spec.CrossBps, 1000)
+		cbr.Start()
+		vbr := traffic.NewVBR(r.d, vbrTrace(), spec.VBRFps, spec.VBRUnit)
+		vbr.Loop = true
+		vbr.Start()
+
+		adaptor := &markingAdaptor{
+			rng:      r.s.Rand(),
+			tagEvery: spec.TagEvery,
+			upper:    spec.Upper,
+			lower:    spec.Lower,
+		}
+		if r.snd.Machine != nil {
+			adaptor.install(r.snd.Machine)
+		}
+		app := &traffic.BulkSource{
+			S: r.s, T: r.snd.T,
+			Total:  spec.Messages,
+			SizeOf: func(int) int { return spec.MsgSize },
+			Mark:   adaptor.markPolicy,
+		}
+		app.Start()
+		r.runToCompletion(app.Done, 3*time.Second, 1800*time.Second)
+		return r.col.result(name, spec.Messages)
+	}
+}

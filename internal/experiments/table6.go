@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/stats"
+	"github.com/cercs/iqrudp/internal/traffic"
+)
+
+// Table6Spec parameterises the over-reaction experiment with a changing
+// network (§3.4, Table 6 and Figure 4): a bulk application adapts its packet
+// size to the error ratio while VBR plus CBR cross traffic (at 12, 16 and
+// 18 Mb/s) congest the bottleneck. Coordination grows the window by
+// 1/(1−rate_chg) after each downsampling so the byte rate stays at the fair
+// share.
+type Table6Spec struct {
+	Seed       int64
+	Runs       int // seeds averaged per cell (0 = 5)
+	Messages   int
+	MsgSize    int // initial message size
+	MinSize    int
+	CrossRates []float64
+	VBRFps     float64
+	VBRUnit    int
+	Upper      float64
+	Lower      float64
+}
+
+// DefaultTable6 returns the calibrated defaults.
+func DefaultTable6() Table6Spec {
+	return Table6Spec{
+		Seed:       6,
+		Runs:       10,
+		Messages:   8000,
+		MsgSize:    1300,
+		MinSize:    400,
+		CrossRates: []float64{12e6, 16e6, 18e6},
+		VBRFps:     500,
+		VBRUnit:    2000,
+		Upper:      0.08,
+		Lower:      0.01,
+	}
+}
+
+// Table6Row is one (cross rate, scheme) cell of Table 6.
+type Table6Row struct {
+	CrossBps float64
+	Result
+}
+
+// Table6FixedHorizon measures the same scenario over a fixed 60-second
+// window instead of a fixed workload: completion times of bursty runs are
+// heavy-tailed, and the windowed rate is the statistically stable view the
+// Figure 4 trend is computed from.
+func Table6FixedHorizon(spec Table6Spec) []Table6Row {
+	runs := spec.Runs
+	if runs <= 0 {
+		runs = 8
+	}
+	const (
+		warm    = 5 * time.Second
+		horizon = 60 * time.Second
+	)
+	var out []Table6Row
+	for _, rate := range spec.CrossRates {
+		for _, row := range []struct {
+			name   string
+			scheme Scheme
+		}{
+			{"IQ-RUDP", SchemeIQRUDP},
+			{"RUDP", SchemeRUDP},
+		} {
+			row := row
+			rate := rate
+			out = append(out, Table6Row{
+				CrossBps: rate,
+				Result: meanResults(row.name, seedsFrom(spec.Seed, runs), func(seed int64) Result {
+					r := newRig(rigOpts{seed: seed, dumbbell: bottleneck20(), scheme: row.scheme})
+					cbr := traffic.NewCBR(r.d, rate, 1000)
+					cbr.Start()
+					vbr := traffic.NewVBR(r.d, vbrTrace(), spec.VBRFps, spec.VBRUnit)
+					vbr.Loop = true
+					vbr.Start()
+					size := spec.MsgSize
+					adjust := func(factor float64) float64 {
+						old := size
+						size = int(float64(size) * factor)
+						if size < spec.MinSize {
+							size = spec.MinSize
+						}
+						if size > spec.MsgSize {
+							size = spec.MsgSize
+						}
+						return float64(size) / float64(old)
+					}
+					adaptor := &resolutionAdaptor{adjust: adjust, frameSize: func() int { return size },
+						upper: spec.Upper, lower: spec.Lower}
+					if r.snd.Machine != nil {
+						adaptor.install(r.snd.Machine)
+					}
+					app := &traffic.BulkSource{S: r.s, T: r.snd.T, Total: 1 << 30,
+						SizeOf: func(int) int { return size }}
+					app.Start()
+					r.s.RunUntil(r.s.Now() + warm)
+					base := r.col.bytes
+					r.s.RunUntil(r.s.Now() + horizon)
+					res := r.col.result(row.name, 0)
+					res.DurationSec = horizon.Seconds()
+					res.ThroughputKBs = float64(r.col.bytes-base) / horizon.Seconds() / 1000
+					return res
+				}),
+			})
+		}
+	}
+	return out
+}
+
+// Table6 runs IQ-RUDP vs RUDP at each cross-traffic rate.
+func Table6(spec Table6Spec) []Table6Row {
+	var out []Table6Row
+	for _, rate := range spec.CrossRates {
+		for _, row := range []struct {
+			name   string
+			scheme Scheme
+		}{
+			{"IQ-RUDP", SchemeIQRUDP},
+			{"RUDP", SchemeRUDP},
+		} {
+			runs := spec.Runs
+			if runs <= 0 {
+				runs = 5
+			}
+			row := row
+			rate := rate
+			out = append(out, Table6Row{
+				CrossBps: rate,
+				Result: meanResults(row.name, seedsFrom(spec.Seed, runs), func(seed int64) Result {
+					s2 := spec
+					s2.Seed = seed
+					return runOverreactionNet(row.name, row.scheme, rate, s2)
+				}),
+			})
+		}
+	}
+	return out
+}
+
+// runOverreactionNet executes one cell for one seed.
+func runOverreactionNet(name string, scheme Scheme, crossBps float64, spec Table6Spec) Result {
+	r := newRig(rigOpts{seed: spec.Seed, dumbbell: bottleneck20(), scheme: scheme})
+	cbr := traffic.NewCBR(r.d, crossBps, 1000)
+	cbr.Start()
+	vbr := traffic.NewVBR(r.d, vbrTrace(), spec.VBRFps, spec.VBRUnit)
+	vbr.Loop = true
+	vbr.Start()
+
+	// The application's resolution adaptation: packet size shrinks by the
+	// error ratio (upper) and grows 10% (lower), clamped to
+	// [MinSize, MsgSize].
+	size := spec.MsgSize
+	adjust := func(factor float64) float64 {
+		old := size
+		size = int(float64(size) * factor)
+		if size < spec.MinSize {
+			size = spec.MinSize
+		}
+		if size > spec.MsgSize {
+			size = spec.MsgSize
+		}
+		return float64(size) / float64(old)
+	}
+	// Per-measuring-period adaptation, as in the paper (no cooldown): the
+	// applied-degree reporting and smoothed degrees keep it stable.
+	adaptor := &resolutionAdaptor{
+		adjust:    adjust,
+		frameSize: func() int { return size },
+		upper:     spec.Upper,
+		lower:     spec.Lower,
+	}
+	if r.snd.Machine != nil {
+		adaptor.install(r.snd.Machine)
+	}
+	app := &traffic.BulkSource{
+		S: r.s, T: r.snd.T,
+		Total:  spec.Messages,
+		SizeOf: func(int) int { return size },
+	}
+	app.Start()
+	r.runToCompletion(app.Done, 3*time.Second, 1800*time.Second)
+	return r.col.result(name, spec.Messages)
+}
+
+// Fig4 derives the Figure 4 series from Table 6 results: per cross-traffic
+// rate, the IQ-RUDP throughput improvement and jitter reduction over RUDP in
+// percent.
+func Fig4(rows []Table6Row) *stats.Table {
+	tb := stats.NewTable("Figure 4: IQ-RUDP improvement over RUDP vs congestion (from Table 6)",
+		"iperf traffic", "Throughput +%", "Jitter −%")
+	byRate := map[float64]map[string]Result{}
+	for _, row := range rows {
+		if byRate[row.CrossBps] == nil {
+			byRate[row.CrossBps] = map[string]Result{}
+		}
+		byRate[row.CrossBps][row.Name] = row.Result
+	}
+	var rates []float64
+	for r := range byRate {
+		rates = append(rates, r)
+	}
+	// Rates are few; insertion sort keeps it dependency-free.
+	for i := 1; i < len(rates); i++ {
+		for j := i; j > 0 && rates[j] < rates[j-1]; j-- {
+			rates[j], rates[j-1] = rates[j-1], rates[j]
+		}
+	}
+	for _, rate := range rates {
+		iq, okIQ := byRate[rate]["IQ-RUDP"]
+		ru, okRU := byRate[rate]["RUDP"]
+		if !okIQ || !okRU || ru.ThroughputKBs == 0 || ru.Jitter == 0 {
+			continue
+		}
+		tput := (iq.ThroughputKBs/ru.ThroughputKBs - 1) * 100
+		jit := (1 - iq.Jitter/ru.Jitter) * 100
+		tb.AddRow(formatMbps(rate), tput, jit)
+	}
+	return tb
+}
+
+// Fig4Distribution is the statistically honest Figure 4: for each cross rate
+// it runs N seed-paired fixed-horizon comparisons and reports the per-seed
+// throughput-improvement distribution (mean, median, 10th and 90th
+// percentiles). Completion-time runs under bursty cross traffic are heavy-
+// tailed, so a single run — like the paper's — can land anywhere within the
+// reported band.
+func Fig4Distribution(spec Table6Spec, seedsPerRate int) *stats.Table {
+	if seedsPerRate <= 0 {
+		seedsPerRate = 12
+	}
+	tb := stats.NewTable(
+		"Figure 4 (distribution): per-seed IQ-RUDP throughput improvement over RUDP, fixed 60s horizon",
+		"iperf traffic", "Mean +%", "Median +%", "p10 +%", "p90 +%")
+	for _, rate := range spec.CrossRates {
+		var diffs stats.Sample
+		for k := 0; k < seedsPerRate; k++ {
+			s2 := spec
+			s2.Seed = spec.Seed + int64(k)*104729
+			s2.Runs = 1
+			s2.CrossRates = []float64{rate}
+			rows := Table6FixedHorizon(s2)
+			if len(rows) != 2 || rows[1].ThroughputKBs == 0 {
+				continue
+			}
+			diffs.Add((rows[0].ThroughputKBs/rows[1].ThroughputKBs - 1) * 100)
+		}
+		tb.AddRow(formatMbps(rate), diffs.Mean(), diffs.Median(),
+			diffs.Quantile(0.10), diffs.Quantile(0.90))
+	}
+	return tb
+}
+
+func formatMbps(bps float64) string {
+	return fmt.Sprintf("%gMbps", math.Round(bps/1e5)/10)
+}

@@ -1,0 +1,74 @@
+package experiments
+
+// Table7Spec parameterises the limited-granularity experiment with a
+// changing application (§3.5, Table 7): the same resolution adaptation as
+// Table 5, but the application can only enact it at frames whose index is
+// divisible by the granularity (paper: 20), emulating large application-
+// level data units. Rows: RUDP (transport adapts alone, callback returns
+// void) vs IQ-RUDP without ADAPT_COND (ADAPT_WHEN announced; window change
+// applied at the enacting CMwritev_attr call).
+type Table7Spec struct {
+	Seed        int64
+	Frames      int
+	FPS         float64
+	Unit        int
+	CrossBps    float64
+	Upper       float64
+	Lower       float64
+	Granularity int
+	Backlog     int
+	Runs        int // seeds averaged per row (0 = 3)
+}
+
+// DefaultTable7 returns the calibrated defaults.
+func DefaultTable7() Table7Spec {
+	return Table7Spec{
+		Seed:        7,
+		Frames:      6000,
+		FPS:         250,
+		Unit:        500,
+		CrossBps:    18e6,
+		Upper:       0.08,
+		Lower:       0.01,
+		Granularity: 20,
+		Backlog:     200,
+		Runs:        3,
+	}
+}
+
+// Table7 runs the two rows.
+func Table7(spec Table7Spec) []Result {
+	runs := spec.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	trace := frameTrace(spec.Frames)
+	var out []Result
+	for _, row := range []struct {
+		name   string
+		scheme Scheme
+	}{
+		{"IQ-RUDP w/o ADAPT_COND", SchemeIQRUDP},
+		{"RUDP", SchemeRUDP},
+	} {
+		row := row
+		out = append(out, meanResults(row.name, seedsFrom(spec.Seed, runs), func(seed int64) Result {
+			return runChangingApp(changingAppCfg{
+				name:        row.name,
+				scheme:      row.scheme,
+				adapt:       true,
+				seed:        seed,
+				trace:       trace,
+				frames:      spec.Frames,
+				fps:         spec.FPS,
+				unit:        spec.Unit,
+				crossBps:    spec.CrossBps,
+				upper:       spec.Upper,
+				lower:       spec.Lower,
+				backlog:     spec.Backlog,
+				granularity: spec.Granularity,
+			})
+		}))
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/traffic"
+)
+
+// Table8Spec parameterises the limited-granularity experiment with a
+// changing network (§3.5, Table 8): a long path (125 ms one-way delay),
+// 14 Mb/s CBR cross traffic plus the VBR source, and a rate-based
+// application sending fixed-size frames at a fixed frame rate. The
+// application adapts its frame size only at 20-frame boundaries. Rows:
+//
+//	RUDP                    — no coordination
+//	IQ-RUDP w/o ADAPT_COND  — ADAPT_WHEN announced, window change at
+//	                          enactment using possibly stale conditions
+//	IQ-RUDP w/ ADAPT_COND   — enactment additionally carries the trigger-time
+//	                          error ratio; the transport corrects the window
+//	                          for the network change during the delay (Eq. 1)
+type Table8Spec struct {
+	Seed        int64
+	Frames      int
+	FPS         float64
+	FrameSize   int
+	CrossBps    float64
+	VBRFps      float64
+	VBRUnit     int
+	Upper       float64
+	Lower       float64
+	Granularity int
+	OneWayDelay time.Duration
+	Backlog     int
+	Runs        int // seeds averaged per row (0 = 3)
+}
+
+// DefaultTable8 returns the calibrated defaults.
+func DefaultTable8() Table8Spec {
+	return Table8Spec{
+		Seed:        8,
+		Frames:      3000,
+		FPS:         60,
+		FrameSize:   1200,
+		CrossBps:    16e6,
+		VBRFps:      500,
+		VBRUnit:     500,
+		Upper:       0.08,
+		Lower:       0.01,
+		Granularity: 60,
+		OneWayDelay: 125 * time.Millisecond,
+		Backlog:     200,
+		Runs:        5,
+	}
+}
+
+// Table8Row identifies a row by scheme and ADAPT_COND usage.
+type Table8Row struct {
+	UseCond bool
+	Result
+}
+
+// Table8 runs the three rows.
+func Table8(spec Table8Spec) []Result {
+	rows := []struct {
+		name    string
+		scheme  Scheme
+		useCond bool
+	}{
+		{"IQ-RUDP w/ ADAPT_COND", SchemeIQRUDP, true},
+		{"IQ-RUDP w/o ADAPT_COND", SchemeIQRUDP, false},
+		{"RUDP", SchemeRUDP, false},
+	}
+	runs := spec.Runs
+	if runs <= 0 {
+		runs = 3
+	}
+	var out []Result
+	for _, row := range rows {
+		row := row
+		out = append(out, meanResults(row.name, seedsFrom(spec.Seed, runs), func(seed int64) Result {
+			s2 := spec
+			s2.Seed = seed
+			return runGranularityNet(row.name, row.scheme, row.useCond, s2)
+		}))
+	}
+	return out
+}
+
+// runGranularityNet executes one row on the long-delay path.
+func runGranularityNet(name string, scheme Scheme, useCond bool, spec Table8Spec) Result {
+	dcfg := netem.DefaultDumbbell()
+	dcfg.Delay = spec.OneWayDelay
+	r := newRig(rigOpts{seed: spec.Seed, dumbbell: dcfg, scheme: scheme})
+	cbr := traffic.NewCBR(r.d, spec.CrossBps, 1000)
+	cbr.Start()
+	vbr := traffic.NewVBR(r.d, vbrTrace(), spec.VBRFps, spec.VBRUnit)
+	vbr.Loop = true
+	vbr.Start()
+
+	fs := &traffic.FrameSource{
+		S: r.s, T: r.snd.T,
+		FPS:        spec.FPS,
+		FrameSize:  spec.FrameSize,
+		MaxFrames:  spec.Frames,
+		MaxBacklog: spec.Backlog,
+	}
+	adaptor := &resolutionAdaptor{
+		adjust:      fs.AdjustScale,
+		frameSize:   func() int { return int(float64(spec.FrameSize) * fs.Scale) },
+		granularity: spec.Granularity,
+		useCond:     useCond,
+		upper:       spec.Upper,
+		lower:       spec.Lower,
+		cooldown:    4 * time.Second,
+	}
+	if r.snd.Machine != nil {
+		adaptor.install(r.snd.Machine)
+		fs.AttrsFor = adaptor.attrsFor
+	}
+	fs.Start()
+	r.runToCompletion(fs.Done, 5*time.Second, 1800*time.Second)
+	return r.col.result(name, spec.Frames)
+}

@@ -1,0 +1,363 @@
+package netem
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/sim"
+)
+
+func TestLinkDeliversWithSerializationAndPropagation(t *testing.T) {
+	s := sim.New(1)
+	var arrived []sim.Time
+	l := NewLink(s, LinkConfig{Bandwidth: 8000, Delay: 100 * time.Millisecond},
+		func(f *Frame) { arrived = append(arrived, s.Now()) })
+	// 100 bytes at 8000 b/s → 100ms serialisation; +100ms propagation = 200ms.
+	l.Send(&Frame{Payload: make([]byte, 100-IPUDPOverhead)})
+	s.Run()
+	if len(arrived) != 1 {
+		t.Fatalf("arrivals = %d", len(arrived))
+	}
+	if arrived[0] != 200*time.Millisecond {
+		t.Fatalf("arrival at %v, want 200ms", arrived[0])
+	}
+}
+
+func TestLinkBackToBackQueueing(t *testing.T) {
+	s := sim.New(1)
+	var arrived []sim.Time
+	l := NewLink(s, LinkConfig{Bandwidth: 8000, Delay: 0},
+		func(f *Frame) { arrived = append(arrived, s.Now()) })
+	// Three 100-byte frames sent at t=0 serialise back to back.
+	for i := 0; i < 3; i++ {
+		l.Send(&Frame{Size: 100})
+	}
+	s.Run()
+	want := []sim.Time{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond}
+	if len(arrived) != 3 {
+		t.Fatalf("arrivals = %v", arrived)
+	}
+	for i := range want {
+		if arrived[i] != want[i] {
+			t.Fatalf("arrivals = %v, want %v", arrived, want)
+		}
+	}
+	if st := l.Stats(); st.Sent != 3 || st.SentBytes != 300 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLinkDropTail(t *testing.T) {
+	s := sim.New(1)
+	n := 0
+	l := NewLink(s, LinkConfig{Bandwidth: 8000, Delay: 0, QueueMax: 2},
+		func(f *Frame) { n++ })
+	ok1 := l.Send(&Frame{Size: 100})
+	ok2 := l.Send(&Frame{Size: 100})
+	ok3 := l.Send(&Frame{Size: 100}) // 3rd packet > 2-packet queue → dropped
+	s.Run()
+	if !ok1 || !ok2 || ok3 {
+		t.Fatalf("send results = %v %v %v", ok1, ok2, ok3)
+	}
+	if n != 2 {
+		t.Fatalf("delivered = %d, want 2", n)
+	}
+	st := l.Stats()
+	if st.Dropped != 1 || st.DropBytes != 100 || st.MaxQueue != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLinkQueueDrainsAllowingLaterSends(t *testing.T) {
+	s := sim.New(1)
+	n := 0
+	l := NewLink(s, LinkConfig{Bandwidth: 8000, Delay: 0, QueueMax: 1},
+		func(f *Frame) { n++ })
+	l.Send(&Frame{Size: 100})
+	if l.Send(&Frame{Size: 100}) {
+		t.Fatal("second immediate send should overflow")
+	}
+	// After the first frame serialises (100ms), the queue has room again.
+	s.After(150*time.Millisecond, func() {
+		if !l.Send(&Frame{Size: 100}) {
+			t.Error("send after drain should succeed")
+		}
+	})
+	s.Run()
+	if n != 2 {
+		t.Fatalf("delivered = %d, want 2", n)
+	}
+	if l.QueuedPackets() != 0 || l.QueuedBytes() != 0 {
+		t.Fatalf("queue not drained: %d pkts %d bytes", l.QueuedPackets(), l.QueuedBytes())
+	}
+}
+
+func TestLinkRandomLossDeterministic(t *testing.T) {
+	count := func(seed int64) int {
+		s := sim.New(seed)
+		n := 0
+		l := NewLink(s, LinkConfig{Bandwidth: 1e9, Delay: 0, LossProb: 0.3},
+			func(f *Frame) { n++ })
+		for i := 0; i < 1000; i++ {
+			l.Send(&Frame{Size: 100})
+		}
+		s.Run()
+		return n
+	}
+	a, b := count(7), count(7)
+	if a != b {
+		t.Fatalf("same seed, different outcomes: %d vs %d", a, b)
+	}
+	if a < 600 || a > 800 {
+		t.Fatalf("delivered %d of 1000 at p=0.3, outside [600,800]", a)
+	}
+	if c := count(8); c == a {
+		t.Log("different seeds coincided (possible but unlikely)")
+	}
+}
+
+// Property: conservation — sent + dropped equals offered, and delivered
+// equals sent, for arbitrary frame batches.
+func TestQuickLinkConservation(t *testing.T) {
+	f := func(sizes []uint16, qmax uint16) bool {
+		s := sim.New(3)
+		delivered := 0
+		l := NewLink(s, LinkConfig{Bandwidth: 1e6, Delay: time.Millisecond,
+			QueueMax: int(qmax%64) + 1},
+			func(f *Frame) { delivered++ })
+		offered := 0
+		for _, sz := range sizes {
+			size := int(sz%2000) + 1
+			offered++
+			l.Send(&Frame{Size: size})
+		}
+		s.Run()
+		st := l.Stats()
+		return st.Sent+st.Dropped == uint64(offered) && int(st.Sent) == delivered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	s := sim.New(1)
+	n := NewNetwork(s)
+	var got []byte
+	a := n.AddHost(HandlerFunc(func(f *Frame) { got = f.Payload }))
+	n.Deliver(&Frame{Dst: a, Payload: []byte("x")})
+	if string(got) != "x" {
+		t.Fatal("delivery failed")
+	}
+	// Unknown destination: dropped without panic.
+	n.Deliver(&Frame{Dst: 999})
+	if n.Delivered() != 1 {
+		t.Fatalf("delivered = %d", n.Delivered())
+	}
+}
+
+func TestNetworkAttach(t *testing.T) {
+	s := sim.New(1)
+	n := NewNetwork(s)
+	a := n.AddHost(nil)
+	hit := false
+	n.Attach(a, HandlerFunc(func(f *Frame) { hit = true }))
+	n.Deliver(&Frame{Dst: a})
+	if !hit {
+		t.Fatal("attached handler not invoked")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("attach to unknown address should panic")
+		}
+	}()
+	n.Attach(12345, nil)
+}
+
+func TestDumbbellCrossTraffic(t *testing.T) {
+	s := sim.New(1)
+	d := NewDumbbell(s, DumbbellConfig{Bandwidth: 20e6, Delay: 15 * time.Millisecond})
+	var leftGot, rightGot int
+	src := d.AddLeft(HandlerFunc(func(f *Frame) { leftGot++ }))
+	dst := d.AddRight(HandlerFunc(func(f *Frame) { rightGot++ }))
+
+	// Left→right data, right→left ack.
+	d.Inject(&Frame{Src: src, Dst: dst, Size: 1400})
+	s.Run()
+	if rightGot != 1 {
+		t.Fatalf("rightGot = %d", rightGot)
+	}
+	d.Inject(&Frame{Src: dst, Dst: src, Size: 40})
+	s.Run()
+	if leftGot != 1 {
+		t.Fatalf("leftGot = %d", leftGot)
+	}
+	// One-way latency must exceed propagation (15ms) by the serialisation time.
+	if d.Bottleneck().Stats().Sent != 1 || d.Reverse().Stats().Sent != 1 {
+		t.Fatalf("bottleneck stats fwd=%+v rev=%+v", d.Bottleneck().Stats(), d.Reverse().Stats())
+	}
+}
+
+func TestDumbbellRTT(t *testing.T) {
+	s := sim.New(1)
+	d := NewDumbbell(s, DefaultDumbbell())
+	var sendAt, ackAt sim.Time
+	var src, dst Addr
+	src = d.AddLeft(HandlerFunc(func(f *Frame) { ackAt = s.Now() }))
+	dst = d.AddRight(HandlerFunc(func(f *Frame) {
+		// Echo immediately.
+		d.Inject(&Frame{Src: dst, Dst: src, Size: 40})
+	}))
+	sendAt = s.Now()
+	d.Inject(&Frame{Src: src, Dst: dst, Size: 40})
+	s.Run()
+	rtt := ackAt - sendAt
+	// Path RTT should be ≈30ms plus small serialisation/access costs.
+	if rtt < 30*time.Millisecond || rtt > 32*time.Millisecond {
+		t.Fatalf("rtt = %v, want ≈30ms", rtt)
+	}
+}
+
+func TestDumbbellBottleneckCongestion(t *testing.T) {
+	s := sim.New(1)
+	d := NewDumbbell(s, DumbbellConfig{Bandwidth: 1e6, Delay: 5 * time.Millisecond, QueueMax: 3})
+	received := 0
+	src := d.AddLeft(HandlerFunc(func(f *Frame) {}))
+	dst := d.AddRight(HandlerFunc(func(f *Frame) { received++ }))
+	// Offer 100 × 1000B instantly into a 1 Mb/s link with a 3-packet queue:
+	// most must drop.
+	for i := 0; i < 100; i++ {
+		d.Inject(&Frame{Src: src, Dst: dst, Size: 1000})
+	}
+	s.Run()
+	st := d.Bottleneck().Stats()
+	if st.Dropped == 0 {
+		t.Fatal("no drops despite overload")
+	}
+	if uint64(received) != st.Sent {
+		t.Fatalf("received %d != bottleneck sent %d", received, st.Sent)
+	}
+	if st.Sent+st.Dropped != 100 {
+		t.Fatalf("conservation: sent %d + dropped %d != 100", st.Sent, st.Dropped)
+	}
+}
+
+func TestDumbbellSameSideShortCircuit(t *testing.T) {
+	s := sim.New(1)
+	d := NewDumbbell(s, DefaultDumbbell())
+	got := false
+	a := d.AddLeft(HandlerFunc(func(f *Frame) { got = true }))
+	b := d.AddLeft(HandlerFunc(func(f *Frame) {}))
+	d.Inject(&Frame{Src: b, Dst: a, Size: 100})
+	s.Run()
+	if !got {
+		t.Fatal("same-side frame not delivered")
+	}
+	if d.Bottleneck().Stats().Sent != 0 {
+		t.Fatal("same-side frame crossed the bottleneck")
+	}
+}
+
+func TestDumbbellInjectUnknownPanics(t *testing.T) {
+	s := sim.New(1)
+	d := NewDumbbell(s, DefaultDumbbell())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown src should panic")
+		}
+	}()
+	d.Inject(&Frame{Src: 77, Dst: 88})
+}
+
+func TestFrameSizeDefaults(t *testing.T) {
+	s := sim.New(1)
+	var size int
+	l := NewLink(s, LinkConfig{Bandwidth: 1e9}, func(f *Frame) { size = f.Size })
+	l.Send(&Frame{Payload: make([]byte, 100)})
+	s.Run()
+	if size != 100+IPUDPOverhead {
+		t.Fatalf("default size = %d, want %d", size, 100+IPUDPOverhead)
+	}
+}
+
+func TestLinkPanics(t *testing.T) {
+	s := sim.New(1)
+	for _, fn := range []func(){
+		func() { NewLink(s, LinkConfig{Bandwidth: 0}, func(*Frame) {}) },
+		func() { NewLink(s, LinkConfig{Bandwidth: 1}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkDumbbellForwarding(b *testing.B) {
+	s := sim.New(1)
+	d := NewDumbbell(s, DefaultDumbbell())
+	src := d.AddLeft(HandlerFunc(func(f *Frame) {}))
+	dst := d.AddRight(HandlerFunc(func(f *Frame) {}))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Inject(&Frame{Src: src, Dst: dst, Size: 1400})
+		if i%64 == 0 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func TestREDDropsEarlyUnderSustainedLoad(t *testing.T) {
+	s := sim.New(5)
+	delivered := 0
+	l := NewLink(s, LinkConfig{Bandwidth: 8e6, Delay: time.Millisecond, QueueMax: 50},
+		func(f *Frame) { delivered++ })
+	cfg := DefaultRED(50)
+	cfg.Wq = 0.05 // track the average fast enough for this short burst
+	l.EnableRED(cfg)
+	// Offer 150% of capacity for 2 seconds: RED must drop while the hard
+	// limit is never reached (avg queue hovers between MinTh and MaxTh).
+	tick := sim.NewTicker(s, 666*time.Microsecond, func() {
+		l.Send(&Frame{Size: 1000})
+	})
+	s.RunUntil(2 * time.Second)
+	tick.Stop()
+	s.Run()
+	st := l.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("RED never dropped under sustained overload")
+	}
+	if st.MaxQueue >= 50 {
+		t.Fatalf("queue hit the hard limit (%d) — RED should engage earlier", st.MaxQueue)
+	}
+	if l.AvgQueue() <= 0 {
+		t.Fatal("average queue estimate missing")
+	}
+}
+
+func TestREDQuietBelowMinThreshold(t *testing.T) {
+	s := sim.New(6)
+	delivered := 0
+	l := NewLink(s, LinkConfig{Bandwidth: 8e6, Delay: time.Millisecond, QueueMax: 50},
+		func(f *Frame) { delivered++ })
+	l.EnableRED(DefaultRED(50))
+	// 40% load: the average queue stays near zero; nothing drops.
+	tick := sim.NewTicker(s, 2500*time.Microsecond, func() {
+		l.Send(&Frame{Size: 1000})
+	})
+	s.RunUntil(2 * time.Second)
+	tick.Stop()
+	s.Run()
+	if st := l.Stats(); st.Dropped != 0 {
+		t.Fatalf("RED dropped %d packets at light load", st.Dropped)
+	}
+	if delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

@@ -1,0 +1,111 @@
+package netem
+
+import (
+	"math"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/sim"
+)
+
+// REDConfig parameterises Random Early Detection (Floyd & Jacobson 1993) on
+// a link: arriving packets are dropped probabilistically once the
+// exponentially weighted average queue length crosses MinTh, with the
+// probability ramping to MaxP at MaxTh and certain drop beyond. RED was the
+// era's standard alternative to drop-tail and is the queue-discipline axis
+// of the ablation experiments.
+type REDConfig struct {
+	MinTh float64 // packets; avg queue below this never drops
+	MaxTh float64 // packets; avg queue above this always drops
+	MaxP  float64 // drop probability at MaxTh
+	Wq    float64 // EWMA weight for the average queue length
+}
+
+// DefaultRED returns the classic parameterisation for a queue of limit
+// packets: MinTh at 1/4, MaxTh at 3/4, MaxP 0.1, Wq 0.002.
+func DefaultRED(limit int) REDConfig {
+	return REDConfig{
+		MinTh: float64(limit) / 4,
+		MaxTh: 3 * float64(limit) / 4,
+		MaxP:  0.1,
+		Wq:    0.002,
+	}
+}
+
+// red is the per-link RED state.
+type red struct {
+	cfg    REDConfig
+	avg    float64 // EWMA of instantaneous queue length
+	count  int     // packets since the last early drop
+	idleAt sim.Time
+	idle   bool
+}
+
+// EnableRED switches the link from pure drop-tail to RED (the hard limit
+// still applies as the tail backstop). Call before traffic starts.
+func (l *Link) EnableRED(cfg REDConfig) {
+	if cfg.Wq <= 0 {
+		cfg.Wq = 0.002
+	}
+	if cfg.MaxTh <= cfg.MinTh {
+		cfg.MaxTh = cfg.MinTh + 1
+	}
+	if cfg.MaxP <= 0 {
+		cfg.MaxP = 0.1
+	}
+	l.red = &red{cfg: cfg, idle: true}
+}
+
+// redDrop implements the RED arrival decision; returns true to drop.
+func (l *Link) redDrop() bool {
+	r := l.red
+	now := l.s.Now()
+	inst := float64(l.queued)
+	if l.queued == 0 {
+		// While idle the average decays as if empty slots were sampled; use
+		// the idle duration in mean-packet-times (approximate with the
+		// configured bandwidth and a 1000 B packet).
+		if !r.idle {
+			r.idle = true
+			r.idleAt = now
+		}
+		slot := time.Duration(float64(1000*8) / l.bps * float64(time.Second))
+		if slot > 0 {
+			m := float64((now - r.idleAt) / slot)
+			r.avg *= math.Pow(1-r.cfg.Wq, m)
+		}
+		r.idleAt = now
+	} else {
+		r.idle = false
+		r.avg = (1-r.cfg.Wq)*r.avg + r.cfg.Wq*inst
+	}
+
+	switch {
+	case r.avg < r.cfg.MinTh:
+		r.count = 0
+		return false
+	case r.avg >= r.cfg.MaxTh:
+		r.count = 0
+		return true
+	default:
+		// Linear ramp with the count correction that spreads drops out.
+		pb := r.cfg.MaxP * (r.avg - r.cfg.MinTh) / (r.cfg.MaxTh - r.cfg.MinTh)
+		r.count++
+		pa := pb / math.Max(1e-9, 1-float64(r.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if l.s.Rand().Float64() < pa {
+			r.count = 0
+			return true
+		}
+		return false
+	}
+}
+
+// AvgQueue returns RED's average queue estimate (0 when RED is disabled).
+func (l *Link) AvgQueue() float64 {
+	if l.red == nil {
+		return 0
+	}
+	return l.red.avg
+}

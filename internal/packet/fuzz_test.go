@@ -1,0 +1,58 @@
+package packet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+)
+
+// Fuzz targets: the decoders face arbitrary network bytes, so they must
+// never panic and must reject anything that fails validation cleanly.
+// Run with: go test -fuzz=FuzzDecode ./internal/packet
+
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid encodings of each packet type plus mutations the
+	// property tests found interesting.
+	for _, typ := range []Type{SYN, SYNACK, DATA, ACK, EACK, NUL, RST, FIN, FINACK} {
+		p := &Packet{
+			Type: typ, Flags: FlagMarked, ConnID: 7, Seq: 100, Ack: 50,
+			Wnd: 64, TS: time.Second, Payload: []byte("seed"),
+		}
+		if typ == EACK {
+			p.Eacks = []uint32{101, 103}
+		}
+		if b, err := Encode(p); err == nil {
+			f.Add(b)
+		}
+	}
+	pa := &Packet{
+		Type: DATA, ConnID: 1, Seq: 2,
+		Attrs: attr.NewList(attr.Attr{Name: attr.AdaptCond, Value: attr.Float(0.25)}),
+	}
+	if b, err := Encode(pa); err == nil {
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, 51))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := Decode(b)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode to the same thing.
+		b2, err := Encode(p)
+		if err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v (%+v)", err, p)
+		}
+		p2, err := Decode(b2)
+		if err != nil {
+			t.Fatalf("re-encoded packet failed to decode: %v", err)
+		}
+		if p2.Type != p.Type || p2.Seq != p.Seq || p2.Ack != p.Ack ||
+			p2.ConnID != p.ConnID || len(p2.Payload) != len(p.Payload) {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", p2, p)
+		}
+	})
+}

@@ -1,0 +1,271 @@
+// Package packet defines the IQ-RUDP wire format. It follows the shape of
+// the Reliable UDP draft (connection-oriented datagrams with sequence and
+// acknowledgement numbers, an EACK for out-of-order receipt) extended with
+// the fields IQ-RUDP needs: a marked/unmarked reliability flag, a forward
+// sequence number for skipping abandoned unmarked packets, message
+// fragmentation headers, timestamps for RTT measurement, and a piggybacked
+// quality-attribute block.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+)
+
+// Type identifies the packet's role in the protocol.
+type Type uint8
+
+// Packet types.
+const (
+	SYN    Type = iota + 1 // connection request; carries negotiated options
+	SYNACK                 // connection accept
+	DATA                   // data segment
+	ACK                    // pure acknowledgement
+	EACK                   // acknowledgement with out-of-order extents
+	NUL                    // keepalive / probe
+	RST                    // abort
+	FIN                    // orderly close
+	FINACK                 // close acknowledgement
+)
+
+// String returns the type mnemonic.
+func (t Type) String() string {
+	switch t {
+	case SYN:
+		return "SYN"
+	case SYNACK:
+		return "SYNACK"
+	case DATA:
+		return "DATA"
+	case ACK:
+		return "ACK"
+	case EACK:
+		return "EACK"
+	case NUL:
+		return "NUL"
+	case RST:
+		return "RST"
+	case FIN:
+		return "FIN"
+	case FINACK:
+		return "FINACK"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Header flags.
+const (
+	// FlagMarked labels a DATA packet that must be delivered reliably
+	// ("tagged" in the paper's experiments). Unmarked DATA may be abandoned
+	// within the receiver's loss tolerance.
+	FlagMarked uint8 = 1 << iota
+	// FlagHasAttrs indicates a quality-attribute block follows the header.
+	FlagHasAttrs
+	// FlagFwd indicates the FwdSeq field is meaningful: the receiver may
+	// advance its in-order point past all sequence numbers < FwdSeq.
+	FlagFwd
+	// FlagMsgEnd marks the final fragment of an application message.
+	FlagMsgEnd
+)
+
+// Version is the wire format version byte.
+const Version = 1
+
+// headerLen is the fixed part of the encoding:
+// version(1) type(1) flags(1) connID(4) seq(4) ack(4) fwd(4) wnd(2)
+// msgID(4) frag(2) fragCnt(2) ts(8) tsEcho(8) payloadLen(2) = 47,
+// followed by optional attr block, payload, and crc32(4).
+const headerLen = 1 + 1 + 1 + 4 + 4 + 4 + 4 + 2 + 4 + 2 + 2 + 8 + 8 + 2
+
+// Overhead is the per-packet byte overhead excluding attributes and payload.
+const Overhead = headerLen + 4 // + CRC
+
+// Packet is a decoded IQ-RUDP packet.
+type Packet struct {
+	Type   Type
+	Flags  uint8
+	ConnID uint32
+
+	Seq uint32 // packet sequence number (DATA), or next-to-send for control
+	Ack uint32 // cumulative ack: next expected sequence number
+	Fwd uint32 // forward-seq point (valid with FlagFwd)
+	Wnd uint16 // advertised receive window, packets
+
+	MsgID   uint32 // application message this fragment belongs to
+	Frag    uint16 // fragment index within the message
+	FragCnt uint16 // total fragments in the message
+
+	TS     time.Duration // sender timestamp
+	TSEcho time.Duration // echoed timestamp for RTT measurement
+
+	Attrs   *attr.List
+	Payload []byte
+
+	// Eacks lists out-of-order sequence numbers received, carried in the
+	// payload of EACK packets (not in the fixed header).
+	Eacks []uint32
+}
+
+// Marked reports whether the packet is marked must-deliver.
+func (p *Packet) Marked() bool { return p.Flags&FlagMarked != 0 }
+
+// MsgEnd reports whether the packet is the last fragment of its message.
+func (p *Packet) MsgEnd() bool { return p.Flags&FlagMsgEnd != 0 }
+
+// HasFwd reports whether Fwd is meaningful.
+func (p *Packet) HasFwd() bool { return p.Flags&FlagFwd != 0 }
+
+// WireSize returns the encoded size in bytes, including attribute block,
+// payload, EACK extents and checksum.
+func (p *Packet) WireSize() int {
+	n := Overhead + p.Attrs.EncodedSize() + len(p.Payload)
+	if p.Type == EACK {
+		n += 2 + 4*len(p.Eacks)
+	}
+	return n
+}
+
+// String renders a compact debugging form.
+func (p *Packet) String() string {
+	m := ""
+	if p.Marked() {
+		m = "*"
+	}
+	return fmt.Sprintf("%s%s seq=%d ack=%d wnd=%d len=%d", p.Type, m, p.Seq, p.Ack, p.Wnd, len(p.Payload))
+}
+
+// Codec errors.
+var (
+	ErrShort       = errors.New("packet: buffer too short")
+	ErrBadVersion  = errors.New("packet: unknown version")
+	ErrBadType     = errors.New("packet: unknown packet type")
+	ErrBadChecksum = errors.New("packet: checksum mismatch")
+	ErrBadLength   = errors.New("packet: inconsistent length fields")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode serialises the packet.
+func Encode(p *Packet) ([]byte, error) {
+	if p.Type < SYN || p.Type > FINACK {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, p.Type)
+	}
+	if len(p.Payload) > 0xFFFF {
+		return nil, fmt.Errorf("packet: payload too large (%d)", len(p.Payload))
+	}
+	flags := p.Flags
+	if p.Attrs.Len() > 0 {
+		flags |= FlagHasAttrs
+	} else {
+		flags &^= FlagHasAttrs
+	}
+	b := make([]byte, 0, p.WireSize())
+	b = append(b, Version, byte(p.Type), flags)
+	b = binary.BigEndian.AppendUint32(b, p.ConnID)
+	b = binary.BigEndian.AppendUint32(b, p.Seq)
+	b = binary.BigEndian.AppendUint32(b, p.Ack)
+	b = binary.BigEndian.AppendUint32(b, p.Fwd)
+	b = binary.BigEndian.AppendUint16(b, p.Wnd)
+	b = binary.BigEndian.AppendUint32(b, p.MsgID)
+	b = binary.BigEndian.AppendUint16(b, p.Frag)
+	b = binary.BigEndian.AppendUint16(b, p.FragCnt)
+	b = binary.BigEndian.AppendUint64(b, uint64(p.TS))
+	b = binary.BigEndian.AppendUint64(b, uint64(p.TSEcho))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(p.Payload)))
+	if flags&FlagHasAttrs != 0 {
+		var err error
+		b, err = attr.AppendEncode(b, p.Attrs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.Type == EACK {
+		if len(p.Eacks) > 0xFFFF {
+			return nil, fmt.Errorf("packet: too many EACK extents (%d)", len(p.Eacks))
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(p.Eacks)))
+		for _, s := range p.Eacks {
+			b = binary.BigEndian.AppendUint32(b, s)
+		}
+	}
+	b = append(b, p.Payload...)
+	b = binary.BigEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+	return b, nil
+}
+
+// Decode parses a packet, verifying version, type, lengths and checksum.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) < headerLen+4 {
+		return nil, ErrShort
+	}
+	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, ErrBadChecksum
+	}
+	if body[0] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, body[0])
+	}
+	p := &Packet{Type: Type(body[1]), Flags: body[2]}
+	if p.Type < SYN || p.Type > FINACK {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, body[1])
+	}
+	off := 3
+	p.ConnID = binary.BigEndian.Uint32(body[off:])
+	off += 4
+	p.Seq = binary.BigEndian.Uint32(body[off:])
+	off += 4
+	p.Ack = binary.BigEndian.Uint32(body[off:])
+	off += 4
+	p.Fwd = binary.BigEndian.Uint32(body[off:])
+	off += 4
+	p.Wnd = binary.BigEndian.Uint16(body[off:])
+	off += 2
+	p.MsgID = binary.BigEndian.Uint32(body[off:])
+	off += 4
+	p.Frag = binary.BigEndian.Uint16(body[off:])
+	off += 2
+	p.FragCnt = binary.BigEndian.Uint16(body[off:])
+	off += 2
+	p.TS = time.Duration(binary.BigEndian.Uint64(body[off:]))
+	off += 8
+	p.TSEcho = time.Duration(binary.BigEndian.Uint64(body[off:]))
+	off += 8
+	payloadLen := int(binary.BigEndian.Uint16(body[off:]))
+	off += 2
+	if p.Flags&FlagHasAttrs != 0 {
+		attrs, n, err := attr.Decode(body[off:])
+		if err != nil {
+			return nil, fmt.Errorf("packet: attribute block: %w", err)
+		}
+		p.Attrs = attrs
+		off += n
+	}
+	if p.Type == EACK {
+		if off+2 > len(body) {
+			return nil, ErrBadLength
+		}
+		n := int(binary.BigEndian.Uint16(body[off:]))
+		off += 2
+		if off+4*n > len(body) {
+			return nil, ErrBadLength
+		}
+		p.Eacks = make([]uint32, n)
+		for i := 0; i < n; i++ {
+			p.Eacks[i] = binary.BigEndian.Uint32(body[off:])
+			off += 4
+		}
+	}
+	if off+payloadLen != len(body) {
+		return nil, ErrBadLength
+	}
+	if payloadLen > 0 {
+		p.Payload = append([]byte(nil), body[off:off+payloadLen]...)
+	}
+	return p, nil
+}

@@ -1,0 +1,291 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+)
+
+func sample() *Packet {
+	return &Packet{
+		Type:    DATA,
+		Flags:   FlagMarked | FlagMsgEnd,
+		ConnID:  0xDEADBEEF,
+		Seq:     1234,
+		Ack:     987,
+		Fwd:     0,
+		Wnd:     64,
+		MsgID:   55,
+		Frag:    2,
+		FragCnt: 3,
+		TS:      1500 * time.Millisecond,
+		TSEcho:  1470 * time.Millisecond,
+		Attrs: attr.NewList(
+			attr.Attr{Name: attr.AdaptCond, Value: attr.Float(0.15)},
+			attr.Attr{Name: attr.AdaptPktSize, Value: attr.Float(0.3)},
+		),
+		Payload: []byte("scientific data frame"),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := sample()
+	b, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != p.WireSize() {
+		t.Fatalf("WireSize = %d, encoded %d", p.WireSize(), len(b))
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != p.Type || got.ConnID != p.ConnID || got.Seq != p.Seq ||
+		got.Ack != p.Ack || got.Wnd != p.Wnd || got.MsgID != p.MsgID ||
+		got.Frag != p.Frag || got.FragCnt != p.FragCnt ||
+		got.TS != p.TS || got.TSEcho != p.TSEcho {
+		t.Fatalf("header mismatch: %+v vs %+v", got, p)
+	}
+	if !got.Marked() || !got.MsgEnd() || got.HasFwd() {
+		t.Fatal("flag accessors wrong")
+	}
+	if string(got.Payload) != string(p.Payload) {
+		t.Fatalf("payload mismatch: %q", got.Payload)
+	}
+	if !got.Attrs.Equal(p.Attrs) {
+		t.Fatalf("attrs mismatch: %v vs %v", got.Attrs, p.Attrs)
+	}
+}
+
+func TestEackRoundTrip(t *testing.T) {
+	p := &Packet{Type: EACK, Ack: 10, Eacks: []uint32{12, 13, 17}}
+	b, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Eacks) != 3 || got.Eacks[0] != 12 || got.Eacks[2] != 17 {
+		t.Fatalf("eacks = %v", got.Eacks)
+	}
+}
+
+func TestEmptyControlPackets(t *testing.T) {
+	for _, typ := range []Type{SYN, SYNACK, ACK, NUL, RST, FIN, FINACK} {
+		p := &Packet{Type: typ, ConnID: 1, Seq: 2, Ack: 3}
+		b, err := Encode(p)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if got.Type != typ {
+			t.Fatalf("type = %v, want %v", got.Type, typ)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	b, err := Encode(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip every byte in turn: each corruption must be rejected (CRC32).
+	for i := range b {
+		b[i] ^= 0xFF
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("corruption at byte %d not detected", i)
+		}
+		b[i] ^= 0xFF
+	}
+	// Sanity: the pristine buffer still decodes.
+	if _, err := Decode(b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrShort) {
+		t.Fatalf("nil err = %v", err)
+	}
+	if _, err := Decode(make([]byte, 10)); !errors.Is(err, ErrShort) {
+		t.Fatalf("short err = %v", err)
+	}
+}
+
+func TestDecodeBadVersion(t *testing.T) {
+	b, _ := Encode(sample())
+	b[0] = 9
+	// Recompute the CRC so the version check (not the CRC) rejects.
+	body := b[:len(b)-4]
+	binary.BigEndian.PutUint32(b[len(b)-4:], crc32.Checksum(body, crc32.MakeTable(crc32.Castagnoli)))
+	if _, err := Decode(b); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version err = %v", err)
+	}
+}
+
+func TestEncodeBadType(t *testing.T) {
+	if _, err := Encode(&Packet{Type: 0}); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type err = %v", err)
+	}
+	if _, err := Encode(&Packet{Type: 100}); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type err = %v", err)
+	}
+}
+
+func TestEncodePayloadTooLarge(t *testing.T) {
+	p := &Packet{Type: DATA, Payload: make([]byte, 70000)}
+	if _, err := Encode(p); err == nil {
+		t.Fatal("oversized payload not rejected")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if DATA.String() != "DATA" || SYN.String() != "SYN" || FINACK.String() != "FINACK" {
+		t.Fatal("type names wrong")
+	}
+	if !strings.Contains(Type(77).String(), "77") {
+		t.Fatal("unknown type should carry number")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "DATA*") || !strings.Contains(s, "seq=1234") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: arbitrary field combinations round-trip exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(typRaw uint8, flags uint8, connID, seq, ack, fwd uint32,
+		wnd uint16, msgID uint32, frag, fragCnt uint16, ts, tsEcho int64,
+		payload []byte, eacks []uint32) bool {
+		typ := Type(typRaw%9) + 1
+		if len(payload) > 0xFFFF {
+			payload = payload[:0xFFFF]
+		}
+		if len(eacks) > 64 {
+			eacks = eacks[:64]
+		}
+		p := &Packet{
+			Type: typ, Flags: flags &^ FlagHasAttrs, ConnID: connID,
+			Seq: seq, Ack: ack, Fwd: fwd, Wnd: wnd,
+			MsgID: msgID, Frag: frag, FragCnt: fragCnt,
+			TS: time.Duration(ts), TSEcho: time.Duration(tsEcho),
+			Payload: payload,
+		}
+		if typ == EACK {
+			p.Eacks = eacks
+		}
+		b, err := Encode(p)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		if got.Type != p.Type || got.Flags != p.Flags || got.ConnID != p.ConnID ||
+			got.Seq != p.Seq || got.Ack != p.Ack || got.Fwd != p.Fwd ||
+			got.Wnd != p.Wnd || got.MsgID != p.MsgID ||
+			got.TS != p.TS || got.TSEcho != p.TSEcho {
+			return false
+		}
+		if len(got.Payload) != len(p.Payload) {
+			return false
+		}
+		for i := range payload {
+			if got.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		if typ == EACK {
+			if len(got.Eacks) != len(p.Eacks) {
+				return false
+			}
+			for i := range p.Eacks {
+				if got.Eacks[i] != p.Eacks[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Decode never panics on arbitrary bytes.
+func TestQuickDecodeRobust(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	if !SeqLT(1, 2) || SeqLT(2, 1) || SeqLT(5, 5) {
+		t.Fatal("SeqLT basic")
+	}
+	// Wraparound: numbers just past the wrap point compare correctly.
+	hi := uint32(math.MaxUint32)
+	if !SeqLT(hi, 0) || !SeqLT(hi-5, hi) || !SeqGT(2, hi) {
+		t.Fatal("SeqLT wraparound")
+	}
+	if !SeqLEQ(5, 5) || !SeqGEQ(5, 5) {
+		t.Fatal("SeqLEQ/GEQ reflexivity")
+	}
+	if SeqMax(hi, 2) != 2 || SeqMax(7, 3) != 7 {
+		t.Fatal("SeqMax")
+	}
+	if SeqDiff(10, 7) != 3 || SeqDiff(7, 10) != -3 {
+		t.Fatal("SeqDiff")
+	}
+	if SeqDiff(2, hi) != 3 {
+		t.Fatalf("SeqDiff wrap = %d", SeqDiff(2, hi))
+	}
+}
+
+// Property: for any a and small positive delta, a < a+delta in seq space.
+func TestQuickSeqOrdering(t *testing.T) {
+	f := func(a uint32, d uint16) bool {
+		delta := uint32(d)%1000 + 1
+		b := a + delta
+		return SeqLT(a, b) && SeqGT(b, a) && SeqDiff(b, a) == int32(delta) &&
+			SeqMax(a, b) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	p := sample()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf, err := Encode(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

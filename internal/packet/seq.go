@@ -1,0 +1,38 @@
+package packet
+
+// Sequence-number arithmetic on a 32-bit circular space. IQ-RUDP sequence
+// numbers wrap; comparisons must use serial-number arithmetic (RFC 1982
+// style) rather than plain integer comparison.
+
+// SeqLT reports whether a precedes b in circular order.
+func SeqLT(a, b uint32) bool {
+	return int32(a-b) < 0
+}
+
+// SeqLEQ reports whether a precedes or equals b.
+func SeqLEQ(a, b uint32) bool {
+	return a == b || SeqLT(a, b)
+}
+
+// SeqGT reports whether a follows b.
+func SeqGT(a, b uint32) bool {
+	return int32(a-b) > 0
+}
+
+// SeqGEQ reports whether a follows or equals b.
+func SeqGEQ(a, b uint32) bool {
+	return a == b || SeqGT(a, b)
+}
+
+// SeqMax returns the later of a and b in circular order.
+func SeqMax(a, b uint32) uint32 {
+	if SeqGT(a, b) {
+		return a
+	}
+	return b
+}
+
+// SeqDiff returns the signed circular distance a−b.
+func SeqDiff(a, b uint32) int32 {
+	return int32(a - b)
+}

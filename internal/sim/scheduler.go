@@ -1,0 +1,212 @@
+// Package sim provides a deterministic discrete-event scheduler with a
+// virtual clock. It is the execution substrate for the network emulator and
+// for every experiment in this repository: all protocol endpoints, links and
+// traffic sources run as event handlers on a single Scheduler, so a run is a
+// pure function of its configuration and seed.
+//
+// Determinism rules:
+//   - events scheduled for the same instant fire in scheduling order;
+//   - handlers must not consult wall-clock time or shared mutable state
+//     outside the scheduler;
+//   - randomness comes from the per-run *rand.Rand exposed by the scheduler.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is an instant of virtual time, measured as an offset from the start of
+// the run. The zero Time is the beginning of the simulation.
+type Time = time.Duration
+
+// Event is a scheduled callback. It is owned by the Scheduler; user code
+// holds a *Timer handle instead.
+type event struct {
+	at   Time
+	seq  uint64 // insertion order, breaks ties deterministically
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+// Timer is a handle to a scheduled event that can be cancelled or queried.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the timer was still pending
+// (i.e. the call prevented the event from firing). Stopping an already-fired
+// or already-stopped timer is a harmless no-op returning false.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.dead || t.ev.idx < 0 {
+		return false
+	}
+	t.ev.dead = true
+	return true
+}
+
+// Pending reports whether the timer has neither fired nor been stopped.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.dead && t.ev.idx >= 0
+}
+
+// When returns the virtual time the timer is (or was) set to fire at.
+func (t *Timer) When() Time {
+	if t == nil || t.ev == nil {
+		return 0
+	}
+	return t.ev.at
+}
+
+// Scheduler is a discrete-event executor with a virtual clock.
+// The zero value is not usable; call New.
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	rng    *rand.Rand
+	fired  uint64
+	halted bool
+}
+
+// New returns a Scheduler whose random source is seeded with seed.
+func New(seed int64) *Scheduler {
+	return &Scheduler{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Rand returns the per-run deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired returns the number of events executed so far (useful in tests and as
+// a progress/complexity metric).
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Len returns the number of pending events, including cancelled ones that
+// have not yet been reaped.
+func (s *Scheduler) Len() int { return s.queue.Len() }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a protocol bug, and silently clamping would
+// mask it.
+func (s *Scheduler) At(t Time, fn func()) *Timer {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, s.now))
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// treated as zero.
+func (s *Scheduler) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed (false when the queue is empty or
+// the scheduler is halted).
+func (s *Scheduler) Step() bool {
+	if s.halted {
+		return false
+	}
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		s.now = ev.at
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Halt is called.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock to
+// the deadline (even if the queue still holds later events).
+func (s *Scheduler) RunUntil(deadline Time) {
+	for !s.halted {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Halt stops Run/RunUntil after the current event returns. Pending events are
+// kept; Resume re-enables stepping.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Resume clears a previous Halt.
+func (s *Scheduler) Resume() { s.halted = false }
+
+// Halted reports whether the scheduler is halted.
+func (s *Scheduler) Halted() bool { return s.halted }
+
+// peek returns the time of the next live event.
+func (s *Scheduler) peek() (Time, bool) {
+	for s.queue.Len() > 0 {
+		ev := s.queue[0]
+		if ev.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return ev.at, true
+	}
+	return 0, false
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}

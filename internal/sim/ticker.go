@@ -1,0 +1,66 @@
+package sim
+
+import "time"
+
+// Ticker repeatedly invokes a function at a fixed virtual-time period until
+// stopped. It is the building block for rate-based traffic sources and for
+// the transport's periodic measurement machinery.
+type Ticker struct {
+	s      *Scheduler
+	period time.Duration
+	fn     func()
+	timer  *Timer
+	stop   bool
+	ticks  uint64
+}
+
+// NewTicker schedules fn every period, with the first tick one period from
+// now. It panics on a non-positive period.
+func NewTicker(s *Scheduler, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.timer = t.s.After(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.ticks++
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop permanently disables the ticker.
+func (t *Ticker) Stop() {
+	t.stop = true
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+}
+
+// Ticks returns the number of times the callback has run.
+func (t *Ticker) Ticks() uint64 { return t.ticks }
+
+// Reset changes the period and re-arms the next tick to fire one new period
+// from now, like time.Ticker.Reset. A ticker that was stopped stays stopped.
+func (t *Ticker) Reset(period time.Duration) {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t.period = period
+	if t.stop {
+		return
+	}
+	if t.timer != nil {
+		t.timer.Stop()
+	}
+	t.arm()
+}

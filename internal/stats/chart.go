@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// AsciiChart renders a value series as a fixed-size ASCII scatter/line chart
+// — enough to eyeball the shape of the paper's figures from a terminal.
+// Values are bucketed into width columns (mean per bucket) and scaled to
+// height rows.
+func AsciiChart(title string, times []time.Duration, values []float64, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	n := len(values)
+	if n == 0 || len(times) != n {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Bucket by column.
+	colSum := make([]float64, width)
+	colCnt := make([]int, width)
+	t0, t1 := times[0], times[n-1]
+	span := t1 - t0
+	for i, v := range values {
+		col := 0
+		if span > 0 {
+			col = int(float64(times[i]-t0) / float64(span) * float64(width-1))
+		}
+		colSum[col] += v
+		colCnt[col]++
+	}
+	cols := make([]float64, width)
+	maxV := 0.0
+	for i := range cols {
+		if colCnt[i] > 0 {
+			cols[i] = colSum[i] / float64(colCnt[i])
+		}
+		if cols[i] > maxV {
+			maxV = cols[i]
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	// Paint rows top-down.
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c, v := range cols {
+		if colCnt[c] == 0 {
+			continue
+		}
+		h := int(v / maxV * float64(height-1))
+		grid[height-1-h][c] = '*'
+	}
+	for r, row := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.3g ", maxV)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%7.3g ", 0.0)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat(" ", 8))
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	b.WriteString(fmt.Sprintf("%9s%-*s%s\n", fmt.Sprintf("%.3gs", t0.Seconds()), width-6, "", fmt.Sprintf("%.3gs", t1.Seconds())))
+	return b.String()
+}

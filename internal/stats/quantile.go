@@ -1,0 +1,60 @@
+package stats
+
+import "sort"
+
+// Sample retains all values for exact quantile computation. The experiment
+// populations here are small (≤ a few hundred thousand points), so an exact
+// sorted-copy implementation is simpler and safer than a sketch.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends a value.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the sample size.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear interpolation
+// between closest ranks. Returns 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[len(s.xs)-1]
+	}
+	pos := q * float64(len(s.xs)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s.xs) {
+		return s.xs[lo]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}

@@ -1,0 +1,250 @@
+// Package stats provides the measurement primitives the experiments report:
+// running mean/variance (Welford), exponentially weighted moving averages,
+// rate meters over virtual time, inter-arrival/jitter recorders and simple
+// time series. All types are plain values driven explicitly with virtual
+// timestamps, so they work identically under simulation and real sockets.
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// Welford accumulates a running mean and variance without storing samples.
+// The zero value is ready to use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples.
+func (w *Welford) N() uint64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance, or 0 with fewer than two samples.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (w *Welford) Max() float64 { return w.max }
+
+// EWMA is an exponentially weighted moving average with weight alpha given to
+// each new sample: v ← (1−alpha)·v + alpha·x. The first sample initialises
+// the average directly.
+type EWMA struct {
+	alpha float64
+	v     float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing weight in (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha must be in (0,1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds in a sample.
+func (e *EWMA) Add(x float64) {
+	if !e.init {
+		e.v = x
+		e.init = true
+		return
+	}
+	e.v = (1-e.alpha)*e.v + e.alpha*x
+}
+
+// Value returns the current average, or 0 before any sample.
+func (e *EWMA) Value() float64 { return e.v }
+
+// Initialized reports whether at least one sample has been folded in.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Reset discards all state.
+func (e *EWMA) Reset() { e.v = 0; e.init = false }
+
+// RateMeter measures a byte (or packet) rate over virtual time by counting
+// events between explicit interval boundaries.
+type RateMeter struct {
+	total     uint64
+	start     time.Duration
+	last      time.Duration
+	haveStart bool
+}
+
+// Add records n units at virtual time now.
+func (r *RateMeter) Add(now time.Duration, n uint64) {
+	if !r.haveStart {
+		r.start = now
+		r.haveStart = true
+	}
+	r.total += n
+	r.last = now
+}
+
+// Total returns the accumulated unit count.
+func (r *RateMeter) Total() uint64 { return r.total }
+
+// Rate returns units per second between the first and last Add, or 0 when
+// the span is empty.
+func (r *RateMeter) Rate() float64 {
+	span := r.last - r.start
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.total) / span.Seconds()
+}
+
+// RateOver returns units per second over an externally supplied span.
+func (r *RateMeter) RateOver(span time.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.total) / span.Seconds()
+}
+
+// Arrivals records a sequence of arrival timestamps and summarises the
+// inter-arrival process: mean inter-arrival ("delay" in the paper's tables)
+// and its standard deviation ("jitter"). It can also keep the full series of
+// per-arrival jitter values for figure output.
+type Arrivals struct {
+	inter      Welford
+	last       time.Duration
+	haveLast   bool
+	keepSeries bool
+	series     []float64 // |interarrival − running mean| per arrival, seconds
+	times      []time.Duration
+}
+
+// NewArrivals returns a recorder; keepSeries additionally retains the
+// per-arrival jitter series (used by Figures 2 and 3).
+func NewArrivals(keepSeries bool) *Arrivals {
+	return &Arrivals{keepSeries: keepSeries}
+}
+
+// Observe records an arrival at virtual time now.
+func (a *Arrivals) Observe(now time.Duration) {
+	if a.haveLast {
+		gap := (now - a.last).Seconds()
+		a.inter.Add(gap)
+		if a.keepSeries {
+			a.series = append(a.series, math.Abs(gap-a.inter.Mean()))
+			a.times = append(a.times, now)
+		}
+	}
+	a.last = now
+	a.haveLast = true
+}
+
+// Count returns the number of arrivals observed.
+func (a *Arrivals) Count() uint64 {
+	if !a.haveLast {
+		return 0
+	}
+	return a.inter.N() + 1
+}
+
+// MeanInterarrival returns the mean gap between arrivals in seconds.
+func (a *Arrivals) MeanInterarrival() float64 { return a.inter.Mean() }
+
+// Jitter returns the standard deviation of the inter-arrival gaps in seconds.
+func (a *Arrivals) Jitter() float64 { return a.inter.Std() }
+
+// Series returns the retained per-arrival jitter series (seconds) and the
+// corresponding arrival times. Nil unless keepSeries was set.
+func (a *Arrivals) Series() ([]float64, []time.Duration) { return a.series, a.times }
+
+// Point is one (time, value) sample of a time series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Max returns the maximum value, or 0 for an empty series.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for i, p := range s.Points {
+		if i == 0 || p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Mean returns the mean value, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.Points {
+		sum += p.V
+	}
+	return sum / float64(len(s.Points))
+}
+
+// JainIndex computes Jain's fairness index over per-flow allocations:
+// (Σx)² / (n·Σx²), 1.0 = perfectly fair, 1/n = maximally unfair. Empty or
+// all-zero inputs yield 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

@@ -1,0 +1,329 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d, want 8", w.N())
+	}
+	if !almostEq(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	if !almostEq(w.Var(), 4, 1e-12) {
+		t.Fatalf("var = %v, want 4", w.Var())
+	}
+	if !almostEq(w.Std(), 2, 1e-12) {
+		t.Fatalf("std = %v, want 2", w.Std())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 {
+		t.Fatal("empty Welford should report zeros")
+	}
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Var() != 0 {
+		t.Fatalf("single-sample mean/var = %v/%v", w.Mean(), w.Var())
+	}
+}
+
+// Property: Welford matches the naive two-pass computation.
+func TestQuickWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var w Welford
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) / 7.0
+			w.Add(xs[i])
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(len(xs))
+		return almostEq(w.Mean(), mean, 1e-6*(1+math.Abs(mean))) &&
+			almostEq(w.Var(), v, 1e-5*(1+v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("fresh EWMA reports initialized")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first sample should initialise: %v", e.Value())
+	}
+	e.Add(20)
+	if !almostEq(e.Value(), 15, 1e-12) {
+		t.Fatalf("value = %v, want 15", e.Value())
+	}
+	e.Reset()
+	if e.Initialized() || e.Value() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha %v did not panic", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+// Property: EWMA stays within [min, max] of its inputs.
+func TestQuickEWMABounded(t *testing.T) {
+	f := func(raw []int16, a uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		alpha := (float64(a%99) + 1) / 100
+		e := NewEWMA(alpha)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := float64(r)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			e.Add(x)
+			if e.Value() < lo-1e-9 || e.Value() > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	var r RateMeter
+	if r.Rate() != 0 {
+		t.Fatal("empty meter rate should be 0")
+	}
+	r.Add(0, 1000)
+	r.Add(time.Second, 1000)
+	r.Add(2*time.Second, 1000)
+	if !almostEq(r.Rate(), 1500, 1e-9) {
+		t.Fatalf("rate = %v, want 1500 (3000 units over 2s)", r.Rate())
+	}
+	if r.Total() != 3000 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if !almostEq(r.RateOver(3*time.Second), 1000, 1e-9) {
+		t.Fatalf("RateOver = %v", r.RateOver(3*time.Second))
+	}
+}
+
+func TestArrivalsUniform(t *testing.T) {
+	a := NewArrivals(false)
+	for i := 0; i <= 10; i++ {
+		a.Observe(time.Duration(i) * 100 * time.Millisecond)
+	}
+	if a.Count() != 11 {
+		t.Fatalf("count = %d, want 11", a.Count())
+	}
+	if !almostEq(a.MeanInterarrival(), 0.1, 1e-12) {
+		t.Fatalf("mean interarrival = %v, want 0.1", a.MeanInterarrival())
+	}
+	if !almostEq(a.Jitter(), 0, 1e-12) {
+		t.Fatalf("jitter = %v, want 0 for uniform arrivals", a.Jitter())
+	}
+}
+
+func TestArrivalsJitterAndSeries(t *testing.T) {
+	a := NewArrivals(true)
+	times := []time.Duration{0, 100 * time.Millisecond, 300 * time.Millisecond, 400 * time.Millisecond}
+	for _, tm := range times {
+		a.Observe(tm)
+	}
+	// gaps: 0.1, 0.2, 0.1 → mean 4/30, std ~0.0471
+	if !almostEq(a.MeanInterarrival(), 4.0/30, 1e-9) {
+		t.Fatalf("mean = %v", a.MeanInterarrival())
+	}
+	if a.Jitter() <= 0 {
+		t.Fatal("jitter should be positive for non-uniform arrivals")
+	}
+	series, st := a.Series()
+	if len(series) != 3 || len(st) != 3 {
+		t.Fatalf("series lengths = %d/%d, want 3/3", len(series), len(st))
+	}
+}
+
+func TestArrivalsEmpty(t *testing.T) {
+	a := NewArrivals(false)
+	if a.Count() != 0 || a.MeanInterarrival() != 0 || a.Jitter() != 0 {
+		t.Fatal("empty recorder should report zeros")
+	}
+	a.Observe(time.Second)
+	if a.Count() != 1 {
+		t.Fatalf("count = %d, want 1", a.Count())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Max() != 0 || s.Mean() != 0 || s.Len() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	s.Add(time.Second, 2)
+	s.Add(2*time.Second, 6)
+	s.Add(3*time.Second, 4)
+	if s.Len() != 3 || s.Max() != 6 || !almostEq(s.Mean(), 4, 1e-12) {
+		t.Fatalf("len/max/mean = %d/%v/%v", s.Len(), s.Max(), s.Mean())
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	if s.Quantile(0.5) != 0 {
+		t.Fatal("empty sample quantile should be 0")
+	}
+	for _, x := range []float64{5, 1, 3, 2, 4} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Median() != 3 {
+		t.Fatalf("median = %v, want 3", s.Median())
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 5 {
+		t.Fatalf("extremes = %v/%v", s.Quantile(0), s.Quantile(1))
+	}
+	if !almostEq(s.Quantile(0.25), 2, 1e-12) {
+		t.Fatalf("q25 = %v, want 2", s.Quantile(0.25))
+	}
+	if !almostEq(s.Mean(), 3, 1e-12) {
+		t.Fatalf("mean = %v, want 3", s.Mean())
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, r := range raw {
+			x := float64(r)
+			s.Add(x)
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.1 {
+			v := s.Quantile(q)
+			if v < prev-1e-9 || v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X: demo", "Name", "Value")
+	tb.AddRow("alpha", 1.2345)
+	tb.AddRow("beta", 120.0)
+	out := tb.String()
+	if !strings.Contains(out, "Table X: demo") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.23") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	md := tb.Markdown()
+	if !strings.Contains(md, "| Name | Value |") {
+		t.Fatalf("markdown header malformed:\n%s", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Fatalf("markdown separator malformed:\n%s", md)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		123.456: "123",
+		12.34:   "12.3",
+		0.5:     "0.50",
+		0.0123:  "0.0123",
+		1e-6:    "1e-06",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 0 || JainIndex([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate inputs should yield 0")
+	}
+	if got := JainIndex([]float64{5, 5, 5, 5}); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("equal allocation index = %v, want 1", got)
+	}
+	// One flow hogs everything: index → 1/n.
+	if got := JainIndex([]float64{10, 0, 0, 0}); !almostEq(got, 0.25, 1e-12) {
+		t.Fatalf("max-unfair index = %v, want 0.25", got)
+	}
+	if got := JainIndex([]float64{1, 2}); !almostEq(got, 0.9, 1e-12) {
+		t.Fatalf("index(1,2) = %v, want 0.9", got)
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	times := []time.Duration{0, time.Second, 2 * time.Second, 3 * time.Second}
+	values := []float64{0, 1, 2, 1}
+	out := AsciiChart("demo", times, values, 20, 6)
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "*") {
+		t.Fatalf("chart malformed:\n%s", out)
+	}
+	// Degenerate inputs must not panic.
+	if !strings.Contains(AsciiChart("x", nil, nil, 10, 5), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	AsciiChart("tiny", times[:1], values[:1], 1, 1)
+}

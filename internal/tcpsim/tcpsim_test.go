@@ -1,0 +1,235 @@
+package tcpsim_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/sim"
+	"github.com/cercs/iqrudp/internal/tcpsim"
+)
+
+func tcpPair(s *sim.Scheduler, dcfg netem.DumbbellConfig) (*netem.Dumbbell, *endpoint.Endpoint, *endpoint.Endpoint) {
+	d := netem.NewDumbbell(s, dcfg)
+	snd, rcv := endpoint.PairTransport(d,
+		func(env core.Env) endpoint.Transport { return tcpsim.NewMachine(tcpsim.DefaultConfig(), env) },
+		func(env core.Env) endpoint.Transport { return tcpsim.NewMachine(tcpsim.DefaultConfig(), env) })
+	rcv.Record = true
+	return d, snd, rcv
+}
+
+func TestTCPHandshakeAndDelivery(t *testing.T) {
+	s := sim.New(1)
+	_, snd, rcv := tcpPair(s, netem.DefaultDumbbell())
+	if !endpoint.WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("handshake failed")
+	}
+	payload := []byte("tcp payload")
+	snd.T.Send(payload, true)
+	s.RunUntil(s.Now() + time.Second)
+	if len(rcv.Delivered) != 1 || !bytes.Equal(rcv.Delivered[0].Data, payload) {
+		t.Fatalf("delivered = %v", rcv.Delivered)
+	}
+}
+
+func TestTCPBulkInOrder(t *testing.T) {
+	s := sim.New(2)
+	_, snd, rcv := tcpPair(s, netem.DefaultDumbbell())
+	endpoint.WaitEstablished(s, snd, rcv, 5*time.Second)
+	const n = 300
+	for i := 0; i < n; i++ {
+		snd.T.Send([]byte(fmt.Sprintf("seg-%04d", i)), true)
+	}
+	s.RunUntil(s.Now() + 60*time.Second)
+	if len(rcv.Delivered) != n {
+		t.Fatalf("delivered %d of %d", len(rcv.Delivered), n)
+	}
+	for i, m := range rcv.Delivered {
+		if want := fmt.Sprintf("seg-%04d", i); string(m.Data) != want {
+			t.Fatalf("message %d = %q, want %q", i, m.Data, want)
+		}
+	}
+}
+
+func TestTCPRecoversFromLoss(t *testing.T) {
+	s := sim.New(3)
+	dcfg := netem.DefaultDumbbell()
+	dcfg.LossProb = 0.05
+	_, snd, rcv := tcpPair(s, dcfg)
+	if !endpoint.WaitEstablished(s, snd, rcv, 20*time.Second) {
+		t.Fatal("handshake failed under loss")
+	}
+	const n = 300
+	for i := 0; i < n; i++ {
+		snd.T.Send(bytes.Repeat([]byte{byte(i)}, 1400), true)
+	}
+	s.RunUntil(s.Now() + 180*time.Second)
+	if len(rcv.Delivered) != n {
+		t.Fatalf("delivered %d of %d under loss", len(rcv.Delivered), n)
+	}
+	mt := snd.T.(*tcpsim.Machine).Metrics()
+	if mt.Retransmits == 0 {
+		t.Fatal("expected retransmissions under 5% loss")
+	}
+}
+
+func TestTCPFastRetransmitBeatsTimeout(t *testing.T) {
+	// Single dropped packet in a stream: fast retransmit should recover it
+	// without any RTO (timeouts counter stays zero).
+	s := sim.New(4)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	// Drop the 20th data frame: by then the window is wide enough that
+	// later segments generate the three duplicate acks fast retransmit needs.
+	dropped := false
+	dataSeen := 0
+	dropOne := func(f *netem.Frame) bool {
+		if len(f.Payload) > 200 {
+			dataSeen++
+			if dataSeen == 20 && !dropped {
+				dropped = true
+				return true
+			}
+		}
+		return false
+	}
+	snd, rcv := endpoint.PairTransport(d,
+		func(env core.Env) endpoint.Transport { return tcpsim.NewMachine(tcpsim.DefaultConfig(), env) },
+		func(env core.Env) endpoint.Transport { return tcpsim.NewMachine(tcpsim.DefaultConfig(), env) })
+	rcv.Record = true
+	// Interpose on the receiver to drop one data frame mid-stream.
+	inner := rcv
+	d.Attach(rcv.Addr(), netem.HandlerFunc(func(f *netem.Frame) {
+		if dropOne(f) {
+			return
+		}
+		inner.HandleFrame(f)
+	}))
+	endpoint.WaitEstablished(s, snd, rcv, 5*time.Second)
+	const n = 60
+	for i := 0; i < n; i++ {
+		snd.T.Send(bytes.Repeat([]byte{1}, 1000), true)
+	}
+	// Let the first packets flow to open the window past the drop point.
+	s.RunUntil(s.Now() + 20*time.Second)
+	if len(rcv.Delivered) != n {
+		t.Fatalf("delivered %d of %d", len(rcv.Delivered), n)
+	}
+	mt := snd.T.(*tcpsim.Machine).Metrics()
+	if !dropped {
+		t.Fatal("test never dropped a frame")
+	}
+	if mt.Retransmits == 0 {
+		t.Fatal("no retransmission for the dropped frame")
+	}
+	if mt.Timeouts != 0 {
+		t.Fatalf("fast retransmit should avoid RTO; timeouts = %d", mt.Timeouts)
+	}
+}
+
+func TestTCPCwndSlowStart(t *testing.T) {
+	s := sim.New(5)
+	dcfg := netem.DefaultDumbbell()
+	dcfg.QueueMax = 64 << 20 // lossless
+	_, snd, rcv := tcpPair(s, dcfg)
+	endpoint.WaitEstablished(s, snd, rcv, 5*time.Second)
+	for i := 0; i < 400; i++ {
+		snd.T.Send(make([]byte, 1400), true)
+	}
+	s.RunUntil(s.Now() + 2*time.Second)
+	mt := snd.T.(*tcpsim.Machine).Metrics()
+	if mt.Cwnd <= 8 {
+		t.Fatalf("cwnd = %v, want slow-start growth", mt.Cwnd)
+	}
+	if mt.Retransmits != 0 {
+		t.Fatalf("retransmits on lossless path: %d", mt.Retransmits)
+	}
+}
+
+func TestTCPAIMDSawtoothUnderCongestion(t *testing.T) {
+	// Against a BDP-sized queue, TCP must oscillate — slow-start overshoot
+	// and AIMD probing cause periodic losses — while keeping goodput high.
+	s := sim.New(6)
+	_, snd, rcv := tcpPair(s, netem.DefaultDumbbell())
+	endpoint.WaitEstablished(s, snd, rcv, 5*time.Second)
+	stop := false
+	var feed func()
+	feed = func() {
+		if stop {
+			return
+		}
+		for snd.T.(*tcpsim.Machine).CanSend() {
+			snd.T.Send(make([]byte, 1400), true)
+		}
+		s.After(10*time.Millisecond, feed)
+	}
+	feed()
+	s.RunUntil(s.Now() + 30*time.Second)
+	stop = true
+	mt := snd.T.(*tcpsim.Machine).Metrics()
+	if mt.Retransmits == 0 {
+		t.Fatal("no losses against a small queue — congestion never built")
+	}
+	// Goodput should still be a healthy share of 20 Mb/s = 2.5 MB/s.
+	rate := float64(mt.AckedBytes) / 30
+	if rate < 1.2e6 {
+		t.Fatalf("goodput %v B/s, want > 1.2 MB/s", rate)
+	}
+}
+
+func TestTCPSendErrors(t *testing.T) {
+	s := sim.New(7)
+	_, snd, rcv := tcpPair(s, netem.DefaultDumbbell())
+	endpoint.WaitEstablished(s, snd, rcv, 5*time.Second)
+	if err := snd.T.Send(nil, true); err == nil {
+		t.Fatal("empty send should fail")
+	}
+	snd.T.Close()
+	if err := snd.T.Send([]byte("x"), true); err != tcpsim.ErrClosed {
+		t.Fatalf("send after close err = %v", err)
+	}
+}
+
+// Property: arbitrary message batches arrive complete and in order under
+// random loss.
+func TestQuickTCPReliable(t *testing.T) {
+	f := func(seed int64, sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 40 {
+			sizes = sizes[:40]
+		}
+		s := sim.New(seed)
+		dcfg := netem.DefaultDumbbell()
+		dcfg.LossProb = 0.03
+		_, snd, rcv := tcpPair(s, dcfg)
+		if !endpoint.WaitEstablished(s, snd, rcv, 20*time.Second) {
+			return false
+		}
+		var want [][]byte
+		for i, sz := range sizes {
+			n := int(sz)%3000 + 1
+			data := bytes.Repeat([]byte{byte(i + 1)}, n)
+			want = append(want, data)
+			snd.T.Send(data, true)
+		}
+		s.RunUntil(s.Now() + 120*time.Second)
+		if len(rcv.Delivered) != len(want) {
+			return false
+		}
+		for i := range want {
+			if !bytes.Equal(rcv.Delivered[i].Data, want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package traffic
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/sim"
+)
+
+// sendMsg sends through the transport, using the attribute-carrying
+// CMwritev_attr path when the transport is an IQ-RUDP machine and attributes
+// are present. Other transports (TCP) ignore attributes.
+func sendMsg(t endpoint.Transport, data []byte, marked bool, attrs *attr.List) error {
+	if m, ok := t.(*core.Machine); ok && attrs != nil {
+		return m.SendMsg(data, marked, attrs)
+	}
+	return t.Send(data, marked)
+}
+
+// FrameSource is the "changing application" workload: frames at a fixed
+// rate, sized group(t)×Unit×Scale bytes following the membership trace.
+// Experiments adapt it by changing Scale (resolution adaptation), the
+// MarkPolicy (reliability adaptation) or FPS (frequency adaptation), and by
+// attaching ADAPT_* attributes to the frame that first reflects a change.
+type FrameSource struct {
+	S *sim.Scheduler
+	T endpoint.Transport
+
+	FPS       float64 // frames per second
+	Unit      int     // bytes per group member (paper: 3000)
+	Trace     Trace
+	MaxFrames int // stop after this many frames (0 = run the whole trace once)
+
+	// Scale is the resolution multiplier (1.0 = full resolution). Floored at
+	// MinScale and capped at 1.0 by AdjustScale.
+	Scale    float64
+	MinScale float64
+
+	// FrameSize, when set, overrides the trace-driven size (rate-based
+	// fixed-size applications, Table 8).
+	FrameSize int
+
+	// IndexByFrame reads the trace per frame index rather than per elapsed
+	// time: frame i uses Trace[i mod len]. This is the paper's changing-
+	// application workload, where the frame-size *sequence* follows the
+	// trace and congestion stretches wall-clock duration.
+	IndexByFrame bool
+
+	// MaxBacklog, when positive, stalls frame production while the
+	// transport has more than this many packets queued — a bounded
+	// application buffer. Stalled ticks do not consume frame indices, so
+	// congestion lengthens the run instead of deepening the queue.
+	MaxBacklog int
+
+	// MarkPolicy decides whether frame i is marked (must-deliver). Nil marks
+	// everything.
+	MarkPolicy func(i int) bool
+
+	// AttrsFor supplies the quality-attribute list for frame i (nil = none).
+	AttrsFor func(i int, size int) *attr.List
+
+	// OnDone runs after the final frame has been handed to the transport.
+	OnDone func()
+
+	ticker *sim.Ticker
+	frames int
+	bytes  uint64
+	done   bool
+}
+
+// Start begins frame production. Frames whose computed size is zero (group
+// momentarily empty) are skipped but still counted against MaxFrames,
+// matching a live source with nothing to send that tick.
+func (f *FrameSource) Start() {
+	if f.ticker != nil {
+		return
+	}
+	if f.Scale == 0 {
+		f.Scale = 1
+	}
+	if f.MinScale == 0 {
+		f.MinScale = 0.05
+	}
+	if f.MaxFrames == 0 && f.Trace != nil {
+		f.MaxFrames = int(f.Trace.Duration().Seconds() * f.FPS)
+	}
+	interval := time.Duration(float64(time.Second) / f.FPS)
+	start := f.S.Now()
+	f.ticker = sim.NewTicker(f.S, interval, func() {
+		if f.done {
+			return
+		}
+		if f.MaxBacklog > 0 && f.T.QueuedPackets() > f.MaxBacklog {
+			return // application buffer full: stall without consuming a frame
+		}
+		i := f.frames
+		f.frames++
+		size := f.sizeAt(f.S.Now()-start, i)
+		if size > 0 {
+			marked := true
+			if f.MarkPolicy != nil {
+				marked = f.MarkPolicy(i)
+			}
+			var attrs *attr.List
+			if f.AttrsFor != nil {
+				attrs = f.AttrsFor(i, size)
+			}
+			if err := sendMsg(f.T, make([]byte, size), marked, attrs); err == nil {
+				f.bytes += uint64(size)
+			}
+		}
+		if f.frames >= f.MaxFrames {
+			f.finish()
+		}
+	})
+}
+
+func (f *FrameSource) sizeAt(elapsed time.Duration, i int) int {
+	base := f.FrameSize
+	if base == 0 {
+		if len(f.Trace) == 0 {
+			return 0
+		}
+		if f.IndexByFrame {
+			base = f.Trace[i%len(f.Trace)].Group * f.Unit
+		} else {
+			base = f.Trace.At(elapsed) * f.Unit
+		}
+	}
+	size := int(float64(base) * f.Scale)
+	if base > 0 && size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// AdjustScale multiplies Scale by factor, clamped to [MinScale, 1], and
+// returns the factor actually applied (1 when the clamp absorbed the whole
+// change) — the degree an application must report to the transport.
+func (f *FrameSource) AdjustScale(factor float64) float64 {
+	old := f.Scale
+	f.Scale *= factor
+	if f.Scale < f.MinScale {
+		f.Scale = f.MinScale
+	}
+	if f.Scale > 1 {
+		f.Scale = 1
+	}
+	if old == 0 {
+		return 1
+	}
+	return f.Scale / old
+}
+
+func (f *FrameSource) finish() {
+	f.done = true
+	if f.ticker != nil {
+		f.ticker.Stop()
+	}
+	if f.OnDone != nil {
+		f.OnDone()
+	}
+}
+
+// Stop halts the source early.
+func (f *FrameSource) Stop() { f.finish() }
+
+// Done reports whether all frames have been produced.
+func (f *FrameSource) Done() bool { return f.done }
+
+// Frames returns frames produced so far (including zero-size skips).
+func (f *FrameSource) Frames() int { return f.frames }
+
+// Bytes returns application payload bytes offered to the transport.
+func (f *FrameSource) Bytes() uint64 { return f.bytes }
+
+// BulkSource is the "changing network" workload: fixed-size messages sent as
+// fast as the transport's window allows, for a fixed total count. The
+// message size is re-read for every message so a resolution adaptation can
+// shrink it mid-run.
+type BulkSource struct {
+	S *sim.Scheduler
+	T endpoint.Transport
+
+	Total    int              // messages to send
+	SizeOf   func(i int) int  // message size; nil = constant 1000
+	Mark     func(i int) bool // nil = all marked
+	AttrsFor func(i int, size int) *attr.List
+
+	OnDone func()
+
+	sent  int
+	bytes uint64
+	done  bool
+}
+
+// Start installs the writability pump and begins sending.
+func (b *BulkSource) Start() {
+	b.T.OnWritable(b.pump)
+	// Kick immediately and also once established (whichever comes first).
+	b.pump()
+	b.S.After(0, b.pump)
+}
+
+func (b *BulkSource) pump() {
+	if b.done {
+		return
+	}
+	for b.sent < b.Total && b.T.CanSend() {
+		i := b.sent
+		size := 1000
+		if b.SizeOf != nil {
+			size = b.SizeOf(i)
+		}
+		if size < 1 {
+			size = 1
+		}
+		marked := true
+		if b.Mark != nil {
+			marked = b.Mark(i)
+		}
+		var attrs *attr.List
+		if b.AttrsFor != nil {
+			attrs = b.AttrsFor(i, size)
+		}
+		if err := sendMsg(b.T, make([]byte, size), marked, attrs); err != nil {
+			return
+		}
+		b.sent++
+		b.bytes += uint64(size)
+	}
+	if b.sent >= b.Total {
+		b.done = true
+		if b.OnDone != nil {
+			b.OnDone()
+		}
+	}
+}
+
+// Done reports whether all messages were handed to the transport.
+func (b *BulkSource) Done() bool { return b.done }
+
+// Sent returns messages handed to the transport so far.
+func (b *BulkSource) Sent() int { return b.sent }
+
+// Bytes returns payload bytes offered.
+func (b *BulkSource) Bytes() uint64 { return b.bytes }

@@ -1,0 +1,154 @@
+// Package traffic provides the workload machinery of the paper's
+// evaluation: the MBone-style membership trace that modulates frame sizes
+// (Figure 1), iperf-like constant-bit-rate UDP cross traffic, the variable-
+// bit-rate UDP source driven by the trace, and the adaptive application
+// sources (fixed-frame-rate and send-as-fast-as-allowed) the experiments
+// run over IQ-RUDP and TCP.
+package traffic
+
+import (
+	"math/rand"
+	"time"
+)
+
+// TracePoint is one sample of the membership trace: the multicast group size
+// at a given time.
+type TracePoint struct {
+	At    time.Duration
+	Group int
+}
+
+// Trace is a piecewise-constant membership series. The paper drives both
+// the application's frame sizes (group×3000 B) and the VBR cross source's
+// frame sizes (group×2000 B) from an MBone session trace; the original
+// capture is unavailable, so MembershipTrace synthesises a series with the
+// same character: a low base level, a bounded random walk, and occasional
+// join bursts that decay (see Figure 1's spiky dynamics).
+type Trace []TracePoint
+
+// TraceConfig parameterises the synthetic membership process.
+type TraceConfig struct {
+	Seed      int64
+	Duration  time.Duration
+	Step      time.Duration // sampling interval
+	Base      int           // resting group size
+	Max       int           // walk ceiling (bursts may exceed it)
+	BurstProb float64       // per-step probability of a join burst
+	BurstMax  int           // peak extra members in a burst
+}
+
+// DefaultTraceConfig returns the trace used across the experiments: 300
+// virtual seconds sampled at 1 s, resting near 1 member with bursts to ~7.
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		Seed:      7,
+		Duration:  300 * time.Second,
+		Step:      time.Second,
+		Base:      1,
+		Max:       4,
+		BurstProb: 0.03,
+		BurstMax:  6,
+	}
+}
+
+// MembershipTrace synthesises the Figure-1 style trace.
+func MembershipTrace(cfg TraceConfig) Trace {
+	if cfg.Step <= 0 {
+		cfg.Step = time.Second
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 300 * time.Second
+	}
+	if cfg.Max <= 0 {
+		cfg.Max = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := int(cfg.Duration/cfg.Step) + 1
+	tr := make(Trace, 0, n)
+	level := cfg.Base
+	burst := 0
+	for i := 0; i < n; i++ {
+		// Bounded random walk around the base level.
+		switch r := rng.Float64(); {
+		case r < 0.30 && level < cfg.Max:
+			level++
+		case r < 0.60 && level > 0:
+			level--
+		}
+		// Pull toward the base so the walk doesn't stick at the edges.
+		if level > cfg.Base && rng.Float64() < 0.2 {
+			level--
+		}
+		if level < cfg.Base && rng.Float64() < 0.4 {
+			level++
+		}
+		// Occasional join burst that decays by one member per step.
+		if burst == 0 && rng.Float64() < cfg.BurstProb {
+			burst = 1 + rng.Intn(cfg.BurstMax)
+		} else if burst > 0 {
+			burst--
+		}
+		g := level + burst
+		if g < 0 {
+			g = 0
+		}
+		tr = append(tr, TracePoint{At: time.Duration(i) * cfg.Step, Group: g})
+	}
+	return tr
+}
+
+// At returns the group size at time now (piecewise constant; the last sample
+// extends to infinity, and times before the first sample use the first).
+func (t Trace) At(now time.Duration) int {
+	if len(t) == 0 {
+		return 0
+	}
+	// Binary search for the last point with At ≤ now.
+	lo, hi := 0, len(t)-1
+	if now <= t[0].At {
+		return t[0].Group
+	}
+	if now >= t[hi].At {
+		return t[hi].Group
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if t[mid].At <= now {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return t[lo].Group
+}
+
+// Duration returns the time of the last sample.
+func (t Trace) Duration() time.Duration {
+	if len(t) == 0 {
+		return 0
+	}
+	return t[len(t)-1].At
+}
+
+// Mean returns the average group size.
+func (t Trace) Mean() float64 {
+	if len(t) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, p := range t {
+		sum += p.Group
+	}
+	return float64(sum) / float64(len(t))
+}
+
+// Max returns the largest group size.
+func (t Trace) Max() int {
+	m := 0
+	for _, p := range t {
+		if p.Group > m {
+			m = p.Group
+		}
+	}
+	return m
+}

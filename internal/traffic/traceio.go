@@ -1,0 +1,107 @@
+package traffic
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace CSV import/export: lets users replace the synthetic membership
+// generator with a real capture (e.g. an actual MBone session log) and feed
+// it to the VBR source and frame workloads, and lets cmd/iqtrace round-trip
+// its output.
+//
+// Format: an optional header line, then one "time_s,group" row per sample.
+// Times must be non-decreasing; group sizes must be non-negative.
+
+// WriteCSV emits the trace in the canonical CSV format.
+func (t Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time_s,group"); err != nil {
+		return err
+	}
+	for _, p := range t {
+		if _, err := fmt.Fprintf(bw, "%.6f,%d\n", p.At.Seconds(), p.Group); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace from the canonical CSV format, tolerating an
+// optional header, blank lines and surrounding whitespace. Rows are sorted
+// by time; validation errors name the offending line.
+func ReadCSV(r io.Reader) (Trace, error) {
+	var tr Trace
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if lineNo == 1 && strings.Contains(strings.ToLower(line), "time") {
+			continue // header
+		}
+		tsStr, gStr, ok := strings.Cut(line, ",")
+		if !ok {
+			return nil, fmt.Errorf("traffic: trace line %d: want time_s,group", lineNo)
+		}
+		ts, err := strconv.ParseFloat(strings.TrimSpace(tsStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("traffic: trace line %d: bad time: %v", lineNo, err)
+		}
+		if ts < 0 {
+			return nil, fmt.Errorf("traffic: trace line %d: negative time", lineNo)
+		}
+		g, err := strconv.Atoi(strings.TrimSpace(gStr))
+		if err != nil {
+			return nil, fmt.Errorf("traffic: trace line %d: bad group: %v", lineNo, err)
+		}
+		if g < 0 {
+			return nil, fmt.Errorf("traffic: trace line %d: negative group", lineNo)
+		}
+		tr = append(tr, TracePoint{
+			At:    time.Duration(ts * float64(time.Second)),
+			Group: g,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(tr, func(i, j int) bool { return tr[i].At < tr[j].At })
+	return tr, nil
+}
+
+// Scale returns a copy with every group size multiplied by factor (rounded
+// down, floored at 0) — the knob for adapting a capture's magnitude to a
+// simulated link's capacity.
+func (t Trace) Scale(factor float64) Trace {
+	out := make(Trace, len(t))
+	for i, p := range t {
+		g := int(float64(p.Group) * factor)
+		if g < 0 {
+			g = 0
+		}
+		out[i] = TracePoint{At: p.At, Group: g}
+	}
+	return out
+}
+
+// Clip returns the sub-trace with At < limit, re-based so it still starts at
+// the original first sample's time.
+func (t Trace) Clip(limit time.Duration) Trace {
+	out := make(Trace, 0, len(t))
+	for _, p := range t {
+		if p.At >= limit {
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}

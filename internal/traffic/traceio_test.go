@@ -1,0 +1,105 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	orig := MembershipTrace(DefaultTraceConfig())
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("lengths %d vs %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Group != orig[i].Group {
+			t.Fatalf("sample %d group %d vs %d", i, got[i].Group, orig[i].Group)
+		}
+		// Times round through %.6f seconds: microsecond precision.
+		if d := got[i].At - orig[i].At; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("sample %d time drifted by %v", i, d)
+		}
+	}
+}
+
+func TestReadCSVTolerant(t *testing.T) {
+	in := "time_s,group\n\n  1.5 , 3 \n0.5,1\n"
+	tr, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 2 {
+		t.Fatalf("samples = %d", len(tr))
+	}
+	// Sorted by time despite input order.
+	if tr[0].Group != 1 || tr[1].Group != 3 {
+		t.Fatalf("trace = %v", tr)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"time_s,group\nnot-a-row\n",
+		"time_s,group\nx,1\n",
+		"time_s,group\n1.0,x\n",
+		"time_s,group\n-1.0,2\n",
+		"time_s,group\n1.0,-2\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestTraceScaleAndClip(t *testing.T) {
+	tr := Trace{{0, 4}, {time.Second, 2}, {2 * time.Second, 1}}
+	half := tr.Scale(0.5)
+	if half[0].Group != 2 || half[1].Group != 1 || half[2].Group != 0 {
+		t.Fatalf("scaled = %v", half)
+	}
+	if tr[0].Group != 4 {
+		t.Fatal("Scale must not mutate the original")
+	}
+	clipped := tr.Clip(1500 * time.Millisecond)
+	if len(clipped) != 2 || clipped[1].At != time.Second {
+		t.Fatalf("clipped = %v", clipped)
+	}
+}
+
+// Property: WriteCSV→ReadCSV preserves group sequences for arbitrary traces.
+func TestQuickTraceCSV(t *testing.T) {
+	f := func(groups []uint8) bool {
+		tr := make(Trace, len(groups))
+		for i, g := range groups {
+			tr[i] = TracePoint{At: time.Duration(i) * time.Second, Group: int(g)}
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil || len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i].Group != tr[i].Group {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,304 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/sim"
+)
+
+func TestMembershipTraceShape(t *testing.T) {
+	tr := MembershipTrace(DefaultTraceConfig())
+	if len(tr) != 301 {
+		t.Fatalf("samples = %d, want 301", len(tr))
+	}
+	if tr.Duration() != 300*time.Second {
+		t.Fatalf("duration = %v", tr.Duration())
+	}
+	mean := tr.Mean()
+	if mean < 0.5 || mean > 3 {
+		t.Fatalf("mean group = %v, want a low resting level", mean)
+	}
+	if tr.Max() < 4 {
+		t.Fatalf("max group = %d, want bursts", tr.Max())
+	}
+	// Non-negative everywhere.
+	for _, p := range tr {
+		if p.Group < 0 {
+			t.Fatalf("negative group at %v", p.At)
+		}
+	}
+}
+
+func TestTraceDeterministicPerSeed(t *testing.T) {
+	a := MembershipTrace(DefaultTraceConfig())
+	b := MembershipTrace(DefaultTraceConfig())
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+	cfg := DefaultTraceConfig()
+	cfg.Seed = 99
+	c := MembershipTrace(cfg)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestTraceAtLookup(t *testing.T) {
+	tr := Trace{{0, 2}, {time.Second, 5}, {2 * time.Second, 1}}
+	cases := map[time.Duration]int{
+		0: 2, 500 * time.Millisecond: 2, time.Second: 5,
+		1500 * time.Millisecond: 5, 2 * time.Second: 1, time.Hour: 1,
+	}
+	for at, want := range cases {
+		if got := tr.At(at); got != want {
+			t.Errorf("At(%v) = %d, want %d", at, got, want)
+		}
+	}
+	var empty Trace
+	if empty.At(time.Second) != 0 || empty.Duration() != 0 || empty.Mean() != 0 {
+		t.Fatal("empty trace accessors should be zero")
+	}
+}
+
+// Property: At is consistent with a linear scan.
+func TestQuickTraceAt(t *testing.T) {
+	tr := MembershipTrace(DefaultTraceConfig())
+	f := func(ms uint32) bool {
+		now := time.Duration(ms%400_000) * time.Millisecond
+		want := tr[0].Group
+		for _, p := range tr {
+			if p.At <= now {
+				want = p.Group
+			} else {
+				break
+			}
+		}
+		return tr.At(now) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCBRRateAccuracy(t *testing.T) {
+	s := sim.New(1)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	c := NewCBR(d, 8e6, 1000) // 8 Mb/s in 1000 B datagrams → 1000 pkt/s
+	c.Start()
+	s.RunUntil(10 * time.Second)
+	c.Stop()
+	s.RunUntil(11 * time.Second)
+	got := float64(c.Sink.Bytes) * 8 / 10
+	if got < 7.5e6 || got > 8.5e6 {
+		t.Fatalf("delivered rate = %v b/s, want ≈8e6", got)
+	}
+	if c.Sent() < 9900 || c.Sent() > 10100 {
+		t.Fatalf("sent = %d, want ≈10000", c.Sent())
+	}
+	// Stop must stick.
+	before := c.Sent()
+	s.RunUntil(12 * time.Second)
+	if c.Sent() != before {
+		t.Fatal("CBR kept sending after Stop")
+	}
+}
+
+func TestCBROverloadDropsAtBottleneck(t *testing.T) {
+	s := sim.New(2)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell()) // 20 Mb/s bottleneck
+	c := NewCBR(d, 30e6, 1000)
+	c.Start()
+	s.RunUntil(5 * time.Second)
+	c.Stop()
+	if d.Bottleneck().Stats().Dropped == 0 {
+		t.Fatal("30 Mb/s into a 20 Mb/s link must drop")
+	}
+	rate := float64(c.Sink.Bytes) * 8 / 5
+	if rate > 21e6 {
+		t.Fatalf("delivered rate %v exceeds bottleneck", rate)
+	}
+}
+
+func TestVBRFollowsTrace(t *testing.T) {
+	s := sim.New(3)
+	d := netem.NewDumbbell(s, netem.DumbbellConfig{Bandwidth: 1e9, Delay: time.Millisecond})
+	tr := Trace{{0, 2}, {5 * time.Second, 0}}
+	v := NewVBR(d, tr, 100, 500) // 100 fps × 2×500 B = 100 KB/s for 5 s, then 0
+	v.Start()
+	s.RunUntil(12 * time.Second)
+	v.Stop()
+	// Bytes include the per-datagram overhead; compare loosely.
+	gotKB := float64(v.Sink.Bytes) / 1000
+	if gotKB < 450 || gotKB > 600 {
+		t.Fatalf("VBR delivered %v KB, want ≈500 (plus overhead)", gotKB)
+	}
+}
+
+func TestVBRFragmentsLargeFrames(t *testing.T) {
+	s := sim.New(4)
+	d := netem.NewDumbbell(s, netem.DumbbellConfig{Bandwidth: 1e9, Delay: time.Millisecond})
+	tr := Trace{{0, 2}} // 2×2000 = 4000 B frames > 1400 MTU
+	v := NewVBR(d, tr, 10, 2000)
+	v.Start()
+	s.RunUntil(time.Second + time.Millisecond)
+	v.Stop()
+	// 10 frames/s × 3 datagrams per 4000 B frame.
+	if v.Sent() < 27 || v.Sent() > 33 {
+		t.Fatalf("datagrams = %d, want ≈30", v.Sent())
+	}
+}
+
+func newConnectedPair(t *testing.T, seed int64) (*sim.Scheduler, *endpoint.Endpoint, *endpoint.Endpoint) {
+	t.Helper()
+	s := sim.New(seed)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	snd, rcv := endpoint.Pair(d, core.DefaultConfig(), core.DefaultConfig())
+	rcv.Record = true
+	if !endpoint.WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("handshake failed")
+	}
+	return s, snd, rcv
+}
+
+func TestFrameSourceProducesTraceSizedFrames(t *testing.T) {
+	s, snd, rcv := newConnectedPair(t, 5)
+	tr := Trace{{0, 2}, {10 * time.Second, 3}}
+	fs := &FrameSource{
+		S: s, T: snd.T, FPS: 10, Unit: 300, Trace: tr, MaxFrames: 50,
+	}
+	done := false
+	fs.OnDone = func() { done = true }
+	fs.Start()
+	s.RunUntil(s.Now() + 30*time.Second)
+	if !done || !fs.Done() {
+		t.Fatal("source did not finish")
+	}
+	if fs.Frames() != 50 {
+		t.Fatalf("frames = %d", fs.Frames())
+	}
+	if len(rcv.Delivered) != 50 {
+		t.Fatalf("delivered = %d, want 50", len(rcv.Delivered))
+	}
+	// All frames in the first 5 seconds have group 2 → 600 B.
+	if got := len(rcv.Delivered[0].Data); got != 600 {
+		t.Fatalf("first frame size = %d, want 600", got)
+	}
+}
+
+func TestFrameSourceScaleAdaptation(t *testing.T) {
+	s, snd, rcv := newConnectedPair(t, 6)
+	tr := Trace{{0, 2}}
+	fs := &FrameSource{S: s, T: snd.T, FPS: 10, Unit: 500, Trace: tr, MaxFrames: 20}
+	fs.Start()
+	s.RunUntil(s.Now() + time.Second)
+	fs.AdjustScale(0.5) // resolution halved mid-run
+	s.RunUntil(s.Now() + 30*time.Second)
+	if len(rcv.Delivered) != 20 {
+		t.Fatalf("delivered = %d", len(rcv.Delivered))
+	}
+	first, last := len(rcv.Delivered[0].Data), len(rcv.Delivered[19].Data)
+	if first != 1000 || last != 500 {
+		t.Fatalf("frame sizes %d → %d, want 1000 → 500", first, last)
+	}
+	// Clamping.
+	fs.AdjustScale(1e-9)
+	if fs.Scale != fs.MinScale {
+		t.Fatalf("scale floor = %v", fs.Scale)
+	}
+	fs.AdjustScale(1e9)
+	if fs.Scale != 1 {
+		t.Fatalf("scale cap = %v", fs.Scale)
+	}
+}
+
+func TestFrameSourceFixedSizeOverride(t *testing.T) {
+	s, snd, rcv := newConnectedPair(t, 7)
+	fs := &FrameSource{S: s, T: snd.T, FPS: 20, FrameSize: 800, MaxFrames: 10}
+	fs.Start()
+	s.RunUntil(s.Now() + 5*time.Second)
+	if len(rcv.Delivered) != 10 {
+		t.Fatalf("delivered = %d", len(rcv.Delivered))
+	}
+	for _, m := range rcv.Delivered {
+		if len(m.Data) != 800 {
+			t.Fatalf("frame size = %d, want 800", len(m.Data))
+		}
+	}
+}
+
+func TestFrameSourceMarkPolicy(t *testing.T) {
+	s, snd, rcv := newConnectedPair(t, 8)
+	fs := &FrameSource{
+		S: s, T: snd.T, FPS: 20, FrameSize: 200, MaxFrames: 20,
+		MarkPolicy: func(i int) bool { return i%2 == 0 },
+	}
+	fs.Start()
+	s.RunUntil(s.Now() + 5*time.Second)
+	marked := 0
+	for _, m := range rcv.Delivered {
+		if m.Marked {
+			marked++
+		}
+	}
+	if marked != 10 {
+		t.Fatalf("marked = %d, want 10", marked)
+	}
+}
+
+func TestBulkSourceSendsAsFastAsAllowed(t *testing.T) {
+	s, snd, rcv := newConnectedPair(t, 9)
+	b := &BulkSource{S: s, T: snd.T, Total: 500, SizeOf: func(int) int { return 1400 }}
+	done := false
+	b.OnDone = func() { done = true }
+	b.Start()
+	s.RunUntil(s.Now() + 30*time.Second)
+	if !done || b.Sent() != 500 {
+		t.Fatalf("sent = %d done=%v", b.Sent(), done)
+	}
+	if len(rcv.Delivered) != 500 {
+		t.Fatalf("delivered = %d", len(rcv.Delivered))
+	}
+	// 500×1400 B = 700 KB at ≈2.4 MB/s goodput should take well under 10 s —
+	// i.e. the source actually filled the window rather than trickling.
+	last := rcv.Delivered[len(rcv.Delivered)-1].DeliveredAt
+	if last > 10*time.Second {
+		t.Fatalf("bulk transfer took %v", last)
+	}
+}
+
+func TestBulkSourceAdaptiveSize(t *testing.T) {
+	s, snd, rcv := newConnectedPair(t, 10)
+	size := 1000
+	b := &BulkSource{S: s, T: snd.T, Total: 100, SizeOf: func(int) int { return size }}
+	b.Start()
+	// Change the size once roughly half the messages have been handed over.
+	for b.Sent() < 50 && s.Step() {
+	}
+	size = 250 // resolution adaptation mid-run
+	s.RunUntil(s.Now() + 30*time.Second)
+	if len(rcv.Delivered) != 100 {
+		t.Fatalf("delivered = %d", len(rcv.Delivered))
+	}
+	first := len(rcv.Delivered[0].Data)
+	last := len(rcv.Delivered[99].Data)
+	if first != 1000 || last != 250 {
+		t.Fatalf("sizes %d → %d", first, last)
+	}
+}

@@ -1,0 +1,142 @@
+package udpwire
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/packet"
+)
+
+// Listener accepts IQ-RUDP connections on one UDP socket, demultiplexing by
+// remote address.
+type Listener struct {
+	sock *net.UDPConn
+	cfg  core.Config
+
+	mu     sync.Mutex
+	conns  map[string]*Conn
+	accept chan *Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+// Listen binds laddr ("host:port") and starts the demultiplexing loop. cfg
+// configures every accepted connection (notably LossTolerance, the
+// receiver-side reliability knob).
+func Listen(laddr string, cfg core.Config) (*Listener, error) {
+	ua, err := net.ResolveUDPAddr("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	sock, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	ln := &Listener{
+		sock:   sock,
+		cfg:    cfg,
+		conns:  make(map[string]*Conn),
+		accept: make(chan *Conn, 16),
+		closed: make(chan struct{}),
+	}
+	go ln.readLoop()
+	return ln, nil
+}
+
+func (ln *Listener) readLoop() {
+	buf := make([]byte, 65536)
+	for {
+		n, raddr, err := ln.sock.ReadFromUDP(buf)
+		if err != nil {
+			ln.Close()
+			return
+		}
+		p, err := packet.Decode(buf[:n])
+		if err != nil {
+			continue
+		}
+		c := ln.connFor(raddr, p)
+		if c != nil {
+			c.handlePacket(p)
+		}
+	}
+}
+
+// connFor finds or (on SYN) creates the connection for a remote address.
+func (ln *Listener) connFor(raddr *net.UDPAddr, p *packet.Packet) *Conn {
+	key := raddr.String()
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	if c, ok := ln.conns[key]; ok {
+		return c
+	}
+	if p.Type != packet.SYN {
+		return nil // stray non-SYN from an unknown peer
+	}
+	c := newConn(ln.cfg, nil, raddr, ln)
+	c.mu.Lock()
+	c.m.StartServer()
+	c.mu.Unlock()
+	ln.conns[key] = c
+	select {
+	case ln.accept <- c:
+	default:
+		// Accept backlog full: refuse by forgetting; the client will retry.
+		delete(ln.conns, key)
+		return nil
+	}
+	return c
+}
+
+// forget removes a closed connection from the demux table.
+func (ln *Listener) forget(raddr *net.UDPAddr) {
+	if raddr == nil {
+		return
+	}
+	ln.mu.Lock()
+	delete(ln.conns, raddr.String())
+	ln.mu.Unlock()
+}
+
+// Accept blocks until a new connection's handshake has begun, the timeout
+// elapses (0 = no timeout), or the listener closes. The returned connection
+// may still be completing its handshake; use Established/Recv as needed.
+func (ln *Listener) Accept(timeout time.Duration) (*Conn, error) {
+	var tc <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tc = t.C
+	}
+	select {
+	case c := <-ln.accept:
+		return c, nil
+	case <-tc:
+		return nil, ErrTimeout
+	case <-ln.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Addr returns the bound address.
+func (ln *Listener) Addr() net.Addr { return ln.sock.LocalAddr() }
+
+// Close shuts the listener and every accepted connection down.
+func (ln *Listener) Close() error {
+	ln.once.Do(func() {
+		close(ln.closed)
+		ln.sock.Close()
+		ln.mu.Lock()
+		conns := make([]*Conn, 0, len(ln.conns))
+		for _, c := range ln.conns {
+			conns = append(conns, c)
+		}
+		ln.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+	return nil
+}

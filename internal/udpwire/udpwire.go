@@ -1,0 +1,352 @@
+// Package udpwire drives the sans-I/O IQ-RUDP machine over real UDP sockets
+// with goroutines: a reader loop feeding decoded packets into the machine, a
+// timer adapter on time.AfterFunc, and a buffered delivery queue toward the
+// application. It is the production driver; the simulator (internal/netem +
+// internal/endpoint) is the reproducible one.
+//
+// Concurrency model: one mutex serialises every machine interaction (reader,
+// timers, application sends). Deliveries and threshold callbacks are staged
+// while the lock is held and dispatched after it is released, so application
+// code may freely call back into the connection.
+package udpwire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/packet"
+)
+
+// Errors returned by the driver.
+var (
+	ErrClosed  = errors.New("udpwire: connection closed")
+	ErrTimeout = errors.New("udpwire: timed out")
+)
+
+// Conn is an IQ-RUDP connection over a UDP socket.
+type Conn struct {
+	mu    sync.Mutex
+	m     *core.Machine
+	sock  *net.UDPConn
+	peer  *net.UDPAddr
+	epoch time.Time
+
+	ownSocket bool // Close closes the socket (dialed conns)
+	ln        *Listener
+
+	pendingMsgs []core.Message
+	msgs        chan core.Message
+	established chan struct{}
+	estOnce     sync.Once
+	closed      chan struct{}
+	closeOnce   sync.Once
+
+	dropped uint64 // deliveries discarded because the queue was full
+}
+
+// env adapts the socket world to core.Env. All methods are invoked with
+// c.mu held.
+type env struct{ c *Conn }
+
+func (e env) Now() time.Duration { return time.Since(e.c.epoch) }
+
+func (e env) Emit(p *packet.Packet) {
+	c := e.c
+	if c.peer == nil {
+		return // passive side before the first SYN: nothing to address
+	}
+	b, err := packet.Encode(p)
+	if err != nil {
+		return // structurally impossible for machine-built packets
+	}
+	if c.ln != nil {
+		c.ln.sock.WriteToUDP(b, c.peer)
+		return
+	}
+	c.sock.Write(b)
+}
+
+func (e env) Deliver(msg core.Message) {
+	e.c.pendingMsgs = append(e.c.pendingMsgs, msg)
+}
+
+// timer wraps time.AfterFunc and re-locks around the machine callback.
+type timer struct{ t *time.Timer }
+
+func (t timer) Stop() bool { return t.t.Stop() }
+
+func (e env) After(d time.Duration, fn func()) core.Timer {
+	c := e.c
+	return timer{t: time.AfterFunc(d, func() {
+		c.mu.Lock()
+		select {
+		case <-c.closed:
+			c.mu.Unlock()
+			return
+		default:
+		}
+		fn()
+		out := c.takeDeliveries()
+		c.mu.Unlock()
+		c.dispatch(out)
+	})}
+}
+
+// takeDeliveries drains the staged deliveries; called with mu held.
+func (c *Conn) takeDeliveries() []core.Message {
+	out := c.pendingMsgs
+	c.pendingMsgs = nil
+	return out
+}
+
+// dispatch pushes deliveries to the receive queue without holding the lock.
+func (c *Conn) dispatch(msgs []core.Message) {
+	for _, msg := range msgs {
+		select {
+		case c.msgs <- msg:
+		case <-c.closed:
+			return
+		default:
+			// Queue full: drop-newest keeps the connection live; the
+			// transport's own reliability already ran its course, so this is
+			// an application-side overrun, counted for visibility.
+			c.mu.Lock()
+			c.dropped++
+			c.mu.Unlock()
+		}
+	}
+}
+
+// newConn wires a connection around an existing machine-less state.
+func newConn(cfg core.Config, sock *net.UDPConn, peer *net.UDPAddr, ln *Listener) *Conn {
+	c := &Conn{
+		sock:        sock,
+		peer:        peer,
+		ln:          ln,
+		epoch:       time.Now(),
+		msgs:        make(chan core.Message, 1024),
+		established: make(chan struct{}),
+		closed:      make(chan struct{}),
+	}
+	c.m = core.NewMachine(cfg, env{c})
+	c.m.OnEstablished(func() { c.estOnce.Do(func() { close(c.established) }) })
+	c.m.OnClosed(func() { c.closeOnce.Do(func() { close(c.closed) }) })
+	return c
+}
+
+// Dial opens an IQ-RUDP connection to raddr ("host:port") and blocks until
+// the handshake completes or timeout elapses (0 means 10 s).
+func Dial(raddr string, cfg core.Config, timeout time.Duration) (*Conn, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	ua, err := net.ResolveUDPAddr("udp", raddr)
+	if err != nil {
+		return nil, err
+	}
+	sock, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	c := newConn(cfg, sock, ua, nil)
+	c.ownSocket = true
+	go c.readLoop()
+	c.mu.Lock()
+	c.m.StartClient()
+	c.mu.Unlock()
+	select {
+	case <-c.established:
+		return c, nil
+	case <-time.After(timeout):
+		c.Close()
+		return nil, fmt.Errorf("%w: handshake to %s", ErrTimeout, raddr)
+	}
+}
+
+// readLoop decodes incoming datagrams into the machine (dialed conns).
+func (c *Conn) readLoop() {
+	buf := make([]byte, 65536)
+	for {
+		n, err := c.sock.Read(buf)
+		if err != nil {
+			c.Close()
+			return
+		}
+		p, err := packet.Decode(buf[:n])
+		if err != nil {
+			continue // corrupt or foreign datagram
+		}
+		c.handlePacket(p)
+	}
+}
+
+// handlePacket feeds one packet through the machine and dispatches staged
+// deliveries.
+func (c *Conn) handlePacket(p *packet.Packet) {
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		return
+	default:
+	}
+	c.m.HandlePacket(p)
+	out := c.takeDeliveries()
+	c.mu.Unlock()
+	c.dispatch(out)
+}
+
+// Send transmits one message (marked = must-deliver).
+func (c *Conn) Send(data []byte, marked bool) error {
+	return c.SendMsg(data, marked, nil)
+}
+
+// SendMsg transmits one message with a quality-attribute list — the
+// CMwritev_attr path carrying ADAPT_* coordination attributes.
+func (c *Conn) SendMsg(data []byte, marked bool, attrs *attr.List) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	return c.m.SendMsg(data, marked, attrs)
+}
+
+// Recv returns the next delivered message, blocking until one arrives, the
+// timeout elapses (0 = no timeout), or the connection closes.
+func (c *Conn) Recv(timeout time.Duration) (core.Message, error) {
+	var tc <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tc = t.C
+	}
+	select {
+	case msg := <-c.msgs:
+		return msg, nil
+	case <-tc:
+		return core.Message{}, ErrTimeout
+	case <-c.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case msg := <-c.msgs:
+			return msg, nil
+		default:
+			return core.Message{}, ErrClosed
+		}
+	}
+}
+
+// Messages exposes the delivery queue for select-based consumers.
+func (c *Conn) Messages() <-chan core.Message { return c.msgs }
+
+// RegisterThresholds installs error-ratio callbacks; they run on the
+// connection's timer goroutine with the connection lock held, so they must
+// not call blocking Conn methods (returning an AdaptationReport is the
+// intended interaction).
+func (c *Conn) RegisterThresholds(upper, lower float64, onUpper, onLower core.ThresholdCallback) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.RegisterThresholds(upper, lower, onUpper, onLower)
+}
+
+// Report describes an application adaptation to the transport.
+func (c *Conn) Report(rep *core.AdaptationReport) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.Report(rep)
+}
+
+// SetLossTolerance updates this endpoint's receiver loss tolerance.
+func (c *Conn) SetLossTolerance(tol float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m.SetLossTolerance(tol)
+}
+
+// QueuedPackets returns segmented packets awaiting first transmission —
+// the send backlog an application should pace against.
+func (c *Conn) QueuedPackets() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.QueuedPackets()
+}
+
+// CanSend reports whether window space is currently free.
+func (c *Conn) CanSend() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.CanSend()
+}
+
+// Metrics snapshots the transport's measurements.
+func (c *Conn) Metrics() core.Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Metrics()
+}
+
+// Registry returns the connection's quality-attribute registry.
+func (c *Conn) Registry() *attr.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Registry()
+}
+
+// DroppedDeliveries counts messages discarded because the application did
+// not drain the receive queue.
+func (c *Conn) DroppedDeliveries() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// LocalAddr returns the socket's local address.
+func (c *Conn) LocalAddr() net.Addr {
+	if c.ln != nil {
+		return c.ln.sock.LocalAddr()
+	}
+	return c.sock.LocalAddr()
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.peer }
+
+// Close shuts the connection down gracefully: pending outgoing data drains
+// and the FIN handshake completes before the socket is torn down, bounded by
+// a five-second linger. The machine's OnClosed hook fires the closed signal
+// when the drain finishes; an unresponsive peer hits the linger cap.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.m.Close()
+	c.mu.Unlock()
+	select {
+	case <-c.closed:
+	case <-time.After(5 * time.Second):
+		c.closeOnce.Do(func() { close(c.closed) })
+	}
+	if c.ownSocket {
+		c.sock.Close()
+	}
+	if c.ln != nil {
+		c.ln.forget(c.peer)
+	}
+	return nil
+}
+
+// Closed reports whether the connection has shut down.
+func (c *Conn) Closed() bool {
+	select {
+	case <-c.closed:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,159 @@
+// Package iqrudp is a Go implementation of IQ-RUDP (He & Schwan, HPDC 2002):
+// a connection-oriented reliable UDP transport that coordinates its own
+// congestion-control adaptations with application-level adaptations.
+//
+// The transport provides:
+//
+//   - in-order reliable datagram delivery with TCP-like, LDA-style
+//     congestion control (window-based, loss-proportional decrease);
+//   - adaptive reliability: senders mark messages as must-deliver or
+//     droppable, receivers declare a loss tolerance, and the transport
+//     abandons droppable data within that tolerance instead of
+//     retransmitting it;
+//   - exported network performance metrics (loss ratio, RTT, rate, window)
+//     as quality attributes, and application callbacks on error-ratio
+//     thresholds;
+//   - coordination: applications describe their adaptations — frequency,
+//     resolution (down-sampling) and reliability (unmarking) — via
+//     AdaptationReports or ADAPT_* attributes on send calls, and the
+//     transport re-adapts its window and send pipeline accordingly.
+//
+// Two drivers run the same protocol machine: this package's Dial/Listen run
+// it over real UDP sockets; the simnet subpackage runs it on a
+// deterministic network simulator (the evaluation substrate that regenerates
+// the paper's tables — see cmd/iqbench).
+//
+// Quickstart (real sockets):
+//
+//	ln, _ := iqrudp.Listen("127.0.0.1:9999", iqrudp.ServerConfig(0.2))
+//	go func() {
+//		conn, _ := ln.Accept(0)
+//		for {
+//			msg, err := conn.Recv(0)
+//			if err != nil { return }
+//			fmt.Printf("got %d bytes (marked=%v)\n", len(msg.Data), msg.Marked)
+//		}
+//	}()
+//	conn, _ := iqrudp.Dial("127.0.0.1:9999", iqrudp.DefaultConfig())
+//	conn.Send([]byte("critical"), true)   // reliable
+//	conn.Send([]byte("best-effort"), false) // droppable within tolerance
+package iqrudp
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/udpwire"
+)
+
+// Core protocol types, re-exported.
+type (
+	// Config parameterises a connection's transport machine.
+	Config = core.Config
+	// Message is one delivered application datagram.
+	Message = core.Message
+	// Metrics is a snapshot of the transport's measurements.
+	Metrics = core.Metrics
+	// AdaptationReport describes an application-level adaptation.
+	AdaptationReport = core.AdaptationReport
+	// AdaptKind classifies an adaptation (frequency/resolution/reliability).
+	AdaptKind = core.AdaptKind
+	// CallbackInfo is the network snapshot passed to threshold callbacks.
+	CallbackInfo = core.CallbackInfo
+	// ThresholdCallback reacts to error-ratio threshold crossings.
+	ThresholdCallback = core.ThresholdCallback
+)
+
+// Adaptation kinds.
+const (
+	AdaptNone        = core.AdaptNone
+	AdaptFrequency   = core.AdaptFrequency
+	AdaptResolution  = core.AdaptResolution
+	AdaptReliability = core.AdaptReliability
+)
+
+// Quality-attribute types, re-exported.
+type (
+	// Attr is a single <name, value> quality attribute.
+	Attr = attr.Attr
+	// AttrList is an ordered attribute collection.
+	AttrList = attr.List
+	// AttrValue is a typed attribute value.
+	AttrValue = attr.Value
+	// AttrRegistry is the shared per-connection attribute store.
+	AttrRegistry = attr.Registry
+)
+
+// Attribute value constructors.
+var (
+	Int    = attr.Int
+	Float  = attr.Float
+	String = attr.String_
+	Bool   = attr.Bool
+)
+
+// NewAttrList builds an attribute list.
+func NewAttrList(attrs ...Attr) *AttrList { return attr.NewList(attrs...) }
+
+// Standard attribute names (see the paper, §2.3.2).
+const (
+	AdaptFreqAttr     = attr.AdaptFreq
+	AdaptMarkAttr     = attr.AdaptMark
+	AdaptPktSizeAttr  = attr.AdaptPktSize
+	AdaptWhenAttr     = attr.AdaptWhen
+	AdaptCondAttr     = attr.AdaptCond
+	NetLossAttr       = attr.NetLoss
+	NetRTTAttr        = attr.NetRTT
+	NetRateAttr       = attr.NetRate
+	NetCwndAttr       = attr.NetCwnd
+	LossToleranceAttr = attr.LossTolerance
+)
+
+// Socket driver types, re-exported.
+type (
+	// Conn is an IQ-RUDP connection over a UDP socket.
+	Conn = udpwire.Conn
+	// Listener accepts IQ-RUDP connections on a UDP socket.
+	Listener = udpwire.Listener
+)
+
+// Driver errors.
+var (
+	ErrClosed  = udpwire.ErrClosed
+	ErrTimeout = udpwire.ErrTimeout
+)
+
+// DefaultConfig returns the standard transport parameters (1400 B segments,
+// coordination enabled, zero receiver loss tolerance).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// ServerConfig returns DefaultConfig with the given receiver loss tolerance:
+// the fraction of unmarked application messages this endpoint is willing to
+// lose in exchange for timeliness.
+func ServerConfig(lossTolerance float64) Config {
+	cfg := core.DefaultConfig()
+	cfg.LossTolerance = lossTolerance
+	return cfg
+}
+
+// Dial opens a connection to raddr ("host:port"), blocking until the
+// handshake completes (default timeout 10 s).
+func Dial(raddr string, cfg Config) (*Conn, error) {
+	return udpwire.Dial(raddr, cfg, 0)
+}
+
+// DialTimeout is Dial with an explicit handshake timeout.
+func DialTimeout(raddr string, cfg Config, timeout time.Duration) (*Conn, error) {
+	return udpwire.Dial(raddr, cfg, timeout)
+}
+
+// Listen binds laddr ("host:port") and accepts connections configured
+// with cfg.
+func Listen(laddr string, cfg Config) (*Listener, error) {
+	return udpwire.Listen(laddr, cfg)
+}
+
+// NoAdaptation is the callback return value meaning "the application will
+// not adapt".
+func NoAdaptation() *AdaptationReport { return core.NoAdaptation() }

@@ -1,0 +1,108 @@
+// Package simnet exposes the deterministic network simulator the repository
+// uses to regenerate the paper's evaluation: a discrete-event scheduler, an
+// emulated dumbbell topology (bottleneck bandwidth/delay/drop-tail queue),
+// IQ-RUDP and TCP endpoints, and the workload generators (membership trace,
+// CBR/VBR cross traffic, adaptive application sources).
+//
+// Everything here runs in virtual time and is a pure function of its
+// configuration and seed, so experiments are exactly reproducible:
+//
+//	s := simnet.NewScheduler(42)
+//	d := simnet.NewDumbbell(s, simnet.DefaultDumbbell()) // 20 Mb/s, 30 ms RTT
+//	snd, rcv := simnet.Pair(d, iqrudp.DefaultConfig(), iqrudp.ServerConfig(0.3))
+//	rcv.Record = true
+//	simnet.WaitEstablished(s, snd, rcv, 5*time.Second)
+//	snd.Machine.Send(data, true)
+//	s.RunUntil(10 * time.Second)
+package simnet
+
+import (
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/sim"
+	"github.com/cercs/iqrudp/internal/traffic"
+)
+
+// Simulation core, re-exported.
+type (
+	// Scheduler is the discrete-event executor with a virtual clock.
+	Scheduler = sim.Scheduler
+	// Timer is a cancellable scheduled event.
+	Timer = sim.Timer
+	// Ticker repeats a callback at a fixed virtual period.
+	Ticker = sim.Ticker
+)
+
+// NewScheduler returns a deterministic scheduler seeded with seed.
+func NewScheduler(seed int64) *Scheduler { return sim.New(seed) }
+
+// NewTicker schedules fn every period on s.
+var NewTicker = sim.NewTicker
+
+// Network emulation, re-exported.
+type (
+	// Dumbbell is the shared-bottleneck topology of the experiments.
+	Dumbbell = netem.Dumbbell
+	// DumbbellConfig describes the bottleneck.
+	DumbbellConfig = netem.DumbbellConfig
+	// Link is a bandwidth/delay/queue-limited pipe.
+	Link = netem.Link
+	// LinkConfig describes a link.
+	LinkConfig = netem.LinkConfig
+	// Frame is one emulated network datagram.
+	Frame = netem.Frame
+	// Addr identifies a host on the emulated network.
+	Addr = netem.Addr
+)
+
+// NewDumbbell builds the topology on scheduler s.
+var NewDumbbell = netem.NewDumbbell
+
+// DefaultDumbbell returns the paper's standard setup: 20 Mb/s bottleneck,
+// 30 ms path RTT, BDP-sized drop-tail queue.
+var DefaultDumbbell = netem.DefaultDumbbell
+
+// Endpoints, re-exported.
+type (
+	// Endpoint is a host running a transport machine on the dumbbell.
+	Endpoint = endpoint.Endpoint
+	// Transport abstracts IQ-RUDP and TCP machines.
+	Transport = endpoint.Transport
+)
+
+// Pair creates a connected IQ-RUDP sender/receiver pair across the dumbbell.
+var Pair = endpoint.Pair
+
+// PairTransport creates a pair with custom transport factories (e.g. TCP).
+var PairTransport = endpoint.PairTransport
+
+// WaitEstablished runs the scheduler until both endpoints are established.
+var WaitEstablished = endpoint.WaitEstablished
+
+// Workloads, re-exported.
+type (
+	// Trace is a membership (group size) time series.
+	Trace = traffic.Trace
+	// TraceConfig parameterises the synthetic membership generator.
+	TraceConfig = traffic.TraceConfig
+	// CBR is an iperf-like constant-bit-rate UDP cross-traffic source.
+	CBR = traffic.CBR
+	// VBR is the trace-driven variable-bit-rate UDP source.
+	VBR = traffic.VBR
+	// FrameSource is the fixed-frame-rate adaptive application workload.
+	FrameSource = traffic.FrameSource
+	// BulkSource sends fixed-size messages as fast as the window allows.
+	BulkSource = traffic.BulkSource
+)
+
+// MembershipTrace synthesises a Figure-1 style membership series.
+var MembershipTrace = traffic.MembershipTrace
+
+// DefaultTraceConfig returns the standard trace parameters.
+var DefaultTraceConfig = traffic.DefaultTraceConfig
+
+// NewCBR attaches a CBR source and sink to the dumbbell.
+var NewCBR = traffic.NewCBR
+
+// NewVBR attaches a VBR source and sink to the dumbbell.
+var NewVBR = traffic.NewVBR
