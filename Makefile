@@ -1,0 +1,31 @@
+# Developer entry points. `make check` is the pre-commit gate; `make
+# race-smoke` is the fast race-detector pass over the threaded driver's
+# loopback tests (the sans-I/O core and simulator are single-threaded, so
+# udpwire plus the trace sinks is where races would live).
+
+GO ?= go
+
+.PHONY: check build test vet race race-smoke bench tables
+
+check: vet build race ## vet + build + full race-enabled test run
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+race-smoke: ## quick -race pass: loopback wire tests incl. the traced-sinks smoke
+	$(GO) test -race -run 'TestTracedLoopbackAllSinks|TestDialListenRoundTrip|TestManyMessagesOrdered|TestConcurrentSendersOneConnection|TestBidirectional' ./internal/udpwire/
+
+bench: ## nil-tracer send-path benchmarks (compare against a saved baseline)
+	$(GO) test -bench . -benchtime 3x -run '^$$' .
+
+tables: ## regenerate the paper's tables on the simulator
+	$(GO) run ./cmd/iqbench -experiment all

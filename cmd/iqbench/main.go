@@ -12,6 +12,15 @@
 // not the authors' Emulab testbed); the shapes — which scheme wins, by
 // roughly what factor, and how the gap moves with congestion — are the
 // reproduction target. See EXPERIMENTS.md for the side-by-side record.
+//
+// Observability:
+//
+//	iqbench -experiment table1 -trace table1.jsonl   # per-event JSONL trace
+//	iqbench -experiment all -metrics-addr :9920      # live Prometheus/expvar
+//
+// The JSONL trace covers every IQ-RUDP machine the experiments build
+// (inspect it with cmd/iqstat); the metrics listener serves aggregate
+// counters at /metrics and /debug/vars while experiments run.
 package main
 
 import (
@@ -22,16 +31,49 @@ import (
 	"time"
 
 	"github.com/cercs/iqrudp/internal/experiments"
+	"github.com/cercs/iqrudp/internal/trace"
+	"github.com/cercs/iqrudp/metricsexp"
 )
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		markdown = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
-		compare  = flag.Bool("compare", false, "emit paper-vs-measured comparison tables (table1..table8)")
+		which       = flag.String("experiment", "all", "experiment id (see -list) or 'all'")
+		list        = flag.Bool("list", false, "list experiment ids and exit")
+		markdown    = flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+		compare     = flag.Bool("compare", false, "emit paper-vs-measured comparison tables (table1..table8)")
+		traceFile   = flag.String("trace", "", "write a JSONL machine-event trace to this file (see cmd/iqstat)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/vars on this address while running")
 	)
 	flag.Parse()
+
+	var sinks []trace.Tracer
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		jl := trace.NewJSONL(f)
+		defer func() {
+			if err := jl.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+			f.Close()
+		}()
+		sinks = append(sinks, jl)
+	}
+	if *metricsAddr != "" {
+		counters := trace.NewCounters()
+		srv, err := metricsexp.Serve(*metricsAddr, metricsexp.New(counters))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", srv.Addr)
+		sinks = append(sinks, counters)
+	}
+	experiments.SetTracer(trace.Multi(sinks...))
 
 	if *list {
 		for _, e := range experiments.AllWithAblations() {

@@ -10,6 +10,10 @@
 //	iqload -to host:9901 -duration 10s -size 1400            # as fast as allowed
 //	iqload -to host:9901 -duration 10s -size 1200 -rate 2e6  # 2 Mb/s paced
 //	iqload -to host:9901 -unmarked 0.5                       # half droppable
+//
+// Either mode takes -trace file.jsonl (machine-event trace for cmd/iqstat)
+// and -metrics-addr host:port (live Prometheus /metrics + expvar
+// /debug/vars).
 package main
 
 import (
@@ -21,27 +25,35 @@ import (
 	"time"
 
 	iqrudp "github.com/cercs/iqrudp"
+	"github.com/cercs/iqrudp/metricsexp"
 )
 
 func main() {
 	var (
-		listen    = flag.String("listen", "", "sink mode: address to listen on")
-		tolerance = flag.Float64("tolerance", 0, "sink mode: loss tolerance for unmarked messages")
-		to        = flag.String("to", "", "source mode: sink address")
-		duration  = flag.Duration("duration", 10*time.Second, "source mode: how long to send")
-		size      = flag.Int("size", 1400, "source mode: message size in bytes")
-		rate      = flag.Float64("rate", 0, "source mode: target bit rate (0 = as fast as allowed)")
-		unmarked  = flag.Float64("unmarked", 0, "source mode: fraction of messages sent unmarked")
-		seed      = flag.Int64("seed", 1, "source mode: marking RNG seed")
+		listen      = flag.String("listen", "", "sink mode: address to listen on")
+		tolerance   = flag.Float64("tolerance", 0, "sink mode: loss tolerance for unmarked messages")
+		to          = flag.String("to", "", "source mode: sink address")
+		duration    = flag.Duration("duration", 10*time.Second, "source mode: how long to send")
+		size        = flag.Int("size", 1400, "source mode: message size in bytes")
+		rate        = flag.Float64("rate", 0, "source mode: target bit rate (0 = as fast as allowed)")
+		unmarked    = flag.Float64("unmarked", 0, "source mode: fraction of messages sent unmarked")
+		seed        = flag.Int64("seed", 1, "source mode: marking RNG seed")
+		traceFile   = flag.String("trace", "", "write a JSONL machine-event trace to this file (see cmd/iqstat)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/vars on this address")
 	)
 	flag.Parse()
+	tracer, cleanup, err := buildTracer(*traceFile, *metricsAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cleanup()
 	switch {
 	case *listen != "":
-		if err := runSink(*listen, *tolerance); err != nil {
+		if err := runSink(*listen, *tolerance, tracer); err != nil {
 			log.Fatal(err)
 		}
 	case *to != "":
-		if err := runSource(*to, *duration, *size, *rate, *unmarked, *seed); err != nil {
+		if err := runSource(*to, *duration, *size, *rate, *unmarked, *seed, tracer); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -50,8 +62,49 @@ func main() {
 	}
 }
 
-func runSink(addr string, tolerance float64) error {
-	ln, err := iqrudp.Listen(addr, iqrudp.ServerConfig(tolerance))
+// buildTracer assembles the optional observability sinks; cleanup flushes
+// the JSONL file and stops the metrics listener.
+func buildTracer(traceFile, metricsAddr string) (iqrudp.Tracer, func(), error) {
+	var (
+		sinks    []iqrudp.Tracer
+		cleanups []func()
+	)
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return nil, nil, err
+		}
+		jl := iqrudp.NewTraceJSONL(f)
+		cleanups = append(cleanups, func() {
+			if err := jl.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+			f.Close()
+		})
+		sinks = append(sinks, jl)
+	}
+	if metricsAddr != "" {
+		counters := iqrudp.NewTraceCounters()
+		srv, err := metricsexp.Serve(metricsAddr, metricsexp.New(counters))
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", srv.Addr)
+		cleanups = append(cleanups, func() { srv.Close() })
+		sinks = append(sinks, counters)
+	}
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	return iqrudp.MultiTracer(sinks...), cleanup, nil
+}
+
+func runSink(addr string, tolerance float64, tracer iqrudp.Tracer) error {
+	cfg := iqrudp.ServerConfig(tolerance)
+	cfg.Tracer = tracer
+	ln, err := iqrudp.Listen(addr, cfg)
 	if err != nil {
 		return err
 	}
@@ -109,8 +162,10 @@ func sinkConn(conn *iqrudp.Conn) {
 		total, marked, float64(bytes)/1000, float64(bytes)/elapsed/1000)
 }
 
-func runSource(to string, duration time.Duration, size int, rate, unmarked float64, seed int64) error {
-	conn, err := iqrudp.Dial(to, iqrudp.DefaultConfig())
+func runSource(to string, duration time.Duration, size int, rate, unmarked float64, seed int64, tracer iqrudp.Tracer) error {
+	cfg := iqrudp.DefaultConfig()
+	cfg.Tracer = tracer
+	conn, err := iqrudp.Dial(to, cfg)
 	if err != nil {
 		return err
 	}
@@ -150,8 +205,6 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 	mt := conn.Metrics()
 	elapsed := duration.Seconds()
 	fmt.Printf("sent %d messages (%.1f KB/s offered)\n", sent, float64(sent*size)/elapsed/1000)
-	fmt.Printf("transport: srtt=%v cwnd=%.1f loss=%.2f%% pkts=%d rtx=%d skipped=%d acked=%.1fKB\n",
-		mt.SRTT.Round(time.Microsecond), mt.Cwnd, mt.ErrorRatio*100,
-		mt.SentPackets, mt.Retransmits, mt.SkippedPackets, float64(mt.AckedBytes)/1000)
+	fmt.Println("transport:", mt)
 	return nil
 }

@@ -1,0 +1,208 @@
+// Command iqstat summarises a JSONL machine-event trace written by
+// Config.Tracer (see iqbench/iqload's -trace flag): per-connection
+// timelines of the interesting events — state changes, coordination
+// decisions, threshold callbacks, RTO fires — plus event histograms, and
+// optionally an ASCII chart of the congestion window.
+//
+// Usage:
+//
+//	iqstat trace.jsonl                 # histogram + per-connection timelines
+//	iqstat -conn 2 trace.jsonl         # one connection only
+//	iqstat -cwnd trace.jsonl           # add cwnd-over-time charts
+//	iqstat -full trace.jsonl           # timeline includes every event
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/stats"
+	"github.com/cercs/iqrudp/internal/trace"
+)
+
+func main() {
+	var (
+		conn  = flag.Int("conn", -1, "restrict to one connection id (-1 = all)")
+		cwnd  = flag.Bool("cwnd", false, "chart the congestion window over time per connection")
+		full  = flag.Bool("full", false, "timeline every event, not just the decision points")
+		limit = flag.Int("limit", 40, "max timeline rows per connection (0 = unlimited)")
+	)
+	flag.Parse()
+
+	events, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *conn >= 0 {
+		kept := events[:0]
+		for _, ev := range events {
+			if ev.ConnID == uint32(*conn) {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+	}
+	if len(events) == 0 {
+		fmt.Println("no events")
+		return
+	}
+
+	fmt.Println(histogram(events).String())
+	for _, id := range connIDs(events) {
+		printConn(id, byConn(events, id), *full, *limit, *cwnd)
+	}
+}
+
+// load reads a JSONL trace from path, or stdin when path is "" or "-".
+func load(path string) ([]trace.Event, error) {
+	var r io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return trace.ReadJSONL(r)
+}
+
+// histogram tabulates event counts by type.
+func histogram(events []trace.Event) *stats.Table {
+	var counts [trace.NumTypes]int
+	for _, ev := range events {
+		if ev.Type < trace.NumTypes {
+			counts[ev.Type]++
+		}
+	}
+	tb := stats.NewTable(fmt.Sprintf("Event histogram (%d events)", len(events)),
+		"Event", "Count", "Share")
+	for t := trace.Type(0); t < trace.NumTypes; t++ {
+		if counts[t] == 0 {
+			continue
+		}
+		tb.AddRow(t.String(), counts[t],
+			fmt.Sprintf("%.1f%%", 100*float64(counts[t])/float64(len(events))))
+	}
+	return tb
+}
+
+func connIDs(events []trace.Event) []uint32 {
+	seen := map[uint32]bool{}
+	var ids []uint32
+	for _, ev := range events {
+		if !seen[ev.ConnID] {
+			seen[ev.ConnID] = true
+			ids = append(ids, ev.ConnID)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func byConn(events []trace.Event, id uint32) []trace.Event {
+	var out []trace.Event
+	for _, ev := range events {
+		if ev.ConnID == id {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// keyEvent reports whether ev belongs on the default (non-full) timeline:
+// the machine's decision points rather than the per-packet churn.
+func keyEvent(ev trace.Event) bool {
+	switch ev.Type {
+	case trace.ConnState, trace.CoordinationDecision,
+		trace.ThresholdCallbackFired, trace.RTOFired, trace.RTOBackoff:
+		return true
+	}
+	return false
+}
+
+func printConn(id uint32, events []trace.Event, full bool, limit int, chart bool) {
+	span := events[len(events)-1].Time - events[0].Time
+	fmt.Printf("## conn %d — %d events over %v\n\n", id, len(events),
+		span.Round(time.Millisecond))
+
+	var timeline []trace.Event
+	for _, ev := range events {
+		if full || keyEvent(ev) {
+			timeline = append(timeline, ev)
+		}
+	}
+	skipped := 0
+	if limit > 0 && len(timeline) > limit {
+		skipped = len(timeline) - limit
+		timeline = timeline[:limit]
+	}
+	for _, ev := range timeline {
+		fmt.Printf("  %10s  %s\n", ev.Time.Round(100*time.Microsecond), describe(ev))
+	}
+	if skipped > 0 {
+		fmt.Printf("  … %d more rows (raise -limit)\n", skipped)
+	}
+	fmt.Println()
+
+	if chart {
+		var times []time.Duration
+		var values []float64
+		for _, ev := range events {
+			if ev.Type == trace.CwndUpdate || ev.Type == trace.MeasurementPeriod {
+				times = append(times, ev.Time)
+				values = append(values, ev.Cwnd)
+			}
+		}
+		if len(values) > 1 {
+			fmt.Println(stats.AsciiChart(fmt.Sprintf("conn %d cwnd (packets)", id),
+				times, values, 72, 12))
+		}
+	}
+}
+
+// describe renders one event for the timeline.
+func describe(ev trace.Event) string {
+	switch ev.Type {
+	case trace.ConnState:
+		return fmt.Sprintf("state %s → %s", ev.From, ev.To)
+	case trace.CoordinationDecision:
+		s := fmt.Sprintf("coordination case %d (%s) %s degree=%.2f", ev.Case, ev.Kind, ev.Reason, ev.Degree)
+		if ev.Factor != 0 {
+			s += fmt.Sprintf(" factor=%.2f cwnd=%.1f", ev.Factor, ev.Cwnd)
+		}
+		if ev.WhenFrames > 0 {
+			s += fmt.Sprintf(" when=%d frames", ev.WhenFrames)
+		}
+		return s
+	case trace.ThresholdCallbackFired:
+		return fmt.Sprintf("callback %s raw=%.3f smoothed=%.3f → %s", ev.Reason, ev.RawRatio, ev.ErrorRatio, ev.Kind)
+	case trace.RTOFired:
+		return fmt.Sprintf("rto fired seq=%d after %v (srtt %v)", ev.Seq,
+			ev.RTO.Round(time.Millisecond), ev.SRTT.Round(time.Millisecond))
+	case trace.RTOBackoff:
+		return fmt.Sprintf("rto backoff (%s) → %v", ev.Reason, ev.RTO.Round(time.Millisecond))
+	case trace.CwndUpdate:
+		return fmt.Sprintf("cwnd %.2f → %.2f (%s, eratio=%.3f)", ev.PrevCwnd, ev.Cwnd, ev.Reason, ev.ErrorRatio)
+	case trace.MeasurementPeriod:
+		return fmt.Sprintf("period raw=%.3f smoothed=%.3f rate=%.1fKB/s cwnd=%.1f",
+			ev.RawRatio, ev.ErrorRatio, ev.RateBps/1000, ev.Cwnd)
+	case trace.PacketSent, trace.PacketReceived, trace.PacketAcked,
+		trace.PacketLost, trace.PacketRetransmitted, trace.PacketAbandoned:
+		s := fmt.Sprintf("%s seq=%d msg=%d size=%d", ev.Type, ev.Seq, ev.MsgID, ev.Size)
+		if ev.Marked {
+			s += " marked"
+		}
+		if ev.Reason != "" {
+			s += " (" + ev.Reason + ")"
+		}
+		return s
+	default:
+		return ev.Type.String()
+	}
+}

@@ -13,8 +13,11 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"time"
+
+	"github.com/cercs/iqrudp/internal/trace"
 )
 
 // Config parameterises a Machine. The zero value is not valid; start from
@@ -90,6 +93,14 @@ type Config struct {
 	// nothing from the peer for that long. Combine with Keepalive shorter
 	// than DeadInterval so an idle-but-healthy peer stays provably alive.
 	DeadInterval time.Duration
+
+	// Tracer, when non-nil, receives a structured event at every machine
+	// decision point (see the internal/trace package for the taxonomy and
+	// sinks). Nil disables tracing at zero cost: no event is constructed.
+	// The machine invokes the tracer synchronously from its driving
+	// context; implementations must be fast and safe for concurrent use
+	// when one sink is shared across connections.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig returns the paper's standard transport parameters.
@@ -221,6 +232,11 @@ type CallbackInfo struct {
 // registered threshold. The return value describes the application's
 // adaptation (nil means none). With coordination enabled the transport
 // re-adapts accordingly (paper §2.3).
+//
+// At most one callback fires per measurement period. When a period
+// satisfies both registered thresholds — possible with misconfigured
+// thresholds, e.g. upper == lower — the upper callback deterministically
+// takes precedence and the lower callback is not invoked for that period.
 type ThresholdCallback func(info CallbackInfo) *AdaptationReport
 
 // Metrics is a snapshot of the transport's internal measurements, the
@@ -245,4 +261,19 @@ type Metrics struct {
 	LostMsgs       uint64 // messages skipped entirely
 	AckedBytes     uint64
 	WindowRescales uint64 // coordination window adjustments (Cases 2/3)
+}
+
+// String formats the snapshot as a one-line summary, the form used by
+// cmd/iqload's final report.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"srtt=%v rttvar=%v cwnd=%.1f inflight=%d loss=%.2f%% raw=%.2f%% rate=%.1fKB/s "+
+			"sent=%d rtx=%d acked=%d skipped=%d discarded=%d deadline=%d "+
+			"delivered=%d partial=%d lost=%d ackedKB=%.1f rescales=%d",
+		m.SRTT.Round(time.Microsecond), m.RTTVar.Round(time.Microsecond),
+		m.Cwnd, m.InFlight, m.ErrorRatio*100, m.RawRatio*100, m.RateBps/1000,
+		m.SentPackets, m.Retransmits, m.AckedPackets, m.SkippedPackets,
+		m.SenderDiscards, m.DeadlineDrops,
+		m.DeliveredMsgs, m.PartialMsgs, m.LostMsgs,
+		float64(m.AckedBytes)/1000, m.WindowRescales)
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/trace"
 )
 
 // coordinator is the paper's contribution: it receives descriptions of
@@ -63,6 +64,7 @@ func (c *coordinator) onReport(rep *AdaptationReport, info CallbackInfo) {
 		// adapting at the transport level until the enacting send call.
 		c.pendingKind = rep.Kind
 		c.pendingFrames = rep.WhenFrames
+		c.traceDecision(3, rep, 0, "announced")
 		return
 	}
 	if rep.WhenFrames < 0 || rep.Kind == AdaptNone {
@@ -111,13 +113,27 @@ func (c *coordinator) enact(rep *AdaptationReport, condEratio float64) {
 		// Case 1: stop sending what the application no longer needs
 		// delivered. Cancelled when the unmark probability returns to zero.
 		c.discard = rep.Degree > 0
+		if c.discard {
+			c.traceDecision(1, rep, 0, "discard-on")
+		} else {
+			c.traceDecision(1, rep, 0, "discard-off")
+		}
 	case AdaptResolution:
+		// A resolution adaptation is Case 2 (over-reaction) when enacted
+		// immediately, Case 3 (limited granularity) when it enacts a
+		// delayed adaptation announced via ADAPT_WHEN.
+		caseNo := 2
+		if c.pendingKind != AdaptNone {
+			caseNo = 3
+		}
 		if rep.Degree >= 1 || rep.Degree <= -1 {
+			c.traceDecision(caseNo, rep, 0, "bad-degree")
 			return // nonsensical degree
 		}
 		if rep.FrameSize > 0 && rep.FrameSize >= m.cfg.MSS {
 			// Frames still span full segments: the packet window carries the
 			// same byte rate, no compensation needed.
+			c.traceDecision(caseNo, rep, 0, "frame-above-mss")
 			return
 		}
 		factor := 1 / (1 - rep.Degree)
@@ -137,12 +153,36 @@ func (c *coordinator) enact(rep *AdaptationReport, condEratio float64) {
 		if factor > 4 {
 			factor = 4
 		}
-		m.cc.Rescale(factor)
+		c.traceDecision(caseNo, rep, factor, "rescale")
+		m.ccRescale(factor)
 		m.metrics.WindowRescales++
 		m.trySend() // the larger window may admit queued packets immediately
 	case AdaptFrequency, AdaptNone:
 		// No transport change.
 	}
+}
+
+// traceDecision records one coordination decision (Cases 1–3) with the
+// triggering report's fields; factor is the applied window rescale (zero
+// when the decision was not to rescale).
+func (c *coordinator) traceDecision(caseNo int, rep *AdaptationReport, factor float64, reason string) {
+	m := c.m
+	if m.tr == nil {
+		return
+	}
+	m.tr.Trace(trace.Event{
+		Time:       m.env.Now(),
+		Type:       trace.CoordinationDecision,
+		ConnID:     m.connID,
+		Case:       caseNo,
+		Kind:       rep.Kind.String(),
+		Degree:     rep.Degree,
+		Factor:     factor,
+		WhenFrames: rep.WhenFrames,
+		ErrorRatio: m.meas.smoothed(),
+		Cwnd:       m.cc.Window(),
+		Reason:     reason,
+	})
 }
 
 // Report lets the application describe an adaptation outside the callback

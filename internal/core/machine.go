@@ -8,6 +8,7 @@ import (
 	"github.com/cercs/iqrudp/internal/attr"
 	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/stats"
+	"github.com/cercs/iqrudp/internal/trace"
 )
 
 // connState is the connection state machine phase.
@@ -116,6 +117,10 @@ type Machine struct {
 
 	reg *attr.Registry
 
+	// tr receives structured events at every decision point; nil disables
+	// tracing (see trace.go for the instrumentation wrappers).
+	tr trace.Tracer
+
 	// Callbacks.
 	upperThresh, lowerThresh float64
 	onUpper, onLower         ThresholdCallback
@@ -168,6 +173,7 @@ func NewMachine(cfg Config, env Env) *Machine {
 		localTol:    cfg.LossTolerance,
 		peerWnd:     cfg.RecvWindow,
 		arrivals:    stats.NewArrivals(false),
+		tr:          cfg.Tracer,
 	}
 	m.reasm = newReassembler(m)
 	m.meas = newMeasurement(m)
@@ -231,7 +237,7 @@ func (m *Machine) StartClient() {
 	if m.connID == 0 {
 		m.connID = 0x1001
 	}
-	m.state = stSynSent
+	m.setState(stSynSent)
 	m.sendSyn()
 }
 
@@ -272,7 +278,7 @@ func (m *Machine) establish() {
 	if m.state == stEstablished {
 		return
 	}
-	m.state = stEstablished
+	m.setState(stEstablished)
 	if m.connTimer != nil {
 		m.connTimer.Stop()
 		m.connTimer = nil
@@ -309,7 +315,7 @@ func (m *Machine) maybeFinish() {
 	if len(m.pending) > 0 || m.inFlightCount() > 0 {
 		return
 	}
-	m.state = stFinWait
+	m.setState(stFinWait)
 	m.env.Emit(&packet.Packet{
 		Type: packet.FIN, ConnID: m.connID, Seq: m.sndNxt, Ack: m.rcvNxt,
 		TS: m.env.Now(),
@@ -325,7 +331,7 @@ func (m *Machine) abort() {
 	if m.state == stDead {
 		return
 	}
-	m.state = stDead
+	m.setState(stDead)
 	m.stopTimers()
 	if m.onClosed != nil {
 		m.onClosed()
@@ -406,8 +412,8 @@ func (m *Machine) handleSyn(p *packet.Packet) {
 	// Passive side: adopt the initiator's connection ID, record its window
 	// and tolerance, reply SYNACK. Retransmitted SYNs re-trigger the reply.
 	if m.state == stClosed || m.state == stSynRcvd {
-		m.state = stSynRcvd
 		m.connID = p.ConnID
+		m.setState(stSynRcvd)
 		m.peerWnd = p.Wnd
 		m.rcvNxt = p.Seq + 1
 		if tol, err := p.Attrs.Float(attr.LossTolerance); err == nil {
@@ -474,7 +480,13 @@ func (m *Machine) handleNul(p *packet.Packet) {
 // PeerTolerance returns the loss tolerance declared by the remote receiver.
 func (m *Machine) PeerTolerance() float64 { return m.peerTol }
 
-// Metrics returns a snapshot of the transport's measurements.
+// Metrics returns a snapshot of the transport's measurements. The whole
+// snapshot — cumulative counters and the derived gauges — is assembled in
+// one place so every field reflects the same machine state. Like every
+// other Machine method it must be invoked under the machine lock (the
+// driver's serialisation context: udpwire calls it with the connection
+// mutex held, the simulator from its single-threaded event loop), which
+// makes the returned value fully consistent.
 func (m *Machine) Metrics() Metrics {
 	mt := m.metrics
 	mt.SRTT = m.rtt.SRTT()

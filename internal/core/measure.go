@@ -3,6 +3,7 @@ package core
 import (
 	"github.com/cercs/iqrudp/internal/attr"
 	"github.com/cercs/iqrudp/internal/stats"
+	"github.com/cercs/iqrudp/internal/trace"
 )
 
 // measurement maintains the transport's periodic network-state measurement:
@@ -83,6 +84,14 @@ func (me *measurement) tick() {
 	m.reg.Set(attr.NetCwnd, attr.Float(m.cc.Window()))
 	m.reg.Set(attr.NetRetrans, attr.Int(int64(m.metrics.Retransmits)))
 
+	if m.tr != nil {
+		m.tr.Trace(trace.Event{
+			Time: m.env.Now(), Type: trace.MeasurementPeriod, ConnID: m.connID,
+			RawRatio: me.raw, ErrorRatio: me.smoothed(), RateBps: me.lastRate,
+			SRTT: m.rtt.SRTT(), Cwnd: m.cc.Window(),
+		})
+	}
+
 	me.fireCallbacks()
 }
 
@@ -91,7 +100,10 @@ func (me *measurement) tick() {
 // paper's applications adapt on (the congestion controller uses the
 // smoothed ratio instead). Every period ending above the upper threshold
 // fires the upper callback; every period at or below the lower threshold
-// fires the lower callback.
+// fires the lower callback. At most one callback fires per period: when a
+// period satisfies both thresholds (possible with misconfigured, e.g.
+// equal, thresholds) the upper callback deterministically takes precedence
+// — see the ThresholdCallback contract.
 func (me *measurement) fireCallbacks() {
 	m := me.m
 	if m.onUpper == nil && m.onLower == nil {
@@ -107,14 +119,42 @@ func (me *measurement) fireCallbacks() {
 		SRTT:       m.rtt.SRTT(),
 		Cwnd:       m.cc.Window(),
 	}
+	// An upper threshold of zero normally means "not registered" (a ratio
+	// is always ≥ 0); the equal-thresholds escape keeps the upper-first
+	// precedence even for a misconfigured upper == lower == 0 pair.
+	upperHit := m.onUpper != nil && ratio >= m.upperThresh &&
+		(m.upperThresh > 0 || m.upperThresh == m.lowerThresh)
 	switch {
-	case m.onUpper != nil && m.upperThresh > 0 && ratio >= m.upperThresh:
-		if rep := m.onUpper(info); rep != nil {
+	case upperHit:
+		rep := m.onUpper(info)
+		me.traceCallback("upper", rep)
+		if rep != nil {
 			m.coo.onReport(rep, info)
 		}
 	case m.onLower != nil && ratio <= m.lowerThresh:
-		if rep := m.onLower(info); rep != nil {
+		rep := m.onLower(info)
+		me.traceCallback("lower", rep)
+		if rep != nil {
 			m.coo.onReport(rep, info)
 		}
 	}
+}
+
+// traceCallback records a threshold-callback invocation and the adaptation
+// it returned.
+func (me *measurement) traceCallback(which string, rep *AdaptationReport) {
+	m := me.m
+	if m.tr == nil {
+		return
+	}
+	ev := trace.Event{
+		Time: m.env.Now(), Type: trace.ThresholdCallbackFired, ConnID: m.connID,
+		RawRatio: me.raw, ErrorRatio: me.smoothed(), Reason: which, Kind: "nil",
+	}
+	if rep != nil {
+		ev.Kind = rep.Kind.String()
+		ev.Degree = rep.Degree
+		ev.WhenFrames = rep.WhenFrames
+	}
+	m.tr.Trace(ev)
 }

@@ -6,6 +6,7 @@ import (
 
 	"github.com/cercs/iqrudp/internal/attr"
 	"github.com/cercs/iqrudp/internal/packet"
+	"github.com/cercs/iqrudp/internal/trace"
 )
 
 // handleData processes an incoming DATA packet: buffer or deliver in order,
@@ -22,19 +23,29 @@ func (m *Machine) handleData(p *packet.Packet) {
 		m.applyFwd(p.Fwd)
 	}
 
+	reason := ""
 	switch {
 	case packet.SeqLT(p.Seq, m.rcvNxt):
 		// Duplicate of already-delivered data: re-ack so the sender advances.
+		reason = "dup"
 	case p.Seq == m.rcvNxt:
 		m.acceptInOrder(p)
 		m.drainOOO()
 	default:
 		// Out of order: buffer within the advertised window.
+		reason = "ooo"
 		if len(m.ooo) < int(m.cfg.RecvWindow) {
 			if _, dup := m.ooo[p.Seq]; !dup {
 				m.ooo[p.Seq] = p
 			}
 		}
+	}
+	if m.tr != nil {
+		m.tr.Trace(trace.Event{
+			Time: m.env.Now(), Type: trace.PacketReceived, ConnID: m.connID,
+			Seq: p.Seq, MsgID: p.MsgID, Size: len(p.Payload),
+			Marked: p.Marked(), Reason: reason,
+		})
 	}
 	m.sendAckEcho(true, p.TS)
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/cercs/iqrudp/internal/attr"
 	"github.com/cercs/iqrudp/internal/packet"
+	"github.com/cercs/iqrudp/internal/trace"
 )
 
 // Send transmits one application message (datagram) reliably when marked,
@@ -41,6 +42,14 @@ func (m *Machine) SendMsg(data []byte, marked bool, attrs *attr.List) error {
 	if !marked && m.coo.discardUnmarked() && m.withinTolerance(1) {
 		m.relMsgsDropped++
 		m.metrics.SenderDiscards++
+		if m.tr != nil {
+			// The message dies before segmentation, so it never gets a
+			// sequence number or message id.
+			m.tr.Trace(trace.Event{
+				Time: m.env.Now(), Type: trace.PacketAbandoned, ConnID: m.connID,
+				Size: len(data), Reason: "case1-discard",
+			})
+		}
 		return nil
 	}
 
@@ -166,6 +175,9 @@ func (m *Machine) trySend() {
 			}
 			sp.skipped = true
 			m.metrics.DeadlineDrops++
+			if m.tr != nil {
+				m.tracePacket(trace.PacketAbandoned, sp, "deadline")
+			}
 			m.flight = append(m.flight, sp)
 			m.advanceFwd()
 			continue
@@ -200,6 +212,9 @@ func (m *Machine) pacedSend() {
 			}
 			sp.skipped = true
 			m.metrics.DeadlineDrops++
+			if m.tr != nil {
+				m.tracePacket(trace.PacketAbandoned, sp, "deadline")
+			}
 			m.flight = append(m.flight, sp)
 			m.advanceFwd()
 			continue
@@ -234,6 +249,13 @@ func (m *Machine) transmit(sp *sendPkt, isRtx bool) {
 	m.metrics.SentPackets++
 	if isRtx {
 		m.metrics.Retransmits++
+	}
+	if m.tr != nil {
+		typ := trace.PacketSent
+		if isRtx {
+			typ = trace.PacketRetransmitted
+		}
+		m.tracePacket(typ, sp, "")
 	}
 	m.meas.onSend(1)
 	p := &packet.Packet{
@@ -293,6 +315,9 @@ func (m *Machine) handleAck(p *packet.Packet) {
 				newly++
 				ackedBytes += uint64(len(sp.payload))
 				m.metrics.AckedPackets++
+				if m.tr != nil {
+					m.tracePacket(trace.PacketAcked, sp, "")
+				}
 			}
 			// Sacked packets were counted (window growth, bytes, metrics)
 			// when their EACK arrived; skipped packets never count.
@@ -300,7 +325,7 @@ func (m *Machine) handleAck(p *packet.Packet) {
 		m.sndUna = ack
 		m.metrics.AckedBytes += ackedBytes
 		m.meas.onAckedBytes(ackedBytes)
-		m.cc.OnAck(newly, wasLimited)
+		m.ccOnAck(newly, wasLimited)
 		m.dupAcks = 0
 		progressed = true
 	}
@@ -315,11 +340,14 @@ func (m *Machine) handleAck(p *packet.Packet) {
 				m.metrics.AckedPackets++
 				m.meas.onAckedBytes(uint64(len(sp.payload)))
 				m.metrics.AckedBytes += uint64(len(sp.payload))
+				if m.tr != nil {
+					m.tracePacket(trace.PacketAcked, sp, "eack")
+				}
 			}
 		}
 	}
 	if sackedNew > 0 {
-		m.cc.OnAck(sackedNew, wasLimited)
+		m.ccOnAck(sackedNew, wasLimited)
 	}
 
 	// Loss detection mirrors the SACK pipe algorithm: a packet is lost on
@@ -417,8 +445,11 @@ func (m *Machine) onPacketLost(sp *sendPkt) {
 		return
 	}
 	now := m.env.Now()
+	if m.tr != nil {
+		m.tracePacket(trace.PacketLost, sp, "fast")
+	}
 	m.meas.onLoss(1)
-	m.cc.OnLoss(now, m.rtt.SRTT(), m.meas.smoothed())
+	m.ccOnLoss(now)
 
 	if !sp.marked() && m.canSkipFragment(sp) {
 		m.skipPacket(sp)
@@ -450,6 +481,9 @@ func (m *Machine) skipPacket(sp *sendPkt) {
 	}
 	sp.skipped = true
 	m.metrics.SkippedPackets++
+	if m.tr != nil {
+		m.tracePacket(trace.PacketAbandoned, sp, "skip")
+	}
 	m.advanceFwd()
 	// Communicate the forward point immediately if it moved; otherwise it
 	// rides on the next DATA packet.
@@ -527,7 +561,7 @@ func (m *Machine) onProbeTimeout() {
 	}
 	if len(m.flight) > 0 && packet.SeqLT(m.sndUna, m.fwdSeq) {
 		m.emitFwdProbe()
-		m.rtt.Backoff()
+		m.rttBackoff("probe")
 	}
 	m.armRtx()
 }
@@ -553,9 +587,16 @@ func (m *Machine) onRtxTimeout() {
 		m.armRtx()
 		return
 	}
+	if m.tr != nil {
+		m.tr.Trace(trace.Event{
+			Time: now, Type: trace.RTOFired, ConnID: m.connID,
+			Seq: earliest.seq, MsgID: earliest.msgID,
+			RTO: m.rtt.RTO(), SRTT: m.rtt.SRTT(),
+		})
+	}
 	m.meas.onLoss(1)
-	m.rtt.Backoff()
-	m.cc.OnTimeout(now)
+	m.rttBackoff("rto")
+	m.ccOnTimeout(now)
 	if !earliest.marked() && m.canSkipFragment(earliest) {
 		m.skipPacket(earliest)
 	} else {

@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/trace"
+)
+
+// The ThresholdCallback contract: at most one callback fires per
+// measurement period, and when a period satisfies both thresholds the
+// upper callback deterministically takes precedence.
+
+func TestThresholdPrecedenceEqualThresholds(t *testing.T) {
+	// upper == lower == 0 is the degenerate configuration where a clean
+	// period (ratio 0) satisfies both. The upper callback must win — and
+	// win every period, never alternating with or yielding to the lower.
+	ring := trace.NewRing(256)
+	cfg := core.DefaultConfig()
+	cfg.Tracer = ring
+	r := newRig(t, 77, netem.DefaultDumbbell(), cfg, core.DefaultConfig())
+
+	var upper, lower int
+	r.snd.Machine.RegisterThresholds(0, 0,
+		func(info core.CallbackInfo) *core.AdaptationReport { upper++; return nil },
+		func(info core.CallbackInfo) *core.AdaptationReport { lower++; return nil },
+	)
+	for i := 0; i < 20; i++ {
+		r.snd.Machine.Send(make([]byte, 1000), true)
+	}
+	r.s.RunUntil(r.s.Now() + 3*time.Second) // several 500 ms periods
+
+	if upper == 0 {
+		t.Fatal("upper callback never fired")
+	}
+	if lower != 0 {
+		t.Fatalf("lower callback fired %d times despite upper precedence", lower)
+	}
+	fired := 0
+	for _, ev := range ring.Events() {
+		if ev.Type == trace.ThresholdCallbackFired {
+			fired++
+			if ev.Reason != "upper" {
+				t.Fatalf("traced callback %q, want upper", ev.Reason)
+			}
+			if ev.Kind != "nil" {
+				t.Fatalf("traced kind %q for a nil report", ev.Kind)
+			}
+		}
+	}
+	if fired != upper {
+		t.Fatalf("traced %d firings, callbacks saw %d", fired, upper)
+	}
+}
+
+func TestThresholdDistinctThresholdsUnaffected(t *testing.T) {
+	// With well-separated thresholds and clean traffic only the lower
+	// callback fires: the equal-thresholds escape must not resurrect the
+	// "upper threshold zero means unregistered" convention's complement.
+	r := defaultRig(t, 78)
+	var upper, lower int
+	r.snd.Machine.RegisterThresholds(0.5, 0.01,
+		func(info core.CallbackInfo) *core.AdaptationReport { upper++; return nil },
+		func(info core.CallbackInfo) *core.AdaptationReport { lower++; return nil },
+	)
+	for i := 0; i < 20; i++ {
+		r.snd.Machine.Send(make([]byte, 1000), true)
+	}
+	r.s.RunUntil(r.s.Now() + 3*time.Second)
+	if upper != 0 {
+		t.Fatalf("upper fired %d times on a clean path", upper)
+	}
+	if lower == 0 {
+		t.Fatal("lower callback never fired")
+	}
+}

@@ -15,7 +15,20 @@ import (
 	"github.com/cercs/iqrudp/internal/sim"
 	"github.com/cercs/iqrudp/internal/stats"
 	"github.com/cercs/iqrudp/internal/tcpsim"
+	"github.com/cercs/iqrudp/internal/trace"
 )
+
+// pkgTracer, when set via SetTracer, is attached to every IQ-RUDP machine
+// the experiments build. The simulator is single-threaded, so events from
+// one experiment arrive in deterministic order; distinct connections are
+// distinguished by ConnID.
+var pkgTracer trace.Tracer
+
+// SetTracer installs (or, with nil, removes) a tracer on all subsequently
+// constructed experiment transports — the hook behind cmd/iqbench's -trace
+// and -metrics-addr flags. Not safe to call concurrently with a running
+// experiment.
+func SetTracer(t trace.Tracer) { pkgTracer = t }
 
 // Scheme selects the transport/adaptation configuration under test.
 type Scheme int
@@ -189,6 +202,7 @@ func newRig(o rigOpts) *rig {
 			if o.measPeriod > 0 {
 				cfg.MeasurementPeriod = o.measPeriod
 			}
+			cfg.Tracer = pkgTracer
 			return core.NewMachine(cfg, env)
 		}
 	}

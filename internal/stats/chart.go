@@ -37,6 +37,14 @@ func AsciiChart(title string, times []time.Duration, values []float64, width, he
 		if span > 0 {
 			col = int(float64(times[i]-t0) / float64(span) * float64(width-1))
 		}
+		// Non-monotonic series (e.g. merged traces whose virtual clocks
+		// restart) can land outside [t0, t1]; clamp rather than panic.
+		if col < 0 {
+			col = 0
+		}
+		if col >= width {
+			col = width - 1
+		}
 		colSum[col] += v
 		colCnt[col]++
 	}

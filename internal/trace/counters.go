@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Counters is the aggregating sink: per-event-type counters plus
+// last-value gauges of the transport state the events carry. Everything is
+// atomic, so a metrics exporter (see the metricsexp package) can read a
+// consistent-enough snapshot from any goroutine while connections trace
+// into it; no locks sit on the machine's path.
+type Counters struct {
+	counts [NumTypes]atomic.Uint64
+
+	// Gauges: last observed values, float64 bits / nanoseconds.
+	cwnd       atomic.Uint64
+	errorRatio atomic.Uint64
+	rateBps    atomic.Uint64
+	srttNs     atomic.Int64
+
+	sentBytes  atomic.Uint64
+	ackedBytes atomic.Uint64
+	rescales   atomic.Uint64 // coordination decisions that rescaled the window
+}
+
+// NewCounters returns an empty counters sink.
+func NewCounters() *Counters { return &Counters{} }
+
+// Trace implements Tracer.
+func (c *Counters) Trace(ev Event) {
+	if ev.Type >= NumTypes {
+		return
+	}
+	c.counts[ev.Type].Add(1)
+	switch ev.Type {
+	case PacketSent, PacketRetransmitted:
+		c.sentBytes.Add(uint64(ev.Size))
+	case PacketAcked:
+		c.ackedBytes.Add(uint64(ev.Size))
+	case CwndUpdate:
+		c.cwnd.Store(math.Float64bits(ev.Cwnd))
+		c.errorRatio.Store(math.Float64bits(ev.ErrorRatio))
+		c.srttNs.Store(int64(ev.SRTT))
+	case MeasurementPeriod:
+		c.cwnd.Store(math.Float64bits(ev.Cwnd))
+		c.errorRatio.Store(math.Float64bits(ev.ErrorRatio))
+		c.rateBps.Store(math.Float64bits(ev.RateBps))
+		c.srttNs.Store(int64(ev.SRTT))
+	case CoordinationDecision:
+		if ev.Factor != 0 {
+			c.rescales.Add(1)
+		}
+	}
+}
+
+// Count returns the number of events of type t traced so far.
+func (c *Counters) Count(t Type) uint64 {
+	if t >= NumTypes {
+		return 0
+	}
+	return c.counts[t].Load()
+}
+
+// Total returns the number of events traced so far across all types.
+func (c *Counters) Total() uint64 {
+	var n uint64
+	for t := Type(0); t < NumTypes; t++ {
+		n += c.counts[t].Load()
+	}
+	return n
+}
+
+// Snapshot is a point-in-time copy of every counter and gauge.
+type Snapshot struct {
+	Counts [NumTypes]uint64
+
+	Cwnd       float64
+	ErrorRatio float64
+	RateBps    float64
+	SRTT       time.Duration
+
+	SentBytes  uint64
+	AckedBytes uint64
+	Rescales   uint64
+}
+
+// Snapshot copies the current values.
+func (c *Counters) Snapshot() Snapshot {
+	var s Snapshot
+	for i := range s.Counts {
+		s.Counts[i] = c.counts[i].Load()
+	}
+	s.Cwnd = math.Float64frombits(c.cwnd.Load())
+	s.ErrorRatio = math.Float64frombits(c.errorRatio.Load())
+	s.RateBps = math.Float64frombits(c.rateBps.Load())
+	s.SRTT = time.Duration(c.srttNs.Load())
+	s.SentBytes = c.sentBytes.Load()
+	s.AckedBytes = c.ackedBytes.Load()
+	s.Rescales = c.rescales.Load()
+	return s
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// jsonEvent is the JSONL wire schema, qlog-inspired: a flat envelope of
+// time (milliseconds), event name and connection id, with the per-type
+// payload under "data". Zero payload fields are omitted, so a trace stays
+// greppable and compact.
+type jsonEvent struct {
+	TimeMs float64  `json:"time"`
+	Name   string   `json:"name"`
+	ConnID uint32   `json:"conn"`
+	Data   jsonData `json:"data,omitempty"`
+}
+
+type jsonData struct {
+	Seq    uint32 `json:"seq,omitempty"`
+	MsgID  uint32 `json:"msg_id,omitempty"`
+	Size   int    `json:"size,omitempty"`
+	Marked bool   `json:"marked,omitempty"`
+
+	Cwnd       float64 `json:"cwnd,omitempty"`
+	PrevCwnd   float64 `json:"prev_cwnd,omitempty"`
+	ErrorRatio float64 `json:"error_ratio,omitempty"`
+	RawRatio   float64 `json:"raw_ratio,omitempty"`
+	RateBps    float64 `json:"rate_bps,omitempty"`
+	SRTTMs     float64 `json:"srtt_ms,omitempty"`
+	RTOMs      float64 `json:"rto_ms,omitempty"`
+
+	Case       int     `json:"case,omitempty"`
+	Kind       string  `json:"kind,omitempty"`
+	Degree     float64 `json:"degree,omitempty"`
+	Factor     float64 `json:"factor,omitempty"`
+	WhenFrames int     `json:"when_frames,omitempty"`
+
+	From   string `json:"from,omitempty"`
+	To     string `json:"to,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func toJSON(ev Event) jsonEvent {
+	return jsonEvent{
+		TimeMs: float64(ev.Time) / float64(time.Millisecond),
+		Name:   ev.Type.String(),
+		ConnID: ev.ConnID,
+		Data: jsonData{
+			Seq:        ev.Seq,
+			MsgID:      ev.MsgID,
+			Size:       ev.Size,
+			Marked:     ev.Marked,
+			Cwnd:       ev.Cwnd,
+			PrevCwnd:   ev.PrevCwnd,
+			ErrorRatio: ev.ErrorRatio,
+			RawRatio:   ev.RawRatio,
+			RateBps:    ev.RateBps,
+			SRTTMs:     float64(ev.SRTT) / float64(time.Millisecond),
+			RTOMs:      float64(ev.RTO) / float64(time.Millisecond),
+			Case:       ev.Case,
+			Kind:       ev.Kind,
+			Degree:     ev.Degree,
+			Factor:     ev.Factor,
+			WhenFrames: ev.WhenFrames,
+			From:       ev.From,
+			To:         ev.To,
+			Reason:     ev.Reason,
+		},
+	}
+}
+
+func fromJSON(je jsonEvent) (Event, error) {
+	t, ok := TypeByName(je.Name)
+	if !ok {
+		return Event{}, fmt.Errorf("trace: unknown event name %q", je.Name)
+	}
+	return Event{
+		Time:       time.Duration(je.TimeMs * float64(time.Millisecond)),
+		Type:       t,
+		ConnID:     je.ConnID,
+		Seq:        je.Data.Seq,
+		MsgID:      je.Data.MsgID,
+		Size:       je.Data.Size,
+		Marked:     je.Data.Marked,
+		Cwnd:       je.Data.Cwnd,
+		PrevCwnd:   je.Data.PrevCwnd,
+		ErrorRatio: je.Data.ErrorRatio,
+		RawRatio:   je.Data.RawRatio,
+		RateBps:    je.Data.RateBps,
+		SRTT:       time.Duration(je.Data.SRTTMs * float64(time.Millisecond)),
+		RTO:        time.Duration(je.Data.RTOMs * float64(time.Millisecond)),
+		Case:       je.Data.Case,
+		Kind:       je.Data.Kind,
+		Degree:     je.Data.Degree,
+		Factor:     je.Data.Factor,
+		WhenFrames: je.Data.WhenFrames,
+		From:       je.Data.From,
+		To:         je.Data.To,
+		Reason:     je.Data.Reason,
+	}, nil
+}
+
+// JSONL writes one JSON object per event per line — the offline-analysis
+// sink. Writes are serialised by a mutex; wrap the destination in a
+// bufio.Writer (and Flush via Close) for high-rate traces.
+type JSONL struct {
+	mu  sync.Mutex
+	w   io.Writer
+	bw  *bufio.Writer
+	err error
+}
+
+// NewJSONL returns a JSONL sink writing to w through an internal buffer.
+// Call Close (or Flush) before reading the destination.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	return &JSONL{w: w, bw: bw}
+}
+
+// Trace implements Tracer. Encoding errors are sticky and reported by
+// Close; tracing must never fail the transport.
+func (j *JSONL) Trace(ev Event) {
+	b, err := json.Marshal(toJSON(ev))
+	if err != nil {
+		return // unreachable: the schema is marshal-safe
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	if _, err := j.bw.Write(b); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.bw.WriteByte('\n'); err != nil {
+		j.err = err
+	}
+}
+
+// Flush drains the internal buffer to the destination.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.bw.Flush()
+}
+
+// Close flushes and returns the first write error, if any. It does not
+// close the destination writer.
+func (j *JSONL) Close() error { return j.Flush() }
+
+// ReadJSONL parses a JSONL trace back into events, preserving order.
+// Blank lines are skipped; a malformed line aborts with a line-numbered
+// error.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var je jsonEvent
+		if err := json.Unmarshal(b, &je); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		ev, err := fromJSON(je)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

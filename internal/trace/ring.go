@@ -1,0 +1,62 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a lock-free fixed-size ring buffer of events: the always-on
+// flight recorder. Writers claim slots with a single atomic increment and
+// publish events with an atomic pointer store, so tracing never blocks the
+// protocol machine and concurrent connections can share one ring. Old
+// events are overwritten once the buffer wraps.
+type Ring struct {
+	slots []atomic.Pointer[Event]
+	pos   atomic.Uint64 // total events ever traced
+}
+
+// NewRing returns a ring holding the most recent n events (minimum 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Event], n)}
+}
+
+// Trace implements Tracer.
+func (r *Ring) Trace(ev Event) {
+	e := ev // heap copy: the slot outlives the caller's stack frame
+	i := r.pos.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(&e)
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Total returns the number of events ever traced, including overwritten
+// ones.
+func (r *Ring) Total() uint64 { return r.pos.Load() }
+
+// Dropped returns how many events have been overwritten.
+func (r *Ring) Dropped() uint64 {
+	if total := r.pos.Load(); total > uint64(len(r.slots)) {
+		return total - uint64(len(r.slots))
+	}
+	return 0
+}
+
+// Events snapshots the buffered events, oldest first. Events published
+// concurrently with the snapshot may or may not be included; each returned
+// event is internally consistent.
+func (r *Ring) Events() []Event {
+	n := uint64(len(r.slots))
+	end := r.pos.Load()
+	start := uint64(0)
+	if end > n {
+		start = end - n
+	}
+	out := make([]Event, 0, end-start)
+	for i := start; i < end; i++ {
+		if e := r.slots[i%n].Load(); e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}

@@ -23,6 +23,18 @@
 // deterministic network simulator (the evaluation substrate that regenerates
 // the paper's tables — see cmd/iqbench).
 //
+// # Observability
+//
+// Setting Config.Tracer streams a structured, qlog-inspired event at every
+// machine decision point: state changes, per-packet lifecycle, RTO
+// activity, window updates with their LDA inputs, measurement periods,
+// threshold callbacks and the coordination decisions of the paper's Cases
+// 1–3. Three sinks ship with the package — NewTraceRing (lock-free flight
+// recorder), NewTraceJSONL (offline analysis; cmd/iqstat reads it) and
+// NewTraceCounters (live aggregates) — composable via MultiTracer. The
+// metricsexp subpackage serves the counters as Prometheus text and expvar
+// JSON over HTTP. See README.md's Observability section and cmd/iqstat.
+//
 // Quickstart (real sockets):
 //
 //	ln, _ := iqrudp.Listen("127.0.0.1:9999", iqrudp.ServerConfig(0.2))
@@ -44,6 +56,7 @@ import (
 
 	"github.com/cercs/iqrudp/internal/attr"
 	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/trace"
 	"github.com/cercs/iqrudp/internal/udpwire"
 )
 
@@ -108,6 +121,57 @@ const (
 	NetRateAttr       = attr.NetRate
 	NetCwndAttr       = attr.NetCwnd
 	LossToleranceAttr = attr.LossTolerance
+)
+
+// Observability types, re-exported from the trace subsystem. Assign a
+// Tracer to Config.Tracer to stream machine events; see the package doc's
+// Observability section for the taxonomy.
+type (
+	// Tracer consumes machine events; implementations must be concurrency-
+	// safe and fast (the machine calls Trace synchronously).
+	Tracer = trace.Tracer
+	// TraceEvent is one structured machine event.
+	TraceEvent = trace.Event
+	// TraceEventType enumerates the event taxonomy.
+	TraceEventType = trace.Type
+	// TraceRing is the lock-free fixed-size flight recorder sink.
+	TraceRing = trace.Ring
+	// TraceJSONL is the one-JSON-object-per-line offline-analysis sink.
+	TraceJSONL = trace.JSONL
+	// TraceCounters is the atomic aggregation sink feeding metricsexp.
+	TraceCounters = trace.Counters
+)
+
+// Trace event types.
+const (
+	TraceConnState              = trace.ConnState
+	TracePacketSent             = trace.PacketSent
+	TracePacketReceived         = trace.PacketReceived
+	TracePacketAcked            = trace.PacketAcked
+	TracePacketLost             = trace.PacketLost
+	TracePacketRetransmitted    = trace.PacketRetransmitted
+	TracePacketAbandoned        = trace.PacketAbandoned
+	TraceRTOFired               = trace.RTOFired
+	TraceRTOBackoff             = trace.RTOBackoff
+	TraceCwndUpdate             = trace.CwndUpdate
+	TraceMeasurementPeriod      = trace.MeasurementPeriod
+	TraceThresholdCallbackFired = trace.ThresholdCallbackFired
+	TraceCoordinationDecision   = trace.CoordinationDecision
+)
+
+// Trace sink constructors and helpers.
+var (
+	// NewTraceRing returns a ring buffer keeping the n most recent events.
+	NewTraceRing = trace.NewRing
+	// NewTraceJSONL returns a JSONL sink writing to an io.Writer; call its
+	// Close (or Flush) before reading the destination.
+	NewTraceJSONL = trace.NewJSONL
+	// NewTraceCounters returns the aggregating counters sink.
+	NewTraceCounters = trace.NewCounters
+	// MultiTracer fans events out to several sinks.
+	MultiTracer = trace.Multi
+	// ReadTraceJSONL parses a JSONL trace back into events.
+	ReadTraceJSONL = trace.ReadJSONL
 )
 
 // Socket driver types, re-exported.

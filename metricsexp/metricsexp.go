@@ -1,0 +1,243 @@
+// Package metricsexp exposes live IQ-RUDP transport metrics to standard
+// observability tooling. An Exporter is fed by a trace.Counters sink (the
+// aggregating Tracer from the internal trace subsystem, re-exported by the
+// iqrudp root package as TraceCounters) and optionally by registered gauge
+// functions — e.g. a connection's Metrics snapshot. It renders two
+// formats:
+//
+//   - Prometheus text exposition at GET /metrics;
+//   - an expvar-style JSON document at GET /debug/vars (also published to
+//     the process-wide expvar registry under "iqrudp" on first Serve).
+//
+// Wire-up:
+//
+//	counters := iqrudp.NewTraceCounters()
+//	cfg := iqrudp.DefaultConfig()
+//	cfg.Tracer = counters
+//	exp := metricsexp.New(counters)
+//	srv, _ := metricsexp.Serve("127.0.0.1:9920", exp)
+//	defer srv.Close()
+//
+// All Exporter methods are safe for concurrent use; the counters sink is
+// read with atomics, so scrapes never contend with the transport's hot
+// path.
+package metricsexp
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/trace"
+)
+
+// namespace prefixes every exported metric name.
+const namespace = "iqrudp"
+
+// Exporter renders trace counters and registered gauges as Prometheus
+// text and expvar-style JSON.
+type Exporter struct {
+	counters *trace.Counters
+	start    time.Time
+
+	mu     sync.Mutex
+	gauges map[string]func() float64
+}
+
+// New returns an exporter reading from counters (which may be shared by
+// any number of connections). counters may be nil when only registered
+// gauges are wanted.
+func New(counters *trace.Counters) *Exporter {
+	return &Exporter{
+		counters: counters,
+		start:    time.Now(),
+		gauges:   make(map[string]func() float64),
+	}
+}
+
+// AddGauge registers a named gauge; fn is called at scrape time. The name
+// is sanitised into the Prometheus namespace (iqrudp_<name>). Re-adding a
+// name replaces the previous function.
+func (e *Exporter) AddGauge(name string, fn func() float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.gauges[sanitize(name)] = fn
+}
+
+// sanitize maps name into the Prometheus metric-name alphabet.
+func sanitize(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "gauge"
+	}
+	return string(out)
+}
+
+// gaugeSnapshot evaluates the registered gauges outside the lock order of
+// a scrape.
+func (e *Exporter) gaugeSnapshot() map[string]float64 {
+	e.mu.Lock()
+	fns := make(map[string]func() float64, len(e.gauges))
+	for k, v := range e.gauges {
+		fns[k] = v
+	}
+	e.mu.Unlock()
+	out := make(map[string]float64, len(fns))
+	for k, fn := range fns {
+		out[k] = fn()
+	}
+	return out
+}
+
+// WritePrometheus renders the Prometheus text exposition format.
+func (e *Exporter) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP %s_uptime_seconds Seconds since the exporter was created.\n", namespace)
+	p("# TYPE %s_uptime_seconds gauge\n", namespace)
+	p("%s_uptime_seconds %g\n", namespace, time.Since(e.start).Seconds())
+
+	if e.counters != nil {
+		s := e.counters.Snapshot()
+		p("# HELP %s_trace_events_total Machine events traced, by event type.\n", namespace)
+		p("# TYPE %s_trace_events_total counter\n", namespace)
+		for t := trace.Type(0); t < trace.NumTypes; t++ {
+			p("%s_trace_events_total{event=%q} %d\n", namespace, t.String(), s.Counts[t])
+		}
+		p("# HELP %s_sent_bytes_total Payload bytes transmitted, including retransmissions.\n", namespace)
+		p("# TYPE %s_sent_bytes_total counter\n", namespace)
+		p("%s_sent_bytes_total %d\n", namespace, s.SentBytes)
+		p("# HELP %s_acked_bytes_total Payload bytes acknowledged.\n", namespace)
+		p("# TYPE %s_acked_bytes_total counter\n", namespace)
+		p("%s_acked_bytes_total %d\n", namespace, s.AckedBytes)
+		p("# HELP %s_window_rescales_total Coordination decisions that rescaled the window.\n", namespace)
+		p("# TYPE %s_window_rescales_total counter\n", namespace)
+		p("%s_window_rescales_total %d\n", namespace, s.Rescales)
+		p("# HELP %s_cwnd_packets Last observed congestion window.\n", namespace)
+		p("# TYPE %s_cwnd_packets gauge\n", namespace)
+		p("%s_cwnd_packets %g\n", namespace, s.Cwnd)
+		p("# HELP %s_error_ratio Last observed smoothed error ratio.\n", namespace)
+		p("# TYPE %s_error_ratio gauge\n", namespace)
+		p("%s_error_ratio %g\n", namespace, s.ErrorRatio)
+		p("# HELP %s_rate_bytes_per_second Last observed delivery-rate estimate.\n", namespace)
+		p("# TYPE %s_rate_bytes_per_second gauge\n", namespace)
+		p("%s_rate_bytes_per_second %g\n", namespace, s.RateBps)
+		p("# HELP %s_srtt_seconds Last observed smoothed round-trip time.\n", namespace)
+		p("# TYPE %s_srtt_seconds gauge\n", namespace)
+		p("%s_srtt_seconds %g\n", namespace, s.SRTT.Seconds())
+	}
+
+	gauges := e.gaugeSnapshot()
+	names := make([]string, 0, len(gauges))
+	for name := range gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p("# TYPE %s_%s gauge\n", namespace, name)
+		p("%s_%s %g\n", namespace, name, gauges[name])
+	}
+	return err
+}
+
+// Vars returns the expvar-style document: every counter and gauge keyed by
+// its exported name.
+func (e *Exporter) Vars() map[string]any {
+	out := map[string]any{
+		"uptime_seconds": time.Since(e.start).Seconds(),
+	}
+	if e.counters != nil {
+		s := e.counters.Snapshot()
+		events := make(map[string]uint64, trace.NumTypes)
+		for t := trace.Type(0); t < trace.NumTypes; t++ {
+			events[t.String()] = s.Counts[t]
+		}
+		out["trace_events"] = events
+		out["sent_bytes"] = s.SentBytes
+		out["acked_bytes"] = s.AckedBytes
+		out["window_rescales"] = s.Rescales
+		out["cwnd_packets"] = s.Cwnd
+		out["error_ratio"] = s.ErrorRatio
+		out["rate_bytes_per_second"] = s.RateBps
+		out["srtt_seconds"] = s.SRTT.Seconds()
+	}
+	for name, v := range e.gaugeSnapshot() {
+		out[name] = v
+	}
+	return out
+}
+
+// Handler returns an http.Handler serving /metrics (Prometheus text) and
+// /debug/vars (expvar-style JSON). The root path redirects to /metrics.
+func (e *Exporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeJSON(w, e.Vars())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		http.Redirect(w, r, "/metrics", http.StatusFound)
+	})
+	return mux
+}
+
+// writeJSON renders v with indentation for human consumption.
+func writeJSON(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// expvarOnce guards the process-wide expvar registration: expvar.Publish
+// panics on duplicate names, and tests create several exporters.
+var expvarOnce sync.Once
+
+// PublishExpvar registers this exporter's Vars under "iqrudp" in the
+// process-wide expvar registry. Only the first exporter to call it (per
+// process) wins; later calls are no-ops.
+func (e *Exporter) PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish(namespace, expvar.Func(func() any { return e.Vars() }))
+	})
+}
+
+// Serve binds addr, publishes the exporter to expvar, and serves Handler
+// on a background goroutine. The returned server's Close/Shutdown stops
+// it; its Addr field carries the bound address (useful with ":0").
+func Serve(addr string, e *Exporter) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	e.PublishExpvar()
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: e.Handler()}
+	go srv.Serve(ln)
+	return srv, nil
+}

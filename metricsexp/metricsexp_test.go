@@ -1,0 +1,127 @@
+package metricsexp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/trace"
+)
+
+func seeded() *trace.Counters {
+	c := trace.NewCounters()
+	c.Trace(trace.Event{Type: trace.PacketSent, Size: 1400})
+	c.Trace(trace.Event{Type: trace.PacketSent, Size: 1400})
+	c.Trace(trace.Event{Type: trace.PacketAcked, Size: 1400})
+	c.Trace(trace.Event{Type: trace.MeasurementPeriod, Cwnd: 12, ErrorRatio: 0.05,
+		RateBps: 2.5e6, SRTT: 30 * time.Millisecond})
+	c.Trace(trace.Event{Type: trace.CoordinationDecision, Case: 2, Factor: 2})
+	return c
+}
+
+func TestWritePrometheus(t *testing.T) {
+	e := New(seeded())
+	e.AddGauge("queued packets", func() float64 { return 7 })
+	var sb strings.Builder
+	if err := e.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`iqrudp_trace_events_total{event="packet_sent"} 2`,
+		`iqrudp_trace_events_total{event="coordination_decision"} 1`,
+		"iqrudp_sent_bytes_total 2800",
+		"iqrudp_acked_bytes_total 1400",
+		"iqrudp_window_rescales_total 1",
+		"iqrudp_cwnd_packets 12",
+		"iqrudp_error_ratio 0.05",
+		"iqrudp_srtt_seconds 0.03",
+		"iqrudp_queued_packets 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	e := New(seeded())
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "iqrudp_trace_events_total") {
+		t.Fatalf("metrics endpoint: %d %q", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if doc["sent_bytes"].(float64) != 2800 {
+		t.Fatalf("vars: %+v", doc)
+	}
+	events := doc["trace_events"].(map[string]any)
+	if events["packet_sent"].(float64) != 2 {
+		t.Fatalf("trace_events: %+v", events)
+	}
+
+	resp, err = http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown path: %d", resp.StatusCode)
+	}
+}
+
+func TestServeBindsAndStops(t *testing.T) {
+	e := New(seeded())
+	srv, err := Serve("127.0.0.1:0", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// PublishExpvar must be idempotent even across exporters.
+	New(seeded()).PublishExpvar()
+}
+
+func TestNilCountersOnlyGauges(t *testing.T) {
+	e := New(nil)
+	e.AddGauge("cwnd", func() float64 { return 3.5 })
+	var sb strings.Builder
+	if err := e.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "iqrudp_cwnd 3.5") {
+		t.Fatalf("gauge missing:\n%s", sb.String())
+	}
+	if v, ok := e.Vars()["cwnd"]; !ok || v.(float64) != 3.5 {
+		t.Fatalf("vars: %+v", e.Vars())
+	}
+}

@@ -1,0 +1,133 @@
+package simnet_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	iqrudp "github.com/cercs/iqrudp"
+	"github.com/cercs/iqrudp/simnet"
+)
+
+// Trace-driven regression tests: the coordination cases must emit exactly
+// the documented event sequences. The simulator is deterministic, so these
+// assert on exact ordered subsequences, not just counts.
+
+// tracedPair builds an established sender/receiver pair with a ring sink on
+// the sender.
+func tracedPair(t *testing.T, seed int64, tolerance float64) (*simnet.Scheduler, *simnet.Endpoint, *simnet.Endpoint, *iqrudp.TraceRing) {
+	t.Helper()
+	s := simnet.NewScheduler(seed)
+	d := simnet.NewDumbbell(s, simnet.DefaultDumbbell())
+	ring := iqrudp.NewTraceRing(4096)
+	sndCfg := iqrudp.DefaultConfig()
+	sndCfg.Tracer = ring
+	snd, rcv := simnet.Pair(d, sndCfg, iqrudp.ServerConfig(tolerance))
+	rcv.Record = true
+	if !simnet.WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("handshake failed")
+	}
+	return s, snd, rcv, ring
+}
+
+// ofType filters ring events down to the given types, preserving order.
+func ofType(ring *iqrudp.TraceRing, types ...iqrudp.TraceEventType) []iqrudp.TraceEvent {
+	want := map[iqrudp.TraceEventType]bool{}
+	for _, t := range types {
+		want[t] = true
+	}
+	var out []iqrudp.TraceEvent
+	for _, ev := range ring.Events() {
+		if want[ev.Type] {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestTraceCase1SenderDiscard(t *testing.T) {
+	s, snd, rcv, ring := tracedPair(t, 11, 0.5)
+
+	// The application reports a reliability adaptation: half its messages no
+	// longer need delivery. Case 1 switches the sender into discard mode.
+	snd.Machine.Report(&iqrudp.AdaptationReport{Kind: iqrudp.AdaptReliability, Degree: 0.5})
+
+	// Unmarked messages must now die at the send call; marked ones survive.
+	// Marked first, so the drop fraction stays within the 0.5 tolerance for
+	// every unmarked message.
+	for i := 0; i < 10; i++ {
+		snd.Machine.Send(make([]byte, 700), true)
+		snd.Machine.Send(make([]byte, 700), false)
+	}
+	s.RunUntil(s.Now() + 5*time.Second)
+
+	events := ofType(ring, iqrudp.TraceCoordinationDecision, iqrudp.TracePacketAbandoned)
+	if len(events) < 11 {
+		t.Fatalf("want decision + 10 discards, got %d events", len(events))
+	}
+	dec := events[0]
+	if dec.Type != iqrudp.TraceCoordinationDecision || dec.Case != 1 || dec.Reason != "discard-on" {
+		t.Fatalf("first event = %+v, want case-1 discard-on decision", dec)
+	}
+	discards := 0
+	for _, ev := range events[1:] {
+		if ev.Type == iqrudp.TracePacketAbandoned && ev.Reason == "case1-discard" {
+			discards++
+		}
+	}
+	if discards != 10 {
+		t.Fatalf("case1-discard events = %d, want 10", discards)
+	}
+
+	mt := snd.Machine.Metrics()
+	if mt.SenderDiscards != 10 {
+		t.Fatalf("Metrics.SenderDiscards = %d, want 10", mt.SenderDiscards)
+	}
+	if len(rcv.Delivered) != 10 {
+		t.Fatalf("delivered %d, want the 10 marked messages", len(rcv.Delivered))
+	}
+}
+
+func TestTraceCase2WindowRescale(t *testing.T) {
+	s, snd, _, ring := tracedPair(t, 12, 0)
+
+	// The application reports a resolution adaptation: frames shrink by half
+	// to 700 B, below the MSS. Case 2 rescales the packet window by
+	// 1/(1−0.5) = 2 so the byte rate isn't shrunk twice.
+	snd.Machine.Report(&iqrudp.AdaptationReport{
+		Kind: iqrudp.AdaptResolution, Degree: 0.5, FrameSize: 700,
+	})
+	s.RunUntil(s.Now() + time.Second)
+
+	events := ofType(ring, iqrudp.TraceCoordinationDecision, iqrudp.TraceCwndUpdate)
+	if len(events) != 2 {
+		t.Fatalf("event sequence = %d events %+v, want exactly [decision, cwnd]", len(events), events)
+	}
+	dec, cw := events[0], events[1]
+	if dec.Type != iqrudp.TraceCoordinationDecision || dec.Case != 2 || dec.Reason != "rescale" {
+		t.Fatalf("decision = %+v, want case-2 rescale", dec)
+	}
+	if math.Abs(dec.Factor-2) > 1e-9 {
+		t.Fatalf("factor = %g, want 2", dec.Factor)
+	}
+	if cw.Type != iqrudp.TraceCwndUpdate || cw.Reason != "coordination" {
+		t.Fatalf("second event = %+v, want coordination cwnd update", cw)
+	}
+	if math.Abs(cw.Cwnd-2*cw.PrevCwnd) > 1e-9 {
+		t.Fatalf("cwnd %g → %g, want doubling", cw.PrevCwnd, cw.Cwnd)
+	}
+
+	mt := snd.Machine.Metrics()
+	if mt.WindowRescales != 1 {
+		t.Fatalf("WindowRescales = %d, want 1", mt.WindowRescales)
+	}
+	decisions := 0
+	for _, ev := range ring.Events() {
+		if ev.Type == iqrudp.TraceCoordinationDecision && ev.Factor != 0 {
+			decisions++
+		}
+	}
+	if decisions != int(mt.WindowRescales) {
+		t.Fatalf("rescale decisions = %d, WindowRescales = %d", decisions, mt.WindowRescales)
+	}
+}
