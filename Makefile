@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race race-smoke bench tables
+.PHONY: check build test vet race race-smoke bench bench-server tables
 
 check: vet build race ## vet + build + full race-enabled test run
 
@@ -21,11 +21,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-race-smoke: ## quick -race pass: loopback wire tests incl. the traced-sinks smoke
+race-smoke: ## quick -race pass: loopback wire tests incl. the traced-sinks smoke and the serve engine
 	$(GO) test -race -run 'TestTracedLoopbackAllSinks|TestDialListenRoundTrip|TestManyMessagesOrdered|TestConcurrentSendersOneConnection|TestBidirectional' ./internal/udpwire/
+	$(GO) test -race ./internal/serve/
 
 bench: ## nil-tracer send-path benchmarks (compare against a saved baseline)
 	$(GO) test -bench . -benchtime 3x -run '^$$' .
+
+bench-server: ## many-connection serve-vs-listener throughput A/B -> BENCH_server.json
+	BENCH_SERVER_JSON=$(CURDIR)/BENCH_server.json $(GO) test -run TestServerEngineBenchJSON -v ./internal/serve/
 
 tables: ## regenerate the paper's tables on the simulator
 	$(GO) run ./cmd/iqbench -experiment all

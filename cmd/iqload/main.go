@@ -1,30 +1,41 @@
 // Command iqload measures IQ-RUDP throughput and delivery behaviour between
 // two real hosts — an iperf-style load tool for the protocol.
 //
-// Sink (prints delivered rate once per second):
+// Sink (prints delivered rate once per second; -engine picks the acceptor):
 //
-//	iqload -listen 0.0.0.0:9901 -tolerance 0.3
+//	iqload -listen 0.0.0.0:9901 -tolerance 0.3                # serve engine
+//	iqload -listen 0.0.0.0:9901 -engine listener              # legacy acceptor
 //
 // Source (fills the window for a duration, or paces at a fixed rate):
 //
 //	iqload -to host:9901 -duration 10s -size 1400            # as fast as allowed
-//	iqload -to host:9901 -duration 10s -size 1200 -rate 2e6  # 2 Mb/s paced
+//	iqload -to host:9901 -conns 200 -duration 10s            # 200 concurrent conns
+//	iqload -to host:9901 -conns 50 -churn 10                 # ~10 replacements/s
+//	iqload -to host:9901 -duration 10s -size 1200 -rate 2e6  # 2 Mb/s paced, per conn
 //	iqload -to host:9901 -unmarked 0.5                       # half droppable
+//
+// Messages of at least 16 bytes carry a timestamp; the sink reports
+// per-connection p50/p99 delivery latency in its final block (one-way, so
+// meaningful on loopback or clock-synchronised hosts).
 //
 // Either mode takes -trace file.jsonl (machine-event trace for cmd/iqstat)
 // and -metrics-addr host:port (live Prometheus /metrics + expvar
-// /debug/vars).
+// /debug/vars; the serve engine's gauges are registered automatically).
 package main
 
 import (
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	iqrudp "github.com/cercs/iqrudp"
+	"github.com/cercs/iqrudp/internal/stats"
 	"github.com/cercs/iqrudp/metricsexp"
 )
 
@@ -32,28 +43,32 @@ func main() {
 	var (
 		listen      = flag.String("listen", "", "sink mode: address to listen on")
 		tolerance   = flag.Float64("tolerance", 0, "sink mode: loss tolerance for unmarked messages")
+		engine      = flag.String("engine", "serve", "sink mode: acceptor engine (serve|listener)")
+		shards      = flag.Int("shards", 0, "sink mode: serve engine shards (0 = auto)")
 		to          = flag.String("to", "", "source mode: sink address")
 		duration    = flag.Duration("duration", 10*time.Second, "source mode: how long to send")
 		size        = flag.Int("size", 1400, "source mode: message size in bytes")
-		rate        = flag.Float64("rate", 0, "source mode: target bit rate (0 = as fast as allowed)")
+		rate        = flag.Float64("rate", 0, "source mode: per-connection target bit rate (0 = as fast as allowed)")
 		unmarked    = flag.Float64("unmarked", 0, "source mode: fraction of messages sent unmarked")
+		conns       = flag.Int("conns", 1, "source mode: concurrent connections")
+		churn       = flag.Float64("churn", 0, "source mode: connection replacements per second across the pool")
 		seed        = flag.Int64("seed", 1, "source mode: marking RNG seed")
 		traceFile   = flag.String("trace", "", "write a JSONL machine-event trace to this file (see cmd/iqstat)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/vars on this address")
 	)
 	flag.Parse()
-	tracer, cleanup, err := buildTracer(*traceFile, *metricsAddr)
+	tracer, exporter, cleanup, err := buildTracer(*traceFile, *metricsAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cleanup()
 	switch {
 	case *listen != "":
-		if err := runSink(*listen, *tolerance, tracer); err != nil {
+		if err := runSink(*listen, *tolerance, *engine, *shards, tracer, exporter); err != nil {
 			log.Fatal(err)
 		}
 	case *to != "":
-		if err := runSource(*to, *duration, *size, *rate, *unmarked, *seed, tracer); err != nil {
+		if err := runSource(*to, *duration, *size, *rate, *unmarked, *seed, *conns, *churn, tracer); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -63,16 +78,18 @@ func main() {
 }
 
 // buildTracer assembles the optional observability sinks; cleanup flushes
-// the JSONL file and stops the metrics listener.
-func buildTracer(traceFile, metricsAddr string) (iqrudp.Tracer, func(), error) {
+// the JSONL file and stops the metrics listener. The exporter is non-nil
+// when -metrics-addr is set, so callers can register extra gauges.
+func buildTracer(traceFile, metricsAddr string) (iqrudp.Tracer, *metricsexp.Exporter, func(), error) {
 	var (
 		sinks    []iqrudp.Tracer
 		cleanups []func()
+		exporter *metricsexp.Exporter
 	)
 	if traceFile != "" {
 		f, err := os.Create(traceFile)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		jl := iqrudp.NewTraceJSONL(f)
 		cleanups = append(cleanups, func() {
@@ -85,9 +102,10 @@ func buildTracer(traceFile, metricsAddr string) (iqrudp.Tracer, func(), error) {
 	}
 	if metricsAddr != "" {
 		counters := iqrudp.NewTraceCounters()
-		srv, err := metricsexp.Serve(metricsAddr, metricsexp.New(counters))
+		exporter = metricsexp.New(counters)
+		srv, err := metricsexp.Serve(metricsAddr, exporter)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", srv.Addr)
 		cleanups = append(cleanups, func() { srv.Close() })
@@ -98,20 +116,40 @@ func buildTracer(traceFile, metricsAddr string) (iqrudp.Tracer, func(), error) {
 			cleanups[i]()
 		}
 	}
-	return iqrudp.MultiTracer(sinks...), cleanup, nil
+	return iqrudp.MultiTracer(sinks...), exporter, cleanup, nil
 }
 
-func runSink(addr string, tolerance float64, tracer iqrudp.Tracer) error {
+func runSink(addr string, tolerance float64, engine string, shards int, tracer iqrudp.Tracer, exporter *metricsexp.Exporter) error {
 	cfg := iqrudp.ServerConfig(tolerance)
 	cfg.Tracer = tracer
-	ln, err := iqrudp.Listen(addr, cfg)
-	if err != nil {
-		return err
+	accept := func() (*iqrudp.Conn, error) { return nil, nil }
+	switch engine {
+	case "serve":
+		srv, err := iqrudp.ListenServer(addr, cfg, iqrudp.ServerOptions{Shards: shards})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		if exporter != nil {
+			for name, fn := range srv.Gauges() {
+				exporter.AddGauge(name, fn)
+			}
+		}
+		fmt.Println("iqload sink (serve engine) on", srv.Addr())
+		accept = func() (*iqrudp.Conn, error) { return srv.Accept(0) }
+	case "listener":
+		ln, err := iqrudp.Listen(addr, cfg)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Println("iqload sink (legacy listener) on", ln.Addr())
+		accept = func() (*iqrudp.Conn, error) { return ln.Accept(0) }
+	default:
+		return fmt.Errorf("unknown -engine %q (want serve or listener)", engine)
 	}
-	defer ln.Close()
-	fmt.Println("iqload sink on", ln.Addr())
 	for {
-		conn, err := ln.Accept(0)
+		conn, err := accept()
 		if err != nil {
 			return err
 		}
@@ -127,6 +165,7 @@ func sinkConn(conn *iqrudp.Conn) {
 		bytes         uint64
 		winMsgs       int
 		winBytes      uint64
+		lat           stats.Sample
 		start         = time.Now()
 		lastReport    = start
 	)
@@ -148,6 +187,9 @@ func sinkConn(conn *iqrudp.Conn) {
 		if msg.Marked {
 			marked++
 		}
+		if age, ok := stampAge(msg.Data); ok {
+			lat.Add(age.Seconds() * 1000) // milliseconds
+		}
 		if since := time.Since(lastReport); since >= time.Second {
 			fmt.Printf("  %6.1fs  %8.1f KB/s  %6d msgs/s\n",
 				time.Since(start).Seconds(),
@@ -158,53 +200,148 @@ func sinkConn(conn *iqrudp.Conn) {
 		}
 	}
 	elapsed := time.Since(start).Seconds()
-	fmt.Printf("done: %d messages (%d marked), %.1f KB, %.1f KB/s average\n",
-		total, marked, float64(bytes)/1000, float64(bytes)/elapsed/1000)
+	latency := ""
+	if lat.N() > 0 {
+		latency = fmt.Sprintf(", delivery p50=%.2fms p99=%.2fms",
+			lat.Quantile(0.5), lat.Quantile(0.99))
+	}
+	fmt.Printf("done %s: %d messages (%d marked), %.1f KB, %.1f KB/s average%s\n",
+		conn.RemoteAddr(), total, marked, float64(bytes)/1000,
+		float64(bytes)/elapsed/1000, latency)
+	fmt.Println("transport:", conn.Metrics())
 }
 
-func runSource(to string, duration time.Duration, size int, rate, unmarked float64, seed int64, tracer iqrudp.Tracer) error {
+// stampMagic prefixes timestamped payloads (see stamp/stampAge).
+var stampMagic = [8]byte{'I', 'Q', 'L', 'D', 'T', 'S', '0', '1'}
+
+// stamp writes the magic and the current unix-nano time into the payload's
+// first 16 bytes; smaller payloads go unstamped.
+func stamp(payload []byte) {
+	if len(payload) < 16 {
+		return
+	}
+	copy(payload, stampMagic[:])
+	binary.BigEndian.PutUint64(payload[8:], uint64(time.Now().UnixNano()))
+}
+
+// stampAge recovers a payload's send-to-delivery age, if it was stamped.
+func stampAge(data []byte) (time.Duration, bool) {
+	if len(data) < 16 || string(data[:8]) != string(stampMagic[:]) {
+		return 0, false
+	}
+	sent := int64(binary.BigEndian.Uint64(data[8:]))
+	return time.Duration(time.Now().UnixNano() - sent), true
+}
+
+func runSource(to string, duration time.Duration, size int, rate, unmarked float64, seed int64, conns int, churn float64, tracer iqrudp.Tracer) error {
+	if conns < 1 {
+		conns = 1
+	}
 	cfg := iqrudp.DefaultConfig()
 	cfg.Tracer = tracer
-	conn, err := iqrudp.Dial(to, cfg)
-	if err != nil {
-		return err
+	fmt.Printf("sending %dB messages to %s for %v over %d connection(s)\n",
+		size, to, duration, conns)
+
+	// Connection lifetime under churn: with conns workers each re-dialling
+	// after conns/churn seconds, the pool replaces ~churn connections/s.
+	var sessionLife time.Duration
+	if churn > 0 {
+		sessionLife = time.Duration(float64(conns) / churn * float64(time.Second))
 	}
-	fmt.Printf("connected to %s; sending %dB messages for %v\n", to, size, duration)
-	rng := rand.New(rand.NewSource(seed))
-	payload := make([]byte, size)
+
+	var (
+		totalSent atomic.Uint64
+		dials     atomic.Uint64
+		failures  atomic.Uint64
+		lastMu    sync.Mutex
+		lastMet   *iqrudp.Metrics
+	)
 	deadline := time.Now().Add(duration)
-	sent := 0
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)))
+			for time.Now().Before(deadline) {
+				conn, err := iqrudp.DialTimeout(to, cfg, 10*time.Second)
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "conn %d: dial: %v\n", i, err)
+					time.Sleep(100 * time.Millisecond)
+					continue
+				}
+				dials.Add(1)
+				end := deadline
+				if sessionLife > 0 {
+					// Jitter session ends so replacements spread out instead
+					// of arriving in a thundering herd.
+					life := sessionLife/2 + time.Duration(rng.Int63n(int64(sessionLife)))
+					if s := time.Now().Add(life); s.Before(end) {
+						end = s
+					}
+				}
+				sent, err := sendOn(conn, end, size, rate, unmarked, rng)
+				totalSent.Add(uint64(sent))
+				mt := conn.Metrics()
+				conn.Close()
+				lastMu.Lock()
+				lastMet = &mt
+				lastMu.Unlock()
+				if err != nil {
+					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "conn %d: send: %v\n", i, err)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
 
+	sent := totalSent.Load()
+	elapsed := duration.Seconds()
+	fmt.Printf("sent %d messages over %d dial(s) (%d failure(s)), %.1f KB/s offered, %d msgs/s\n",
+		sent, dials.Load(), failures.Load(),
+		float64(sent)*float64(size)/elapsed/1000, int(float64(sent)/elapsed))
+	lastMu.Lock()
+	if lastMet != nil {
+		fmt.Println("transport (last conn):", *lastMet)
+	}
+	lastMu.Unlock()
+	return nil
+}
+
+// sendOn drives one connection until end, pacing to rate if set and against
+// the transmit backlog otherwise. Each message is timestamped for the
+// sink's delivery-latency report.
+func sendOn(conn *iqrudp.Conn, end time.Time, size int, rate, unmarked float64, rng *rand.Rand) (int, error) {
+	payload := make([]byte, size)
 	mark := func() bool { return !(unmarked > 0 && rng.Float64() < unmarked) }
-
+	sent := 0
 	if rate > 0 {
 		interval := time.Duration(float64(size*8) / rate * float64(time.Second))
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
-		for time.Now().Before(deadline) {
+		for time.Now().Before(end) {
 			<-ticker.C
+			stamp(payload)
 			if err := conn.Send(payload, mark()); err != nil {
-				return err
+				return sent, err
 			}
 			sent++
 		}
-	} else {
-		for time.Now().Before(deadline) {
-			if err := conn.Send(payload, mark()); err != nil {
-				return err
-			}
-			sent++
-			// Backpressure: the machine buffers without bound, so pace on
-			// the transmit backlog to keep memory sane.
-			for conn.QueuedPackets() > 2048 && time.Now().Before(deadline) {
-				time.Sleep(time.Millisecond)
-			}
+		return sent, nil
+	}
+	for time.Now().Before(end) {
+		stamp(payload)
+		if err := conn.Send(payload, mark()); err != nil {
+			return sent, err
+		}
+		sent++
+		// Backpressure: the machine buffers without bound, so pace on the
+		// transmit backlog to keep memory sane.
+		for conn.QueuedPackets() > 2048 && time.Now().Before(end) {
+			time.Sleep(time.Millisecond)
 		}
 	}
-	conn.Close() // graceful drain
-	mt := conn.Metrics()
-	elapsed := duration.Seconds()
-	fmt.Printf("sent %d messages (%.1f KB/s offered)\n", sent, float64(sent*size)/elapsed/1000)
-	fmt.Println("transport:", mt)
-	return nil
+	return sent, nil
 }

@@ -190,6 +190,10 @@ func (m *Machine) Registry() *attr.Registry { return m.reg }
 // State returns a debugging name for the connection phase.
 func (m *Machine) State() string { return m.state.String() }
 
+// ConnID returns the wire connection ID (zero on the passive side until the
+// initiator's SYN is adopted).
+func (m *Machine) ConnID() uint32 { return m.connID }
+
 // Established reports whether the connection is open for data.
 func (m *Machine) Established() bool { return m.state == stEstablished }
 
@@ -326,6 +330,10 @@ func (m *Machine) maybeFinish() {
 		}
 	})
 }
+
+// Abort tears the machine down immediately — no FIN exchange, no drain.
+// Drivers use it for abortive teardown (RST-like local eviction).
+func (m *Machine) Abort() { m.abort() }
 
 func (m *Machine) abort() {
 	if m.state == stDead {

@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"net"
+	"sync"
+)
+
+// rxMsg is one received datagram: a pooled buffer (valid until release) and
+// the source address.
+type rxMsg struct {
+	buf  []byte
+	addr *net.UDPAddr
+}
+
+// bufPool recycles receive buffers across batches. packet.Decode copies the
+// payload out, so a buffer's lifetime ends when its datagram is parsed.
+type bufPool struct {
+	pool sync.Pool
+	size int
+}
+
+func newBufPool(size int) *bufPool {
+	bp := &bufPool{size: size}
+	bp.pool.New = func() any { b := make([]byte, size); return &b }
+	return bp
+}
+
+func (bp *bufPool) get() []byte { return *(bp.pool.Get().(*[]byte)) }
+
+func (bp *bufPool) put(b []byte) {
+	if cap(b) >= bp.size {
+		b = b[:bp.size]
+		bp.pool.Put(&b)
+	}
+}

@@ -1,0 +1,222 @@
+//go:build linux && (amd64 || arm64)
+
+package serve
+
+import (
+	"net"
+	"syscall"
+	"unsafe"
+)
+
+// Linux fast path: recvmmsg/sendmmsg move Batch datagrams per syscall. The
+// raw syscalls are wrapped in the netpoller via syscall.RawConn Read/Write
+// with MSG_DONTWAIT, so blocked shards park in the runtime scheduler rather
+// than in the kernel. Restricted to amd64/arm64 because the mmsghdr layout
+// below (4 bytes of tail padding after msg_len) is the 64-bit one.
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the per-message byte count
+// filled in by the kernel.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// rxBatcher reads datagram batches from one socket via recvmmsg.
+type rxBatcher struct {
+	rc   syscall.RawConn
+	pool *bufPool
+
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names [][syscall.SizeofSockaddrAny]byte
+	bufs  [][]byte
+}
+
+func newRxBatcher(sock *net.UDPConn, batch, bufSize int) (*rxBatcher, error) {
+	rc, err := sock.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	return &rxBatcher{
+		rc:    rc,
+		pool:  newBufPool(bufSize),
+		hdrs:  make([]mmsghdr, batch),
+		iovs:  make([]syscall.Iovec, batch),
+		names: make([][syscall.SizeofSockaddrAny]byte, batch),
+		bufs:  make([][]byte, batch),
+	}, nil
+}
+
+// recv blocks until at least one datagram arrives and returns the batch.
+// The buffers belong to the batcher's pool; call release after parsing.
+func (rb *rxBatcher) recv() ([]rxMsg, error) {
+	for i := range rb.hdrs {
+		if rb.bufs[i] == nil {
+			rb.bufs[i] = rb.pool.get()
+		}
+		rb.iovs[i].Base = &rb.bufs[i][0]
+		rb.iovs[i].SetLen(len(rb.bufs[i]))
+		rb.hdrs[i].hdr.Name = &rb.names[i][0]
+		rb.hdrs[i].hdr.Namelen = uint32(len(rb.names[i]))
+		rb.hdrs[i].hdr.Iov = &rb.iovs[i]
+		rb.hdrs[i].hdr.Iovlen = 1
+		rb.hdrs[i].n = 0
+	}
+	var n int
+	var serr error
+	err := rb.rc.Read(func(fd uintptr) bool {
+		for {
+			r1, _, errno := syscall.Syscall6(sysRecvmmsg, fd,
+				uintptr(unsafe.Pointer(&rb.hdrs[0])), uintptr(len(rb.hdrs)),
+				uintptr(syscall.MSG_DONTWAIT), 0, 0)
+			switch errno {
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false
+			case 0:
+				n = int(r1)
+			default:
+				serr = errno
+			}
+			return true
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if serr != nil {
+		return nil, serr
+	}
+	msgs := make([]rxMsg, 0, n)
+	for i := 0; i < n; i++ {
+		msgs = append(msgs, rxMsg{
+			buf:  rb.bufs[i][:rb.hdrs[i].n],
+			addr: parseSockaddr(&rb.names[i]),
+		})
+		rb.bufs[i] = nil // ownership moves to the caller until release
+	}
+	return msgs, nil
+}
+
+// release returns the batch's buffers to the pool.
+func (rb *rxBatcher) release(msgs []rxMsg) {
+	for _, m := range msgs {
+		rb.pool.put(m.buf)
+	}
+}
+
+// txBatcher writes datagram batches to one socket via sendmmsg.
+type txBatcher struct {
+	rc    syscall.RawConn
+	v6    bool // AF_INET6 socket: IPv4 peers need v4-mapped v6 sockaddrs
+	hdrs  []mmsghdr
+	iovs  []syscall.Iovec
+	names [][syscall.SizeofSockaddrAny]byte
+}
+
+func newTxBatcher(sock *net.UDPConn, batch int) (*txBatcher, error) {
+	rc, err := sock.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	la, _ := sock.LocalAddr().(*net.UDPAddr)
+	return &txBatcher{
+		rc:    rc,
+		v6:    la != nil && la.IP.To4() == nil,
+		hdrs:  make([]mmsghdr, batch),
+		iovs:  make([]syscall.Iovec, batch),
+		names: make([][syscall.SizeofSockaddrAny]byte, batch),
+	}, nil
+}
+
+// send transmits the batch, returning how many datagrams went out.
+func (tb *txBatcher) send(batch []txMsg) (int, error) {
+	n := len(batch)
+	if n > len(tb.hdrs) {
+		n = len(tb.hdrs)
+	}
+	for i := 0; i < n; i++ {
+		tb.iovs[i].Base = &batch[i].b[0]
+		tb.iovs[i].SetLen(len(batch[i].b))
+		tb.hdrs[i].hdr.Name = &tb.names[i][0]
+		tb.hdrs[i].hdr.Namelen = encodeSockaddr(batch[i].peer, tb.v6, &tb.names[i])
+		tb.hdrs[i].hdr.Iov = &tb.iovs[i]
+		tb.hdrs[i].hdr.Iovlen = 1
+	}
+	sent := 0
+	for sent < n {
+		var got int
+		var serr error
+		err := tb.rc.Write(func(fd uintptr) bool {
+			for {
+				r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
+					uintptr(unsafe.Pointer(&tb.hdrs[sent])), uintptr(n-sent),
+					uintptr(syscall.MSG_DONTWAIT), 0, 0)
+				switch errno {
+				case syscall.EINTR:
+					continue
+				case syscall.EAGAIN:
+					return false
+				case 0:
+					got = int(r1)
+				default:
+					serr = errno
+				}
+				return true
+			}
+		})
+		if err != nil {
+			return sent, err
+		}
+		if serr != nil {
+			return sent, serr
+		}
+		if got == 0 {
+			break
+		}
+		sent += got
+	}
+	return sent, nil
+}
+
+// parseSockaddr converts a raw kernel-filled sockaddr to a *net.UDPAddr.
+func parseSockaddr(b *[syscall.SizeofSockaddrAny]byte) *net.UDPAddr {
+	rsa := (*syscall.RawSockaddrAny)(unsafe.Pointer(b))
+	switch rsa.Addr.Family {
+	case syscall.AF_INET:
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(b))
+		return &net.UDPAddr{
+			IP:   net.IPv4(sa.Addr[0], sa.Addr[1], sa.Addr[2], sa.Addr[3]),
+			Port: ntohs(sa.Port),
+		}
+	case syscall.AF_INET6:
+		sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(b))
+		ip := make(net.IP, net.IPv6len)
+		copy(ip, sa.Addr[:])
+		return &net.UDPAddr{IP: ip, Port: ntohs(sa.Port)}
+	}
+	return nil
+}
+
+// encodeSockaddr fills buf with peer's raw sockaddr and returns its length.
+// On an AF_INET6 socket IPv4 peers are written as v4-mapped v6 addresses,
+// since Linux rejects AF_INET sockaddrs on v6 sockets.
+func encodeSockaddr(peer *net.UDPAddr, v6 bool, buf *[syscall.SizeofSockaddrAny]byte) uint32 {
+	if ip4 := peer.IP.To4(); ip4 != nil && !v6 {
+		sa := (*syscall.RawSockaddrInet4)(unsafe.Pointer(buf))
+		*sa = syscall.RawSockaddrInet4{Family: syscall.AF_INET, Port: htons(peer.Port)}
+		copy(sa.Addr[:], ip4)
+		return syscall.SizeofSockaddrInet4
+	}
+	sa := (*syscall.RawSockaddrInet6)(unsafe.Pointer(buf))
+	*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6, Port: htons(peer.Port)}
+	copy(sa.Addr[:], peer.IP.To16())
+	return syscall.SizeofSockaddrInet6
+}
+
+// ntohs/htons convert the network-byte-order port field (amd64 and arm64
+// are both little-endian).
+func ntohs(p uint16) int { return int(p>>8 | p<<8) }
+func htons(p int) uint16 { u := uint16(p); return u>>8 | u<<8 }

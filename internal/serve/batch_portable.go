@@ -1,0 +1,63 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package serve
+
+import "net"
+
+// Portable I/O path: one datagram per syscall via the net package. The
+// Linux fast path (batch_linux.go) moves Batch datagrams per
+// recvmmsg/sendmmsg call instead.
+
+// rxBatcher reads datagrams from one socket into pooled buffers.
+type rxBatcher struct {
+	sock *net.UDPConn
+	pool *bufPool
+}
+
+func newRxBatcher(sock *net.UDPConn, batch, bufSize int) (*rxBatcher, error) {
+	return &rxBatcher{sock: sock, pool: newBufPool(bufSize)}, nil
+}
+
+// recv blocks for at least one datagram. Portable path: exactly one.
+func (rb *rxBatcher) recv() ([]rxMsg, error) {
+	buf := rb.pool.get()
+	n, raddr, err := rb.sock.ReadFromUDP(buf)
+	if err != nil {
+		rb.pool.put(buf)
+		return nil, err
+	}
+	return []rxMsg{{buf: buf[:n], addr: raddr}}, nil
+}
+
+// release returns the batch's buffers to the pool.
+func (rb *rxBatcher) release(msgs []rxMsg) {
+	for _, m := range msgs {
+		rb.pool.put(m.buf)
+	}
+}
+
+// txBatcher writes queued datagrams to one socket.
+type txBatcher struct {
+	sock *net.UDPConn
+}
+
+func newTxBatcher(sock *net.UDPConn, batch int) (*txBatcher, error) {
+	return &txBatcher{sock: sock}, nil
+}
+
+// send transmits the batch, returning how many datagrams went out and the
+// first error encountered.
+func (tb *txBatcher) send(batch []txMsg) (int, error) {
+	sent := 0
+	var firstErr error
+	for _, m := range batch {
+		if _, err := tb.sock.WriteToUDP(m.b, m.peer); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, firstErr
+}

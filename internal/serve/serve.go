@@ -1,0 +1,362 @@
+// Package serve is the scalable multi-connection server engine for IQ-RUDP
+// — the production acceptor behind iqrudp.Server. Where udpwire.Listener is
+// a single goroutine with one read buffer and an address-keyed map, serve
+// runs N shards, each owning a slice of the connection table keyed by the
+// wire ConnID, each (on Linux) reading and writing its own SO_REUSEPORT-
+// bound socket with batched recvmmsg/sendmmsg syscalls and pooled receive
+// buffers. The design borrows QUIC's connection-ID demultiplexing: a
+// connection is identified by the ConnID every packet carries, not by its
+// source address, so a client whose NAT rebinds (new source port) keeps its
+// connection — the engine migrates the peer address and reaps the stale
+// address entry.
+//
+// Demultiplexing rules (shard = ConnID mod N):
+//
+//   - Non-SYN packets are routed to the ConnID's home shard. A known ConnID
+//     seen from a new source address migrates the connection to that
+//     address. Unknown ConnIDs are counted and dropped.
+//   - SYNs for a known ConnID from the same address re-drive the handshake
+//     (retransmitted SYN); from a different address they are refused with
+//     RST (ConnID collision).
+//   - SYNs for a new ConnID fall back to address keying: if the source
+//     address already hosts another connection, that predecessor is a
+//     zombie (the client restarted from the same port) and is evicted
+//     abortively before the new connection is admitted.
+//   - When the accept queue is full, excess SYNs are refused with RST
+//     instead of silently dropped, so clients fail fast rather than
+//     retrying into a black hole.
+//
+// Shutdown is a graceful drain: Close FINs every connection concurrently
+// and waits a bounded DrainTimeout for pipelines to empty before tearing
+// the sockets down.
+//
+// Per-shard counters (receive batches and packets, transmit batches, drops)
+// plus engine totals (connections, accepted, refused, migrations) are
+// exposed via Stats and, as lazily-evaluated gauges named serve.conns,
+// serve.refused, serve.shard.rx_batch, ..., via Gauges — feed them to
+// metricsexp.Exporter.AddGauge. The per-connection machines trace through
+// core.Config.Tracer exactly as under udpwire, so JSONL traces remain
+// readable by cmd/iqstat.
+package serve
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/udpwire"
+)
+
+// Errors, shared with the socket driver so callers handle one vocabulary.
+var (
+	ErrClosed  = udpwire.ErrClosed
+	ErrTimeout = udpwire.ErrTimeout
+)
+
+// Options tunes the engine. The zero value selects sensible defaults.
+type Options struct {
+	// Shards is the number of demux shards (and, on Linux, SO_REUSEPORT
+	// sockets). Default: GOMAXPROCS, clamped to [1, 64].
+	Shards int
+
+	// Backlog is the accept-queue capacity; SYNs beyond it are refused
+	// with RST. Default 128.
+	Backlog int
+
+	// DrainTimeout bounds the graceful drain in Close: every connection
+	// gets at most this long to flush pending data and complete its FIN
+	// exchange. Default 5s.
+	DrainTimeout time.Duration
+
+	// Batch is the number of datagrams moved per recvmmsg/sendmmsg call on
+	// the Linux fast path (also the transmit coalescing bound on the
+	// portable path). Default 32, clamped to [1, 256].
+	Batch int
+
+	// SockBuf is the per-socket read and write buffer request in bytes
+	// (subject to the kernel's rmem_max/wmem_max). Default 4 MiB.
+	SockBuf int
+}
+
+func (o *Options) sanitize() {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards > 64 {
+		o.Shards = 64
+	}
+	if o.Backlog <= 0 {
+		o.Backlog = 128
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	if o.Batch <= 0 {
+		o.Batch = 32
+	}
+	if o.Batch > 256 {
+		o.Batch = 256
+	}
+	if o.SockBuf <= 0 {
+		o.SockBuf = 4 << 20
+	}
+}
+
+// Server is the sharded multi-connection engine. Accepted connections are
+// ordinary *udpwire.Conn values — the full Send/Recv/Metrics/threshold API.
+type Server struct {
+	cfg core.Config
+	opt Options
+
+	socks  []*net.UDPConn
+	shards []*shard
+	accept chan *udpwire.Conn
+
+	drainCh   chan struct{} // closed when Close begins: no new admissions
+	closed    chan struct{} // closed when teardown completes
+	closeOnce sync.Once
+
+	accepted   atomic.Uint64
+	refused    atomic.Uint64
+	migrations atomic.Uint64
+	stray      atomic.Uint64
+}
+
+// Listen binds laddr ("host:port") and starts the engine. cfg configures
+// every accepted connection (LossTolerance, Tracer, ...); opt tunes the
+// engine itself.
+func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
+	opt.sanitize()
+	socks, err := listenShardSockets(laddr, opt.Shards)
+	if err != nil {
+		return nil, err
+	}
+	for _, sock := range socks {
+		// Best effort: the kernel clamps to rmem_max/wmem_max.
+		sock.SetReadBuffer(opt.SockBuf)
+		sock.SetWriteBuffer(opt.SockBuf)
+	}
+	srv := &Server{
+		cfg:     cfg,
+		opt:     opt,
+		socks:   socks,
+		shards:  make([]*shard, opt.Shards),
+		accept:  make(chan *udpwire.Conn, opt.Backlog),
+		drainCh: make(chan struct{}),
+		closed:  make(chan struct{}),
+	}
+	for i := range srv.shards {
+		srv.shards[i] = &shard{
+			srv:    srv,
+			idx:    i,
+			sock:   socks[i%len(socks)],
+			byID:   make(map[uint32]*udpwire.Conn),
+			byAddr: make(map[string]uint32),
+			txq:    make(chan txMsg, 4*opt.Batch*len(srv.shards)),
+		}
+	}
+	// Each shard routes transmissions through the shard that owns its
+	// socket's I/O loops (itself on Linux; shard 0 in the single-socket
+	// fallback where len(socks) < Shards).
+	for i := range srv.shards {
+		srv.shards[i].io = srv.shards[i%len(socks)]
+	}
+	bufSize := rxBufSize(cfg)
+	for i := range socks {
+		sh := srv.shards[i]
+		rb, err := newRxBatcher(socks[i], opt.Batch, bufSize)
+		if err == nil {
+			var tb *txBatcher
+			tb, err = newTxBatcher(socks[i], opt.Batch)
+			if err == nil {
+				go sh.readLoop(rb)
+				go sh.txLoop(tb)
+				continue
+			}
+		}
+		for _, s := range socks {
+			s.Close()
+		}
+		return nil, fmt.Errorf("serve: shard %d: %w", i, err)
+	}
+	return srv, nil
+}
+
+// rxBufSize sizes the pooled receive buffers: at least one MSS-sized
+// payload plus headroom for headers, attribute blocks and EACK extents.
+func rxBufSize(cfg core.Config) int {
+	n := cfg.MSS + 1024
+	if n < 4096 {
+		n = 4096
+	}
+	return n
+}
+
+// Accept blocks until a new connection's handshake has begun, the timeout
+// elapses (0 = no timeout), or the server closes. The connection may still
+// be completing its handshake; Recv (or Messages) as usual.
+func (srv *Server) Accept(timeout time.Duration) (*udpwire.Conn, error) {
+	var tc <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tc = t.C
+	}
+	select {
+	case c := <-srv.accept:
+		return c, nil
+	case <-tc:
+		return nil, ErrTimeout
+	case <-srv.drainCh:
+		return nil, ErrClosed
+	}
+}
+
+// Addr returns the engine's bound address.
+func (srv *Server) Addr() net.Addr { return srv.socks[0].LocalAddr() }
+
+// draining reports whether Close has begun.
+func (srv *Server) draining() bool {
+	select {
+	case <-srv.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close gracefully drains the engine: new SYNs are refused with RST, every
+// connection is closed concurrently (pending data flushes, then the FIN
+// exchange), and after at most DrainTimeout the sockets are torn down.
+func (srv *Server) Close() error {
+	srv.closeOnce.Do(func() {
+		close(srv.drainCh)
+		var conns []*udpwire.Conn
+		for _, sh := range srv.shards {
+			sh.mu.RLock()
+			for _, c := range sh.byID {
+				conns = append(conns, c)
+			}
+			sh.mu.RUnlock()
+		}
+		var wg sync.WaitGroup
+		for _, c := range conns {
+			wg.Add(1)
+			go func(c *udpwire.Conn) {
+				defer wg.Done()
+				c.CloseWithin(srv.opt.DrainTimeout)
+			}(c)
+		}
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(srv.opt.DrainTimeout + time.Second):
+			// CloseWithin bounds each conn; this is a backstop only.
+		}
+		close(srv.closed)
+		for _, sock := range srv.socks {
+			sock.Close()
+		}
+	})
+	return nil
+}
+
+// Conns returns the current connection count across all shards.
+func (srv *Server) Conns() int {
+	n := 0
+	for _, sh := range srv.shards {
+		sh.mu.RLock()
+		n += len(sh.byID)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ShardStats is one shard's I/O counters. Only socket-owning shards (all of
+// them on Linux, shard 0 in the portable fallback) accumulate rx/tx counts.
+type ShardStats struct {
+	Conns     int    // connections homed on this shard
+	RxPackets uint64 // datagrams received
+	RxBatches uint64 // recvmmsg calls that returned at least one datagram
+	RxErrors  uint64 // undecodable datagrams
+	TxPackets uint64 // datagrams transmitted
+	TxBatches uint64 // sendmmsg flushes
+	TxDrops   uint64 // datagrams dropped (queue overflow or send failure)
+}
+
+// Stats is a point-in-time snapshot of the engine.
+type Stats struct {
+	Conns      int    // live connections
+	Accepted   uint64 // connections admitted since start
+	Refused    uint64 // SYNs refused with RST (backlog full, collision, draining)
+	Migrations uint64 // peer-address rebinds absorbed
+	Stray      uint64 // non-SYN packets for unknown ConnIDs
+	Shards     []ShardStats
+}
+
+// Stats snapshots the engine's counters.
+func (srv *Server) Stats() Stats {
+	st := Stats{
+		Accepted:   srv.accepted.Load(),
+		Refused:    srv.refused.Load(),
+		Migrations: srv.migrations.Load(),
+		Stray:      srv.stray.Load(),
+		Shards:     make([]ShardStats, len(srv.shards)),
+	}
+	for i, sh := range srv.shards {
+		sh.mu.RLock()
+		conns := len(sh.byID)
+		sh.mu.RUnlock()
+		st.Shards[i] = ShardStats{
+			Conns:     conns,
+			RxPackets: sh.rxPackets.Load(),
+			RxBatches: sh.rxBatches.Load(),
+			RxErrors:  sh.rxErrors.Load(),
+			TxPackets: sh.txPackets.Load(),
+			TxBatches: sh.txBatches.Load(),
+			TxDrops:   sh.txDrops.Load(),
+		}
+		st.Conns += conns
+	}
+	return st
+}
+
+// Gauges returns lazily-evaluated engine gauges keyed by metric name
+// (serve.conns, serve.refused, serve.shard.rx_batch, per-shard variants),
+// ready for metricsexp.Exporter.AddGauge.
+func (srv *Server) Gauges() map[string]func() float64 {
+	g := map[string]func() float64{
+		"serve.conns":      func() float64 { return float64(srv.Conns()) },
+		"serve.accepted":   func() float64 { return float64(srv.accepted.Load()) },
+		"serve.refused":    func() float64 { return float64(srv.refused.Load()) },
+		"serve.migrations": func() float64 { return float64(srv.migrations.Load()) },
+		"serve.shard.rx_batch": func() float64 {
+			var pkts, batches uint64
+			for _, sh := range srv.shards {
+				pkts += sh.rxPackets.Load()
+				batches += sh.rxBatches.Load()
+			}
+			if batches == 0 {
+				return 0
+			}
+			return float64(pkts) / float64(batches)
+		},
+	}
+	for i, sh := range srv.shards {
+		sh := sh
+		g[fmt.Sprintf("serve.shard%d.rx_packets", i)] = func() float64 { return float64(sh.rxPackets.Load()) }
+		g[fmt.Sprintf("serve.shard%d.rx_batch", i)] = func() float64 {
+			b := sh.rxBatches.Load()
+			if b == 0 {
+				return 0
+			}
+			return float64(sh.rxPackets.Load()) / float64(b)
+		}
+	}
+	return g
+}

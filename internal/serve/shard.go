@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/cercs/iqrudp/internal/packet"
+	"github.com/cercs/iqrudp/internal/udpwire"
+)
+
+// txMsg is one queued outbound datagram.
+type txMsg struct {
+	b    []byte
+	peer *net.UDPAddr
+}
+
+// shard owns one slice of the connection table: every connection whose
+// ConnID mod Shards equals idx lives here. On Linux each shard also owns a
+// SO_REUSEPORT socket with its own read and transmit loops; in the portable
+// fallback all shards delegate I/O to the socket-owning shard via io.
+type shard struct {
+	srv  *Server
+	idx  int
+	sock *net.UDPConn
+	io   *shard // shard running the loops for sock (itself when socket-owning)
+
+	mu     sync.RWMutex
+	byID   map[uint32]*udpwire.Conn
+	byAddr map[string]uint32 // source address -> ConnID, for SYN-time collision checks
+
+	txq chan txMsg
+
+	rxPackets atomic.Uint64
+	rxBatches atomic.Uint64
+	rxErrors  atomic.Uint64
+	txPackets atomic.Uint64
+	txBatches atomic.Uint64
+	txDrops   atomic.Uint64
+}
+
+// homeShard routes a ConnID to its owning shard.
+func (srv *Server) homeShard(id uint32) *shard {
+	return srv.shards[int(id)%len(srv.shards)]
+}
+
+// readLoop pulls batches of datagrams off the socket and routes each to the
+// ConnID's home shard. Buffers come from rb's pool; packet.Decode copies the
+// payload, so a buffer is reusable as soon as the datagram is parsed.
+func (sh *shard) readLoop(rb *rxBatcher) {
+	for {
+		msgs, err := rb.recv()
+		if err != nil {
+			return // socket closed
+		}
+		if len(msgs) == 0 {
+			continue
+		}
+		sh.rxBatches.Add(1)
+		sh.rxPackets.Add(uint64(len(msgs)))
+		for _, m := range msgs {
+			p, err := packet.Decode(m.buf)
+			if err != nil {
+				sh.rxErrors.Add(1)
+				continue
+			}
+			sh.srv.homeShard(p.ConnID).route(p, m.addr)
+		}
+		rb.release(msgs)
+	}
+}
+
+// route applies the demux rules to one inbound packet on its home shard.
+func (sh *shard) route(p *packet.Packet, raddr *net.UDPAddr) {
+	key := raddr.String()
+
+	sh.mu.RLock()
+	c := sh.byID[p.ConnID]
+	sh.mu.RUnlock()
+
+	if c != nil {
+		if p.Type == packet.SYN && c.RemoteAddr().String() != key {
+			// Another host picked an in-use ConnID: refuse the newcomer
+			// rather than hijack the established connection.
+			sh.refuse(p, raddr)
+			return
+		}
+		if p.Type != packet.SYN && c.RemoteAddr().String() != key {
+			sh.migrate(c, raddr)
+		}
+		c.HandleIncoming(p)
+		return
+	}
+
+	if p.Type != packet.SYN {
+		sh.srv.stray.Add(1)
+		return
+	}
+	sh.acceptSyn(p, raddr, key)
+}
+
+// migrate rebinds an established connection to a new peer address (NAT
+// rebind / source-port change) and reaps the stale address entry.
+func (sh *shard) migrate(c *udpwire.Conn, raddr *net.UDPAddr) {
+	old := c.SetPeer(raddr)
+	sh.mu.Lock()
+	if old != nil {
+		if id, ok := sh.byAddr[old.String()]; ok && id == c.ID() {
+			delete(sh.byAddr, old.String())
+		}
+	}
+	sh.byAddr[raddr.String()] = c.ID()
+	sh.mu.Unlock()
+	sh.srv.migrations.Add(1)
+}
+
+// acceptSyn admits a new connection, applying address-key fallback (a SYN
+// has no established ConnID entry yet), zombie eviction, backpressure and
+// the drain gate.
+func (sh *shard) acceptSyn(p *packet.Packet, raddr *net.UDPAddr, key string) {
+	if sh.srv.draining() {
+		sh.refuse(p, raddr)
+		return
+	}
+
+	// Address-key fallback: if this source address already hosts a different
+	// connection, the client restarted from the same port — its predecessor
+	// is a zombie. Evict it abortively (no FIN: the address now belongs to
+	// the new connection) before admitting the successor.
+	sh.mu.Lock()
+	if oldID, ok := sh.byAddr[key]; ok && oldID != p.ConnID {
+		if zombie := sh.byID[oldID]; zombie != nil {
+			delete(sh.byID, oldID)
+			delete(sh.byAddr, key)
+			sh.mu.Unlock()
+			zombie.Abort()
+			sh.mu.Lock()
+		}
+	}
+	if _, ok := sh.byID[p.ConnID]; ok {
+		// Raced with another packet admitting the same ConnID.
+		sh.mu.Unlock()
+		sh.route(p, raddr)
+		return
+	}
+
+	io := sh.io
+	c := udpwire.NewAccepted(sh.srv.cfg, io.sock.LocalAddr(), raddr,
+		io.enqueueTx, sh.detach)
+	sh.byID[p.ConnID] = c
+	sh.byAddr[key] = p.ConnID
+	sh.mu.Unlock()
+
+	select {
+	case sh.srv.accept <- c:
+		sh.srv.accepted.Add(1)
+		c.HandleIncoming(p)
+	default:
+		// Accept queue full: refuse with RST so the client fails fast
+		// instead of retrying into a black hole.
+		sh.mu.Lock()
+		if cur, ok := sh.byID[p.ConnID]; ok && cur == c {
+			delete(sh.byID, p.ConnID)
+		}
+		if id, ok := sh.byAddr[key]; ok && id == p.ConnID {
+			delete(sh.byAddr, key)
+		}
+		sh.mu.Unlock()
+		c.Abort()
+		sh.refuse(p, raddr)
+	}
+}
+
+// refuse sends an RST answering packet p to raddr and counts the refusal.
+func (sh *shard) refuse(p *packet.Packet, raddr *net.UDPAddr) {
+	sh.srv.refused.Add(1)
+	rst := &packet.Packet{
+		Type:   packet.RST,
+		ConnID: p.ConnID,
+		Seq:    p.Ack,
+		Ack:    p.Seq + 1,
+	}
+	if b, err := packet.Encode(rst); err == nil {
+		sh.io.enqueueTx(b, raddr)
+	}
+}
+
+// detach removes a closed connection from the demux tables.
+func (sh *shard) detach(c *udpwire.Conn) {
+	id := c.ID()
+	if id == 0 {
+		return
+	}
+	addr := c.RemoteAddr()
+	sh.mu.Lock()
+	if cur, ok := sh.byID[id]; ok && cur == c {
+		delete(sh.byID, id)
+	}
+	if addr != nil {
+		if cur, ok := sh.byAddr[addr.String()]; ok && cur == id {
+			delete(sh.byAddr, addr.String())
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// enqueueTx queues one outbound datagram for the shard's transmit loop.
+// Non-blocking: the protocol machine retransmits on loss, so under extreme
+// overload dropping here is safer than stalling every connection behind a
+// full queue.
+func (sh *shard) enqueueTx(b []byte, peer *net.UDPAddr) {
+	select {
+	case sh.txq <- txMsg{b: b, peer: peer}:
+	default:
+		sh.txDrops.Add(1)
+	}
+}
+
+// txLoop coalesces queued datagrams into sendmmsg batches: block for the
+// first message, then drain without blocking up to the batch bound.
+func (sh *shard) txLoop(tb *txBatcher) {
+	batch := make([]txMsg, 0, sh.srv.opt.Batch)
+	for {
+		batch = batch[:0]
+		select {
+		case m := <-sh.txq:
+			batch = append(batch, m)
+		case <-sh.srv.closed:
+			return
+		}
+	drain:
+		for len(batch) < cap(batch) {
+			select {
+			case m := <-sh.txq:
+				batch = append(batch, m)
+			default:
+				break drain
+			}
+		}
+		sent, err := tb.send(batch)
+		sh.txBatches.Add(1)
+		sh.txPackets.Add(uint64(sent))
+		if sent < len(batch) {
+			sh.txDrops.Add(uint64(len(batch) - sent))
+		}
+		if err != nil && sockClosed(err) {
+			return
+		}
+	}
+}
+
+// sockClosed reports whether an I/O error means the socket is gone.
+func sockClosed(err error) bool {
+	if err == nil {
+		return false
+	}
+	ne, ok := err.(net.Error)
+	return !ok || !ne.Timeout()
+}

@@ -1,0 +1,48 @@
+//go:build linux
+
+package serve
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// unix.SO_REUSEPORT; the syscall package predates the option and lacks the
+// constant, but the value is ABI-stable across Linux architectures.
+const soReusePort = 0xf
+
+// listenShardSockets binds n UDP sockets to the same address with
+// SO_REUSEPORT so the kernel flow-hashes inbound datagrams across them —
+// one socket per shard, each with its own loops and buffers. If the kernel
+// refuses extra group members after the first bind succeeds, the engine
+// degrades to fewer sockets (shards then share).
+func listenShardSockets(laddr string, n int) ([]*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			return serr
+		},
+	}
+	socks := make([]*net.UDPConn, 0, n)
+	addr := laddr
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+		if err != nil {
+			if i > 0 {
+				break // degrade: fewer sockets, shards share
+			}
+			return nil, err
+		}
+		socks = append(socks, pc.(*net.UDPConn))
+		if i == 0 {
+			// Pin the (possibly ephemeral) resolved port so the remaining
+			// binds join the same reuseport group.
+			addr = pc.LocalAddr().String()
+		}
+	}
+	return socks, nil
+}

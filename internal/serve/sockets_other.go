@@ -1,0 +1,19 @@
+//go:build !linux
+
+package serve
+
+import "net"
+
+// Portable fallback: one socket shared by every shard. Demux sharding still
+// applies (per-shard tables and locks); only the I/O loops are shared.
+func listenShardSockets(laddr string, n int) ([]*net.UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	sock, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	return []*net.UDPConn{sock}, nil
+}

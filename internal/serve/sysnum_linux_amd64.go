@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package serve
+
+// sendmmsg postdates the frozen syscall package's amd64 table; the number
+// is ABI-stable.
+const (
+	sysRecvmmsg uintptr = 299
+	sysSendmmsg uintptr = 307
+)

@@ -1,0 +1,8 @@
+//go:build linux && arm64
+
+package serve
+
+const (
+	sysRecvmmsg uintptr = 243
+	sysSendmmsg uintptr = 269
+)

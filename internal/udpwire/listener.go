@@ -10,7 +10,10 @@ import (
 )
 
 // Listener accepts IQ-RUDP connections on one UDP socket, demultiplexing by
-// remote address.
+// remote address. It is the simple, portable acceptor: one goroutine, one
+// read buffer, one write path. The serve engine (internal/serve) is the
+// scalable alternative — sharded ConnID demux over several sockets with
+// batched I/O.
 type Listener struct {
 	sock *net.UDPConn
 	cfg  core.Config
@@ -68,35 +71,47 @@ func (ln *Listener) readLoop() {
 func (ln *Listener) connFor(raddr *net.UDPAddr, p *packet.Packet) *Conn {
 	key := raddr.String()
 	ln.mu.Lock()
-	defer ln.mu.Unlock()
 	if c, ok := ln.conns[key]; ok {
+		ln.mu.Unlock()
 		return c
 	}
 	if p.Type != packet.SYN {
+		ln.mu.Unlock()
 		return nil // stray non-SYN from an unknown peer
 	}
-	c := newConn(ln.cfg, nil, raddr, ln)
-	c.mu.Lock()
-	c.m.StartServer()
-	c.mu.Unlock()
+	c := NewAccepted(ln.cfg, ln.sock.LocalAddr(), raddr,
+		func(b []byte, peer *net.UDPAddr) { ln.sock.WriteToUDP(b, peer) },
+		ln.forget)
 	ln.conns[key] = c
+	refused := false
 	select {
 	case ln.accept <- c:
 	default:
 		// Accept backlog full: refuse by forgetting; the client will retry.
 		delete(ln.conns, key)
+		refused = true
+	}
+	ln.mu.Unlock()
+	if refused {
+		// The refused conn's machine already ran StartServer; close it so
+		// nothing (timers, delivery queue) leaks. Outside ln.mu: Close's
+		// detach hook re-enters forget.
+		c.Close()
 		return nil
 	}
 	return c
 }
 
 // forget removes a closed connection from the demux table.
-func (ln *Listener) forget(raddr *net.UDPAddr) {
-	if raddr == nil {
+func (ln *Listener) forget(c *Conn) {
+	addr := c.RemoteAddr()
+	if addr == nil {
 		return
 	}
 	ln.mu.Lock()
-	delete(ln.conns, raddr.String())
+	if cur, ok := ln.conns[addr.String()]; ok && cur == c {
+		delete(ln.conns, addr.String())
+	}
 	ln.mu.Unlock()
 }
 
@@ -123,7 +138,9 @@ func (ln *Listener) Accept(timeout time.Duration) (*Conn, error) {
 // Addr returns the bound address.
 func (ln *Listener) Addr() net.Addr { return ln.sock.LocalAddr() }
 
-// Close shuts the listener and every accepted connection down.
+// Close shuts the listener and every accepted connection down. Connections
+// close concurrently: a serial sweep would stack up linger timeouts when
+// peers have already vanished.
 func (ln *Listener) Close() error {
 	ln.once.Do(func() {
 		close(ln.closed)
@@ -134,9 +151,15 @@ func (ln *Listener) Close() error {
 			conns = append(conns, c)
 		}
 		ln.mu.Unlock()
+		var wg sync.WaitGroup
 		for _, c := range conns {
-			c.Close()
+			wg.Add(1)
+			go func(c *Conn) {
+				defer wg.Done()
+				c.Close()
+			}(c)
 		}
+		wg.Wait()
 	})
 	return nil
 }

@@ -13,6 +13,7 @@ package udpwire
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -26,9 +27,17 @@ import (
 var (
 	ErrClosed  = errors.New("udpwire: connection closed")
 	ErrTimeout = errors.New("udpwire: timed out")
+	// ErrRefused reports a connection that died before its handshake
+	// completed — the peer answered with RST (e.g. a server whose accept
+	// queue is full) or the socket failed underneath the dial.
+	ErrRefused = errors.New("udpwire: connection refused")
 )
 
-// Conn is an IQ-RUDP connection over a UDP socket.
+// Conn is an IQ-RUDP connection over a UDP socket. Dialed connections own a
+// connected socket; accepted connections share their acceptor's socket(s)
+// and transmit through the sendTo hook (the udpwire Listener writes through
+// its single socket, the serve engine enqueues onto a shard's batched
+// writer).
 type Conn struct {
 	mu    sync.Mutex
 	m     *core.Machine
@@ -36,8 +45,11 @@ type Conn struct {
 	peer  *net.UDPAddr
 	epoch time.Time
 
-	ownSocket bool // Close closes the socket (dialed conns)
-	ln        *Listener
+	ownSocket  bool                              // Close closes the socket (dialed conns)
+	local      net.Addr                          // accepted conns: the shared socket's address
+	sendTo     func(b []byte, peer *net.UDPAddr) // accepted conns: shared-socket writer
+	onDetach   func(c *Conn)                     // accepted conns: demux-table removal
+	detachOnce sync.Once
 
 	pendingMsgs []core.Message
 	msgs        chan core.Message
@@ -64,8 +76,8 @@ func (e env) Emit(p *packet.Packet) {
 	if err != nil {
 		return // structurally impossible for machine-built packets
 	}
-	if c.ln != nil {
-		c.ln.sock.WriteToUDP(b, c.peer)
+	if c.sendTo != nil {
+		c.sendTo(b, c.peer)
 		return
 	}
 	c.sock.Write(b)
@@ -123,11 +135,10 @@ func (c *Conn) dispatch(msgs []core.Message) {
 }
 
 // newConn wires a connection around an existing machine-less state.
-func newConn(cfg core.Config, sock *net.UDPConn, peer *net.UDPAddr, ln *Listener) *Conn {
+func newConn(cfg core.Config, sock *net.UDPConn, peer *net.UDPAddr) *Conn {
 	c := &Conn{
 		sock:        sock,
 		peer:        peer,
-		ln:          ln,
 		epoch:       time.Now(),
 		msgs:        make(chan core.Message, 1024),
 		established: make(chan struct{}),
@@ -139,8 +150,28 @@ func newConn(cfg core.Config, sock *net.UDPConn, peer *net.UDPAddr, ln *Listener
 	return c
 }
 
+// NewAccepted builds the passive side of a connection for an acceptor that
+// demultiplexes a shared socket (the Listener in this package, or the serve
+// engine's shards): local is the shared socket's bound address, sendTo
+// transmits an encoded packet to a peer, and onDetach (optional) is invoked
+// once when the connection closes so the acceptor can drop it from its demux
+// tables. The returned connection is passively open: feed it the peer's SYN
+// (and everything after) via HandleIncoming.
+func NewAccepted(cfg core.Config, local net.Addr, peer *net.UDPAddr, sendTo func(b []byte, peer *net.UDPAddr), onDetach func(c *Conn)) *Conn {
+	c := newConn(cfg, nil, peer)
+	c.local = local
+	c.sendTo = sendTo
+	c.onDetach = onDetach
+	c.mu.Lock()
+	c.m.StartServer()
+	c.mu.Unlock()
+	return c
+}
+
 // Dial opens an IQ-RUDP connection to raddr ("host:port") and blocks until
-// the handshake completes or timeout elapses (0 means 10 s).
+// the handshake completes or timeout elapses (0 means 10 s). When
+// cfg.ConnID is zero a random nonzero connection ID is chosen so that
+// ConnID-demultiplexing servers (the serve engine) can tell dialers apart.
 func Dial(raddr string, cfg core.Config, timeout time.Duration) (*Conn, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
@@ -153,7 +184,12 @@ func Dial(raddr string, cfg core.Config, timeout time.Duration) (*Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := newConn(cfg, sock, ua, nil)
+	if cfg.ConnID == 0 {
+		for cfg.ConnID == 0 {
+			cfg.ConnID = rand.Uint32()
+		}
+	}
+	c := newConn(cfg, sock, ua)
 	c.ownSocket = true
 	go c.readLoop()
 	c.mu.Lock()
@@ -162,6 +198,10 @@ func Dial(raddr string, cfg core.Config, timeout time.Duration) (*Conn, error) {
 	select {
 	case <-c.established:
 		return c, nil
+	case <-c.closed:
+		// RST before establishment (server refused) or socket failure.
+		c.Close()
+		return nil, fmt.Errorf("%w: %s", ErrRefused, raddr)
 	case <-time.After(timeout):
 		c.Close()
 		return nil, fmt.Errorf("%w: handshake to %s", ErrTimeout, raddr)
@@ -181,8 +221,36 @@ func (c *Conn) readLoop() {
 		if err != nil {
 			continue // corrupt or foreign datagram
 		}
+		if id := c.ID(); id != 0 && p.ConnID != 0 && p.ConnID != id {
+			continue // a different connection's packet (e.g. a predecessor
+			// from the same port being FINed by the server)
+		}
 		c.handlePacket(p)
 	}
+}
+
+// HandleIncoming feeds one decoded packet into the connection; acceptors
+// demultiplexing a shared socket call it from their read loops. Safe for
+// concurrent use (the connection lock serialises the machine).
+func (c *Conn) HandleIncoming(p *packet.Packet) { c.handlePacket(p) }
+
+// ID returns the wire connection ID (zero on the passive side until the
+// initiator's SYN has been handled).
+func (c *Conn) ID() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.ConnID()
+}
+
+// SetPeer rebinds the connection to a migrated peer address (same ConnID
+// seen from a new source address) and returns the previous address.
+// Subsequent transmissions go to the new address.
+func (c *Conn) SetPeer(addr *net.UDPAddr) *net.UDPAddr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.peer
+	c.peer = addr
+	return old
 }
 
 // handlePacket feeds one packet through the machine and dispatches staged
@@ -310,35 +378,65 @@ func (c *Conn) DroppedDeliveries() uint64 {
 
 // LocalAddr returns the socket's local address.
 func (c *Conn) LocalAddr() net.Addr {
-	if c.ln != nil {
-		return c.ln.sock.LocalAddr()
+	if c.local != nil {
+		return c.local
 	}
 	return c.sock.LocalAddr()
 }
 
-// RemoteAddr returns the peer address.
-func (c *Conn) RemoteAddr() net.Addr { return c.peer }
+// RemoteAddr returns the peer address (the current one, after migration).
+func (c *Conn) RemoteAddr() net.Addr {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peer
+}
 
 // Close shuts the connection down gracefully: pending outgoing data drains
 // and the FIN handshake completes before the socket is torn down, bounded by
 // a five-second linger. The machine's OnClosed hook fires the closed signal
 // when the drain finishes; an unresponsive peer hits the linger cap.
-func (c *Conn) Close() error {
+func (c *Conn) Close() error { return c.CloseWithin(5 * time.Second) }
+
+// CloseWithin is Close with an explicit linger bound: the graceful drain
+// (pending data, then the FIN exchange) is given at most linger before the
+// connection is torn down anyway. The serve engine uses it to bound a
+// whole-server drain.
+func (c *Conn) CloseWithin(linger time.Duration) error {
+	if linger <= 0 {
+		linger = time.Nanosecond
+	}
 	c.mu.Lock()
 	c.m.Close()
 	c.mu.Unlock()
 	select {
 	case <-c.closed:
-	case <-time.After(5 * time.Second):
+	case <-time.After(linger):
 		c.closeOnce.Do(func() { close(c.closed) })
 	}
 	if c.ownSocket {
 		c.sock.Close()
 	}
-	if c.ln != nil {
-		c.ln.forget(c.peer)
+	if c.onDetach != nil {
+		c.detachOnce.Do(func() { c.onDetach(c) })
 	}
 	return nil
+}
+
+// Abort tears the connection down immediately without any wire traffic —
+// no FIN, no drain. The serve engine uses it to evict a zombie connection
+// whose peer address has been taken over by a new dialer: FINing the old
+// connection would spray packets at the new one.
+func (c *Conn) Abort() {
+	c.mu.Lock()
+	c.m.Abort()
+	c.mu.Unlock()
+	c.closeOnce.Do(func() { close(c.closed) })
+	if c.ownSocket {
+		c.sock.Close()
+	}
+	if c.onDetach != nil {
+		c.detachOnce.Do(func() { c.onDetach(c) })
+	}
 }
 
 // Closed reports whether the connection has shut down.

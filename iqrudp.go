@@ -56,6 +56,7 @@ import (
 
 	"github.com/cercs/iqrudp/internal/attr"
 	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/serve"
 	"github.com/cercs/iqrudp/internal/trace"
 	"github.com/cercs/iqrudp/internal/udpwire"
 )
@@ -178,14 +179,28 @@ var (
 type (
 	// Conn is an IQ-RUDP connection over a UDP socket.
 	Conn = udpwire.Conn
-	// Listener accepts IQ-RUDP connections on a UDP socket.
+	// Listener accepts IQ-RUDP connections on a UDP socket. It is the
+	// simple portable acceptor; Server is the scalable engine.
 	Listener = udpwire.Listener
+	// Server is the sharded multi-connection server engine: ConnID-keyed
+	// demux with peer-address migration, per-shard SO_REUSEPORT sockets and
+	// batched I/O on Linux, RST backpressure and graceful drain.
+	Server = serve.Server
+	// ServerOptions tunes the engine (shards, backlog, batch, drain).
+	ServerOptions = serve.Options
+	// ServerStats is a point-in-time snapshot of the engine's counters.
+	ServerStats = serve.Stats
+	// ServerShardStats is one shard's I/O counters within ServerStats.
+	ServerShardStats = serve.ShardStats
 )
 
 // Driver errors.
 var (
 	ErrClosed  = udpwire.ErrClosed
 	ErrTimeout = udpwire.ErrTimeout
+	// ErrRefused reports that the server answered the handshake with RST
+	// (accept queue full, ConnID collision, or draining).
+	ErrRefused = udpwire.ErrRefused
 )
 
 // DefaultConfig returns the standard transport parameters (1400 B segments,
@@ -216,6 +231,13 @@ func DialTimeout(raddr string, cfg Config, timeout time.Duration) (*Conn, error)
 // with cfg.
 func Listen(laddr string, cfg Config) (*Listener, error) {
 	return udpwire.Listen(laddr, cfg)
+}
+
+// ListenServer binds laddr and starts the scalable server engine. Accepted
+// connections are ordinary *Conn values. A zero ServerOptions selects
+// defaults (GOMAXPROCS shards, backlog 128, batch 32, 5 s drain).
+func ListenServer(laddr string, cfg Config, opts ServerOptions) (*Server, error) {
+	return serve.Listen(laddr, cfg, opts)
 }
 
 // NoAdaptation is the callback return value meaning "the application will
