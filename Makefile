@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race race-smoke bench bench-server tables
+.PHONY: check build test vet race race-smoke bench bench-alloc bench-server benchstat tables
 
 check: vet build race ## vet + build + full race-enabled test run
 
@@ -21,15 +21,23 @@ test:
 race:
 	$(GO) test -race ./...
 
-race-smoke: ## quick -race pass: loopback wire tests incl. the traced-sinks smoke and the serve engine
-	$(GO) test -race -run 'TestTracedLoopbackAllSinks|TestDialListenRoundTrip|TestManyMessagesOrdered|TestConcurrentSendersOneConnection|TestBidirectional' ./internal/udpwire/
+race-smoke: ## quick -race pass: loopback wire tests incl. the traced-sinks smoke, TX ring, packet pool and the serve engine
+	$(GO) test -race -run 'TestTracedLoopbackAllSinks|TestDialListenRoundTrip|TestManyMessagesOrdered|TestConcurrentSendersOneConnection|TestBidirectional|TestDialedTxRingFlushes|TestTxErrorCounted' ./internal/udpwire/
+	$(GO) test -race ./internal/packet/
 	$(GO) test -race ./internal/serve/
+	$(GO) test -race -run 'TestSteadyStateAllocs' .
 
 bench: ## nil-tracer send-path benchmarks (compare against a saved baseline)
 	$(GO) test -bench . -benchtime 3x -run '^$$' .
 
+bench-alloc: ## zero-allocation fast-path A/B (allocs/op + msgs/sec vs baseline) -> BENCH_alloc.json
+	BENCH_ALLOC_JSON=$(CURDIR)/BENCH_alloc.json $(GO) test -run TestAllocBenchJSON -count=1 -v .
+
 bench-server: ## many-connection serve-vs-listener throughput A/B -> BENCH_server.json
 	BENCH_SERVER_JSON=$(CURDIR)/BENCH_server.json $(GO) test -run TestServerEngineBenchJSON -v ./internal/serve/
+
+benchstat: ## diff two saved `go test -bench` outputs: make benchstat OLD=old.txt NEW=new.txt
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 tables: ## regenerate the paper's tables on the simulator
 	$(GO) run ./cmd/iqbench -experiment all

@@ -1,0 +1,135 @@
+// Command benchdiff compares two `go test -bench` output files and prints a
+// per-benchmark old/new/delta table. It is a dependency-free stand-in for
+// benchstat: point it at a saved baseline and a fresh run.
+//
+//	go test -bench . -run '^$' . > old.txt
+//	... make changes ...
+//	go test -bench . -run '^$' . > new.txt
+//	go run ./cmd/benchdiff old.txt new.txt
+//
+// Only lines beginning with "Benchmark" are considered. Every metric pair on
+// the line (ns/op, B/op, allocs/op, and any custom ReportMetric unit) is
+// diffed. Benchmarks present in only one file are listed without a delta.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics maps unit -> value for one benchmark line.
+type metrics map[string]float64
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff OLD NEW\n")
+		os.Exit(2)
+	}
+	oldRes, err := parseFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	newRes, err := parseFile(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		names = append(names, name)
+	}
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-40s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, name := range names {
+		o := oldRes[name]
+		n := newRes[name]
+		units := make([]string, 0, 4)
+		seen := map[string]bool{}
+		for u := range o {
+			units = append(units, u)
+			seen[u] = true
+		}
+		for u := range n {
+			if !seen[u] {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			ov, okO := o[u]
+			nv, okN := n[u]
+			switch {
+			case okO && okN:
+				delta := "~"
+				if ov != 0 {
+					delta = fmt.Sprintf("%+.1f%%", (nv-ov)/ov*100)
+				}
+				fmt.Fprintf(w, "%-40s %-12s %14s %14s %9s\n", name, u, fmtVal(ov), fmtVal(nv), delta)
+			case okO:
+				fmt.Fprintf(w, "%-40s %-12s %14s %14s %9s\n", name, u, fmtVal(ov), "-", "gone")
+			default:
+				fmt.Fprintf(w, "%-40s %-12s %14s %14s %9s\n", name, u, "-", fmtVal(nv), "new")
+			}
+		}
+	}
+}
+
+// parseFile reads one `go test -bench` output file. The "-8" GOMAXPROCS
+// suffix is stripped so runs from differently sized machines still line up.
+func parseFile(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]metrics)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := out[name]
+		if m == nil {
+			m = make(metrics)
+			out[name] = m
+		}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[fields[i+1]] = v
+		}
+	}
+	return out, sc.Err()
+}
+
+// fmtVal prints a metric without trailing noise: integers stay integral.
+func fmtVal(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}

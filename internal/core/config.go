@@ -261,6 +261,7 @@ type Metrics struct {
 	LostMsgs       uint64 // messages skipped entirely
 	AckedBytes     uint64
 	WindowRescales uint64 // coordination window adjustments (Cases 2/3)
+	TxErrors       uint64 // socket-level transmit failures reported by the driver
 }
 
 // String formats the snapshot as a one-line summary, the form used by
@@ -269,11 +270,11 @@ func (m Metrics) String() string {
 	return fmt.Sprintf(
 		"srtt=%v rttvar=%v cwnd=%.1f inflight=%d loss=%.2f%% raw=%.2f%% rate=%.1fKB/s "+
 			"sent=%d rtx=%d acked=%d skipped=%d discarded=%d deadline=%d "+
-			"delivered=%d partial=%d lost=%d ackedKB=%.1f rescales=%d",
+			"delivered=%d partial=%d lost=%d ackedKB=%.1f rescales=%d txerr=%d",
 		m.SRTT.Round(time.Microsecond), m.RTTVar.Round(time.Microsecond),
 		m.Cwnd, m.InFlight, m.ErrorRatio*100, m.RawRatio*100, m.RateBps/1000,
 		m.SentPackets, m.Retransmits, m.AckedPackets, m.SkippedPackets,
 		m.SenderDiscards, m.DeadlineDrops,
 		m.DeliveredMsgs, m.PartialMsgs, m.LostMsgs,
-		float64(m.AckedBytes)/1000, m.WindowRescales)
+		float64(m.AckedBytes)/1000, m.WindowRescales, m.TxErrors)
 }

@@ -31,7 +31,12 @@ func (t *nullTimer) Stop() bool {
 
 func (e *nullEnv) Now() time.Duration { return e.now }
 func (e *nullEnv) Emit(p *packet.Packet) {
-	e.emitted = append(e.emitted, p)
+	// The machine only lends the packet for the duration of the call (it
+	// stages emissions in a reused scratch packet), so retain a copy.
+	q := *p
+	q.Payload = append([]byte(nil), p.Payload...)
+	q.Eacks = append([]uint32(nil), p.Eacks...)
+	e.emitted = append(e.emitted, &q)
 }
 func (e *nullEnv) Deliver(msg Message) {}
 func (e *nullEnv) After(d time.Duration, fn func()) Timer {

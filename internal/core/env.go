@@ -21,8 +21,15 @@ type Env interface {
 	// Now returns the current (virtual) time.
 	Now() time.Duration
 
-	// Emit hands a packet to the wire. The machine retains no reference to
-	// the packet after Emit returns.
+	// Emit hands a packet to the wire. Ownership is symmetric with
+	// Machine.HandlePacket: the environment borrows the packet (and its
+	// Payload, Eacks and Attrs) only for the duration of the call — the
+	// machine stages emissions in a reused scratch packet, so anything the
+	// environment keeps past the return must be copied (typically it
+	// encodes to bytes immediately). The machine likewise retains no
+	// reference to the packet after Emit returns. Emit must not call back
+	// into the emitting machine synchronously; drivers queue wire I/O and
+	// dispatch inbound packets after the current machine interaction.
 	Emit(p *packet.Packet)
 
 	// Deliver hands a reassembled application message up the stack.

@@ -85,8 +85,12 @@ type Machine struct {
 	sndISN     uint32
 	sndNxt     uint32     // next sequence number to assign
 	sndUna     uint32     // oldest unacknowledged sequence number
-	pending    []*sendPkt // segmented, not yet transmitted
+	pending    []*sendPkt // segmented, not yet transmitted (ring from pendHead)
+	pendHead   int        // index of the queue head within pending
 	flight     []*sendPkt // transmitted, not yet cumulatively acked
+	inFlight   int        // flight entries not yet done() — kept incrementally
+	sackedCnt  int        // flight entries with sacked set — gates loss scans
+	spFree     []*sendPkt // sendPkt freelist (see getSendPkt/putSendPkt)
 	nextMsgID  uint32
 	lastAck    uint32 // last cumulative ack seen
 	dupAcks    int
@@ -129,9 +133,12 @@ type Machine struct {
 	onClosed                 func()
 
 	// Timers.
-	rtxTimer   Timer
-	connTimer  Timer
-	measTicker Timer
+	rtxTimer    Timer
+	rtxAt       time.Duration // absolute fire time of the armed rtx timer
+	rtxIsProbe  bool          // armed for a forward-point probe, not an RTO
+	rtxExpireFn func()        // cached onRtxExpire method value (no per-arm closure)
+	connTimer   Timer
+	measTicker  Timer
 
 	closing  bool // Close requested; FIN once the pipeline drains
 	tolDirty bool // localTol changed; piggyback on next ack
@@ -145,6 +152,13 @@ type Machine struct {
 
 	// Receiver-side delivery stats (also exposed in Metrics).
 	arrivals *stats.Arrivals
+
+	// Emission scratch. Every outgoing packet is staged here: the Env.Emit
+	// contract lets the environment borrow the packet only for the duration
+	// of the call, so a single staging area serves all emissions without
+	// allocating. outEacks is the staged EACK list's backing storage.
+	out      packet.Packet
+	outEacks []uint32
 }
 
 // NewMachine builds a machine over env. Call StartClient or StartServer to
@@ -178,6 +192,7 @@ func NewMachine(cfg Config, env Env) *Machine {
 	m.reasm = newReassembler(m)
 	m.meas = newMeasurement(m)
 	m.coo = newCoordinator(m)
+	m.rtxExpireFn = m.onRtxExpire
 	m.reg.Set(attr.LossTolerance, attr.Float(m.localTol))
 	return m
 }
@@ -316,14 +331,15 @@ func (m *Machine) maybeFinish() {
 	if !m.closing || m.state != stEstablished {
 		return
 	}
-	if len(m.pending) > 0 || m.inFlightCount() > 0 {
+	if m.pendingLen() > 0 || m.inFlightCount() > 0 {
 		return
 	}
 	m.setState(stFinWait)
-	m.env.Emit(&packet.Packet{
+	m.out = packet.Packet{
 		Type: packet.FIN, ConnID: m.connID, Seq: m.sndNxt, Ack: m.rcvNxt,
 		TS: m.env.Now(),
-	})
+	}
+	m.env.Emit(&m.out)
 	m.armConnRetry(func() {
 		if m.state == stFinWait {
 			m.abort() // give up after one retry interval
@@ -376,10 +392,11 @@ func (m *Machine) startLiveness() {
 			return
 		}
 		if m.cfg.Keepalive > 0 && now-m.lastSent >= m.cfg.Keepalive {
-			m.env.Emit(&packet.Packet{
+			m.out = packet.Packet{
 				Type: packet.NUL, ConnID: m.connID,
 				Seq: m.sndNxt, Ack: m.rcvNxt, Wnd: m.advertiseWnd(), TS: now,
-			})
+			}
+			m.env.Emit(&m.out)
 			m.lastSent = now
 		}
 		m.liveTimer = m.env.After(interval, tick)
@@ -387,7 +404,33 @@ func (m *Machine) startLiveness() {
 	m.liveTimer = m.env.After(interval, tick)
 }
 
-// HandlePacket feeds one decoded packet into the machine.
+// NoteTxError records n socket-level transmit failures observed by the
+// driver for this connection. Env.Emit cannot return an error — the actual
+// write may happen after the machine interaction (batched TX) — so drivers
+// report failures here, from the machine's serialisation context, making a
+// dead socket visible in Metrics and the trace stream instead of silent.
+func (m *Machine) NoteTxError(n uint64, err error) {
+	if n == 0 {
+		return
+	}
+	m.metrics.TxErrors += n
+	if m.tr != nil {
+		reason := ""
+		if err != nil {
+			reason = err.Error()
+		}
+		m.tr.Trace(trace.Event{
+			Time: m.env.Now(), Type: trace.TxError, ConnID: m.connID,
+			Size: int(n), Reason: reason,
+		})
+	}
+}
+
+// HandlePacket feeds one decoded packet into the machine. The machine
+// borrows p — including its Payload, Eacks and Attrs backing storage — only
+// for the duration of the call: anything it must keep (out-of-order
+// buffering, fragment payloads) is copied, so the caller may reuse the
+// packet and its buffers as soon as HandlePacket returns.
 func (m *Machine) HandlePacket(p *packet.Packet) {
 	if m.state == stDead {
 		return
@@ -405,7 +448,8 @@ func (m *Machine) HandlePacket(p *packet.Packet) {
 	case packet.NUL:
 		m.handleNul(p)
 	case packet.FIN:
-		m.env.Emit(&packet.Packet{Type: packet.FINACK, ConnID: m.connID, Ack: p.Seq, TS: m.env.Now()})
+		m.out = packet.Packet{Type: packet.FINACK, ConnID: m.connID, Ack: p.Seq, TS: m.env.Now()}
+		m.env.Emit(&m.out)
 		m.abort()
 	case packet.FINACK:
 		if m.state == stFinWait {

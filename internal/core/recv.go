@@ -10,7 +10,9 @@ import (
 )
 
 // handleData processes an incoming DATA packet: buffer or deliver in order,
-// then acknowledge.
+// then acknowledge. The packet is borrowed from the caller for the duration
+// of the call only (see HandlePacket); anything the machine must keep — an
+// out-of-order packet, a fragment payload — is copied.
 func (m *Machine) handleData(p *packet.Packet) {
 	switch m.state {
 	case stSynRcvd:
@@ -32,11 +34,12 @@ func (m *Machine) handleData(p *packet.Packet) {
 		m.acceptInOrder(p)
 		m.drainOOO()
 	default:
-		// Out of order: buffer within the advertised window.
+		// Out of order: buffer within the advertised window. The buffered
+		// copy comes from the packet freelist; drainOOO/applyFwd return it.
 		reason = "ooo"
 		if len(m.ooo) < int(m.cfg.RecvWindow) {
 			if _, dup := m.ooo[p.Seq]; !dup {
-				m.ooo[p.Seq] = p
+				m.ooo[p.Seq] = clonePacket(p)
 			}
 		}
 	}
@@ -50,13 +53,28 @@ func (m *Machine) handleData(p *packet.Packet) {
 	m.sendAckEcho(true, p.TS)
 }
 
-// acceptInOrder consumes the packet at rcvNxt.
-func (m *Machine) acceptInOrder(p *packet.Packet) {
-	m.rcvNxt = p.Seq + 1
-	m.reasm.addFragment(p, false)
+// clonePacket deep-copies a borrowed packet into a pooled one for the
+// out-of-order buffer, reusing the pooled packet's payload and eack storage.
+// The attribute list is shared, not copied: decode builds a fresh list per
+// packet and the machine never mutates it.
+func clonePacket(p *packet.Packet) *packet.Packet {
+	q := packet.Get()
+	payload, eacks := q.Payload, q.Eacks
+	*q = *p
+	q.Payload = append(payload[:0], p.Payload...)
+	q.Eacks = append(eacks[:0], p.Eacks...)
+	return q
 }
 
-// drainOOO moves now-in-order buffered packets into the stream.
+// acceptInOrder consumes the packet at rcvNxt. The reassembler copies the
+// payload out, so the packet may be reused once this returns.
+func (m *Machine) acceptInOrder(p *packet.Packet) {
+	m.rcvNxt = p.Seq + 1
+	m.reasm.addFragment(p)
+}
+
+// drainOOO moves now-in-order buffered packets into the stream, returning
+// each buffered clone to the packet freelist once consumed.
 func (m *Machine) drainOOO() {
 	for {
 		p, ok := m.ooo[m.rcvNxt]
@@ -65,6 +83,7 @@ func (m *Machine) drainOOO() {
 		}
 		delete(m.ooo, m.rcvNxt)
 		m.acceptInOrder(p)
+		packet.Put(p)
 	}
 }
 
@@ -80,6 +99,7 @@ func (m *Machine) applyFwd(fwd uint32) {
 		if p, ok := m.ooo[m.rcvNxt]; ok {
 			delete(m.ooo, m.rcvNxt)
 			m.acceptInOrder(p)
+			packet.Put(p)
 			continue
 		}
 		m.reasm.skipSeq(m.rcvNxt)
@@ -90,13 +110,18 @@ func (m *Machine) applyFwd(fwd uint32) {
 
 // reassembler rebuilds application messages from in-order fragments. Because
 // fragments of one message occupy contiguous sequence numbers and arrive (or
-// are skipped) in order, at most one message is under assembly at a time.
+// are skipped) in order, at most one message is under assembly at a time and
+// its fragment indices reach the reassembler in ascending order. That lets
+// the message accumulate into one right-sized buffer as fragments arrive
+// instead of a per-fragment slice table concatenated at completion; the
+// buffer's ownership passes to the application on Deliver.
 type reassembler struct {
 	m *Machine
 
 	cur         uint32 // msgID under assembly
 	active      bool
-	frags       [][]byte
+	data        []byte // accumulated payload, one allocation per message
+	nextIdx     int    // next fragment index not yet consumed or skipped
 	got         int
 	skipped     int
 	fragCnt     int
@@ -109,11 +134,12 @@ type reassembler struct {
 
 func newReassembler(m *Machine) *reassembler { return &reassembler{m: m} }
 
-// addFragment consumes the next in-order fragment.
-func (r *reassembler) addFragment(p *packet.Packet, asSkip bool) {
+// addFragment consumes the next in-order fragment, copying its payload into
+// the message buffer (the packet is borrowed and may be reused by the caller).
+func (r *reassembler) addFragment(p *packet.Packet) {
 	if !r.active || r.cur != p.MsgID {
 		r.flushIncomplete()
-		r.start(p.MsgID, int(p.FragCnt))
+		r.start(p)
 	}
 	idx := int(p.Frag)
 	if idx >= r.fragCnt {
@@ -121,9 +147,13 @@ func (r *reassembler) addFragment(p *packet.Packet, asSkip bool) {
 		r.flushIncomplete()
 		return
 	}
-	if r.frags[idx] == nil {
-		r.frags[idx] = p.Payload
+	if idx >= r.nextIdx {
+		// Indices in (nextIdx, idx) were holes already charged via skipSeq;
+		// idx < nextIdx would be a duplicate, impossible at the in-order
+		// point, so it is ignored rather than appended twice.
+		r.data = append(r.data, p.Payload...)
 		r.got++
+		r.nextIdx = idx + 1
 	}
 	if p.Marked() {
 		r.marked = true
@@ -153,14 +183,18 @@ func (r *reassembler) skipSeq(seq uint32) {
 	r.orphanSkips++
 }
 
-func (r *reassembler) start(msgID uint32, fragCnt int) {
-	r.cur = msgID
+func (r *reassembler) start(p *packet.Packet) {
+	r.cur = p.MsgID
 	r.active = true
-	r.fragCnt = fragCnt
+	r.fragCnt = int(p.FragCnt)
 	if r.fragCnt <= 0 {
 		r.fragCnt = 1
 	}
-	r.frags = make([][]byte, r.fragCnt)
+	// All fragments but the last carry a full MSS of payload, so the first
+	// fragment seen bounds the message size; a message whose leading
+	// fragments were skipped may underestimate and grow once.
+	r.data = make([]byte, 0, r.fragCnt*len(p.Payload))
+	r.nextIdx = 0
 	r.got = 0
 	r.skipped = 0
 	r.marked = false
@@ -185,13 +219,9 @@ func (r *reassembler) maybeComplete() {
 		r.reset()
 		return
 	}
-	var data []byte
-	for _, f := range r.frags {
-		data = append(data, f...)
-	}
 	msg := Message{
 		ID:          r.cur,
-		Data:        data,
+		Data:        r.data,
 		Marked:      r.marked,
 		Partial:     r.skipped > 0,
 		Attrs:       r.attrs,
@@ -218,23 +248,27 @@ func (r *reassembler) flushIncomplete() {
 
 func (r *reassembler) reset() {
 	r.active = false
-	r.frags = nil
+	r.data = nil // ownership passed to the application (or abandoned)
+	r.nextIdx = 0
 	r.got, r.skipped, r.fragCnt = 0, 0, 0
 }
 
-// sortedEacks returns the out-of-order buffer's sequence numbers in
-// ascending circular order (deterministic wire content).
-func (m *Machine) sortedEacks(limit int) []uint32 {
+// appendSortedEacks appends the out-of-order buffer's sequence numbers to
+// dst in ascending circular order (deterministic wire content), capped at
+// limit. dst's backing array is reused across acks; with an empty buffer —
+// the steady state — nothing is appended and nothing allocates.
+func (m *Machine) appendSortedEacks(dst []uint32, limit int) []uint32 {
 	if len(m.ooo) == 0 {
-		return nil
+		return dst
 	}
-	out := make([]uint32, 0, len(m.ooo))
+	start := len(dst)
 	for seq := range m.ooo {
-		out = append(out, seq)
+		dst = append(dst, seq)
 	}
+	out := dst[start:]
 	sort.Slice(out, func(i, j int) bool { return packet.SeqLT(out[i], out[j]) })
 	if len(out) > limit {
-		out = out[:limit]
+		dst = dst[:start+limit]
 	}
-	return out
+	return dst
 }

@@ -81,7 +81,8 @@ func (m *Machine) SendMsg(data []byte, marked bool, attrs *attr.List) error {
 		if i == frags-1 {
 			flags |= packet.FlagMsgEnd
 		}
-		sp := &sendPkt{
+		sp := m.getSendPkt()
+		*sp = sendPkt{
 			seq:      m.sndNxt,
 			msgID:    msgID,
 			frag:     uint16(i),
@@ -99,6 +100,50 @@ func (m *Machine) SendMsg(data []byte, marked bool, attrs *attr.List) error {
 	m.trySend()
 	return nil
 }
+
+// getSendPkt takes a sendPkt from the machine's freelist, or allocates one.
+// The caller must overwrite every field (SendMsg assigns a full literal).
+func (m *Machine) getSendPkt() *sendPkt {
+	if n := len(m.spFree); n > 0 {
+		sp := m.spFree[n-1]
+		m.spFree[n-1] = nil
+		m.spFree = m.spFree[:n-1]
+		return sp
+	}
+	return new(sendPkt)
+}
+
+// putSendPkt returns a sendPkt whose flight is over to the freelist. The
+// payload and attribute references are dropped so the freelist never pins
+// application data. The list is capacity-bounded; overflow falls to the GC.
+func (m *Machine) putSendPkt(sp *sendPkt) {
+	sp.payload = nil
+	sp.attrs = nil
+	if len(m.spFree) < spFreeMax {
+		m.spFree = append(m.spFree, sp)
+	}
+}
+
+// spFreeMax bounds the sendPkt freelist: enough for a full default
+// congestion + receive window without letting an idle connection pin memory.
+const spFreeMax = 256
+
+// popPending removes and returns the head of the untransmitted queue. A head
+// index is used instead of reslicing so the backing array is reused once the
+// queue drains, instead of creeping forward and reallocating.
+func (m *Machine) popPending() *sendPkt {
+	sp := m.pending[m.pendHead]
+	m.pending[m.pendHead] = nil
+	m.pendHead++
+	if m.pendHead == len(m.pending) {
+		m.pending = m.pending[:0]
+		m.pendHead = 0
+	}
+	return sp
+}
+
+// pendingLen is the number of segmented packets awaiting first transmission.
+func (m *Machine) pendingLen() int { return len(m.pending) - m.pendHead }
 
 // withinTolerance reports whether dropping extra more messages keeps the
 // undelivered fraction within the peer's loss tolerance.
@@ -120,23 +165,18 @@ func (m *Machine) CanSend() bool {
 
 // QueuedPackets returns the number of segmented packets awaiting first
 // transmission.
-func (m *Machine) QueuedPackets() int { return len(m.pending) }
+func (m *Machine) QueuedPackets() int { return m.pendingLen() }
 
-// inFlightCount counts transmitted packets still occupying the window.
-func (m *Machine) inFlightCount() int {
-	n := 0
-	for _, p := range m.flight {
-		if !p.done() {
-			n++
-		}
-	}
-	return n
-}
+// inFlightCount is the number of transmitted packets still occupying the
+// window. It is maintained incrementally (transmit, sack, skip, cumulative
+// pop) because trySend consults it once per loop iteration — a scan here
+// would make draining a full window quadratic in the flight size.
+func (m *Machine) inFlightCount() int { return m.inFlight }
 
 // windowLimited reports whether demand (in-flight plus queued) meets or
 // exceeds the congestion window — the condition for window growth.
 func (m *Machine) windowLimited() bool {
-	return float64(m.inFlightCount()+len(m.pending)) >= m.cc.Window()
+	return float64(m.inFlightCount()+m.pendingLen()) >= m.cc.Window()
 }
 
 // effectiveWindow is the sending limit in packets.
@@ -163,9 +203,8 @@ func (m *Machine) trySend() {
 		return
 	}
 	sentAny := false
-	for len(m.pending) > 0 && float64(m.inFlightCount()) < m.effectiveWindow() {
-		sp := m.pending[0]
-		m.pending = m.pending[1:]
+	for m.pendingLen() > 0 && float64(m.inFlightCount()) < m.effectiveWindow() {
+		sp := m.popPending()
 		// Expired unmarked data is abandoned before its first transmission
 		// (deadline-based partial reliability), tolerance permitting.
 		if sp.deadline > 0 && !sp.marked() && m.env.Now() > sp.deadline && m.canSkipFragment(sp) {
@@ -184,9 +223,10 @@ func (m *Machine) trySend() {
 		}
 		m.transmit(sp, false)
 		m.flight = append(m.flight, sp)
+		m.inFlight++
 		sentAny = true
 	}
-	if m.fwdPending && len(m.pending) == 0 && m.inFlightCount() == 0 {
+	if m.fwdPending && m.pendingLen() == 0 && m.inFlightCount() == 0 {
 		m.emitFwdProbe()
 	}
 	if sentAny {
@@ -202,9 +242,8 @@ func (m *Machine) pacedSend() {
 	if m.paceTimer != nil {
 		return // a gap is already pending; its expiry continues the train
 	}
-	for len(m.pending) > 0 && float64(m.inFlightCount()) < m.effectiveWindow() {
-		sp := m.pending[0]
-		m.pending = m.pending[1:]
+	for m.pendingLen() > 0 && float64(m.inFlightCount()) < m.effectiveWindow() {
+		sp := m.popPending()
 		if sp.deadline > 0 && !sp.marked() && m.env.Now() > sp.deadline && m.canSkipFragment(sp) {
 			if !m.skippedMsgs[sp.msgID] {
 				m.skippedMsgs[sp.msgID] = true
@@ -221,6 +260,7 @@ func (m *Machine) pacedSend() {
 		}
 		m.transmit(sp, false)
 		m.flight = append(m.flight, sp)
+		m.inFlight++
 		m.armRtx()
 		interval := time.Millisecond
 		if srtt := m.rtt.SRTT(); srtt > 0 {
@@ -235,13 +275,16 @@ func (m *Machine) pacedSend() {
 		})
 		return
 	}
-	if m.fwdPending && len(m.pending) == 0 && m.inFlightCount() == 0 {
+	if m.fwdPending && m.pendingLen() == 0 && m.inFlightCount() == 0 {
 		m.emitFwdProbe()
 	}
 	m.maybeFinish()
 }
 
-// transmit emits one DATA packet (first transmission or retransmission).
+// transmit emits one DATA packet (first transmission or retransmission). The
+// wire packet is staged in the machine's scratch packet: Env.Emit borrows it
+// only for the duration of the call, so one staging area serves every
+// emission (see the Env contract).
 func (m *Machine) transmit(sp *sendPkt, isRtx bool) {
 	now := m.env.Now()
 	sp.sentAt = now
@@ -258,7 +301,7 @@ func (m *Machine) transmit(sp *sendPkt, isRtx bool) {
 		m.tracePacket(typ, sp, "")
 	}
 	m.meas.onSend(1)
-	p := &packet.Packet{
+	m.out = packet.Packet{
 		Type:    packet.DATA,
 		Flags:   sp.flags,
 		ConnID:  m.connID,
@@ -269,16 +312,16 @@ func (m *Machine) transmit(sp *sendPkt, isRtx bool) {
 		Frag:    sp.frag,
 		FragCnt: sp.fragCnt,
 		TS:      now,
-		Attrs:   sp.attrs.Clone(),
+		Attrs:   sp.attrs, // already a private clone, made at SendMsg
 		Payload: sp.payload,
 	}
 	if m.fwdPending {
-		p.Flags |= packet.FlagFwd
-		p.Fwd = m.fwdSeq
+		m.out.Flags |= packet.FlagFwd
+		m.out.Fwd = m.fwdSeq
 		m.fwdPending = false
 	}
 	m.lastSent = now
-	m.env.Emit(p)
+	m.env.Emit(&m.out)
 }
 
 // handleAck processes cumulative acknowledgements and EACK extents.
@@ -308,19 +351,34 @@ func (m *Machine) handleAck(p *packet.Packet) {
 	if packet.SeqGT(ack, m.sndUna) {
 		newly := 0
 		var ackedBytes uint64
-		for len(m.flight) > 0 && packet.SeqLT(m.flight[0].seq, ack) {
-			sp := m.flight[0]
-			m.flight = m.flight[1:]
+		popped := 0
+		for popped < len(m.flight) && packet.SeqLT(m.flight[popped].seq, ack) {
+			sp := m.flight[popped]
+			popped++
 			if !sp.done() {
 				newly++
+				m.inFlight--
 				ackedBytes += uint64(len(sp.payload))
 				m.metrics.AckedPackets++
 				if m.tr != nil {
 					m.tracePacket(trace.PacketAcked, sp, "")
 				}
 			}
+			if sp.sacked {
+				m.sackedCnt--
+			}
 			// Sacked packets were counted (window growth, bytes, metrics)
 			// when their EACK arrived; skipped packets never count.
+			// This is the one place packets leave the flight window, so the
+			// bookkeeping struct goes back to the freelist here.
+			m.putSendPkt(sp)
+		}
+		if popped > 0 {
+			rem := copy(m.flight, m.flight[popped:])
+			for i := rem; i < len(m.flight); i++ {
+				m.flight[i] = nil
+			}
+			m.flight = m.flight[:rem]
 		}
 		m.sndUna = ack
 		m.metrics.AckedBytes += ackedBytes
@@ -336,6 +394,8 @@ func (m *Machine) handleAck(p *packet.Packet) {
 		for _, sp := range m.flight {
 			if sp.seq == seq && !sp.done() {
 				sp.sacked = true
+				m.inFlight--
+				m.sackedCnt++
 				sackedNew++
 				m.metrics.AckedPackets++
 				m.meas.onAckedBytes(uint64(len(sp.payload)))
@@ -390,7 +450,7 @@ func (m *Machine) handleAck(p *packet.Packet) {
 	m.advanceFwd()
 	m.trySend()
 	m.armRtx()
-	if m.onWritable != nil && m.CanSend() && len(m.pending) == 0 {
+	if m.onWritable != nil && m.CanSend() && m.pendingLen() == 0 {
 		m.onWritable()
 	}
 	m.maybeFinish()
@@ -412,22 +472,27 @@ func (m *Machine) firstOutstanding() *sendPkt {
 // the earliest outstanding packet (classic three-dupack signal).
 func (m *Machine) provenLost(dupTrigger bool) []*sendPkt {
 	var lost []*sendPkt
-	sackedAbove := 0
-	for i := len(m.flight) - 1; i >= 0; i-- {
-		sp := m.flight[i]
-		if sp.sacked {
-			sackedAbove++
-			continue
+	// Fewer than three sacked packets in the whole flight means no packet can
+	// have three above it; skip the scan entirely. In loss-free operation this
+	// keeps ack processing O(1) in the flight size.
+	if m.sackedCnt >= 3 {
+		sackedAbove := 0
+		for i := len(m.flight) - 1; i >= 0; i-- {
+			sp := m.flight[i]
+			if sp.sacked {
+				sackedAbove++
+				continue
+			}
+			if sp.skipped {
+				continue
+			}
+			if sackedAbove >= 3 {
+				lost = append(lost, sp)
+			}
 		}
-		if sp.skipped {
-			continue
+		for i, j := 0, len(lost)-1; i < j; i, j = i+1, j-1 {
+			lost[i], lost[j] = lost[j], lost[i]
 		}
-		if sackedAbove >= 3 {
-			lost = append(lost, sp)
-		}
-	}
-	for i, j := 0, len(lost)-1; i < j; i, j = i+1, j-1 {
-		lost[i], lost[j] = lost[j], lost[i]
 	}
 	if dupTrigger && len(lost) == 0 {
 		if first := m.firstOutstanding(); first != nil {
@@ -479,6 +544,9 @@ func (m *Machine) skipPacket(sp *sendPkt) {
 		m.skippedMsgs[sp.msgID] = true
 		m.relMsgsDropped++
 	}
+	if !sp.done() {
+		m.inFlight--
+	}
 	sp.skipped = true
 	m.metrics.SkippedPackets++
 	if m.tr != nil {
@@ -487,7 +555,7 @@ func (m *Machine) skipPacket(sp *sendPkt) {
 	m.advanceFwd()
 	// Communicate the forward point immediately if it moved; otherwise it
 	// rides on the next DATA packet.
-	if m.fwdPending && len(m.pending) == 0 {
+	if m.fwdPending && m.pendingLen() == 0 {
 		m.emitFwdProbe()
 	}
 	m.trySend()
@@ -515,7 +583,7 @@ func (m *Machine) advanceFwd() {
 
 // emitFwdProbe sends a NUL packet carrying the forward point.
 func (m *Machine) emitFwdProbe() {
-	m.env.Emit(&packet.Packet{
+	m.out = packet.Packet{
 		Type:   packet.NUL,
 		Flags:  packet.FlagFwd,
 		ConnID: m.connID,
@@ -524,33 +592,74 @@ func (m *Machine) emitFwdProbe() {
 		Fwd:    m.fwdSeq,
 		Wnd:    m.advertiseWnd(),
 		TS:     m.env.Now(),
-	})
+	}
+	m.env.Emit(&m.out)
 	m.fwdPending = false
 }
 
 // armRtx (re)arms the retransmission timer for the earliest outstanding
-// packet.
+// packet. The timer is left in place when it already fires no later than the
+// new deadline: expiry re-checks lazily (onRtxTimeout) and re-arms for the
+// remainder, which turns the per-ack stop/recreate churn of the naive scheme
+// into one timer allocation per RTO interval.
 func (m *Machine) armRtx() {
-	if m.rtxTimer != nil {
-		m.rtxTimer.Stop()
-		m.rtxTimer = nil
-	}
 	earliest := m.firstOutstanding()
 	if earliest == nil {
 		// No retransmittable packet, but the peer may still be blocked on a
 		// hole we decided to skip: keep probing the forward point until the
 		// cumulative ack passes it (the probe itself can be lost).
 		if len(m.flight) > 0 && packet.SeqLT(m.sndUna, m.fwdSeq) {
-			m.rtxTimer = m.env.After(m.rtt.RTO(), m.onProbeTimeout)
+			m.stopRtx()
+			m.rtxIsProbe = true
+			m.rtxAt = m.env.Now() + m.rtt.RTO()
+			m.rtxTimer = m.env.After(m.rtt.RTO(), m.rtxExpireFn)
+			return
+		}
+		// An armed RTO timer is left in place rather than cancelled: its
+		// expiry with an empty flight is a no-op, and the next burst usually
+		// re-arms before it fires — so a flight that empties every round
+		// trip costs no timer churn.
+		if m.rtxIsProbe {
+			m.stopRtx()
 		}
 		return
 	}
 	deadline := earliest.sentAt + m.rtt.RTO()
+	if m.rtxTimer != nil && !m.rtxIsProbe && m.rtxAt <= deadline {
+		return // armed timer fires at or before the deadline; expiry re-checks
+	}
+	m.stopRtx()
 	delay := deadline - m.env.Now()
 	if delay < 0 {
 		delay = 0
 	}
-	m.rtxTimer = m.env.After(delay, m.onRtxTimeout)
+	m.rtxAt = deadline
+	m.rtxTimer = m.env.After(delay, m.rtxExpireFn)
+}
+
+// stopRtx cancels the retransmission timer and clears its deadline state.
+func (m *Machine) stopRtx() {
+	if m.rtxTimer != nil {
+		m.rtxTimer.Stop()
+		m.rtxTimer = nil
+	}
+	m.rtxAt = 0
+	m.rtxIsProbe = false
+}
+
+// onRtxExpire is the single retransmission-timer callback (cached in
+// rtxExpireFn so arming the timer never allocates a closure). The timer has
+// fired, so its pending state is cleared before dispatching.
+func (m *Machine) onRtxExpire() {
+	probe := m.rtxIsProbe
+	m.rtxTimer = nil
+	m.rtxAt = 0
+	m.rtxIsProbe = false
+	if probe {
+		m.onProbeTimeout()
+	} else {
+		m.onRtxTimeout()
+	}
 }
 
 // onProbeTimeout re-sends the forward-point probe while the peer's
@@ -621,13 +730,15 @@ func (m *Machine) sendAck(dataTrigger bool) {
 }
 
 // sendAckEcho emits an acknowledgement echoing tsEcho for RTT measurement.
+// The ack is staged in the machine's scratch packet and its EACK list in the
+// machine's scratch slice; both are free for reuse once Emit returns.
 func (m *Machine) sendAckEcho(dataTrigger bool, tsEcho time.Duration) {
 	typ := packet.ACK
-	eacks := m.sortedEacks(64)
-	if len(eacks) > 0 {
+	m.outEacks = m.appendSortedEacks(m.outEacks[:0], 64)
+	if len(m.outEacks) > 0 {
 		typ = packet.EACK
 	}
-	p := &packet.Packet{
+	m.out = packet.Packet{
 		Type:   typ,
 		ConnID: m.connID,
 		Seq:    m.sndNxt,
@@ -635,13 +746,16 @@ func (m *Machine) sendAckEcho(dataTrigger bool, tsEcho time.Duration) {
 		Wnd:    m.advertiseWnd(),
 		TS:     m.env.Now(),
 		TSEcho: tsEcho,
-		Eacks:  eacks,
+		Eacks:  m.outEacks,
+	}
+	if len(m.outEacks) == 0 {
+		m.out.Eacks = nil
 	}
 	if m.tolDirty {
-		p.Attrs = attr.NewList(attr.Attr{Name: attr.LossTolerance, Value: attr.Float(m.localTol)})
+		m.out.Attrs = attr.NewList(attr.Attr{Name: attr.LossTolerance, Value: attr.Float(m.localTol)})
 		m.tolDirty = false
 	}
 	m.lastSent = m.env.Now()
-	m.env.Emit(p)
+	m.env.Emit(&m.out)
 	_ = dataTrigger
 }

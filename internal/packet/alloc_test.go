@@ -1,0 +1,126 @@
+package packet
+
+import (
+	"testing"
+	"time"
+)
+
+// Allocation regression tests for the codec fast path. These pin the
+// freelist/scratch-buffer behaviour so later PRs can't silently put
+// allocations back on the per-datagram path.
+
+func allocTestPacket() *Packet {
+	return &Packet{
+		Type: DATA, Flags: FlagMarked | FlagMsgEnd,
+		ConnID: 0x1001, Seq: 42, Ack: 7, Wnd: 64,
+		MsgID: 42, Frag: 0, FragCnt: 1,
+		TS: 3 * time.Second, TSEcho: 2 * time.Second,
+		Payload: make([]byte, 1200),
+	}
+}
+
+func TestEncodeAllocs(t *testing.T) {
+	p := allocTestPacket()
+	got := testing.AllocsPerRun(200, func() {
+		if _, err := Encode(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > 1 {
+		t.Fatalf("Encode allocates %.1f/op, want <= 1", got)
+	}
+}
+
+func TestAppendEncodeZeroAllocs(t *testing.T) {
+	p := allocTestPacket()
+	scratch := make([]byte, 0, p.WireSize())
+	got := testing.AllocsPerRun(200, func() {
+		b, err := AppendEncode(scratch[:0], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = b[:0]
+	})
+	if got != 0 {
+		t.Fatalf("AppendEncode with scratch allocates %.1f/op, want 0", got)
+	}
+}
+
+func TestDecodeIntoZeroAllocs(t *testing.T) {
+	wire, err := Encode(allocTestPacket())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Packet
+	// Prime the payload buffer once; steady state must then be free.
+	if err := DecodeInto(&p, wire, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if err := DecodeInto(&p, wire, p.Payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Fatalf("DecodeInto with recycled buffers allocates %.1f/op, want 0", got)
+	}
+}
+
+func TestDecodeIntoEacksReuse(t *testing.T) {
+	p := &Packet{Type: EACK, ConnID: 1, Seq: 5, Ack: 5, Eacks: []uint32{7, 9, 12}}
+	wire, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Packet
+	if err := DecodeInto(&q, wire, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := testing.AllocsPerRun(200, func() {
+		if err := DecodeInto(&q, wire, q.Payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Fatalf("EACK DecodeInto with recycled buffers allocates %.1f/op, want 0", got)
+	}
+	if len(q.Eacks) != 3 || q.Eacks[0] != 7 || q.Eacks[2] != 12 {
+		t.Fatalf("bad eacks after reuse: %v", q.Eacks)
+	}
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	p := Get()
+	p.Type = DATA
+	p.Payload = append(p.Payload, make([]byte, 512)...)
+	p.Eacks = append(p.Eacks, 1, 2, 3)
+	Put(p)
+	q := Get()
+	defer Put(q)
+	// Whatever Get returns must be field-clear (capacity may be retained).
+	if q.Type != 0 || len(q.Payload) != 0 || len(q.Eacks) != 0 || q.Attrs != nil {
+		t.Fatalf("pooled packet not reset: %+v", q)
+	}
+	hits, misses := PoolStats()
+	if hits+misses == 0 {
+		t.Fatal("pool stats not counting")
+	}
+}
+
+func TestAppendEncodeNonEmptyDst(t *testing.T) {
+	// The CRC must cover only this packet's bytes, not the prefix already
+	// in dst — the TX ring appends several datagrams into slot buffers.
+	p := allocTestPacket()
+	prefix := []byte{0xde, 0xad, 0xbe, 0xef}
+	b, err := AppendEncode(append([]byte(nil), prefix...), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Decode(b[len(prefix):])
+	if err != nil {
+		t.Fatalf("decode after non-empty-dst encode: %v", err)
+	}
+	if q.Seq != p.Seq || len(q.Payload) != len(p.Payload) {
+		t.Fatalf("round trip mismatch: %v", q)
+	}
+}

@@ -151,8 +151,15 @@ var (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// Encode serialises the packet.
+// Encode serialises the packet into a freshly allocated buffer.
 func Encode(p *Packet) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, p.WireSize()), p)
+}
+
+// AppendEncode serialises the packet, appending the encoding to dst and
+// returning the extended slice. Callers on the fast path pass a retained
+// scratch buffer (dst[:0]) so steady-state encoding allocates nothing.
+func AppendEncode(dst []byte, p *Packet) ([]byte, error) {
 	if p.Type < SYN || p.Type > FINACK {
 		return nil, fmt.Errorf("%w: %d", ErrBadType, p.Type)
 	}
@@ -165,7 +172,8 @@ func Encode(p *Packet) ([]byte, error) {
 	} else {
 		flags &^= FlagHasAttrs
 	}
-	b := make([]byte, 0, p.WireSize())
+	b := dst
+	start := len(b)
 	b = append(b, Version, byte(p.Type), flags)
 	b = binary.BigEndian.AppendUint32(b, p.ConnID)
 	b = binary.BigEndian.AppendUint32(b, p.Seq)
@@ -195,26 +203,43 @@ func Encode(p *Packet) ([]byte, error) {
 		}
 	}
 	b = append(b, p.Payload...)
-	b = binary.BigEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+	b = binary.BigEndian.AppendUint32(b, crc32.Checksum(b[start:], crcTable))
 	return b, nil
 }
 
 // Decode parses a packet, verifying version, type, lengths and checksum.
+// The payload (if any) is copied into a fresh allocation; b may be reused.
 func Decode(b []byte) (*Packet, error) {
+	p := new(Packet)
+	if err := DecodeInto(p, b, nil); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// DecodeInto parses a packet into p, verifying version, type, lengths and
+// checksum. Every field of p is overwritten. The payload is copied into
+// payloadBuf (grown as needed; pass p.Payload[:0]-style scratch to recycle
+// storage, or nil for a fresh right-sized allocation) and p.Eacks reuses its
+// prior backing array, so a pooled Packet decodes with zero allocations in
+// steady state. b is not retained.
+func DecodeInto(p *Packet, b []byte, payloadBuf []byte) error {
 	if len(b) < headerLen+4 {
-		return nil, ErrShort
+		return ErrShort
 	}
 	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
 	if crc32.Checksum(body, crcTable) != sum {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
 	if body[0] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, body[0])
+		return fmt.Errorf("%w: %d", ErrBadVersion, body[0])
 	}
-	p := &Packet{Type: Type(body[1]), Flags: body[2]}
+	p.Type, p.Flags = Type(body[1]), body[2]
 	if p.Type < SYN || p.Type > FINACK {
-		return nil, fmt.Errorf("%w: %d", ErrBadType, body[1])
+		return fmt.Errorf("%w: %d", ErrBadType, body[1])
 	}
+	p.Attrs = nil
+	p.Eacks = p.Eacks[:0]
 	off := 3
 	p.ConnID = binary.BigEndian.Uint32(body[off:])
 	off += 4
@@ -241,31 +266,31 @@ func Decode(b []byte) (*Packet, error) {
 	if p.Flags&FlagHasAttrs != 0 {
 		attrs, n, err := attr.Decode(body[off:])
 		if err != nil {
-			return nil, fmt.Errorf("packet: attribute block: %w", err)
+			return fmt.Errorf("packet: attribute block: %w", err)
 		}
 		p.Attrs = attrs
 		off += n
 	}
 	if p.Type == EACK {
 		if off+2 > len(body) {
-			return nil, ErrBadLength
+			return ErrBadLength
 		}
 		n := int(binary.BigEndian.Uint16(body[off:]))
 		off += 2
 		if off+4*n > len(body) {
-			return nil, ErrBadLength
+			return ErrBadLength
 		}
-		p.Eacks = make([]uint32, n)
 		for i := 0; i < n; i++ {
-			p.Eacks[i] = binary.BigEndian.Uint32(body[off:])
+			p.Eacks = append(p.Eacks, binary.BigEndian.Uint32(body[off:]))
 			off += 4
 		}
 	}
 	if off+payloadLen != len(body) {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
+	p.Payload = payloadBuf[:0]
 	if payloadLen > 0 {
-		p.Payload = append([]byte(nil), body[off:off+payloadLen]...)
+		p.Payload = append(p.Payload, body[off:off+payloadLen]...)
 	}
-	return p, nil
+	return nil
 }

@@ -1,0 +1,47 @@
+package packet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Reset clears every field for reuse, retaining the Payload and Eacks
+// backing arrays so a recycled packet decodes without reallocating them.
+func (p *Packet) Reset() {
+	payload, eacks := p.Payload[:0], p.Eacks[:0]
+	*p = Packet{}
+	p.Payload, p.Eacks = payload, eacks
+}
+
+var (
+	pool       = sync.Pool{New: func() any { poolMisses.Add(1); return new(Packet) }}
+	poolGets   atomic.Uint64
+	poolMisses atomic.Uint64
+)
+
+// Get returns a cleared Packet from the freelist (allocating on miss).
+func Get() *Packet {
+	poolGets.Add(1)
+	return pool.Get().(*Packet)
+}
+
+// Put resets p and returns it to the freelist. The caller must not retain
+// p, p.Payload or p.Eacks after Put; p.Attrs is dropped, not recycled
+// (attribute lists may be retained by their consumers).
+func Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	p.Reset()
+	pool.Put(p)
+}
+
+// PoolStats reports freelist traffic since process start: gets served from
+// a recycled packet (hits) and gets that allocated a fresh one (misses).
+func PoolStats() (hits, misses uint64) {
+	g, m := poolGets.Load(), poolMisses.Load()
+	if g < m {
+		g = m // the two loads race; never report negative hits
+	}
+	return g - m, m
+}

@@ -48,7 +48,9 @@ import (
 	"time"
 
 	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/udpwire"
+	"github.com/cercs/iqrudp/internal/uio"
 )
 
 // Errors, shared with the socket driver so callers handle one vocabulary.
@@ -114,6 +116,7 @@ type Server struct {
 
 	socks  []*net.UDPConn
 	shards []*shard
+	rxPool *uio.BufPool // receive buffers, shared by every shard's batcher
 	accept chan *udpwire.Conn
 
 	drainCh   chan struct{} // closed when Close begins: no new admissions
@@ -145,6 +148,7 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 		opt:     opt,
 		socks:   socks,
 		shards:  make([]*shard, opt.Shards),
+		rxPool:  uio.NewBufPool(rxBufSize(cfg)),
 		accept:  make(chan *udpwire.Conn, opt.Backlog),
 		drainCh: make(chan struct{}),
 		closed:  make(chan struct{}),
@@ -156,7 +160,7 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 			sock:   socks[i%len(socks)],
 			byID:   make(map[uint32]*udpwire.Conn),
 			byAddr: make(map[string]uint32),
-			txq:    make(chan txMsg, 4*opt.Batch*len(srv.shards)),
+			txq:    make(chan uio.Msg, 4*opt.Batch*len(srv.shards)),
 		}
 	}
 	// Each shard routes transmissions through the shard that owns its
@@ -165,13 +169,12 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 	for i := range srv.shards {
 		srv.shards[i].io = srv.shards[i%len(socks)]
 	}
-	bufSize := rxBufSize(cfg)
 	for i := range socks {
 		sh := srv.shards[i]
-		rb, err := newRxBatcher(socks[i], opt.Batch, bufSize)
+		rb, err := uio.NewRxBatcher(socks[i], srv.rxPool, opt.Batch)
 		if err == nil {
-			var tb *txBatcher
-			tb, err = newTxBatcher(socks[i], opt.Batch)
+			var tb *uio.TxBatcher
+			tb, err = uio.NewTxBatcher(socks[i], opt.Batch)
 			if err == nil {
 				go sh.readLoop(rb)
 				go sh.txLoop(tb)
@@ -253,9 +256,11 @@ func (srv *Server) Close() error {
 		}
 		done := make(chan struct{})
 		go func() { wg.Wait(); close(done) }()
+		backstop := time.NewTimer(srv.opt.DrainTimeout + time.Second)
+		defer backstop.Stop()
 		select {
 		case <-done:
-		case <-time.After(srv.opt.DrainTimeout + time.Second):
+		case <-backstop.C:
 			// CloseWithin bounds each conn; this is a backstop only.
 		}
 		close(srv.closed)
@@ -346,6 +351,21 @@ func (srv *Server) Gauges() map[string]func() float64 {
 			}
 			return float64(pkts) / float64(batches)
 		},
+		// Receive-buffer freelist traffic: a rising miss count in steady
+		// state means buffers are leaking or the pool is undersized.
+		"serve.pool.hit":  func() float64 { h, _ := srv.rxPool.Stats(); return float64(h) },
+		"serve.pool.miss": func() float64 { _, m := srv.rxPool.Stats(); return float64(m) },
+		// Transmit flushes (sendmmsg calls / portable batch drains).
+		"serve.tx.flushes": func() float64 {
+			var flushes uint64
+			for _, sh := range srv.shards {
+				flushes += sh.txBatches.Load()
+			}
+			return float64(flushes)
+		},
+		// Process-wide decoded-packet freelist (internal/packet pool).
+		"packet.pool.hit":  func() float64 { h, _ := packet.PoolStats(); return float64(h) },
+		"packet.pool.miss": func() float64 { _, m := packet.PoolStats(); return float64(m) },
 	}
 	for i, sh := range srv.shards {
 		sh := sh

@@ -7,13 +7,8 @@ import (
 
 	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/udpwire"
+	"github.com/cercs/iqrudp/internal/uio"
 )
-
-// txMsg is one queued outbound datagram.
-type txMsg struct {
-	b    []byte
-	peer *net.UDPAddr
-}
 
 // shard owns one slice of the connection table: every connection whose
 // ConnID mod Shards equals idx lives here. On Linux each shard also owns a
@@ -29,7 +24,7 @@ type shard struct {
 	byID   map[uint32]*udpwire.Conn
 	byAddr map[string]uint32 // source address -> ConnID, for SYN-time collision checks
 
-	txq chan txMsg
+	txq chan uio.Msg
 
 	rxPackets atomic.Uint64
 	rxBatches atomic.Uint64
@@ -45,11 +40,17 @@ func (srv *Server) homeShard(id uint32) *shard {
 }
 
 // readLoop pulls batches of datagrams off the socket and routes each to the
-// ConnID's home shard. Buffers come from rb's pool; packet.Decode copies the
-// payload, so a buffer is reusable as soon as the datagram is parsed.
-func (sh *shard) readLoop(rb *rxBatcher) {
+// ConnID's home shard. Buffers come from rb's pool; packet.DecodeInto copies
+// the payload out, so the batch's buffers are released as soon as every
+// datagram has been parsed and routed. One pooled Packet is recycled across
+// all datagrams: route — and the machine under it — only borrows the packet
+// for the duration of the call (see the Env.Emit / Machine.HandlePacket
+// ownership contract in core).
+func (sh *shard) readLoop(rb *uio.RxBatcher) {
+	p := packet.Get()
+	defer packet.Put(p)
 	for {
-		msgs, err := rb.recv()
+		msgs, err := rb.Recv()
 		if err != nil {
 			return // socket closed
 		}
@@ -59,14 +60,13 @@ func (sh *shard) readLoop(rb *rxBatcher) {
 		sh.rxBatches.Add(1)
 		sh.rxPackets.Add(uint64(len(msgs)))
 		for _, m := range msgs {
-			p, err := packet.Decode(m.buf)
-			if err != nil {
+			if err := packet.DecodeInto(p, m.B, p.Payload); err != nil {
 				sh.rxErrors.Add(1)
 				continue
 			}
-			sh.srv.homeShard(p.ConnID).route(p, m.addr)
+			sh.srv.homeShard(p.ConnID).route(p, m.Addr)
 		}
-		rb.release(msgs)
+		rb.Release(msgs)
 	}
 }
 
@@ -210,7 +210,7 @@ func (sh *shard) detach(c *udpwire.Conn) {
 // full queue.
 func (sh *shard) enqueueTx(b []byte, peer *net.UDPAddr) {
 	select {
-	case sh.txq <- txMsg{b: b, peer: peer}:
+	case sh.txq <- uio.Msg{B: b, Addr: peer}:
 	default:
 		sh.txDrops.Add(1)
 	}
@@ -218,8 +218,8 @@ func (sh *shard) enqueueTx(b []byte, peer *net.UDPAddr) {
 
 // txLoop coalesces queued datagrams into sendmmsg batches: block for the
 // first message, then drain without blocking up to the batch bound.
-func (sh *shard) txLoop(tb *txBatcher) {
-	batch := make([]txMsg, 0, sh.srv.opt.Batch)
+func (sh *shard) txLoop(tb *uio.TxBatcher) {
+	batch := make([]uio.Msg, 0, sh.srv.opt.Batch)
 	for {
 		batch = batch[:0]
 		select {
@@ -237,7 +237,7 @@ func (sh *shard) txLoop(tb *txBatcher) {
 				break drain
 			}
 		}
-		sent, err := tb.send(batch)
+		sent, err := tb.Send(batch)
 		sh.txBatches.Add(1)
 		sh.txPackets.Add(uint64(sent))
 		if sent < len(batch) {

@@ -77,6 +77,10 @@ const (
 	// rescale (zero when the decision was not to rescale, with Reason
 	// explaining why).
 	CoordinationDecision
+	// TxError records a socket-level transmit failure observed by the
+	// driver (Env.Emit cannot return an error); Size carries the number of
+	// datagrams affected and Reason the OS error text.
+	TxError
 
 	// NumTypes is the number of event types (array-sizing sentinel).
 	NumTypes
@@ -96,6 +100,7 @@ var typeNames = [NumTypes]string{
 	MeasurementPeriod:      "measurement_period",
 	ThresholdCallbackFired: "threshold_callback",
 	CoordinationDecision:   "coordination_decision",
+	TxError:                "tx_error",
 }
 
 // String returns the stable wire name of the type (the qlog-style event

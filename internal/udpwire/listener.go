@@ -50,19 +50,19 @@ func Listen(laddr string, cfg core.Config) (*Listener, error) {
 
 func (ln *Listener) readLoop() {
 	buf := make([]byte, 65536)
+	var p packet.Packet // recycled: connections only borrow it per packet
 	for {
 		n, raddr, err := ln.sock.ReadFromUDP(buf)
 		if err != nil {
 			ln.Close()
 			return
 		}
-		p, err := packet.Decode(buf[:n])
-		if err != nil {
+		if err := packet.DecodeInto(&p, buf[:n], p.Payload); err != nil {
 			continue
 		}
-		c := ln.connFor(raddr, p)
+		c := ln.connFor(raddr, &p)
 		if c != nil {
-			c.handlePacket(p)
+			c.handlePacket(&p)
 		}
 	}
 }

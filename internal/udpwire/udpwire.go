@@ -21,6 +21,7 @@ import (
 	"github.com/cercs/iqrudp/internal/attr"
 	"github.com/cercs/iqrudp/internal/core"
 	"github.com/cercs/iqrudp/internal/packet"
+	"github.com/cercs/iqrudp/internal/uio"
 )
 
 // Errors returned by the driver.
@@ -59,7 +60,31 @@ type Conn struct {
 	closeOnce   sync.Once
 
 	dropped uint64 // deliveries discarded because the queue was full
+
+	// Dialed-connection TX ring. Emit stages encoded datagrams into reused
+	// slot buffers; flushTxLocked hands the whole ring to the batched writer
+	// (sendmmsg on Linux) at the end of the machine interaction, before the
+	// connection lock is released. All fields are guarded by mu.
+	txb       *uio.TxBatcher
+	txSlots   [][]byte  // per-datagram encode buffers, reused across flushes
+	txN       int       // staged datagrams
+	txMsgs    []uio.Msg // scratch batch handed to txb
+	txFlushes uint64
+
+	// Dialed-connection RX batcher (recvmmsg on Linux): readLoop drains a
+	// whole kernel batch and applies it under a single lock acquisition, so
+	// the responses it provokes (acks for every packet in the batch) leave as
+	// one batched transmit. Owned by readLoop; not guarded by mu.
+	rxb *uio.RxBatcher
 }
+
+// txRingSize bounds the staged datagrams per flush: one machine interaction
+// rarely emits more than a window burst, and an overful ring flushes early.
+const txRingSize = 32
+
+// rxBatch is the dialed-connection receive batch: large enough to absorb an
+// ack burst for a window of data in one syscall.
+const rxBatch = 16
 
 // env adapts the socket world to core.Env. All methods are invoked with
 // c.mu held.
@@ -72,15 +97,73 @@ func (e env) Emit(p *packet.Packet) {
 	if c.peer == nil {
 		return // passive side before the first SYN: nothing to address
 	}
-	b, err := packet.Encode(p)
-	if err != nil {
-		return // structurally impossible for machine-built packets
-	}
 	if c.sendTo != nil {
+		// Shared-socket acceptor path: the writer retains the buffer (the
+		// serve engine queues it for its transmit loop), so it must own a
+		// fresh allocation.
+		b, err := packet.Encode(p)
+		if err != nil {
+			return // structurally impossible for machine-built packets
+		}
 		c.sendTo(b, c.peer)
 		return
 	}
-	c.sock.Write(b)
+	if c.txb != nil {
+		c.stageTx(p)
+		return
+	}
+	b, err := packet.Encode(p)
+	if err != nil {
+		return
+	}
+	if _, err := c.sock.Write(b); err != nil {
+		c.m.NoteTxError(1, err)
+	}
+}
+
+// stageTx encodes p into the next TX ring slot, reusing the slot's buffer.
+// Called with mu held; a full ring flushes immediately.
+func (c *Conn) stageTx(p *packet.Packet) {
+	var buf []byte
+	if c.txN < len(c.txSlots) {
+		buf = c.txSlots[c.txN][:0]
+	}
+	b, err := packet.AppendEncode(buf, p)
+	if err != nil {
+		return // structurally impossible for machine-built packets
+	}
+	if c.txN < len(c.txSlots) {
+		c.txSlots[c.txN] = b
+	} else {
+		c.txSlots = append(c.txSlots, b)
+	}
+	c.txN++
+	if c.txN >= txRingSize {
+		c.flushTxLocked()
+	}
+}
+
+// flushTxLocked writes every staged datagram through the batched writer in
+// one call (writev/sendmmsg on Linux, a write loop elsewhere). Called with
+// mu held at the end of every machine interaction that can emit, so packets
+// never linger past their lock section. Transmit failures are reported to
+// the machine (Metrics.TxErrors plus a tx_error trace event) — Emit itself
+// has no error path, and without this a dead socket would be silent.
+func (c *Conn) flushTxLocked() {
+	if c.txN == 0 {
+		return
+	}
+	n := c.txN
+	c.txN = 0
+	c.txMsgs = c.txMsgs[:0]
+	for i := 0; i < n; i++ {
+		c.txMsgs = append(c.txMsgs, uio.Msg{B: c.txSlots[i]})
+	}
+	sent, err := c.txb.Send(c.txMsgs)
+	c.txFlushes++
+	if sent < n {
+		c.m.NoteTxError(uint64(n-sent), err)
+	}
 }
 
 func (e env) Deliver(msg core.Message) {
@@ -103,6 +186,7 @@ func (e env) After(d time.Duration, fn func()) core.Timer {
 		default:
 		}
 		fn()
+		c.flushTxLocked()
 		out := c.takeDeliveries()
 		c.mu.Unlock()
 		c.dispatch(out)
@@ -191,10 +275,26 @@ func Dial(raddr string, cfg core.Config, timeout time.Duration) (*Conn, error) {
 	}
 	c := newConn(cfg, sock, ua)
 	c.ownSocket = true
+	if tb, err := uio.NewTxBatcher(sock, txRingSize); err == nil {
+		c.txb = tb
+	}
+	// Receive buffers mirror the serve engine's sizing: one MSS-sized payload
+	// plus header/attribute headroom. Both ends of an IQ-RUDP connection are
+	// expected to run comparable MSS configurations.
+	rxLen := cfg.MSS + 1024
+	if rxLen < 4096 {
+		rxLen = 4096
+	}
+	if rb, err := uio.NewConnectedRxBatcher(sock, uio.NewBufPool(rxLen), rxBatch); err == nil {
+		c.rxb = rb
+	}
 	go c.readLoop()
 	c.mu.Lock()
 	c.m.StartClient()
+	c.flushTxLocked()
 	c.mu.Unlock()
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
 	select {
 	case <-c.established:
 		return c, nil
@@ -202,30 +302,80 @@ func Dial(raddr string, cfg core.Config, timeout time.Duration) (*Conn, error) {
 		// RST before establishment (server refused) or socket failure.
 		c.Close()
 		return nil, fmt.Errorf("%w: %s", ErrRefused, raddr)
-	case <-time.After(timeout):
+	case <-deadline.C:
 		c.Close()
 		return nil, fmt.Errorf("%w: handshake to %s", ErrTimeout, raddr)
 	}
 }
 
-// readLoop decodes incoming datagrams into the machine (dialed conns).
+// readLoop decodes incoming datagrams into the machine (dialed conns). Each
+// kernel batch (recvmmsg on Linux, one datagram elsewhere) is applied under a
+// single lock acquisition, and one packet is recycled across iterations: the
+// machine only borrows it for the duration of HandlePacket, so the loop runs
+// allocation-free in steady state.
 func (c *Conn) readLoop() {
+	if c.rxb == nil {
+		c.readLoopSimple()
+		return
+	}
+	var p packet.Packet
+	for {
+		msgs, err := c.rxb.Recv()
+		if err != nil {
+			c.Close()
+			return
+		}
+		c.handleBatch(msgs, &p)
+		c.rxb.Release(msgs)
+	}
+}
+
+// handleBatch feeds a batch of raw datagrams through the machine in one lock
+// section: acks provoked by every packet in the batch accumulate in the TX
+// ring and leave as a single batched transmit at the end.
+func (c *Conn) handleBatch(msgs []uio.Msg, p *packet.Packet) {
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		return
+	default:
+	}
+	id := c.m.ConnID()
+	for _, msg := range msgs {
+		if err := packet.DecodeInto(p, msg.B, p.Payload); err != nil {
+			continue // corrupt or foreign datagram
+		}
+		if id != 0 && p.ConnID != 0 && p.ConnID != id {
+			continue // a different connection's packet (e.g. a predecessor
+			// from the same port being FINed by the server)
+		}
+		c.m.HandlePacket(p)
+	}
+	c.flushTxLocked()
+	out := c.takeDeliveries()
+	c.mu.Unlock()
+	c.dispatch(out)
+}
+
+// readLoopSimple is the one-datagram-per-read fallback used when the batched
+// receiver could not be built over the socket.
+func (c *Conn) readLoopSimple() {
 	buf := make([]byte, 65536)
+	var p packet.Packet
 	for {
 		n, err := c.sock.Read(buf)
 		if err != nil {
 			c.Close()
 			return
 		}
-		p, err := packet.Decode(buf[:n])
-		if err != nil {
+		if err := packet.DecodeInto(&p, buf[:n], p.Payload); err != nil {
 			continue // corrupt or foreign datagram
 		}
 		if id := c.ID(); id != 0 && p.ConnID != 0 && p.ConnID != id {
-			continue // a different connection's packet (e.g. a predecessor
-			// from the same port being FINed by the server)
+			continue
 		}
-		c.handlePacket(p)
+		c.handlePacket(&p)
 	}
 }
 
@@ -264,6 +414,7 @@ func (c *Conn) handlePacket(p *packet.Packet) {
 	default:
 	}
 	c.m.HandlePacket(p)
+	c.flushTxLocked()
 	out := c.takeDeliveries()
 	c.mu.Unlock()
 	c.dispatch(out)
@@ -284,7 +435,9 @@ func (c *Conn) SendMsg(data []byte, marked bool, attrs *attr.List) error {
 		return ErrClosed
 	default:
 	}
-	return c.m.SendMsg(data, marked, attrs)
+	err := c.m.SendMsg(data, marked, attrs)
+	c.flushTxLocked()
+	return err
 }
 
 // Recv returns the next delivered message, blocking until one arrives, the
@@ -330,6 +483,7 @@ func (c *Conn) Report(rep *core.AdaptationReport) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m.Report(rep)
+	c.flushTxLocked()
 }
 
 // SetLossTolerance updates this endpoint's receiver loss tolerance.
@@ -366,6 +520,14 @@ func (c *Conn) Registry() *attr.Registry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.m.Registry()
+}
+
+// TxFlushes counts batched transmit flushes on a dialed connection (zero on
+// accepted connections, which transmit through their acceptor's writer).
+func (c *Conn) TxFlushes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.txFlushes
 }
 
 // DroppedDeliveries counts messages discarded because the application did
@@ -407,10 +569,13 @@ func (c *Conn) CloseWithin(linger time.Duration) error {
 	}
 	c.mu.Lock()
 	c.m.Close()
+	c.flushTxLocked()
 	c.mu.Unlock()
+	lingerT := time.NewTimer(linger)
+	defer lingerT.Stop()
 	select {
 	case <-c.closed:
-	case <-time.After(linger):
+	case <-lingerT.C:
 		c.closeOnce.Do(func() { close(c.closed) })
 	}
 	if c.ownSocket {

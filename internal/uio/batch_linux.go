@@ -1,6 +1,6 @@
 //go:build linux && (amd64 || arm64)
 
-package serve
+package uio
 
 import (
 	"net"
@@ -8,11 +8,12 @@ import (
 	"unsafe"
 )
 
-// Linux fast path: recvmmsg/sendmmsg move Batch datagrams per syscall. The
-// raw syscalls are wrapped in the netpoller via syscall.RawConn Read/Write
-// with MSG_DONTWAIT, so blocked shards park in the runtime scheduler rather
-// than in the kernel. Restricted to amd64/arm64 because the mmsghdr layout
-// below (4 bytes of tail padding after msg_len) is the 64-bit one.
+// Linux fast path: recvmmsg/sendmmsg move a batch of datagrams per syscall.
+// The raw syscalls are wrapped in the netpoller via syscall.RawConn
+// Read/Write with MSG_DONTWAIT, so blocked readers park in the runtime
+// scheduler rather than in the kernel. Restricted to amd64/arm64 because
+// the mmsghdr layout below (4 bytes of tail padding after msg_len) is the
+// 64-bit one.
 
 // mmsghdr mirrors struct mmsghdr: a msghdr plus the per-message byte count
 // filled in by the kernel.
@@ -22,43 +23,66 @@ type mmsghdr struct {
 	_   [4]byte
 }
 
-// rxBatcher reads datagram batches from one socket via recvmmsg.
-type rxBatcher struct {
-	rc   syscall.RawConn
-	pool *bufPool
+// RxBatcher reads datagram batches from one socket via recvmmsg.
+type RxBatcher struct {
+	rc     syscall.RawConn
+	pool   *BufPool
+	noAddr bool // connected socket: source is fixed, skip sockaddr work
 
-	hdrs  []mmsghdr
-	iovs  []syscall.Iovec
-	names [][syscall.SizeofSockaddrAny]byte
-	bufs  [][]byte
+	hdrs    []mmsghdr
+	iovs    []syscall.Iovec
+	names   [][syscall.SizeofSockaddrAny]byte
+	bufs    [][]byte
+	scratch []Msg
 }
 
-func newRxBatcher(sock *net.UDPConn, batch, bufSize int) (*rxBatcher, error) {
+// NewRxBatcher builds a batcher over sock drawing buffers from pool. The
+// pool may be shared across batchers.
+func NewRxBatcher(sock *net.UDPConn, pool *BufPool, batch int) (*RxBatcher, error) {
 	rc, err := sock.SyscallConn()
 	if err != nil {
 		return nil, err
 	}
-	return &rxBatcher{
-		rc:    rc,
-		pool:  newBufPool(bufSize),
-		hdrs:  make([]mmsghdr, batch),
-		iovs:  make([]syscall.Iovec, batch),
-		names: make([][syscall.SizeofSockaddrAny]byte, batch),
-		bufs:  make([][]byte, batch),
+	return &RxBatcher{
+		rc:      rc,
+		pool:    pool,
+		hdrs:    make([]mmsghdr, batch),
+		iovs:    make([]syscall.Iovec, batch),
+		names:   make([][syscall.SizeofSockaddrAny]byte, batch),
+		bufs:    make([][]byte, batch),
+		scratch: make([]Msg, 0, batch),
 	}, nil
 }
 
-// recv blocks until at least one datagram arrives and returns the batch.
-// The buffers belong to the batcher's pool; call release after parsing.
-func (rb *rxBatcher) recv() ([]rxMsg, error) {
+// NewConnectedRxBatcher is NewRxBatcher for a connect()ed socket: the kernel
+// already filters to one peer, so received messages carry a nil Addr and the
+// per-datagram sockaddr parse (which allocates a *net.UDPAddr) is skipped.
+func NewConnectedRxBatcher(sock *net.UDPConn, pool *BufPool, batch int) (*RxBatcher, error) {
+	rb, err := NewRxBatcher(sock, pool, batch)
+	if err != nil {
+		return nil, err
+	}
+	rb.noAddr = true
+	return rb, nil
+}
+
+// Recv blocks until at least one datagram arrives and returns the batch.
+// The buffers belong to the batcher's pool and the returned slice is reused
+// by the next Recv; parse, then call Release before receiving again.
+func (rb *RxBatcher) Recv() ([]Msg, error) {
 	for i := range rb.hdrs {
 		if rb.bufs[i] == nil {
-			rb.bufs[i] = rb.pool.get()
+			rb.bufs[i] = rb.pool.Get()
 		}
 		rb.iovs[i].Base = &rb.bufs[i][0]
 		rb.iovs[i].SetLen(len(rb.bufs[i]))
-		rb.hdrs[i].hdr.Name = &rb.names[i][0]
-		rb.hdrs[i].hdr.Namelen = uint32(len(rb.names[i]))
+		if rb.noAddr {
+			rb.hdrs[i].hdr.Name = nil
+			rb.hdrs[i].hdr.Namelen = 0
+		} else {
+			rb.hdrs[i].hdr.Name = &rb.names[i][0]
+			rb.hdrs[i].hdr.Namelen = uint32(len(rb.names[i]))
+		}
 		rb.hdrs[i].hdr.Iov = &rb.iovs[i]
 		rb.hdrs[i].hdr.Iovlen = 1
 		rb.hdrs[i].n = 0
@@ -89,26 +113,28 @@ func (rb *rxBatcher) recv() ([]rxMsg, error) {
 	if serr != nil {
 		return nil, serr
 	}
-	msgs := make([]rxMsg, 0, n)
+	msgs := rb.scratch[:0]
 	for i := 0; i < n; i++ {
-		msgs = append(msgs, rxMsg{
-			buf:  rb.bufs[i][:rb.hdrs[i].n],
-			addr: parseSockaddr(&rb.names[i]),
-		})
-		rb.bufs[i] = nil // ownership moves to the caller until release
+		var addr *net.UDPAddr
+		if !rb.noAddr {
+			addr = parseSockaddr(&rb.names[i])
+		}
+		msgs = append(msgs, Msg{B: rb.bufs[i][:rb.hdrs[i].n], Addr: addr})
+		rb.bufs[i] = nil // ownership moves to the caller until Release
 	}
+	rb.scratch = msgs
 	return msgs, nil
 }
 
-// release returns the batch's buffers to the pool.
-func (rb *rxBatcher) release(msgs []rxMsg) {
+// Release returns the batch's buffers to the pool.
+func (rb *RxBatcher) Release(msgs []Msg) {
 	for _, m := range msgs {
-		rb.pool.put(m.buf)
+		rb.pool.Put(m.B)
 	}
 }
 
-// txBatcher writes datagram batches to one socket via sendmmsg.
-type txBatcher struct {
+// TxBatcher writes datagram batches to one socket via sendmmsg.
+type TxBatcher struct {
 	rc    syscall.RawConn
 	v6    bool // AF_INET6 socket: IPv4 peers need v4-mapped v6 sockaddrs
 	hdrs  []mmsghdr
@@ -116,13 +142,15 @@ type txBatcher struct {
 	names [][syscall.SizeofSockaddrAny]byte
 }
 
-func newTxBatcher(sock *net.UDPConn, batch int) (*txBatcher, error) {
+// NewTxBatcher builds a batcher over sock sending up to batch datagrams per
+// syscall.
+func NewTxBatcher(sock *net.UDPConn, batch int) (*TxBatcher, error) {
 	rc, err := sock.SyscallConn()
 	if err != nil {
 		return nil, err
 	}
 	la, _ := sock.LocalAddr().(*net.UDPAddr)
-	return &txBatcher{
+	return &TxBatcher{
 		rc:    rc,
 		v6:    la != nil && la.IP.To4() == nil,
 		hdrs:  make([]mmsghdr, batch),
@@ -131,17 +159,23 @@ func newTxBatcher(sock *net.UDPConn, batch int) (*txBatcher, error) {
 	}, nil
 }
 
-// send transmits the batch, returning how many datagrams went out.
-func (tb *txBatcher) send(batch []txMsg) (int, error) {
+// Send transmits the batch, returning how many datagrams went out. Messages
+// with a nil Addr go to the socket's connected peer (dialed sockets).
+func (tb *TxBatcher) Send(batch []Msg) (int, error) {
 	n := len(batch)
 	if n > len(tb.hdrs) {
 		n = len(tb.hdrs)
 	}
 	for i := 0; i < n; i++ {
-		tb.iovs[i].Base = &batch[i].b[0]
-		tb.iovs[i].SetLen(len(batch[i].b))
-		tb.hdrs[i].hdr.Name = &tb.names[i][0]
-		tb.hdrs[i].hdr.Namelen = encodeSockaddr(batch[i].peer, tb.v6, &tb.names[i])
+		tb.iovs[i].Base = &batch[i].B[0]
+		tb.iovs[i].SetLen(len(batch[i].B))
+		if batch[i].Addr != nil {
+			tb.hdrs[i].hdr.Name = &tb.names[i][0]
+			tb.hdrs[i].hdr.Namelen = encodeSockaddr(batch[i].Addr, tb.v6, &tb.names[i])
+		} else {
+			tb.hdrs[i].hdr.Name = nil
+			tb.hdrs[i].hdr.Namelen = 0
+		}
 		tb.hdrs[i].hdr.Iov = &tb.iovs[i]
 		tb.hdrs[i].hdr.Iovlen = 1
 	}

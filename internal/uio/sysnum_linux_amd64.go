@@ -1,6 +1,6 @@
 //go:build linux && amd64
 
-package serve
+package uio
 
 // sendmmsg postdates the frozen syscall package's amd64 table; the number
 // is ABI-stable.

@@ -1,6 +1,6 @@
 //go:build linux && arm64
 
-package serve
+package uio
 
 const (
 	sysRecvmmsg uintptr = 243

@@ -1,0 +1,66 @@
+// Package uio provides batched UDP datagram I/O shared by the socket
+// drivers: pooled receive buffers and recvmmsg/sendmmsg batchers on Linux
+// (amd64/arm64) with a portable one-datagram-per-syscall fallback. The
+// serve engine's shards and udpwire's dialed-connection TX ring both build
+// on it.
+package uio
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Msg is one datagram: a buffer and the peer address. A nil Addr means the
+// socket's connected peer (valid for TX on dialed sockets only; RX always
+// fills Addr).
+type Msg struct {
+	B    []byte
+	Addr *net.UDPAddr
+}
+
+// BufPool recycles fixed-size receive buffers across batches and counts
+// freelist traffic. A buffer's lifetime ends when its datagram has been
+// parsed (packet.DecodeInto copies the payload out).
+type BufPool struct {
+	pool   sync.Pool
+	size   int
+	gets   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewBufPool builds a pool of size-byte buffers.
+func NewBufPool(size int) *BufPool {
+	bp := &BufPool{size: size}
+	bp.pool.New = func() any {
+		bp.misses.Add(1)
+		b := make([]byte, size)
+		return &b
+	}
+	return bp
+}
+
+// Get returns a full-size buffer.
+func (bp *BufPool) Get() []byte {
+	bp.gets.Add(1)
+	return *(bp.pool.Get().(*[]byte))
+}
+
+// Put returns a buffer to the pool. Short slices of a pooled buffer are
+// restored to full size; foreign undersized buffers are dropped.
+func (bp *BufPool) Put(b []byte) {
+	if cap(b) >= bp.size {
+		b = b[:bp.size]
+		bp.pool.Put(&b)
+	}
+}
+
+// Stats reports pool traffic since creation: gets served from a recycled
+// buffer (hits) and gets that allocated (misses).
+func (bp *BufPool) Stats() (hits, misses uint64) {
+	g, m := bp.gets.Load(), bp.misses.Load()
+	if g < m {
+		g = m // the two loads race; never report negative hits
+	}
+	return g - m, m
+}

@@ -158,6 +158,7 @@ const (
 	TraceMeasurementPeriod      = trace.MeasurementPeriod
 	TraceThresholdCallbackFired = trace.ThresholdCallbackFired
 	TraceCoordinationDecision   = trace.CoordinationDecision
+	TraceTxError                = trace.TxError
 )
 
 // Trace sink constructors and helpers.
