@@ -5,15 +5,18 @@
 
 GO ?= go
 
-.PHONY: check build test vet race race-smoke bench bench-alloc bench-server benchstat tables
+.PHONY: check build test vet lint race race-smoke fuzz-smoke bench bench-alloc bench-server benchstat tables
 
-check: vet build race ## vet + build + full race-enabled test run
+check: vet lint build race ## vet + iqlint + build + full race-enabled test run
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+lint: ## project-specific invariants: ownership, locking, leaks (see DESIGN.md §12)
+	$(GO) run ./cmd/iqlint ./...
 
 test:
 	$(GO) test ./...
@@ -26,6 +29,12 @@ race-smoke: ## quick -race pass: loopback wire tests incl. the traced-sinks smok
 	$(GO) test -race ./internal/packet/
 	$(GO) test -race ./internal/serve/
 	$(GO) test -race -run 'TestSteadyStateAllocs' .
+
+fuzz-smoke: ## bounded fuzz pass over the decoders and the reassembler
+	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime 20s -run '^$$' ./internal/packet/
+	$(GO) test -fuzz '^FuzzDecodeInto$$' -fuzztime 20s -run '^$$' ./internal/packet/
+	$(GO) test -fuzz '^FuzzAttrDecode$$' -fuzztime 20s -run '^$$' ./internal/attr/
+	$(GO) test -fuzz '^FuzzReassembly$$' -fuzztime 20s -run '^$$' ./internal/core/
 
 bench: ## nil-tracer send-path benchmarks (compare against a saved baseline)
 	$(GO) test -bench . -benchtime 3x -run '^$$' .

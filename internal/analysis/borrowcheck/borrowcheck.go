@@ -1,0 +1,260 @@
+// Package borrowcheck enforces the Env.Emit / Machine.HandlePacket borrow
+// contract (DESIGN §11): a *packet.Packet handed across that boundary —
+// including its Payload and Eacks backing arrays — is borrowed for the
+// duration of the call only. The machine stages emissions in a reused
+// scratch packet and drivers recycle one decode packet across a whole
+// batch, so any retained alias is a guaranteed corruption: the memory is
+// rewritten by the very next packet.
+//
+// Functions under the contract are Emit/HandlePacket/HandleIncoming
+// methods taking a *packet.Packet, plus any function whose doc comment
+// carries //iqlint:borrow (used to extend the contract down helper chains
+// like udpwire's stageTx or serve's route). Within such a function, for a
+// borrowed packet b, its aliases, and its views b.Payload / b.Eacks (and
+// slices thereof — b.Attrs is exempt: decode builds a fresh list per
+// packet and the pool deliberately drops it):
+//
+//   - storing a view into a field, map/slice element, dereference,
+//     package variable, channel or composite literal is a retention —
+//     clone first (packet.Encode, append onto an owned buffer, or
+//     core's clonePacket);
+//   - returning a view extends the borrow past the call — forbidden;
+//   - capturing a view in a `go` closure lets it outlive the call;
+//   - append(s, b) aliases the pointer; append(dst, b.Payload...) copies
+//     bytes and is fine.
+//
+// Passing a view as an ordinary call argument is allowed: the borrow
+// propagates synchronously and the callee is checked under its own
+// contract (annotate it with //iqlint:borrow if it is package-internal).
+// Reading scalar fields (b.Seq, b.ConnID, ...) is always fine.
+package borrowcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/cercs/iqrudp/internal/analysis"
+)
+
+// Analyzer is the borrowcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "borrowcheck",
+	Doc:  "no retention/aliasing of borrowed *packet.Packet or its Payload/Eacks past Emit/HandlePacket",
+	Run:  run,
+}
+
+// contractNames are method/function names whose *packet.Packet parameters
+// are borrowed by the core ownership contract without annotation.
+var contractNames = map[string]bool{
+	"Emit":           true,
+	"HandlePacket":   true,
+	"HandleIncoming": true,
+}
+
+func isPacketPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return analysis.IsNamedType(ptr.Elem(), "internal/packet", "Packet")
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !contractNames[fd.Name.Name] && !analysis.HasDirective(fd, analysis.BorrowDirective) {
+				continue
+			}
+			borrowed := collectBorrowedParams(pass, fd)
+			if len(borrowed) == 0 {
+				continue
+			}
+			checkFunc(pass, fd.Body, borrowed)
+		}
+	}
+	return nil
+}
+
+func collectBorrowedParams(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	borrowed := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return borrowed
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj != nil && isPacketPtr(obj.Type()) {
+				borrowed[obj] = true
+			}
+		}
+	}
+	return borrowed
+}
+
+// view classifies expressions that alias borrowed packet memory: the
+// packet pointer itself, its Payload/Eacks selectors, and slice
+// expressions over those. Attrs is exempt by the pool contract.
+func view(pass *analysis.Pass, borrowed map[types.Object]bool, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[x]
+		if obj == nil {
+			obj = pass.Info.Defs[x]
+		}
+		return obj != nil && borrowed[obj]
+	case *ast.SelectorExpr:
+		if x.Sel.Name != "Payload" && x.Sel.Name != "Eacks" {
+			return false
+		}
+		return view(pass, borrowed, x.X)
+	case *ast.SliceExpr:
+		return view(pass, borrowed, x.X)
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			return view(pass, borrowed, x.X)
+		}
+	}
+	return false
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt, borrowed map[types.Object]bool) {
+	// Alias propagation: q := p (or q := p.Payload) makes q borrowed too.
+	// One forward pass suffices for the straight-line aliasing the tree
+	// uses; re-running to fixpoint handles chained aliases.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) || !view(pass, borrowed, rhs) {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					obj = pass.Info.Uses[id]
+				}
+				// Only local variables become aliases; stores elsewhere are
+				// retentions handled below.
+				if v, isVar := obj.(*types.Var); isVar && v.Parent() != pass.Pkg.Scope() && !borrowed[obj] {
+					borrowed[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) || !view(pass, borrowed, rhs) {
+					continue
+				}
+				if retainingLHS(pass, s.Lhs[i]) {
+					pass.Reportf(s.Pos(), "borrowed packet memory stored in %s outlives Emit/HandlePacket; clone it first (packet.Encode, append to an owned buffer, or clonePacket)", types.ExprString(s.Lhs[i]))
+				}
+			}
+		case *ast.SendStmt:
+			if view(pass, borrowed, s.Value) {
+				pass.Reportf(s.Pos(), "borrowed packet memory sent on a channel escapes the Emit/HandlePacket borrow; clone it first")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if view(pass, borrowed, r) {
+					pass.Reportf(r.Pos(), "returning borrowed packet memory extends the borrow past the call; clone it first")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range s.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if view(pass, borrowed, v) {
+					pass.Reportf(v.Pos(), "borrowed packet memory aliased into a composite literal; clone it first (composites routinely outlive the call)")
+				}
+			}
+		case *ast.GoStmt:
+			reportClosureCaptures(pass, s, borrowed)
+		case *ast.CallExpr:
+			checkAppend(pass, s, borrowed)
+		}
+		return true
+	})
+}
+
+// retainingLHS reports whether assigning to lhs retains the value beyond
+// the function: fields, map/slice elements, dereferences and globals.
+func retainingLHS(pass *analysis.Pass, lhs ast.Expr) bool {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[l]
+		if obj == nil {
+			obj = pass.Info.Defs[l]
+		}
+		v, ok := obj.(*types.Var)
+		return ok && v.Parent() == pass.Pkg.Scope()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// checkAppend flags append(s, view) without ... — that aliases the
+// pointer/slice header into s — while allowing append(dst, view...),
+// which copies the bytes.
+func checkAppend(pass *analysis.Pass, call *ast.CallExpr, borrowed map[types.Object]bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return
+	}
+	if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	if call.Ellipsis.IsValid() {
+		return // append(dst, view...) copies element values
+	}
+	for _, arg := range call.Args[1:] {
+		if view(pass, borrowed, arg) {
+			pass.Reportf(arg.Pos(), "append aliases borrowed packet memory into a longer-lived slice; use append(dst, view...) to copy bytes or clone the packet")
+		}
+	}
+}
+
+// reportClosureCaptures flags borrowed views referenced inside a
+// go-statement's closure, which outlives the borrowing call by
+// construction.
+func reportClosureCaptures(pass *analysis.Pass, g *ast.GoStmt, borrowed map[types.Object]bool) {
+	// Arguments evaluated at go-time: an argument that is itself a view is
+	// handed to a function that starts after the borrow may end.
+	for _, arg := range g.Call.Args {
+		if view(pass, borrowed, arg) {
+			pass.Reportf(arg.Pos(), "borrowed packet memory passed to a goroutine outlives the Emit/HandlePacket borrow; clone it first")
+		}
+	}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj != nil && borrowed[obj] {
+				pass.Reportf(id.Pos(), "borrowed packet %s captured by a goroutine closure outlives the Emit/HandlePacket borrow; clone it first", id.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// Package errdrop requires socket-surface error returns to be consumed.
+//
+// Env.Emit has no error path and the actual write may happen after the
+// machine interaction (batched TX), so a swallowed socket error makes a
+// dead socket silent: no Metrics.TxErrors, no tx_error trace event,
+// nothing for iqstat to see. PR 3 routed the dialed-connection write path
+// through Machine.NoteTxError; this pass keeps every other socket write,
+// deadline and buffer-sizing call honest. Dropping the error — either by
+// using the call as a statement or by assigning the error result to
+// `_` — is reported; genuinely best-effort calls get an
+// //iqlint:ignore errdrop suppression stating why.
+package errdrop
+
+import (
+	"go/ast"
+
+	"github.com/cercs/iqrudp/internal/analysis"
+)
+
+// Analyzer is the errdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "socket write/deadline/buffer error returns must be consumed or counted into Metrics",
+	Run:  run,
+}
+
+// watched maps receiver types to the methods whose error result must be
+// consumed. The net entries cover both *net.UDPConn and uses through the
+// net.Conn / net.PacketConn interfaces.
+var watched = []struct {
+	pkg, typ string
+	methods  map[string]bool
+}{
+	{"net", "UDPConn", map[string]bool{
+		"Write": true, "WriteTo": true, "WriteToUDP": true, "WriteMsgUDP": true,
+		"SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+		"SetReadBuffer": true, "SetWriteBuffer": true,
+	}},
+	{"net", "Conn", map[string]bool{
+		"Write": true, "SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+	}},
+	{"net", "PacketConn", map[string]bool{
+		"WriteTo": true, "SetDeadline": true, "SetReadDeadline": true, "SetWriteDeadline": true,
+	}},
+	{"internal/uio", "TxBatcher", map[string]bool{"Send": true}},
+}
+
+// watchedCall reports whether the call's error return is load-bearing.
+// Receivers are matched through ReceiverTypes so promoted methods count:
+// (*net.UDPConn).SetReadBuffer is declared on the embedded *net.conn.
+func watchedCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := pass.Callee(call)
+	if f == nil {
+		return false
+	}
+	recvs := pass.ReceiverTypes(call)
+	if len(recvs) == 0 {
+		return false
+	}
+	for _, w := range watched {
+		if !w.methods[f.Name()] {
+			continue
+		}
+		for _, t := range recvs {
+			if analysis.IsNamedType(t, w.pkg, w.typ) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	report := func(call *ast.CallExpr, how string) {
+		f := pass.Callee(call)
+		pass.Reportf(call.Pos(), "error from %s is %s; consume it or count it into Metrics (Machine.NoteTxError) — a dead socket must not be silent", f.Name(), how)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok && watchedCall(pass, call) {
+					report(call, "dropped")
+				}
+			case *ast.GoStmt:
+				if watchedCall(pass, stmt.Call) {
+					report(stmt.Call, "dropped (go statement)")
+				}
+			case *ast.DeferStmt:
+				if watchedCall(pass, stmt.Call) {
+					report(stmt.Call, "dropped (deferred)")
+				}
+			case *ast.AssignStmt:
+				// Single-call assignments where the trailing (error) result
+				// lands in the blank identifier.
+				if len(stmt.Rhs) != 1 {
+					return true
+				}
+				call, ok := stmt.Rhs[0].(*ast.CallExpr)
+				if !ok || !watchedCall(pass, call) || len(stmt.Lhs) == 0 {
+					return true
+				}
+				if id, ok := stmt.Lhs[len(stmt.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+					report(call, "assigned to _")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+// Package lockemit rejects blocking transport I/O while a mutex is held.
+//
+// The sanctioned lock-section pattern (udpwire, serve) is: interact with
+// the machine under the connection lock, stage outbound datagrams in the
+// TX ring, then flush and dispatch after — or at the very end of — the
+// lock section, so a slow socket never extends a critical section and a
+// callback can never deadlock back into it. What must not happen is a
+// direct blocking call — a socket write/read, a batched Send/Recv, a
+// synchronous Env.Emit, Conn.Recv, time.Sleep — lexically between Lock and
+// Unlock of any sync.Mutex/RWMutex.
+//
+// The pass approximates control flow by source order within a function:
+// a mutex counts as held from X.Lock()/X.RLock() until a *non-deferred*
+// X.Unlock()/X.RUnlock() on the same receiver expression; `defer
+// X.Unlock()` keeps it held to the end of the function, exactly like the
+// runtime does.
+package lockemit
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/cercs/iqrudp/internal/analysis"
+)
+
+// Analyzer is the lockemit pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockemit",
+	Doc:  "no blocking socket I/O or Env.Emit while a mutex is held; stage and flush at lock-section end",
+	Run:  run,
+}
+
+// blocking lists method calls that can block on the network or a peer's
+// lock. Receiver type -> methods.
+var blocking = []struct {
+	pkg, typ string
+	methods  map[string]bool
+}{
+	{"net", "UDPConn", map[string]bool{
+		"Write": true, "WriteTo": true, "WriteToUDP": true, "WriteMsgUDP": true,
+		"Read": true, "ReadFrom": true, "ReadFromUDP": true, "ReadMsgUDP": true,
+	}},
+	{"internal/uio", "TxBatcher", map[string]bool{"Send": true}},
+	{"internal/uio", "RxBatcher", map[string]bool{"Recv": true}},
+	{"internal/core", "Env", map[string]bool{"Emit": true}},
+	{"internal/udpwire", "Conn", map[string]bool{
+		"Recv": true, "Send": true, "SendMsg": true, "Close": true, "CloseWithin": true,
+	}},
+}
+
+func isBlocking(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	if pass.IsPkgFunc(call, "time", "Sleep") {
+		return "time.Sleep", true
+	}
+	f := pass.Callee(call)
+	if f == nil {
+		return "", false
+	}
+	recvs := pass.ReceiverTypes(call)
+	if len(recvs) == 0 {
+		return "", false
+	}
+	for _, b := range blocking {
+		if !b.methods[f.Name()] {
+			continue
+		}
+		// Match either the selection receiver or the declared receiver so
+		// methods promoted from embedded fields are caught.
+		for _, t := range recvs {
+			if analysis.IsNamedType(t, b.pkg, b.typ) {
+				return b.typ + "." + f.Name(), true
+			}
+		}
+	}
+	return "", false
+}
+
+// mutexOp classifies a call as Lock/RLock (acquire) or Unlock/RUnlock
+// (release) on a sync.Mutex or sync.RWMutex, returning a stable key for
+// the receiver expression.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) (key string, acquire, ok bool) {
+	f := pass.Callee(call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false, false
+	}
+	name, _ := func() (string, string) {
+		t := recv.Type()
+		if p, okp := t.(*types.Pointer); okp {
+			t = p.Elem()
+		}
+		if n, okn := t.(*types.Named); okn {
+			return n.Obj().Name(), ""
+		}
+		return "", ""
+	}()
+	if name != "Mutex" && name != "RWMutex" {
+		return "", false, false
+	}
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", false, false
+	}
+	key = types.ExprString(sel.X)
+	switch f.Name() {
+	case "Lock", "RLock":
+		return key, true, true
+	case "Unlock", "RUnlock":
+		return key, false, true
+	}
+	return "", false, false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := map[string]bool{}
+	var deferred bool
+	var walk func(n ast.Node)
+	walk = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.DeferStmt:
+				wasDeferred := deferred
+				deferred = true
+				walk(s.Call)
+				deferred = wasDeferred
+				return false
+			case *ast.FuncLit:
+				// A closure runs in its own context (often another
+				// goroutine); analyze it with an empty held-set.
+				saved := held
+				held = map[string]bool{}
+				walk(s.Body)
+				held = saved
+				return false
+			case *ast.CallExpr:
+				if key, acquire, ok := mutexOp(pass, s); ok {
+					if acquire {
+						held[key] = true
+					} else if !deferred {
+						delete(held, key)
+					}
+					return true
+				}
+				if name, ok := isBlocking(pass, s); ok && len(held) > 0 {
+					for key := range held {
+						pass.Reportf(s.Pos(), "%s may block while %s is held; stage the work and perform it after the lock section (TX-ring pattern)", name, key)
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+}

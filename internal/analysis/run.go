@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Directive names. Suppressions are spelled
+//
+//	//iqlint:ignore analyzer1,analyzer2 -- why
+//
+// on the offending line (or the line above it); the annotation
+//
+//	//iqlint:borrow
+//
+// in a function's doc comment opts that function's *packet.Packet
+// parameters into the borrowcheck contract (see that analyzer).
+const (
+	ignoreDirective = "iqlint:ignore"
+	// BorrowDirective marks a function whose packet parameters are borrowed.
+	BorrowDirective = "iqlint:borrow"
+)
+
+// HasDirective reports whether the function's doc comment carries the
+// given //iqlint: directive.
+func HasDirective(fd *ast.FuncDecl, directive string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions maps filename -> line -> analyzer names ignored there.
+func suppressions(pkgs []*Package) map[string]map[int][]string {
+	sup := make(map[string]map[int][]string)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, ignoreDirective) {
+						continue
+					}
+					rest := strings.TrimPrefix(text, ignoreDirective)
+					if reason := strings.Index(rest, "--"); reason >= 0 {
+						rest = rest[:reason]
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					lines := sup[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]string)
+						sup[pos.Filename] = lines
+					}
+					for _, name := range strings.Split(rest, ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							lines[pos.Line] = append(lines[pos.Line], name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics, sorted by position, with //iqlint:ignore suppressions
+// applied (a suppression on the diagnostic's line or the line above it).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Pkg == nil {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+			}
+			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sup := suppressions(pkgs)
+	kept := diags[:0]
+	fsetOf := func(d Diagnostic) *token.FileSet {
+		// All packages loaded together share one FileSet.
+		return pkgs[0].Fset
+	}
+	for _, d := range diags {
+		pos := fsetOf(d).Position(d.Pos)
+		if ignored(sup, pos.Filename, pos.Line, d.Analyzer) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fsetOf(diags[i]).Position(diags[i].Pos), fsetOf(diags[j]).Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+func ignored(sup map[string]map[int][]string, file string, line int, analyzer string) bool {
+	lines, ok := sup[file]
+	if !ok {
+		return false
+	}
+	for _, l := range []int{line, line - 1} {
+		for _, name := range lines[l] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Print writes diagnostics in the conventional file:line:col format.
+func Print(w io.Writer, fset *token.FileSet, diags []Diagnostic) {
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(w, "%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+	}
+}

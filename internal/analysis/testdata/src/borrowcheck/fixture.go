@@ -1,0 +1,80 @@
+// Package fixture exercises the borrowcheck analyzer.
+package fixture
+
+import (
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/packet"
+)
+
+var lastPayload []byte
+
+type holder struct {
+	held  []byte
+	pkt   *packet.Packet
+	attrs *attr.List
+}
+
+type env struct {
+	h   holder
+	log [][]byte
+	ch  chan []byte
+}
+
+func (e *env) Emit(p *packet.Packet) {
+	e.h.held = p.Payload             // want `borrowed packet memory stored in e.h.held`
+	lastPayload = e.Eacks2Bytes(p)   // no view: helper result, not packet memory
+	e.log = append(e.log, p.Payload) // want `append aliases borrowed packet memory`
+	e.ch <- p.Payload[2:]            // want `sent on a channel`
+	go func() {
+		_ = p.Seq // want `captured by a goroutine closure`
+	}()
+}
+
+// Eacks2Bytes stands in for a transform that copies; its result is owned.
+func (e *env) Eacks2Bytes(p *packet.Packet) []byte {
+	out := make([]byte, 0, len(p.Eacks)*4)
+	return out
+}
+
+func (e *env) HandlePacket(p *packet.Packet) {
+	view := p.Payload[2:]
+	e.h.held = view // want `borrowed packet memory stored in e.h.held`
+}
+
+//iqlint:borrow
+func stash(p *packet.Packet) []byte {
+	return p.Payload // want `returning borrowed packet memory`
+}
+
+//iqlint:borrow
+func wrap(p *packet.Packet) {
+	h := holder{pkt: p} // want `aliased into a composite literal`
+	_ = h
+}
+
+//iqlint:borrow
+func handoff(p *packet.Packet) {
+	go consume(p.Payload) // want `passed to a goroutine`
+}
+
+func consume(b []byte) {}
+
+// Allowed shapes: byte copies, scalar reads, Attrs (exempt by the pool
+// contract), and synchronous calls that propagate the borrow.
+func (e *env) HandleIncoming(p *packet.Packet) {
+	dst := make([]byte, 0, len(p.Payload))
+	dst = append(dst, p.Payload...)
+	_ = dst
+	_ = p.Seq
+	e.h.attrs = p.Attrs
+	process(p)
+}
+
+//iqlint:borrow
+func process(p *packet.Packet) { _ = p.MsgID }
+
+// unannotated helpers are outside the contract: retaining here is the
+// caller's responsibility (it must pass an owned packet).
+func retainOwned(p *packet.Packet, h *holder) {
+	h.pkt = p
+}

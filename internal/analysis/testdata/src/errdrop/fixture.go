@@ -1,0 +1,42 @@
+// Package fixture exercises the errdrop analyzer.
+package fixture
+
+import (
+	"net"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/uio"
+)
+
+func dropped(sock *net.UDPConn, b []byte, peer *net.UDPAddr) {
+	sock.Write(b)                          // want `error from Write is dropped`
+	sock.WriteToUDP(b, peer)               // want `error from WriteToUDP is dropped`
+	sock.SetReadDeadline(time.Time{})      // want `error from SetReadDeadline is dropped`
+	sock.SetReadBuffer(1 << 20)            // want `error from SetReadBuffer is dropped`
+	go sock.Write(b)                       // want `error from Write is dropped \(go statement\)`
+	defer sock.SetDeadline(time.Time{})    // want `error from SetDeadline is dropped \(deferred\)`
+	_, _ = sock.Write(b)                   // want `error from Write is assigned to _`
+	_ = sock.SetWriteDeadline(time.Time{}) // want `error from SetWriteDeadline is assigned to _`
+}
+
+func viaInterface(c net.Conn, pc net.PacketConn, b []byte, peer *net.UDPAddr) {
+	c.Write(b)          // want `error from Write is dropped`
+	pc.WriteTo(b, peer) // want `error from WriteTo is dropped`
+}
+
+func batcher(tb *uio.TxBatcher, msgs []uio.Msg) {
+	tb.Send(msgs) // want `error from Send is dropped`
+}
+
+func consumed(sock *net.UDPConn, b []byte) error {
+	if _, err := sock.Write(b); err != nil {
+		return err
+	}
+	return sock.SetReadDeadline(time.Time{})
+}
+
+func suppressed(sock *net.UDPConn) {
+	// Kernel clamps silently; an outright failure changes nothing we do.
+	//iqlint:ignore errdrop -- best-effort buffer sizing
+	sock.SetReadBuffer(1 << 20)
+}

@@ -1,0 +1,70 @@
+// Package fixture exercises the lockemit analyzer.
+package fixture
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/packet"
+	"github.com/cercs/iqrudp/internal/uio"
+)
+
+type conn struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	sock *net.UDPConn
+	env  core.Env
+	tb   *uio.TxBatcher
+}
+
+func (c *conn) writeUnderLock(b []byte) {
+	c.mu.Lock()
+	c.sock.Write(b) // want `UDPConn.Write may block while c.mu is held`
+	c.mu.Unlock()
+}
+
+func (c *conn) deferredUnlockKeepsHeld(b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sock.Write(b) // want `UDPConn.Write may block while c.mu is held`
+}
+
+func (c *conn) emitUnderLock(p *packet.Packet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.env.Emit(p) // want `Env.Emit may block while c.mu is held`
+}
+
+func (c *conn) sendUnderRLock(msgs []uio.Msg) {
+	c.rw.RLock()
+	c.tb.Send(msgs) // want `TxBatcher.Send may block while c.rw is held`
+	c.rw.RUnlock()
+}
+
+func (c *conn) sleepUnderLock() {
+	c.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time.Sleep may block while c.mu is held`
+	c.mu.Unlock()
+}
+
+// stageThenFlush is the sanctioned TX-ring pattern: interact under the
+// lock, write after it.
+func (c *conn) stageThenFlush(b []byte) {
+	c.mu.Lock()
+	staged := append([]byte(nil), b...)
+	c.mu.Unlock()
+	c.sock.Write(staged)
+}
+
+// closures run in their own context (typically another goroutine), so the
+// enclosing held-set does not apply inside them.
+func (c *conn) closureIsFresh(b []byte) func() {
+	c.mu.Lock()
+	fn := func() {
+		c.sock.Write(b)
+	}
+	c.mu.Unlock()
+	return fn
+}

@@ -1,0 +1,60 @@
+// Package fixture exercises the poolcheck analyzer.
+package fixture
+
+import (
+	"github.com/cercs/iqrudp/internal/packet"
+	"github.com/cercs/iqrudp/internal/uio"
+)
+
+var global *packet.Packet
+
+func leaked() {
+	p := packet.Get() // want `packet.Get result is never released`
+	_ = p.Seq
+}
+
+func leakedBuf(pool *uio.BufPool) {
+	b := pool.Get() // want `uio.BufPool.Get result is never released`
+	_ = len(b)
+}
+
+func deferred() {
+	p := packet.Get()
+	defer packet.Put(p)
+	_ = p.Seq
+}
+
+func releasedBuf(pool *uio.BufPool) {
+	b := pool.Get()
+	copy(b, "x")
+	pool.Put(b)
+}
+
+func returned() *packet.Packet {
+	p := packet.Get() // ownership transfers to the caller
+	return p
+}
+
+func storedGlobal() {
+	p := packet.Get() // ownership parked in a package variable
+	global = p
+}
+
+func sent(ch chan *packet.Packet) {
+	p := packet.Get() // ownership rides the channel
+	ch <- p
+}
+
+func useAfterPut() {
+	p := packet.Get()
+	packet.Put(p)
+	_ = p.Seq // want `use of p after Put returned it to the pool`
+}
+
+func rebindingResets() {
+	p := packet.Get()
+	packet.Put(p)
+	p = packet.Get()
+	defer packet.Put(p)
+	_ = p.Seq // fine: p was rebound to a fresh packet
+}

@@ -1,0 +1,55 @@
+// Package fixture exercises the timeafterloop analyzer.
+package fixture
+
+import "time"
+
+func eventLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Second): // want `time.After in a loop leaks a timer`
+		case <-stop:
+			return
+		}
+	}
+}
+
+func rangeLoop(work []int, stop chan struct{}) {
+	for range work {
+		select {
+		case <-time.After(time.Millisecond): // want `time.After in a loop leaks a timer`
+		case <-stop:
+		}
+	}
+}
+
+func tickLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-time.Tick(time.Second): // want `time.Tick leaks its ticker`
+		case <-stop:
+			return
+		}
+	}
+}
+
+// hoisted is the sanctioned shape: one timer out of the loop.
+func hoisted(stop chan struct{}) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			t.Reset(time.Second)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// outside a loop, time.After is fine.
+func oneShot(stop chan struct{}) {
+	select {
+	case <-time.After(time.Second):
+	case <-stop:
+	}
+}

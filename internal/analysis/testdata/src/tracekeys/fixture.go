@@ -1,0 +1,43 @@
+// Package fixture exercises the tracekeys analyzer.
+package fixture
+
+import (
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/trace"
+)
+
+type emitter struct{ tr trace.Tracer }
+
+func (e *emitter) note(reason string) {
+	e.tr.Trace(trace.Event{Reason: reason})
+}
+
+func (e *emitter) events() {
+	e.tr.Trace(trace.Event{Reason: "ack"})            // want `raw string "ack" for trace.Event.Reason`
+	e.tr.Trace(trace.Event{Reason: "warp"})           // want `unregistered trace trace.Event.Reason "warp"`
+	e.tr.Trace(trace.Event{Kind: "nil"})              // want `raw string "nil" for trace.Event.Kind`
+	e.tr.Trace(trace.Event{Reason: trace.ReasonLoss}) // the registered constant: fine
+}
+
+func (e *emitter) params() {
+	e.note("timeout") // want `raw string "timeout" for parameter reason`
+	e.note("warp")    // want `unregistered trace parameter reason "warp"`
+	e.note(trace.ReasonRTO)
+}
+
+func staged(dup bool) string {
+	reason := ""
+	if dup {
+		reason = "dup" // want `raw string "dup" for variable reason`
+	} else {
+		reason = trace.ReasonOOO
+	}
+	return reason
+}
+
+func attrs(l *attr.List) {
+	l.Set("ADAPT_FREQ", attr.Float(1)) // want `raw quality-attribute key "ADAPT_FREQ"`
+	l.Set("NET_BOGUS", attr.Float(0))  // want `raw quality-attribute key "NET_BOGUS"`
+	l.Set(attr.AdaptFreq, attr.Float(1))
+	l.Set("my_custom_key", attr.Float(2)) // the vocabulary is open: fine
+}

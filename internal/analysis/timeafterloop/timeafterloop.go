@@ -1,0 +1,54 @@
+// Package timeafterloop rejects time.After (and time.Tick) inside loops.
+//
+// Each time.After call allocates a timer the runtime cannot free until it
+// fires; in a loop that re-selects every iteration — the shape of every
+// driver event loop in this codebase — the timers pile up for their full
+// duration, which is exactly the leak class PR 3 removed from Dial,
+// CloseWithin and the serve Close backstop. The fix is a time.NewTimer /
+// NewTicker hoisted out of the loop (Stop it when done), or the
+// connection's own deadline machinery.
+package timeafterloop
+
+import (
+	"go/ast"
+
+	"github.com/cercs/iqrudp/internal/analysis"
+)
+
+// Analyzer is the timeafterloop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "timeafterloop",
+	Doc:  "reject time.After/time.Tick inside for/range loops (timer-leak regression guard)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(inner ast.Node) bool {
+				call, ok := inner.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pass.IsPkgFunc(call, "time", "After") {
+					pass.Reportf(call.Pos(), "time.After in a loop leaks a timer per iteration until it fires; hoist a time.NewTimer/NewTicker out of the loop")
+				}
+				if pass.IsPkgFunc(call, "time", "Tick") {
+					pass.Reportf(call.Pos(), "time.Tick leaks its ticker; use time.NewTicker and Stop it")
+				}
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}

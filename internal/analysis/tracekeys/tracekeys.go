@@ -1,0 +1,241 @@
+// Package tracekeys enforces the registered observability vocabularies.
+//
+// iqstat's Case-1/Case-2 analysis and the metricsexp exporter match trace
+// events by exact string: an event emitted with a misspelled reason, or an
+// adaptation attribute published under a typo'd key, is not an error
+// anywhere — it is simply never counted, which is the worst kind of
+// observability bug. Two registries make the vocabularies checkable:
+//
+//   - internal/trace declares every Event.Reason / Event.Kind value as a
+//     Reason* / Kind* string constant (trace.Reasons lists them);
+//   - internal/attr declares every reserved quality-attribute key
+//     (ADAPT_*, NET_*, LOSS_TOLERANCE, MARKED, DEADLINE) as a constant
+//     (attr.Names lists them).
+//
+// The pass reads both constant sets out of the type-checked import graph
+// (no hard-coded copies to drift) and reports:
+//
+//   - a string literal assigned to trace.Event.Reason/.Kind, or passed to
+//     a parameter named reason/kind — use the trace constant, and if the
+//     value is not registered at all, register it or iqstat will silently
+//     miss it;
+//   - a string literal that looks like a reserved attribute key
+//     (ADAPT_*/NET_* shape, or equal to a registered name) anywhere
+//     outside the registry package — use the attr constant.
+//
+// Application-defined attribute names (the registry is an open vocabulary
+// by design) are untouched: only the reserved shapes are claimed.
+package tracekeys
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"github.com/cercs/iqrudp/internal/analysis"
+)
+
+// Analyzer is the tracekeys pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracekeys",
+	Doc:  "trace reasons/kinds and reserved attr keys must come from the registered constant sets",
+	Run:  run,
+}
+
+// reservedKey matches the attribute-name shapes the transport reserves.
+var reservedKey = regexp.MustCompile(`^(ADAPT|NET)_[A-Z0-9_]+$`)
+
+// registry holds the constant vocabularies harvested from the import graph.
+type registry struct {
+	reasons   map[string]bool // values of trace.Reason* / trace.Kind* constants
+	attrNames map[string]bool // values of attr's exported name constants
+	hasTrace  bool
+	inTrace   bool // analyzing internal/trace itself
+	inAttr    bool // analyzing internal/attr itself
+}
+
+func harvest(pass *analysis.Pass) *registry {
+	reg := &registry{
+		reasons:   map[string]bool{},
+		attrNames: map[string]bool{},
+		inTrace:   analysis.PathMatches(pass.Pkg.Path(), "internal/trace"),
+		inAttr:    analysis.PathMatches(pass.Pkg.Path(), "internal/attr"),
+	}
+	collect := func(pkg *types.Package) {
+		isTrace := analysis.PathMatches(pkg.Path(), "internal/trace")
+		isAttr := analysis.PathMatches(pkg.Path(), "internal/attr")
+		if !isTrace && !isAttr {
+			return
+		}
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !c.Exported() || c.Val().Kind() != constant.String {
+				continue
+			}
+			val := constant.StringVal(c.Val())
+			if isTrace && (strings.HasPrefix(name, "Reason") || strings.HasPrefix(name, "Kind")) {
+				reg.reasons[val] = true
+				reg.hasTrace = true
+			}
+			if isAttr && reservedAttrConst(val) {
+				reg.attrNames[val] = true
+			}
+		}
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		collect(imp)
+	}
+	collect(pass.Pkg) // the registry packages see their own constants
+	return reg
+}
+
+// reservedAttrConst reports whether an attr constant's value is part of
+// the reserved vocabulary (SCREAMING_SNAKE shape).
+func reservedAttrConst(v string) bool {
+	if v == "" {
+		return false
+	}
+	for _, r := range v {
+		if (r < 'A' || r > 'Z') && (r < '0' || r > '9') && r != '_' {
+			return false
+		}
+	}
+	return v[0] >= 'A' && v[0] <= 'Z'
+}
+
+func run(pass *analysis.Pass) error {
+	reg := harvest(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				checkEventLit(pass, reg, x)
+			case *ast.CallExpr:
+				checkReasonArgs(pass, reg, x)
+			case *ast.AssignStmt:
+				checkReasonAssign(pass, reg, x)
+			case *ast.BasicLit:
+				checkAttrLiteral(pass, reg, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// litString unwraps a string BasicLit.
+func litString(e ast.Expr) (string, token.Pos, bool) {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", token.NoPos, false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", token.NoPos, false
+	}
+	return s, bl.Pos(), true
+}
+
+func (reg *registry) reportReason(pass *analysis.Pass, pos token.Pos, where, val string) {
+	if val == "" {
+		return
+	}
+	if reg.reasons[val] {
+		pass.Reportf(pos, "raw string %q for %s; use the registered trace constant so iqstat and the exporter match it", val, where)
+		return
+	}
+	pass.Reportf(pos, "unregistered trace %s %q; add a Reason*/Kind* constant in internal/trace — unregistered values are silently invisible to iqstat", where, val)
+}
+
+// checkEventLit flags string literals in trace.Event{Reason:, Kind:}.
+func checkEventLit(pass *analysis.Pass, reg *registry, lit *ast.CompositeLit) {
+	if reg.inTrace {
+		return
+	}
+	tv, ok := pass.Info.Types[lit]
+	if !ok || !analysis.IsNamedType(tv.Type, "internal/trace", "Event") {
+		return
+	}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || (key.Name != "Reason" && key.Name != "Kind") {
+			continue
+		}
+		if val, pos, ok := litString(kv.Value); ok {
+			reg.reportReason(pass, pos, "trace.Event."+key.Name, val)
+		}
+	}
+}
+
+// checkReasonArgs flags string literals passed to parameters named
+// reason/kind/which (the tracing helpers' convention).
+func checkReasonArgs(pass *analysis.Pass, reg *registry, call *ast.CallExpr) {
+	if reg.inTrace {
+		return
+	}
+	callee := pass.Callee(call)
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		pname := sig.Params().At(i).Name()
+		if pname != "reason" && pname != "kind" && pname != "which" {
+			continue
+		}
+		if val, pos, ok := litString(arg); ok {
+			reg.reportReason(pass, pos, "parameter "+pname, val)
+		}
+	}
+}
+
+// checkReasonAssign flags string literals assigned to variables named
+// reason/kind/which — the staging pattern `reason := ""; ... reason = "dup"`
+// feeds trace.Event.Reason just as directly as a literal in the composite.
+func checkReasonAssign(pass *analysis.Pass, reg *registry, as *ast.AssignStmt) {
+	if reg.inTrace {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || (id.Name != "reason" && id.Name != "kind" && id.Name != "which") {
+			continue
+		}
+		if val, pos, ok := litString(as.Rhs[i]); ok {
+			reg.reportReason(pass, pos, "variable "+id.Name, val)
+		}
+	}
+}
+
+// checkAttrLiteral flags reserved attribute-key literals outside the
+// registry package.
+func checkAttrLiteral(pass *analysis.Pass, reg *registry, bl *ast.BasicLit) {
+	if reg.inAttr || bl.Kind != token.STRING {
+		return
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return
+	}
+	if reg.attrNames[s] || reservedKey.MatchString(s) {
+		pass.Reportf(bl.Pos(), "raw quality-attribute key %q; use the internal/attr constant (typo'd keys are published but never matched)", s)
+	}
+}

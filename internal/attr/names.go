@@ -67,3 +67,17 @@ const (
 	// from send time (used by rate-based applications, Table 8).
 	Deadline = "DEADLINE"
 )
+
+// Names lists every reserved attribute name declared above. The attribute
+// vocabulary is open — applications publish their own keys freely — but
+// these names are claimed by the transport, and the tracekeys analyzer
+// rejects raw string literals spelling them (a typo'd reserved key is
+// published but never matched). Tests and tooling use this list to
+// validate captured attribute sets.
+func Names() []string {
+	return []string{
+		AdaptFreq, AdaptMark, AdaptPktSize, AdaptWhen, AdaptCond, AdaptCondRate,
+		NetLoss, NetRTT, NetRate, NetCwnd, NetRetrans,
+		LossTolerance, Marked, Deadline,
+	}
+}

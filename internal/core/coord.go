@@ -64,7 +64,7 @@ func (c *coordinator) onReport(rep *AdaptationReport, info CallbackInfo) {
 		// adapting at the transport level until the enacting send call.
 		c.pendingKind = rep.Kind
 		c.pendingFrames = rep.WhenFrames
-		c.traceDecision(3, rep, 0, "announced")
+		c.traceDecision(3, rep, 0, trace.ReasonAnnounced)
 		return
 	}
 	if rep.WhenFrames < 0 || rep.Kind == AdaptNone {
@@ -114,9 +114,9 @@ func (c *coordinator) enact(rep *AdaptationReport, condEratio float64) {
 		// delivered. Cancelled when the unmark probability returns to zero.
 		c.discard = rep.Degree > 0
 		if c.discard {
-			c.traceDecision(1, rep, 0, "discard-on")
+			c.traceDecision(1, rep, 0, trace.ReasonDiscardOn)
 		} else {
-			c.traceDecision(1, rep, 0, "discard-off")
+			c.traceDecision(1, rep, 0, trace.ReasonDiscardOff)
 		}
 	case AdaptResolution:
 		// A resolution adaptation is Case 2 (over-reaction) when enacted
@@ -127,13 +127,13 @@ func (c *coordinator) enact(rep *AdaptationReport, condEratio float64) {
 			caseNo = 3
 		}
 		if rep.Degree >= 1 || rep.Degree <= -1 {
-			c.traceDecision(caseNo, rep, 0, "bad-degree")
+			c.traceDecision(caseNo, rep, 0, trace.ReasonBadDegree)
 			return // nonsensical degree
 		}
 		if rep.FrameSize > 0 && rep.FrameSize >= m.cfg.MSS {
 			// Frames still span full segments: the packet window carries the
 			// same byte rate, no compensation needed.
-			c.traceDecision(caseNo, rep, 0, "frame-above-mss")
+			c.traceDecision(caseNo, rep, 0, trace.ReasonFrameAboveMSS)
 			return
 		}
 		factor := 1 / (1 - rep.Degree)
@@ -153,7 +153,7 @@ func (c *coordinator) enact(rep *AdaptationReport, condEratio float64) {
 		if factor > 4 {
 			factor = 4
 		}
-		c.traceDecision(caseNo, rep, factor, "rescale")
+		c.traceDecision(caseNo, rep, factor, trace.ReasonRescale)
 		m.ccRescale(factor)
 		m.metrics.WindowRescales++
 		m.trySend() // the larger window may admit queued packets immediately

@@ -460,6 +460,7 @@ func (m *Machine) HandlePacket(p *packet.Packet) {
 	}
 }
 
+//iqlint:borrow
 func (m *Machine) handleSyn(p *packet.Packet) {
 	// Passive side: adopt the initiator's connection ID, record its window
 	// and tolerance, reply SYNACK. Retransmitted SYNs re-trigger the reply.
@@ -499,6 +500,7 @@ func (m *Machine) synAckRetry() {
 	m.armConnRetry(m.synAckRetry)
 }
 
+//iqlint:borrow
 func (m *Machine) handleSynAck(p *packet.Packet) {
 	if m.state == stEstablished && m.initiator {
 		// Our final handshake ACK was lost; the peer is retrying.
@@ -521,6 +523,7 @@ func (m *Machine) handleSynAck(p *packet.Packet) {
 	m.sendAck(false)
 }
 
+//iqlint:borrow
 func (m *Machine) handleNul(p *packet.Packet) {
 	if p.HasFwd() {
 		m.applyFwd(p.Fwd)

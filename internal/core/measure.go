@@ -127,13 +127,13 @@ func (me *measurement) fireCallbacks() {
 	switch {
 	case upperHit:
 		rep := m.onUpper(info)
-		me.traceCallback("upper", rep)
+		me.traceCallback(trace.ReasonUpper, rep)
 		if rep != nil {
 			m.coo.onReport(rep, info)
 		}
 	case m.onLower != nil && ratio <= m.lowerThresh:
 		rep := m.onLower(info)
-		me.traceCallback("lower", rep)
+		me.traceCallback(trace.ReasonLower, rep)
 		if rep != nil {
 			m.coo.onReport(rep, info)
 		}
@@ -149,7 +149,7 @@ func (me *measurement) traceCallback(which string, rep *AdaptationReport) {
 	}
 	ev := trace.Event{
 		Time: m.env.Now(), Type: trace.ThresholdCallbackFired, ConnID: m.connID,
-		RawRatio: me.raw, ErrorRatio: me.smoothed(), Reason: which, Kind: "nil",
+		RawRatio: me.raw, ErrorRatio: me.smoothed(), Reason: which, Kind: trace.KindNone,
 	}
 	if rep != nil {
 		ev.Kind = rep.Kind.String()

@@ -13,6 +13,8 @@ import (
 // then acknowledge. The packet is borrowed from the caller for the duration
 // of the call only (see HandlePacket); anything the machine must keep — an
 // out-of-order packet, a fragment payload — is copied.
+//
+//iqlint:borrow
 func (m *Machine) handleData(p *packet.Packet) {
 	switch m.state {
 	case stSynRcvd:
@@ -29,14 +31,14 @@ func (m *Machine) handleData(p *packet.Packet) {
 	switch {
 	case packet.SeqLT(p.Seq, m.rcvNxt):
 		// Duplicate of already-delivered data: re-ack so the sender advances.
-		reason = "dup"
+		reason = trace.ReasonDup
 	case p.Seq == m.rcvNxt:
 		m.acceptInOrder(p)
 		m.drainOOO()
 	default:
 		// Out of order: buffer within the advertised window. The buffered
 		// copy comes from the packet freelist; drainOOO/applyFwd return it.
-		reason = "ooo"
+		reason = trace.ReasonOOO
 		if len(m.ooo) < int(m.cfg.RecvWindow) {
 			if _, dup := m.ooo[p.Seq]; !dup {
 				m.ooo[p.Seq] = clonePacket(p)
@@ -68,6 +70,8 @@ func clonePacket(p *packet.Packet) *packet.Packet {
 
 // acceptInOrder consumes the packet at rcvNxt. The reassembler copies the
 // payload out, so the packet may be reused once this returns.
+//
+//iqlint:borrow
 func (m *Machine) acceptInOrder(p *packet.Packet) {
 	m.rcvNxt = p.Seq + 1
 	m.reasm.addFragment(p)
@@ -136,6 +140,8 @@ func newReassembler(m *Machine) *reassembler { return &reassembler{m: m} }
 
 // addFragment consumes the next in-order fragment, copying its payload into
 // the message buffer (the packet is borrowed and may be reused by the caller).
+//
+//iqlint:borrow
 func (r *reassembler) addFragment(p *packet.Packet) {
 	if !r.active || r.cur != p.MsgID {
 		r.flushIncomplete()
@@ -183,6 +189,7 @@ func (r *reassembler) skipSeq(seq uint32) {
 	r.orphanSkips++
 }
 
+//iqlint:borrow
 func (r *reassembler) start(p *packet.Packet) {
 	r.cur = p.MsgID
 	r.active = true

@@ -47,7 +47,7 @@ func (m *Machine) SendMsg(data []byte, marked bool, attrs *attr.List) error {
 			// sequence number or message id.
 			m.tr.Trace(trace.Event{
 				Time: m.env.Now(), Type: trace.PacketAbandoned, ConnID: m.connID,
-				Size: len(data), Reason: "case1-discard",
+				Size: len(data), Reason: trace.ReasonCase1Discard,
 			})
 		}
 		return nil
@@ -215,7 +215,7 @@ func (m *Machine) trySend() {
 			sp.skipped = true
 			m.metrics.DeadlineDrops++
 			if m.tr != nil {
-				m.tracePacket(trace.PacketAbandoned, sp, "deadline")
+				m.tracePacket(trace.PacketAbandoned, sp, trace.ReasonDeadline)
 			}
 			m.flight = append(m.flight, sp)
 			m.advanceFwd()
@@ -252,7 +252,7 @@ func (m *Machine) pacedSend() {
 			sp.skipped = true
 			m.metrics.DeadlineDrops++
 			if m.tr != nil {
-				m.tracePacket(trace.PacketAbandoned, sp, "deadline")
+				m.tracePacket(trace.PacketAbandoned, sp, trace.ReasonDeadline)
 			}
 			m.flight = append(m.flight, sp)
 			m.advanceFwd()
@@ -325,6 +325,8 @@ func (m *Machine) transmit(sp *sendPkt, isRtx bool) {
 }
 
 // handleAck processes cumulative acknowledgements and EACK extents.
+//
+//iqlint:borrow
 func (m *Machine) handleAck(p *packet.Packet) {
 	if m.state == stSynRcvd {
 		// Final leg of the handshake.
@@ -401,7 +403,7 @@ func (m *Machine) handleAck(p *packet.Packet) {
 				m.meas.onAckedBytes(uint64(len(sp.payload)))
 				m.metrics.AckedBytes += uint64(len(sp.payload))
 				if m.tr != nil {
-					m.tracePacket(trace.PacketAcked, sp, "eack")
+					m.tracePacket(trace.PacketAcked, sp, trace.ReasonEack)
 				}
 			}
 		}
@@ -511,7 +513,7 @@ func (m *Machine) onPacketLost(sp *sendPkt) {
 	}
 	now := m.env.Now()
 	if m.tr != nil {
-		m.tracePacket(trace.PacketLost, sp, "fast")
+		m.tracePacket(trace.PacketLost, sp, trace.ReasonFast)
 	}
 	m.meas.onLoss(1)
 	m.ccOnLoss(now)
@@ -550,7 +552,7 @@ func (m *Machine) skipPacket(sp *sendPkt) {
 	sp.skipped = true
 	m.metrics.SkippedPackets++
 	if m.tr != nil {
-		m.tracePacket(trace.PacketAbandoned, sp, "skip")
+		m.tracePacket(trace.PacketAbandoned, sp, trace.ReasonSkip)
 	}
 	m.advanceFwd()
 	// Communicate the forward point immediately if it moved; otherwise it
@@ -670,7 +672,7 @@ func (m *Machine) onProbeTimeout() {
 	}
 	if len(m.flight) > 0 && packet.SeqLT(m.sndUna, m.fwdSeq) {
 		m.emitFwdProbe()
-		m.rttBackoff("probe")
+		m.rttBackoff(trace.ReasonProbe)
 	}
 	m.armRtx()
 }
@@ -704,7 +706,7 @@ func (m *Machine) onRtxTimeout() {
 		})
 	}
 	m.meas.onLoss(1)
-	m.rttBackoff("rto")
+	m.rttBackoff(trace.ReasonRTO)
 	m.ccOnTimeout(now)
 	if !earliest.marked() && m.canSkipFragment(earliest) {
 		m.skipPacket(earliest)

@@ -67,7 +67,7 @@ func (m *Machine) ccOnAck(n int, limited bool) {
 	prev := m.cc.Window()
 	m.cc.OnAck(n, limited)
 	if now := m.cc.Window(); now != prev {
-		m.traceCwnd(prev, now, "ack")
+		m.traceCwnd(prev, now, trace.ReasonAck)
 	}
 }
 
@@ -80,7 +80,7 @@ func (m *Machine) ccOnLoss(now time.Duration) {
 	prev := m.cc.Window()
 	m.cc.OnLoss(now, m.rtt.SRTT(), m.meas.smoothed())
 	if w := m.cc.Window(); w != prev {
-		m.traceCwnd(prev, w, "loss")
+		m.traceCwnd(prev, w, trace.ReasonLoss)
 	}
 }
 
@@ -93,7 +93,7 @@ func (m *Machine) ccOnTimeout(now time.Duration) {
 	prev := m.cc.Window()
 	m.cc.OnTimeout(now)
 	if w := m.cc.Window(); w != prev {
-		m.traceCwnd(prev, w, "timeout")
+		m.traceCwnd(prev, w, trace.ReasonTimeout)
 	}
 }
 
@@ -106,7 +106,7 @@ func (m *Machine) ccRescale(factor float64) {
 	prev := m.cc.Window()
 	m.cc.Rescale(factor)
 	if w := m.cc.Window(); w != prev {
-		m.traceCwnd(prev, w, "coordination")
+		m.traceCwnd(prev, w, trace.ReasonCoordination)
 	}
 }
 

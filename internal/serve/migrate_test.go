@@ -46,8 +46,10 @@ func (rc *rawClient) send(p *packet.Packet) {
 func (rc *rawClient) waitFor(want packet.Type, timeout time.Duration) *packet.Packet {
 	rc.t.Helper()
 	buf := make([]byte, 65536)
-	rc.sock.SetReadDeadline(time.Now().Add(timeout))
-	defer rc.sock.SetReadDeadline(time.Time{})
+	if err := rc.sock.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		rc.t.Fatalf("set read deadline: %v", err)
+	}
+	defer rc.sock.SetReadDeadline(time.Time{}) //iqlint:ignore errdrop -- test cleanup, socket may already be closed
 	for {
 		n, _, err := rc.sock.ReadFromUDP(buf)
 		if err != nil {

@@ -123,10 +123,11 @@ type Server struct {
 	closed    chan struct{} // closed when teardown completes
 	closeOnce sync.Once
 
-	accepted   atomic.Uint64
-	refused    atomic.Uint64
-	migrations atomic.Uint64
-	stray      atomic.Uint64
+	accepted    atomic.Uint64
+	refused     atomic.Uint64
+	migrations  atomic.Uint64
+	stray       atomic.Uint64
+	sockBufErrs atomic.Uint64 // SetReadBuffer/SetWriteBuffer failures at bind
 }
 
 // Listen binds laddr ("host:port") and starts the engine. cfg configures
@@ -138,11 +139,6 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, sock := range socks {
-		// Best effort: the kernel clamps to rmem_max/wmem_max.
-		sock.SetReadBuffer(opt.SockBuf)
-		sock.SetWriteBuffer(opt.SockBuf)
-	}
 	srv := &Server{
 		cfg:     cfg,
 		opt:     opt,
@@ -152,6 +148,18 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 		accept:  make(chan *udpwire.Conn, opt.Backlog),
 		drainCh: make(chan struct{}),
 		closed:  make(chan struct{}),
+	}
+	for _, sock := range socks {
+		// The kernel clamps granted sizes to rmem_max/wmem_max silently; an
+		// outright failure is counted so an engine running on default socket
+		// buffers shows up in Stats/serve.sockbuf.errors instead of only as
+		// mysterious loss under load.
+		if err := sock.SetReadBuffer(opt.SockBuf); err != nil {
+			srv.sockBufErrs.Add(1)
+		}
+		if err := sock.SetWriteBuffer(opt.SockBuf); err != nil {
+			srv.sockBufErrs.Add(1)
+		}
 	}
 	for i := range srv.shards {
 		srv.shards[i] = &shard{
@@ -296,22 +304,24 @@ type ShardStats struct {
 
 // Stats is a point-in-time snapshot of the engine.
 type Stats struct {
-	Conns      int    // live connections
-	Accepted   uint64 // connections admitted since start
-	Refused    uint64 // SYNs refused with RST (backlog full, collision, draining)
-	Migrations uint64 // peer-address rebinds absorbed
-	Stray      uint64 // non-SYN packets for unknown ConnIDs
-	Shards     []ShardStats
+	Conns       int    // live connections
+	Accepted    uint64 // connections admitted since start
+	Refused     uint64 // SYNs refused with RST (backlog full, collision, draining)
+	Migrations  uint64 // peer-address rebinds absorbed
+	Stray       uint64 // non-SYN packets for unknown ConnIDs
+	SockBufErrs uint64 // SetReadBuffer/SetWriteBuffer failures at bind
+	Shards      []ShardStats
 }
 
 // Stats snapshots the engine's counters.
 func (srv *Server) Stats() Stats {
 	st := Stats{
-		Accepted:   srv.accepted.Load(),
-		Refused:    srv.refused.Load(),
-		Migrations: srv.migrations.Load(),
-		Stray:      srv.stray.Load(),
-		Shards:     make([]ShardStats, len(srv.shards)),
+		Accepted:    srv.accepted.Load(),
+		Refused:     srv.refused.Load(),
+		Migrations:  srv.migrations.Load(),
+		Stray:       srv.stray.Load(),
+		SockBufErrs: srv.sockBufErrs.Load(),
+		Shards:      make([]ShardStats, len(srv.shards)),
 	}
 	for i, sh := range srv.shards {
 		sh.mu.RLock()
@@ -340,6 +350,9 @@ func (srv *Server) Gauges() map[string]func() float64 {
 		"serve.accepted":   func() float64 { return float64(srv.accepted.Load()) },
 		"serve.refused":    func() float64 { return float64(srv.refused.Load()) },
 		"serve.migrations": func() float64 { return float64(srv.migrations.Load()) },
+		// Socket buffer-sizing failures at bind: nonzero means the engine is
+		// running on default kernel buffers.
+		"serve.sockbuf.errors": func() float64 { return float64(srv.sockBufErrs.Load()) },
 		"serve.shard.rx_batch": func() float64 {
 			var pkts, batches uint64
 			for _, sh := range srv.shards {

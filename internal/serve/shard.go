@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -71,6 +72,8 @@ func (sh *shard) readLoop(rb *uio.RxBatcher) {
 }
 
 // route applies the demux rules to one inbound packet on its home shard.
+//
+//iqlint:borrow
 func (sh *shard) route(p *packet.Packet, raddr *net.UDPAddr) {
 	key := raddr.String()
 
@@ -117,6 +120,8 @@ func (sh *shard) migrate(c *udpwire.Conn, raddr *net.UDPAddr) {
 // acceptSyn admits a new connection, applying address-key fallback (a SYN
 // has no established ConnID entry yet), zombie eviction, backpressure and
 // the drain gate.
+//
+//iqlint:borrow
 func (sh *shard) acceptSyn(p *packet.Packet, raddr *net.UDPAddr, key string) {
 	if sh.srv.draining() {
 		sh.refuse(p, raddr)
@@ -172,6 +177,8 @@ func (sh *shard) acceptSyn(p *packet.Packet, raddr *net.UDPAddr, key string) {
 }
 
 // refuse sends an RST answering packet p to raddr and counts the refusal.
+//
+//iqlint:borrow
 func (sh *shard) refuse(p *packet.Packet, raddr *net.UDPAddr) {
 	sh.srv.refused.Add(1)
 	rst := &packet.Packet{
@@ -181,7 +188,9 @@ func (sh *shard) refuse(p *packet.Packet, raddr *net.UDPAddr) {
 		Ack:    p.Seq + 1,
 	}
 	if b, err := packet.Encode(rst); err == nil {
-		sh.io.enqueueTx(b, raddr)
+		// Best effort: a dropped RST just means the client times out instead
+		// of failing fast, and the refusal itself is already counted.
+		_ = sh.io.enqueueTx(b, raddr)
 	}
 }
 
@@ -208,13 +217,21 @@ func (sh *shard) detach(c *udpwire.Conn) {
 // Non-blocking: the protocol machine retransmits on loss, so under extreme
 // overload dropping here is safer than stalling every connection behind a
 // full queue.
-func (sh *shard) enqueueTx(b []byte, peer *net.UDPAddr) {
+func (sh *shard) enqueueTx(b []byte, peer *net.UDPAddr) error {
 	select {
 	case sh.txq <- uio.Msg{B: b, Addr: peer}:
+		return nil
 	default:
 		sh.txDrops.Add(1)
+		return errTxBacklog
 	}
 }
+
+// errTxBacklog reports a datagram dropped because the shard's transmit queue
+// was full. Surfacing it through the sendTo hook lets the owning machine
+// count the drop into its TxErrors metric (and trace it as tx_error) in
+// addition to the shard-wide txDrops counter.
+var errTxBacklog = errors.New("serve: shard tx queue full")
 
 // txLoop coalesces queued datagrams into sendmmsg batches: block for the
 // first message, then drain without blocking up to the batch bound.

@@ -1,0 +1,74 @@
+package trace
+
+// Event.Reason and Event.Kind form a closed vocabulary: iqstat's
+// Case-1/Case-2 analysis and the metrics exporter match events by exact
+// string, so a value emitted under an unregistered spelling is silently
+// invisible to every consumer. Each value is therefore declared once here
+// as a Reason* / Kind* constant; the tracekeys analyzer (internal/
+// analysis/tracekeys) harvests this constant set and rejects raw string
+// literals — and unregistered values — at every emission site.
+
+// Congestion-window update reasons (CwndUpdate.Reason): which control
+// decision moved the window.
+const (
+	ReasonAck          = "ack"          // additive growth on new acks
+	ReasonLoss         = "loss"         // loss-proportional decrease
+	ReasonTimeout      = "timeout"      // RTO collapse
+	ReasonCoordination = "coordination" // application-coordinated rescale
+)
+
+// Packet-lifecycle reasons (PacketAcked/PacketLost/PacketAbandoned/
+// RTOBackoff.Reason): what the sender concluded about the packet.
+const (
+	ReasonEack         = "eack"          // acked out of order via EACK block
+	ReasonFast         = "fast"          // fast retransmit (dup-threshold)
+	ReasonSkip         = "skip"          // unmarked fragment skipped under Case 1
+	ReasonProbe        = "probe"         // FWD probe while acks are stalled
+	ReasonRTO          = "rto"           // retransmission-timer expiry
+	ReasonDeadline     = "deadline"      // play-out deadline passed in queue
+	ReasonCase1Discard = "case1-discard" // discarded before segmentation (Case 1)
+)
+
+// Receive-path reasons (PacketReceived.Reason): why the packet was not
+// delivered in order. Empty means in-order accept.
+const (
+	ReasonDup = "dup" // duplicate of already-delivered data
+	ReasonOOO = "ooo" // out of order, buffered in the reassembly window
+)
+
+// Threshold-callback reasons (ThresholdCallbackFired.Reason): which
+// error-ratio threshold fired.
+const (
+	ReasonUpper = "upper"
+	ReasonLower = "lower"
+)
+
+// Coordination-decision reasons (AdaptDecision.Reason): how the
+// coordinator classified the application's adaptation report.
+const (
+	ReasonAnnounced     = "announced"       // Case 3-1: adaptation announced via ADAPT_WHEN
+	ReasonDiscardOn     = "discard-on"      // Case 1: reliability discard engaged
+	ReasonDiscardOff    = "discard-off"     // Case 1: reliability discard released
+	ReasonBadDegree     = "bad-degree"      // report rejected: |degree| >= 1
+	ReasonFrameAboveMSS = "frame-above-mss" // no rescale: frames still span full segments
+	ReasonRescale       = "rescale"         // Case 2/3 window rescale applied
+)
+
+// KindNone is the Kind recorded when a threshold callback returned no
+// adaptation report.
+const KindNone = "nil"
+
+// Reasons lists every registered Reason*/Kind* value; iqstat and tests use
+// it to validate captured traces against the vocabulary.
+func Reasons() []string {
+	return []string{
+		ReasonAck, ReasonLoss, ReasonTimeout, ReasonCoordination,
+		ReasonEack, ReasonFast, ReasonSkip, ReasonProbe, ReasonRTO,
+		ReasonDeadline, ReasonCase1Discard,
+		ReasonDup, ReasonOOO,
+		ReasonUpper, ReasonLower,
+		ReasonAnnounced, ReasonDiscardOn, ReasonDiscardOff,
+		ReasonBadDegree, ReasonFrameAboveMSS, ReasonRescale,
+		KindNone,
+	}
+}

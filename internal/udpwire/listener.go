@@ -80,7 +80,10 @@ func (ln *Listener) connFor(raddr *net.UDPAddr, p *packet.Packet) *Conn {
 		return nil // stray non-SYN from an unknown peer
 	}
 	c := NewAccepted(ln.cfg, ln.sock.LocalAddr(), raddr,
-		func(b []byte, peer *net.UDPAddr) { ln.sock.WriteToUDP(b, peer) },
+		func(b []byte, peer *net.UDPAddr) error {
+			_, err := ln.sock.WriteToUDP(b, peer)
+			return err
+		},
 		ln.forget)
 	ln.conns[key] = c
 	refused := false

@@ -46,10 +46,10 @@ type Conn struct {
 	peer  *net.UDPAddr
 	epoch time.Time
 
-	ownSocket  bool                              // Close closes the socket (dialed conns)
-	local      net.Addr                          // accepted conns: the shared socket's address
-	sendTo     func(b []byte, peer *net.UDPAddr) // accepted conns: shared-socket writer
-	onDetach   func(c *Conn)                     // accepted conns: demux-table removal
+	ownSocket  bool                                    // Close closes the socket (dialed conns)
+	local      net.Addr                                // accepted conns: the shared socket's address
+	sendTo     func(b []byte, peer *net.UDPAddr) error // accepted conns: shared-socket writer
+	onDetach   func(c *Conn)                           // accepted conns: demux-table removal
 	detachOnce sync.Once
 
 	pendingMsgs []core.Message
@@ -105,7 +105,9 @@ func (e env) Emit(p *packet.Packet) {
 		if err != nil {
 			return // structurally impossible for machine-built packets
 		}
-		c.sendTo(b, c.peer)
+		if err := c.sendTo(b, c.peer); err != nil {
+			c.m.NoteTxError(1, err)
+		}
 		return
 	}
 	if c.txb != nil {
@@ -123,6 +125,8 @@ func (e env) Emit(p *packet.Packet) {
 
 // stageTx encodes p into the next TX ring slot, reusing the slot's buffer.
 // Called with mu held; a full ring flushes immediately.
+//
+//iqlint:borrow
 func (c *Conn) stageTx(p *packet.Packet) {
 	var buf []byte
 	if c.txN < len(c.txSlots) {
@@ -237,11 +241,13 @@ func newConn(cfg core.Config, sock *net.UDPConn, peer *net.UDPAddr) *Conn {
 // NewAccepted builds the passive side of a connection for an acceptor that
 // demultiplexes a shared socket (the Listener in this package, or the serve
 // engine's shards): local is the shared socket's bound address, sendTo
-// transmits an encoded packet to a peer, and onDetach (optional) is invoked
-// once when the connection closes so the acceptor can drop it from its demux
-// tables. The returned connection is passively open: feed it the peer's SYN
-// (and everything after) via HandleIncoming.
-func NewAccepted(cfg core.Config, local net.Addr, peer *net.UDPAddr, sendTo func(b []byte, peer *net.UDPAddr), onDetach func(c *Conn)) *Conn {
+// transmits an encoded packet to a peer (a non-nil error is counted into the
+// machine's TxErrors metric and traced as tx_error, so a dead shared socket
+// or saturated transmit queue is never silent), and onDetach (optional) is
+// invoked once when the connection closes so the acceptor can drop it from
+// its demux tables. The returned connection is passively open: feed it the
+// peer's SYN (and everything after) via HandleIncoming.
+func NewAccepted(cfg core.Config, local net.Addr, peer *net.UDPAddr, sendTo func(b []byte, peer *net.UDPAddr) error, onDetach func(c *Conn)) *Conn {
 	c := newConn(cfg, nil, peer)
 	c.local = local
 	c.sendTo = sendTo
@@ -333,6 +339,8 @@ func (c *Conn) readLoop() {
 // handleBatch feeds a batch of raw datagrams through the machine in one lock
 // section: acks provoked by every packet in the batch accumulate in the TX
 // ring and leave as a single batched transmit at the end.
+//
+//iqlint:borrow
 func (c *Conn) handleBatch(msgs []uio.Msg, p *packet.Packet) {
 	c.mu.Lock()
 	select {
@@ -405,6 +413,8 @@ func (c *Conn) SetPeer(addr *net.UDPAddr) *net.UDPAddr {
 
 // handlePacket feeds one packet through the machine and dispatches staged
 // deliveries.
+//
+//iqlint:borrow
 func (c *Conn) handlePacket(p *packet.Packet) {
 	c.mu.Lock()
 	select {

@@ -212,6 +212,8 @@ func TestListenerMultipleClients(t *testing.T) {
 		clis = append(clis, c)
 	}
 	got := map[string]bool{}
+	starve := time.NewTimer(5 * time.Second)
+	defer starve.Stop()
 	for i := 0; i < clients; i++ {
 		select {
 		case s := <-srvs:
@@ -220,7 +222,7 @@ func TestListenerMultipleClients(t *testing.T) {
 				t.Fatal(err)
 			}
 			got[string(msg.Data)] = true
-		case <-time.After(5 * time.Second):
+		case <-starve.C:
 			t.Fatal("accept starved")
 		}
 	}
