@@ -5,9 +5,16 @@
 
 GO ?= go
 
-.PHONY: check build test vet lint race race-smoke fuzz-smoke bench bench-alloc bench-server benchstat tables
+# Chaos soak knobs (see internal/chaoswire/soak_test.go): the seed fixes the
+# fault streams, the duration bounds the soak. `make check` runs the short
+# deterministic pass via `race` (the suite default is 1500ms per soak);
+# `make chaos-smoke` runs a longer seeded soak on just the chaos harness.
+CHAOS_SEED ?= 1
+CHAOS_DUR  ?= 5s
 
-check: vet lint build race ## vet + iqlint + build + full race-enabled test run
+.PHONY: check build test vet lint race race-smoke chaos-smoke fuzz-smoke bench bench-alloc bench-server benchstat tables
+
+check: vet lint build race ## vet + iqlint + build + full race-enabled test run (includes the short seeded chaos pass)
 
 build:
 	$(GO) build ./...
@@ -29,6 +36,9 @@ race-smoke: ## quick -race pass: loopback wire tests incl. the traced-sinks smok
 	$(GO) test -race ./internal/packet/
 	$(GO) test -race ./internal/serve/
 	$(GO) test -race -run 'TestSteadyStateAllocs' .
+
+chaos-smoke: ## seeded fault-injection soak under -race: blackhole + resume survivability, multi-client chaos invariants (leaks, close reasons, marked delivery)
+	CHAOS_SEED=$(CHAOS_SEED) CHAOS_DUR=$(CHAOS_DUR) $(GO) test -race -count=1 -v -run 'TestChaosSoak|TestResumeAcrossBlackhole' ./internal/chaoswire/
 
 fuzz-smoke: ## bounded fuzz pass over the decoders and the reassembler
 	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime 20s -run '^$$' ./internal/packet/

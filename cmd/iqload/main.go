@@ -25,6 +25,7 @@ package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	iqrudp "github.com/cercs/iqrudp"
+	"github.com/cercs/iqrudp/internal/chaoswire"
 	"github.com/cercs/iqrudp/internal/stats"
 	"github.com/cercs/iqrudp/metricsexp"
 )
@@ -55,8 +57,19 @@ func main() {
 		seed        = flag.Int64("seed", 1, "source mode: marking RNG seed")
 		traceFile   = flag.String("trace", "", "write a JSONL machine-event trace to this file (see cmd/iqstat)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/vars on this address")
+		chaos       = flag.Bool("chaos", false, "source mode: dial through an in-process fault-injecting proxy (tune with -loss/-dup/-reorder/-blackhole/-rebind/-chaos-seed)")
+		loss        = flag.Float64("loss", 0, "chaos: per-datagram drop probability, each direction")
+		dup         = flag.Float64("dup", 0, "chaos: per-datagram duplication probability, each direction")
+		reorder     = flag.Float64("reorder", 0, "chaos: per-datagram reorder probability, each direction")
+		blackhole   = flag.Duration("blackhole", 0, "chaos: one total outage of this length per connection, a third of the way into the run (outlast Config.DeadInterval to exercise resume)")
+		rebind      = flag.Duration("rebind", 0, "chaos: rebind each connection's NAT mapping at this interval (0 = never)")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "chaos: deterministic fault-stream seed (per-connection streams derive from it)")
 	)
 	flag.Parse()
+	chaosCfg := chaosOpts{
+		enabled: *chaos, loss: *loss, dup: *dup, reorder: *reorder,
+		blackhole: *blackhole, rebind: *rebind, seed: *chaosSeed,
+	}
 	tracer, exporter, cleanup, err := buildTracer(*traceFile, *metricsAddr)
 	if err != nil {
 		log.Fatal(err)
@@ -68,7 +81,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *to != "":
-		if err := runSource(*to, *duration, *size, *rate, *unmarked, *seed, *conns, *churn, tracer); err != nil {
+		if err := runSource(*to, *duration, *size, *rate, *unmarked, *seed, *conns, *churn, chaosCfg, tracer); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -233,7 +246,39 @@ func stampAge(data []byte) (time.Duration, bool) {
 	return time.Duration(time.Now().UnixNano() - sent), true
 }
 
-func runSource(to string, duration time.Duration, size int, rate, unmarked float64, seed int64, conns int, churn float64, tracer iqrudp.Tracer) error {
+// chaosOpts configures the optional in-process fault-injecting proxy each
+// source connection dials through. Every worker gets its own proxy and its
+// own deterministic fault stream (seed + worker index), so a run is
+// reproducible for a fixed flag set.
+type chaosOpts struct {
+	enabled            bool
+	loss, dup, reorder float64
+	blackhole, rebind  time.Duration
+	seed               uint64
+}
+
+// typedErrCounts tallies the driver's error taxonomy across all workers.
+type typedErrCounts struct {
+	peerDead, refused, hsTimeout atomic.Uint64
+}
+
+func (c *typedErrCounts) count(err error) {
+	switch {
+	case errors.Is(err, iqrudp.ErrPeerDead):
+		c.peerDead.Add(1)
+	case errors.Is(err, iqrudp.ErrRefused):
+		c.refused.Add(1)
+	case errors.Is(err, iqrudp.ErrHandshakeTimeout):
+		c.hsTimeout.Add(1)
+	}
+}
+
+func (c *typedErrCounts) String() string {
+	return fmt.Sprintf("%d peer-dead, %d refused, %d handshake-timeout",
+		c.peerDead.Load(), c.refused.Load(), c.hsTimeout.Load())
+}
+
+func runSource(to string, duration time.Duration, size int, rate, unmarked float64, seed int64, conns int, churn float64, chaos chaosOpts, tracer iqrudp.Tracer) error {
 	if conns < 1 {
 		conns = 1
 	}
@@ -241,6 +286,10 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 	cfg.Tracer = tracer
 	fmt.Printf("sending %dB messages to %s for %v over %d connection(s)\n",
 		size, to, duration, conns)
+	if chaos.enabled {
+		fmt.Printf("chaos: loss=%g dup=%g reorder=%g blackhole=%v rebind=%v seed=%d\n",
+			chaos.loss, chaos.dup, chaos.reorder, chaos.blackhole, chaos.rebind, chaos.seed)
+	}
 
 	// Connection lifetime under churn: with conns workers each re-dialling
 	// after conns/churn seconds, the pool replaces ~churn connections/s.
@@ -253,6 +302,8 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 		totalSent atomic.Uint64
 		dials     atomic.Uint64
 		failures  atomic.Uint64
+		resumes   atomic.Uint64
+		typed     typedErrCounts
 		lastMu    sync.Mutex
 		lastMet   *iqrudp.Metrics
 	)
@@ -263,10 +314,47 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 		go func(i int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(i)))
-			for time.Now().Before(deadline) {
-				conn, err := iqrudp.DialTimeout(to, cfg, 10*time.Second)
+			target := to
+			if chaos.enabled {
+				f := chaoswire.Faults{Drop: chaos.loss, Dup: chaos.dup, Reorder: chaos.reorder}
+				proxy, err := chaoswire.New(to, chaoswire.Config{
+					Seed: chaos.seed + uint64(i), Up: f, Down: f, Tracer: tracer,
+				})
 				if err != nil {
 					failures.Add(1)
+					fmt.Fprintf(os.Stderr, "conn %d: chaos proxy: %v\n", i, err)
+					return
+				}
+				defer proxy.Close()
+				target = proxy.Addr()
+				if chaos.blackhole > 0 {
+					timer := time.AfterFunc(duration/3, func() { proxy.Blackhole(chaos.blackhole) })
+					defer timer.Stop()
+				}
+				if chaos.rebind > 0 {
+					stop := make(chan struct{})
+					defer close(stop)
+					go func() {
+						t := time.NewTicker(chaos.rebind)
+						defer t.Stop()
+						for {
+							select {
+							case <-t.C:
+								if err := proxy.Rebind(); err != nil {
+									return
+								}
+							case <-stop:
+								return
+							}
+						}
+					}()
+				}
+			}
+			for time.Now().Before(deadline) {
+				conn, err := iqrudp.DialTimeout(target, cfg, 10*time.Second)
+				if err != nil {
+					failures.Add(1)
+					typed.count(err)
 					fmt.Fprintf(os.Stderr, "conn %d: dial: %v\n", i, err)
 					time.Sleep(100 * time.Millisecond)
 					continue
@@ -282,6 +370,28 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 					}
 				}
 				sent, err := sendOn(conn, end, size, rate, unmarked, rng)
+				// A dead peer (e.g. an outage outlasting DeadInterval) is
+				// survivable: resume the session and keep sending — queued
+				// marked data is carried onto the successor connection.
+				for err != nil && errors.Is(err, iqrudp.ErrPeerDead) {
+					typed.count(err)
+					err = nil
+					if !time.Now().Before(end) {
+						break
+					}
+					nc, rerr := conn.Resume(10 * time.Second)
+					if rerr != nil {
+						failures.Add(1)
+						typed.count(rerr)
+						fmt.Fprintf(os.Stderr, "conn %d: resume: %v\n", i, rerr)
+						break
+					}
+					resumes.Add(1)
+					conn = nc
+					var more int
+					more, err = sendOn(conn, end, size, rate, unmarked, rng)
+					sent += more
+				}
 				totalSent.Add(uint64(sent))
 				mt := conn.Metrics()
 				conn.Close()
@@ -290,6 +400,7 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 				lastMu.Unlock()
 				if err != nil {
 					failures.Add(1)
+					typed.count(err)
 					fmt.Fprintf(os.Stderr, "conn %d: send: %v\n", i, err)
 				}
 			}
@@ -302,6 +413,9 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 	fmt.Printf("sent %d messages over %d dial(s) (%d failure(s)), %.1f KB/s offered, %d msgs/s\n",
 		sent, dials.Load(), failures.Load(),
 		float64(sent)*float64(size)/elapsed/1000, int(float64(sent)/elapsed))
+	if chaos.enabled || resumes.Load() > 0 {
+		fmt.Printf("survivability: %d resume(s); typed errors: %s\n", resumes.Load(), &typed)
+	}
 	lastMu.Lock()
 	if lastMet != nil {
 		fmt.Println("transport (last conn):", *lastMet)

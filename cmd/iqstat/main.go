@@ -53,6 +53,9 @@ func main() {
 	}
 
 	fmt.Println(histogram(events).String())
+	if tb := faultBreakdown(events); tb != nil {
+		fmt.Println(tb.String())
+	}
 	for _, id := range connIDs(events) {
 		printConn(id, byConn(events, id), *full, *limit, *cwnd)
 	}
@@ -92,6 +95,36 @@ func histogram(events []trace.Event) *stats.Table {
 	return tb
 }
 
+// faultBreakdown tabulates injected wire faults (chaoswire runs) by kind,
+// or returns nil when the trace has none.
+func faultBreakdown(events []trace.Event) *stats.Table {
+	counts := map[string]int{}
+	bytes := map[string]uint64{}
+	total := 0
+	for _, ev := range events {
+		if ev.Type != trace.FaultInjected {
+			continue
+		}
+		counts[ev.Reason]++
+		bytes[ev.Reason] += uint64(ev.Size)
+		total++
+	}
+	if total == 0 {
+		return nil
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	tb := stats.NewTable(fmt.Sprintf("Injected faults (%d)", total),
+		"Fault", "Count", "Bytes")
+	for _, k := range kinds {
+		tb.AddRow(k, counts[k], bytes[k])
+	}
+	return tb
+}
+
 func connIDs(events []trace.Event) []uint32 {
 	seen := map[uint32]bool{}
 	var ids []uint32
@@ -120,7 +153,8 @@ func byConn(events []trace.Event, id uint32) []trace.Event {
 func keyEvent(ev trace.Event) bool {
 	switch ev.Type {
 	case trace.ConnState, trace.CoordinationDecision,
-		trace.ThresholdCallbackFired, trace.RTOFired, trace.RTOBackoff:
+		trace.ThresholdCallbackFired, trace.RTOFired, trace.RTOBackoff,
+		trace.ConnResumed, trace.ShedUnmarked:
 		return true
 	}
 	return false
@@ -192,6 +226,12 @@ func describe(ev trace.Event) string {
 	case trace.MeasurementPeriod:
 		return fmt.Sprintf("period raw=%.3f smoothed=%.3f rate=%.1fKB/s cwnd=%.1f",
 			ev.RawRatio, ev.ErrorRatio, ev.RateBps/1000, ev.Cwnd)
+	case trace.ConnResumed:
+		return fmt.Sprintf("resumed from conn %d (%d marked message(s) carried over)", ev.Seq, ev.Size)
+	case trace.ShedUnmarked:
+		return fmt.Sprintf("shed unmarked %dB (%s)", ev.Size, ev.Reason)
+	case trace.FaultInjected:
+		return fmt.Sprintf("fault %s injected, %dB datagram", ev.Reason, ev.Size)
 	case trace.PacketSent, trace.PacketReceived, trace.PacketAcked,
 		trace.PacketLost, trace.PacketRetransmitted, trace.PacketAbandoned:
 		s := fmt.Sprintf("%s seq=%d msg=%d size=%d", ev.Type, ev.Seq, ev.MsgID, ev.Size)

@@ -94,6 +94,20 @@ type Config struct {
 	// than DeadInterval so an idle-but-healthy peer stays provably alive.
 	DeadInterval time.Duration
 
+	// MaxSendBacklog, when positive, bounds the segmented-but-untransmitted
+	// send queue in packets. At the bound the machine degrades gracefully
+	// instead of growing without limit: unmarked messages are discarded at
+	// ingress, and queued unmarked packets are abandoned (forward-seq) to
+	// make room for marked ones — the Case-1 discard rule applied to local
+	// overload, gated by the receiver's loss tolerance like every skip.
+	// Zero means unbounded (the historical behavior).
+	MaxSendBacklog int
+
+	// ResumeToken, when non-empty, is carried as the SYN payload: a resuming
+	// dialer names its dead predecessor connection so the server can evict
+	// it (built with packet.AppendResumeToken; see Conn.Resume in udpwire).
+	ResumeToken []byte
+
 	// Tracer, when non-nil, receives a structured event at every machine
 	// decision point (see the internal/trace package for the taxonomy and
 	// sinks). Nil disables tracing at zero cost: no event is constructed.
@@ -262,6 +276,9 @@ type Metrics struct {
 	AckedBytes     uint64
 	WindowRescales uint64 // coordination window adjustments (Cases 2/3)
 	TxErrors       uint64 // socket-level transmit failures reported by the driver
+	ShedMsgs       uint64 // messages lost to backlog shedding (MaxSendBacklog)
+	ShedPackets    uint64 // queued packets abandoned by backlog shedding
+	ShedBytes      uint64 // payload bytes shed under local overload
 }
 
 // String formats the snapshot as a one-line summary, the form used by
@@ -270,11 +287,13 @@ func (m Metrics) String() string {
 	return fmt.Sprintf(
 		"srtt=%v rttvar=%v cwnd=%.1f inflight=%d loss=%.2f%% raw=%.2f%% rate=%.1fKB/s "+
 			"sent=%d rtx=%d acked=%d skipped=%d discarded=%d deadline=%d "+
-			"delivered=%d partial=%d lost=%d ackedKB=%.1f rescales=%d txerr=%d",
+			"delivered=%d partial=%d lost=%d ackedKB=%.1f rescales=%d txerr=%d "+
+			"shed=%d/%dpkt/%.1fKB",
 		m.SRTT.Round(time.Microsecond), m.RTTVar.Round(time.Microsecond),
 		m.Cwnd, m.InFlight, m.ErrorRatio*100, m.RawRatio*100, m.RateBps/1000,
 		m.SentPackets, m.Retransmits, m.AckedPackets, m.SkippedPackets,
 		m.SenderDiscards, m.DeadlineDrops,
 		m.DeliveredMsgs, m.PartialMsgs, m.LostMsgs,
-		float64(m.AckedBytes)/1000, m.WindowRescales, m.TxErrors)
+		float64(m.AckedBytes)/1000, m.WindowRescales, m.TxErrors,
+		m.ShedMsgs, m.ShedPackets, float64(m.ShedBytes)/1000)
 }

@@ -140,8 +140,9 @@ type Machine struct {
 	connTimer   Timer
 	measTicker  Timer
 
-	closing  bool // Close requested; FIN once the pipeline drains
-	tolDirty bool // localTol changed; piggyback on next ack
+	closing     bool   // Close requested; FIN once the pipeline drains
+	closeReason string // why the connection died; set exactly once by abortWith
+	tolDirty    bool   // localTol changed; piggyback on next ack
 
 	lastHeard time.Duration // when the peer was last heard from
 	lastSent  time.Duration // when we last emitted anything
@@ -276,6 +277,9 @@ func (m *Machine) sendSyn() {
 		Wnd:    m.cfg.RecvWindow,
 		TS:     m.env.Now(),
 		Attrs:  attr.NewList(attr.Attr{Name: attr.LossTolerance, Value: attr.Float(m.localTol)}),
+		// A resuming dialer names its dead predecessor in the SYN payload so
+		// ConnID-demultiplexing servers can evict it (see packet.ResumeToken).
+		Payload: m.cfg.ResumeToken,
 	}
 	m.env.Emit(p)
 	m.armConnRetry(func() {
@@ -319,7 +323,7 @@ func (m *Machine) Close() {
 	case stDead, stFinWait:
 		return
 	case stClosed, stSynSent, stSynRcvd:
-		m.abort()
+		m.abortWith(trace.ReasonAborted)
 		return
 	}
 	m.closing = true
@@ -342,21 +346,41 @@ func (m *Machine) maybeFinish() {
 	m.env.Emit(&m.out)
 	m.armConnRetry(func() {
 		if m.state == stFinWait {
-			m.abort() // give up after one retry interval
+			m.abortWith(trace.ReasonFinTimeout) // give up after one retry interval
 		}
 	})
 }
 
 // Abort tears the machine down immediately — no FIN exchange, no drain.
 // Drivers use it for abortive teardown (RST-like local eviction).
-func (m *Machine) Abort() { m.abort() }
+func (m *Machine) Abort() { m.abortWith(trace.ReasonAborted) }
 
-func (m *Machine) abort() {
+// AbortWith is Abort recording an explicit close reason (one of the
+// trace.Reason* close-reason constants); drivers use it so teardown causes
+// they observe outside the machine — a dead socket, a handshake deadline, a
+// resumed successor — surface through CloseReason and the typed error
+// taxonomy instead of a generic abort.
+func (m *Machine) AbortWith(reason string) { m.abortWith(reason) }
+
+// CloseReason reports why the connection died ("" while it is alive).
+// Exactly one reason is recorded per connection, on the transition to the
+// dead state; the same value rides the ConnState trace event for that edge.
+func (m *Machine) CloseReason() string { return m.closeReason }
+
+func (m *Machine) abortWith(reason string) {
 	if m.state == stDead {
 		return
 	}
-	m.setState(stDead)
+	m.closeReason = reason
+	m.setStateReason(stDead, reason)
 	m.stopTimers()
+	// Return the out-of-order buffer's pooled clones: abort is the one exit
+	// path that bypasses drainOOO/applyFwd, and without this the buffered
+	// packets leak from the process-wide freelist accounting.
+	for seq, p := range m.ooo {
+		delete(m.ooo, seq)
+		packet.Put(p)
+	}
 	if m.onClosed != nil {
 		m.onClosed()
 	}
@@ -388,7 +412,7 @@ func (m *Machine) startLiveness() {
 		}
 		now := m.env.Now()
 		if m.cfg.DeadInterval > 0 && now-m.lastHeard >= m.cfg.DeadInterval {
-			m.abort()
+			m.abortWith(trace.ReasonPeerDead)
 			return
 		}
 		if m.cfg.Keepalive > 0 && now-m.lastSent >= m.cfg.Keepalive {
@@ -450,13 +474,19 @@ func (m *Machine) HandlePacket(p *packet.Packet) {
 	case packet.FIN:
 		m.out = packet.Packet{Type: packet.FINACK, ConnID: m.connID, Ack: p.Seq, TS: m.env.Now()}
 		m.env.Emit(&m.out)
-		m.abort()
+		m.abortWith(trace.ReasonRemoteFin)
 	case packet.FINACK:
 		if m.state == stFinWait {
-			m.abort()
+			m.abortWith(trace.ReasonLocalClose)
 		}
 	case packet.RST:
-		m.abort()
+		if m.state == stEstablished || m.state == stFinWait {
+			m.abortWith(trace.ReasonReset)
+		} else {
+			// RST answering our SYN: the server refused the connection
+			// (backlog full, ConnID collision, draining).
+			m.abortWith(trace.ReasonRefused)
+		}
 	}
 }
 

@@ -1,0 +1,78 @@
+package core
+
+// CarryoverMarked reconstructs the marked application messages this machine
+// accepted but had not fully delivered when it died, in original send order
+// — the payload a resuming connection re-sends so marked data survives a
+// dead interval or NAT rebind (at-least-once across the gap: fragments the
+// peer received but never cumulatively acked are sent again).
+//
+// Only messages every fragment of which the machine still holds can be
+// reconstructed: a message partially released by a cumulative ack has lost
+// its leading payloads. For messages at or below the MSS — the datagram
+// case resumption targets — every unacked marked message qualifies.
+// Messages whose every fragment was selectively acked (EACK) are excluded:
+// the receiver already has them.
+//
+// Call after the machine is dead (the driver aborts before redialing);
+// single-fragment payloads alias the application's original buffers.
+func (m *Machine) CarryoverMarked() [][]byte {
+	type carry struct {
+		parts   [][]byte
+		nextIdx int
+		fragCnt int
+		whole   bool // fragments 0..nextIdx-1 all present
+		unacked bool // at least one fragment not selectively acked
+	}
+	var order []uint32
+	msgs := make(map[uint32]*carry)
+	scan := func(sp *sendPkt) {
+		if !sp.marked() {
+			return
+		}
+		cm := msgs[sp.msgID]
+		if cm == nil {
+			cm = &carry{fragCnt: int(sp.fragCnt), whole: true}
+			msgs[sp.msgID] = cm
+			order = append(order, sp.msgID)
+		}
+		// Flight then pending walk in ascending sequence order, and a
+		// message's fragments occupy contiguous sequence numbers, so indices
+		// arrive ascending; a gap means a fragment already left via a
+		// cumulative ack.
+		if int(sp.frag) != cm.nextIdx {
+			cm.whole = false
+		}
+		cm.nextIdx = int(sp.frag) + 1
+		cm.parts = append(cm.parts, sp.payload)
+		if !sp.sacked {
+			cm.unacked = true
+		}
+	}
+	for _, sp := range m.flight {
+		scan(sp)
+	}
+	for i := m.pendHead; i < len(m.pending); i++ {
+		scan(m.pending[i])
+	}
+	var out [][]byte
+	for _, id := range order {
+		cm := msgs[id]
+		if !cm.whole || cm.nextIdx != cm.fragCnt || !cm.unacked {
+			continue
+		}
+		if len(cm.parts) == 1 {
+			out = append(out, cm.parts[0])
+			continue
+		}
+		n := 0
+		for _, p := range cm.parts {
+			n += len(p)
+		}
+		buf := make([]byte, 0, n)
+		for _, p := range cm.parts {
+			buf = append(buf, p...)
+		}
+		out = append(out, buf)
+	}
+	return out
+}

@@ -62,13 +62,38 @@ func (m *Machine) SendMsg(data []byte, marked bool, attrs *attr.List) error {
 		deadline = m.env.Now() + time.Duration(d*float64(time.Second))
 	}
 
-	msgID := m.nextMsgID
-	m.nextMsgID++
 	mss := m.cfg.MSS
 	frags := (len(data) + mss - 1) / mss
 	if frags > 0xFFFF {
 		return ErrPayloadEmpty // unreachable with sane MSS; guards uint16
 	}
+
+	// Graceful degradation under local overload: at the backlog bound,
+	// unmarked data is shed first — incoming unmarked messages die at
+	// ingress (cheapest: nothing was segmented yet), and an incoming marked
+	// message evicts queued unmarked packets to make room. Both moves are
+	// gated by the receiver's loss tolerance, exactly like network-loss
+	// skips; a marked message is queued regardless, so overload never
+	// blocks must-deliver data behind droppable data.
+	if m.cfg.MaxSendBacklog > 0 && m.pendingLen()+frags > m.cfg.MaxSendBacklog {
+		if marked {
+			m.shedBacklog(frags)
+		} else if m.withinTolerance(1) {
+			m.relMsgsDropped++
+			m.metrics.ShedMsgs++
+			m.metrics.ShedBytes += uint64(len(data))
+			if m.tr != nil {
+				m.tr.Trace(trace.Event{
+					Time: m.env.Now(), Type: trace.ShedUnmarked, ConnID: m.connID,
+					Size: len(data), Reason: trace.ReasonShedIngress,
+				})
+			}
+			return nil
+		}
+	}
+
+	msgID := m.nextMsgID
+	m.nextMsgID++
 	for i := 0; i < frags; i++ {
 		lo, hi := i*mss, (i+1)*mss
 		if hi > len(data) {
@@ -99,6 +124,40 @@ func (m *Machine) SendMsg(data []byte, marked bool, attrs *attr.List) error {
 	}
 	m.trySend()
 	return nil
+}
+
+// shedBacklog frees room for an incoming marked message of need fragments by
+// abandoning unmarked packets from the head of the untransmitted queue,
+// oldest first, while the receiver's loss tolerance permits. Abandoned
+// packets join the flight as skipped so the forward-seq mechanism carries
+// the receiver past them — the same path deadline drops take. The loop stops
+// at the first marked or tolerance-blocked packet: shedding around it would
+// reorder the queue.
+func (m *Machine) shedBacklog(need int) {
+	shed := false
+	for m.pendingLen()+need > m.cfg.MaxSendBacklog && m.pendingLen() > 0 {
+		sp := m.pending[m.pendHead]
+		if sp.marked() || !m.canSkipFragment(sp) {
+			break
+		}
+		m.popPending()
+		if !m.skippedMsgs[sp.msgID] {
+			m.skippedMsgs[sp.msgID] = true
+			m.relMsgsDropped++
+			m.metrics.ShedMsgs++
+		}
+		sp.skipped = true
+		m.metrics.ShedPackets++
+		m.metrics.ShedBytes += uint64(len(sp.payload))
+		if m.tr != nil {
+			m.tracePacket(trace.ShedUnmarked, sp, trace.ReasonShedQueue)
+		}
+		m.flight = append(m.flight, sp)
+		shed = true
+	}
+	if shed {
+		m.advanceFwd()
+	}
 }
 
 // getSendPkt takes a sendPkt from the machine's freelist, or allocates one.

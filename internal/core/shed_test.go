@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/endpoint"
+	"github.com/cercs/iqrudp/internal/netem"
+	"github.com/cercs/iqrudp/internal/sim"
+	"github.com/cercs/iqrudp/internal/trace"
+)
+
+// Graceful-degradation tests: Config.MaxSendBacklog bounds the segmented-
+// but-untransmitted queue, shedding unmarked traffic first (Case-1 discard
+// applied to local overload).
+
+func TestBacklogShedsUnmarkedIngress(t *testing.T) {
+	s := sim.New(40)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	cnt := trace.NewCounters()
+	sndCfg := core.DefaultConfig()
+	sndCfg.MaxSendBacklog = 16
+	sndCfg.Tracer = cnt
+	rcvCfg := core.DefaultConfig()
+	rcvCfg.LossTolerance = 0.9 // advertised to the sender: shedding is in-contract
+	snd, rcv := endpoint.Pair(d, sndCfg, rcvCfg)
+	rcv.Record = true
+	if !endpoint.WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("handshake failed")
+	}
+
+	// Flood unmarked messages without letting the simulator drain anything:
+	// the queue hits the bound and ingress shedding starts.
+	for i := 0; i < 100; i++ {
+		if err := snd.Machine.Send([]byte(fmt.Sprintf("u-%03d", i)), false); err != nil {
+			t.Fatalf("unmarked send %d: %v", i, err)
+		}
+	}
+	m := snd.Machine.Metrics()
+	if m.ShedMsgs == 0 {
+		t.Fatal("no unmarked messages shed at a full backlog")
+	}
+	if q := snd.Machine.QueuedPackets(); q > sndCfg.MaxSendBacklog {
+		t.Fatalf("backlog %d exceeds bound %d", q, sndCfg.MaxSendBacklog)
+	}
+	if cnt.Count(trace.ShedUnmarked) == 0 {
+		t.Fatal("shedding left no ShedUnmarked trace events")
+	}
+	if cnt.Snapshot().ShedBytes == 0 {
+		t.Fatal("Counters.Snapshot().ShedBytes not accumulated")
+	}
+
+	// A marked message must displace queued unmarked packets, not be
+	// refused: the queue sheds from the head to make room.
+	before := snd.Machine.Metrics().ShedPackets
+	if err := snd.Machine.Send([]byte("must-deliver"), true); err != nil {
+		t.Fatalf("marked send at full backlog: %v", err)
+	}
+	if after := snd.Machine.Metrics().ShedPackets; after == before {
+		t.Fatal("marked ingress did not shed queued unmarked packets")
+	}
+
+	// The marked message survives end to end.
+	s.RunUntil(s.Now() + 30*time.Second)
+	found := false
+	for _, msg := range rcv.Delivered {
+		if string(msg.Data) == "must-deliver" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("marked message lost under backlog shedding")
+	}
+}
+
+func TestBacklogUnboundedByDefault(t *testing.T) {
+	s := sim.New(41)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	snd, rcv := endpoint.Pair(d, core.DefaultConfig(), core.DefaultConfig())
+	if !endpoint.WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("handshake failed")
+	}
+	for i := 0; i < 200; i++ {
+		if err := snd.Machine.Send([]byte("filler"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := snd.Machine.Metrics(); m.ShedMsgs != 0 || m.ShedPackets != 0 {
+		t.Fatalf("zero MaxSendBacklog must not shed: %+v", m)
+	}
+}
+
+func TestBacklogMarkedNeverShedsMarked(t *testing.T) {
+	s := sim.New(42)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	sndCfg := core.DefaultConfig()
+	sndCfg.MaxSendBacklog = 8
+	rcvCfg := core.DefaultConfig()
+	rcvCfg.LossTolerance = 0.9
+	snd, rcv := endpoint.Pair(d, sndCfg, rcvCfg)
+	rcv.Record = true
+	if !endpoint.WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("handshake failed")
+	}
+	// An all-marked overload: nothing is sheddable, so the queue may exceed
+	// the bound, but every message must eventually deliver.
+	const n = 40
+	for i := 0; i < n; i++ {
+		if err := snd.Machine.Send([]byte(fmt.Sprintf("m-%03d", i)), true); err != nil {
+			t.Fatalf("marked send %d: %v", i, err)
+		}
+	}
+	if m := snd.Machine.Metrics(); m.ShedMsgs != 0 {
+		t.Fatalf("marked overload shed %d messages", m.ShedMsgs)
+	}
+	s.RunUntil(s.Now() + 60*time.Second)
+	if len(rcv.Delivered) != n {
+		t.Fatalf("delivered %d of %d marked messages", len(rcv.Delivered), n)
+	}
+}
+
+// Close-reason taxonomy at the machine level: every way to die records
+// exactly one registered reason.
+
+func TestCloseReasonPeerDead(t *testing.T) {
+	s := sim.New(43)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	sndCfg := core.DefaultConfig()
+	sndCfg.Keepalive = 200 * time.Millisecond
+	sndCfg.DeadInterval = 800 * time.Millisecond
+	snd, rcv := endpoint.Pair(d, sndCfg, core.DefaultConfig())
+	if !endpoint.WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("handshake failed")
+	}
+	rcv.Machine.Abort() // vanishes silently: no FIN, no RST
+	s.RunUntil(s.Now() + 10*time.Second)
+	if st := snd.Machine.State(); st != "dead" {
+		t.Fatalf("sender state = %q, want dead", st)
+	}
+	if r := snd.Machine.CloseReason(); r != trace.ReasonPeerDead {
+		t.Fatalf("CloseReason = %q, want %q", r, trace.ReasonPeerDead)
+	}
+}
+
+func TestCloseReasonFinExchange(t *testing.T) {
+	s := sim.New(44)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	snd, rcv := endpoint.Pair(d, core.DefaultConfig(), core.DefaultConfig())
+	if !endpoint.WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("handshake failed")
+	}
+	snd.Machine.Close()
+	s.RunUntil(s.Now() + 10*time.Second)
+	if r := snd.Machine.CloseReason(); r != trace.ReasonLocalClose {
+		t.Fatalf("closer's reason = %q, want %q", r, trace.ReasonLocalClose)
+	}
+	if r := rcv.Machine.CloseReason(); r != trace.ReasonRemoteFin {
+		t.Fatalf("peer's reason = %q, want %q", r, trace.ReasonRemoteFin)
+	}
+}
+
+func TestCloseReasonAbort(t *testing.T) {
+	s := sim.New(45)
+	d := netem.NewDumbbell(s, netem.DefaultDumbbell())
+	snd, rcv := endpoint.Pair(d, core.DefaultConfig(), core.DefaultConfig())
+	if !endpoint.WaitEstablished(s, snd, rcv, 5*time.Second) {
+		t.Fatal("handshake failed")
+	}
+	snd.Machine.Abort()
+	if r := snd.Machine.CloseReason(); r != trace.ReasonAborted {
+		t.Fatalf("CloseReason = %q, want %q", r, trace.ReasonAborted)
+	}
+	// A second teardown must not overwrite the recorded reason.
+	snd.Machine.AbortWith(trace.ReasonPeerDead)
+	if r := snd.Machine.CloseReason(); r != trace.ReasonAborted {
+		t.Fatalf("reason overwritten on double abort: %q", r)
+	}
+}

@@ -42,7 +42,11 @@ func (m *Machine) traceCwnd(prev, now float64, reason string) {
 }
 
 // setState transitions the connection state machine, tracing the edge.
-func (m *Machine) setState(s connState) {
+func (m *Machine) setState(s connState) { m.setStateReason(s, "") }
+
+// setStateReason is setState carrying the edge's cause — the transition to
+// the dead state records the connection's single close reason here.
+func (m *Machine) setStateReason(s connState, reason string) {
 	if m.state == s {
 		return
 	}
@@ -53,6 +57,7 @@ func (m *Machine) setState(s connState) {
 			ConnID: m.connID,
 			From:   m.state.String(),
 			To:     s.String(),
+			Reason: reason,
 		})
 	}
 	m.state = s

@@ -16,6 +16,7 @@ func (p *Packet) Reset() {
 var (
 	pool       = sync.Pool{New: func() any { poolMisses.Add(1); return new(Packet) }}
 	poolGets   atomic.Uint64
+	poolPuts   atomic.Uint64
 	poolMisses atomic.Uint64
 )
 
@@ -32,6 +33,7 @@ func Put(p *Packet) {
 	if p == nil {
 		return
 	}
+	poolPuts.Add(1)
 	p.Reset()
 	pool.Put(p)
 }
@@ -44,4 +46,12 @@ func PoolStats() (hits, misses uint64) {
 		g = m // the two loads race; never report negative hits
 	}
 	return g - m, m
+}
+
+// PoolOutstanding reports packets currently checked out of the freelist
+// (Gets minus Puts). A quiesced process should read zero: a persistent
+// positive residue is a leak — some path took a packet and never returned
+// it. The chaos soak harness asserts this invariant after teardown.
+func PoolOutstanding() int64 {
+	return int64(poolGets.Load()) - int64(poolPuts.Load())
 }

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/chaoswire"
+	"github.com/cercs/iqrudp/internal/udpwire"
+)
+
+// Engine behavior under injected wire faults: migration across a NAT
+// rebind, resume-token eviction, and graceful drain while the wire is
+// dropping and reordering.
+
+// sinkAccept drains every accepted connection, recording marked payloads.
+func sinkAccept(srv *Server, got chan<- string) {
+	for {
+		c, err := srv.Accept(0)
+		if err != nil {
+			return
+		}
+		go func(c *udpwire.Conn) {
+			for {
+				msg, err := c.Recv(0)
+				if err != nil {
+					return
+				}
+				if msg.Marked {
+					got <- string(msg.Data)
+				}
+			}
+		}(c)
+	}
+}
+
+func TestMigrationUnderChaos(t *testing.T) {
+	srv := startServer(t, Options{Shards: 2})
+	got := make(chan string, 256)
+	go sinkAccept(srv, got)
+
+	// Duplication and reordering on both directions: the demux and the
+	// machines must absorb both without wedging the connection.
+	proxy, err := chaoswire.New(srv.Addr().String(), chaoswire.Config{
+		Seed: 11,
+		Up:   chaoswire.Faults{Dup: 0.1, Reorder: 0.1},
+		Down: chaoswire.Faults{Dup: 0.1, Reorder: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	cli, err := udpwire.Dial(proxy.Addr(), testConfig(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	want := map[string]bool{}
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			p := fmt.Sprintf("mig-%03d", len(want))
+			if err := cli.Send([]byte(p), true); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+			want[p] = true
+		}
+	}
+	recv := func() {
+		deadline := time.After(10 * time.Second)
+		for n := 0; n < len(want); {
+			select {
+			case p := <-got:
+				if !want[p] {
+					continue // duplicate delivery of an earlier payload
+				}
+				delete(want, p)
+			case <-deadline:
+				t.Fatalf("%d payloads never delivered: %v", len(want), want)
+			}
+		}
+	}
+
+	send(20)
+	recv()
+
+	// The NAT rebinds: same ConnID, new source address. The engine must
+	// migrate the connection rather than refuse or strand it.
+	if err := proxy.Rebind(); err != nil {
+		t.Fatal(err)
+	}
+	send(20)
+	recv()
+
+	if n := srv.Stats().Migrations; n < 1 {
+		t.Fatalf("Stats().Migrations = %d, want >= 1 after rebind", n)
+	}
+}
+
+func TestResumeEvictsPredecessor(t *testing.T) {
+	srv := startServer(t, Options{Shards: 2})
+	got := make(chan string, 256)
+	go sinkAccept(srv, got)
+
+	cfg := testConfig()
+	cli, err := udpwire.Dial(srv.Addr().String(), cfg, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send([]byte("pre-outage"), true); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pre-outage payload never arrived")
+	}
+	if srv.Conns() != 1 {
+		t.Fatalf("Conns() = %d, want 1", srv.Conns())
+	}
+
+	// The client dies silently (no FIN reaches the server) and resumes.
+	// The server must evict the zombie on the resume token, not hold both.
+	cli.Abort()
+	nc, err := cli.Resume(5 * time.Second)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	defer nc.Close()
+
+	if err := nc.Send([]byte("post-outage"), true); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case p := <-got:
+			if p == "post-outage" {
+				goto delivered
+			}
+		case <-deadline:
+			t.Fatal("post-outage payload never arrived on the successor")
+		}
+	}
+delivered:
+	if n := srv.Stats().Resumes; n != 1 {
+		t.Errorf("Stats().Resumes = %d, want 1", n)
+	}
+	evicted := time.Now().Add(5 * time.Second)
+	for srv.Conns() > 1 && time.Now().Before(evicted) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := srv.Conns(); n != 1 {
+		t.Errorf("Conns() = %d after resume, want 1 (zombie evicted)", n)
+	}
+}
+
+func TestGracefulDrainUnderChaos(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", testConfig(), Options{
+		Shards: 2, DrainTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 1024)
+	go sinkAccept(srv, got)
+
+	proxy, err := chaoswire.New(srv.Addr().String(), chaoswire.Config{
+		Seed: 13,
+		Up:   chaoswire.Faults{Drop: 0.05, Dup: 0.05, Reorder: 0.05},
+		Down: chaoswire.Faults{Drop: 0.05, Dup: 0.05, Reorder: 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	var clis []*udpwire.Conn
+	for i := 0; i < 3; i++ {
+		c, err := udpwire.Dial(proxy.Addr(), testConfig(), 5*time.Second)
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		defer c.Abort() // cleanup: no linger — the server is gone by then
+		for j := 0; j < 10; j++ {
+			if err := c.Send([]byte(fmt.Sprintf("drain-%d-%02d", i, j)), true); err != nil {
+				t.Fatalf("send: %v", err)
+			}
+		}
+		clis = append(clis, c)
+	}
+
+	// Close during live lossy traffic: the drain must terminate within its
+	// bound (plus scheduling slack) even though FINs and FINACKs are being
+	// dropped, and every connection must end up torn down.
+	start := time.Now()
+	srv.Close()
+	if took := time.Since(start); took > 8*time.Second {
+		t.Fatalf("drain took %v, want bounded by DrainTimeout + backstop", took)
+	}
+	if n := srv.Conns(); n != 0 {
+		t.Fatalf("Conns() = %d after drain, want 0", n)
+	}
+
+	// Post-drain SYNs are refused with RST → a typed ErrRefused, fast.
+	_, err = udpwire.Dial(srv.Addr().String(), testConfig(), 2*time.Second)
+	if err == nil {
+		t.Fatal("dial succeeded against a closed engine")
+	}
+	if !errors.Is(err, udpwire.ErrRefused) && !errors.Is(err, udpwire.ErrHandshakeTimeout) {
+		t.Fatalf("post-drain dial error = %v, want refused or handshake timeout", err)
+	}
+	var fins int
+	for _, c := range clis {
+		if c.Closed() {
+			fins++
+		}
+	}
+	t.Logf("drain: %d/%d clients saw the FIN exchange complete under chaos", fins, len(clis))
+}

@@ -126,6 +126,7 @@ type Server struct {
 	accepted    atomic.Uint64
 	refused     atomic.Uint64
 	migrations  atomic.Uint64
+	resumes     atomic.Uint64 // SYNs carrying a valid resume token
 	stray       atomic.Uint64
 	sockBufErrs atomic.Uint64 // SetReadBuffer/SetWriteBuffer failures at bind
 }
@@ -308,6 +309,7 @@ type Stats struct {
 	Accepted    uint64 // connections admitted since start
 	Refused     uint64 // SYNs refused with RST (backlog full, collision, draining)
 	Migrations  uint64 // peer-address rebinds absorbed
+	Resumes     uint64 // session resumptions (SYNs naming a dead predecessor)
 	Stray       uint64 // non-SYN packets for unknown ConnIDs
 	SockBufErrs uint64 // SetReadBuffer/SetWriteBuffer failures at bind
 	Shards      []ShardStats
@@ -319,6 +321,7 @@ func (srv *Server) Stats() Stats {
 		Accepted:    srv.accepted.Load(),
 		Refused:     srv.refused.Load(),
 		Migrations:  srv.migrations.Load(),
+		Resumes:     srv.resumes.Load(),
 		Stray:       srv.stray.Load(),
 		SockBufErrs: srv.sockBufErrs.Load(),
 		Shards:      make([]ShardStats, len(srv.shards)),
@@ -350,6 +353,7 @@ func (srv *Server) Gauges() map[string]func() float64 {
 		"serve.accepted":   func() float64 { return float64(srv.accepted.Load()) },
 		"serve.refused":    func() float64 { return float64(srv.refused.Load()) },
 		"serve.migrations": func() float64 { return float64(srv.migrations.Load()) },
+		"serve.resumes":    func() float64 { return float64(srv.resumes.Load()) },
 		// Socket buffer-sizing failures at bind: nonzero means the engine is
 		// running on default kernel buffers.
 		"serve.sockbuf.errors": func() float64 { return float64(srv.sockBufErrs.Load()) },

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/cercs/iqrudp/internal/packet"
+	"github.com/cercs/iqrudp/internal/trace"
 	"github.com/cercs/iqrudp/internal/udpwire"
 	"github.com/cercs/iqrudp/internal/uio"
 )
@@ -126,6 +127,31 @@ func (sh *shard) acceptSyn(p *packet.Packet, raddr *net.UDPAddr, key string) {
 	if sh.srv.draining() {
 		sh.refuse(p, raddr)
 		return
+	}
+
+	// Resume: a SYN whose payload carries a resume token names a dead
+	// predecessor connection (see packet.ParseResumeToken). The predecessor
+	// usually dialed from a different source address (NAT rebind, restart),
+	// so the address-key fallback below cannot find it — the token can.
+	// Evict it abortively and immediately: waiting out its dead interval
+	// would leave a zombie holding buffers, and FINing it would spray
+	// packets at an address that may now belong to someone else.
+	if prevID, ok := packet.ParseResumeToken(p.Payload); ok && prevID != p.ConnID {
+		home := sh.srv.homeShard(prevID)
+		home.mu.RLock()
+		old := home.byID[prevID]
+		home.mu.RUnlock()
+		if old != nil {
+			old.AbortWith(trace.ReasonResumed)
+		}
+		sh.srv.resumes.Add(1)
+		if sh.srv.cfg.Tracer != nil {
+			sh.srv.cfg.Tracer.Trace(trace.Event{
+				Type:   trace.ConnResumed,
+				ConnID: p.ConnID,
+				Seq:    prevID,
+			})
+		}
 	}
 
 	// Address-key fallback: if this source address already hosts a different

@@ -23,6 +23,7 @@ type Counters struct {
 	sentBytes  atomic.Uint64
 	ackedBytes atomic.Uint64
 	rescales   atomic.Uint64 // coordination decisions that rescaled the window
+	shedBytes  atomic.Uint64 // payload bytes shed under local overload
 }
 
 // NewCounters returns an empty counters sink.
@@ -52,6 +53,8 @@ func (c *Counters) Trace(ev Event) {
 		if ev.Factor != 0 {
 			c.rescales.Add(1)
 		}
+	case ShedUnmarked:
+		c.shedBytes.Add(uint64(ev.Size))
 	}
 }
 
@@ -84,6 +87,8 @@ type Snapshot struct {
 	SentBytes  uint64
 	AckedBytes uint64
 	Rescales   uint64
+	Resumes    uint64 // session resumptions (conn.resumed events)
+	ShedBytes  uint64 // payload bytes shed under local overload
 }
 
 // Snapshot copies the current values.
@@ -99,5 +104,7 @@ func (c *Counters) Snapshot() Snapshot {
 	s.SentBytes = c.sentBytes.Load()
 	s.AckedBytes = c.ackedBytes.Load()
 	s.Rescales = c.rescales.Load()
+	s.Resumes = s.Counts[ConnResumed]
+	s.ShedBytes = c.shedBytes.Load()
 	return s
 }

@@ -54,6 +54,44 @@ const (
 	ReasonRescale       = "rescale"         // Case 2/3 window rescale applied
 )
 
+// Close reasons (ConnState.Reason on the transition to "dead", and
+// Machine.CloseReason): why the connection terminated. Exactly one is
+// recorded per connection; the udpwire driver maps them onto its typed
+// error taxonomy (ErrPeerDead, ErrRefused, ...).
+const (
+	ReasonLocalClose       = "local-close"       // orderly local Close, FIN exchange completed
+	ReasonRemoteFin        = "remote-fin"        // peer sent FIN
+	ReasonPeerDead         = "peer-dead"         // nothing heard for DeadInterval
+	ReasonFinTimeout       = "fin-timeout"       // FIN exchange unanswered past the retry interval
+	ReasonReset            = "rst"               // peer reset an established connection
+	ReasonRefused          = "refused"           // RST before establishment (server refused)
+	ReasonHandshakeTimeout = "handshake-timeout" // dial deadline passed in SYN-SENT
+	ReasonAborted          = "aborted"           // abortive local teardown (eviction, Abort)
+	ReasonSockErr          = "sock-err"          // the socket under the connection failed
+	ReasonResumed          = "resumed"           // superseded by a resumed successor connection
+)
+
+// Fault kinds (FaultInjected.Reason): which fault the chaoswire middlebox
+// applied to the datagram. Duplication reuses ReasonDup.
+const (
+	ReasonDrop       = "drop"
+	ReasonReorder    = "reorder"
+	ReasonCorrupt    = "corrupt"
+	ReasonTruncate   = "truncate"
+	ReasonDelay      = "delay"
+	ReasonBlackhole  = "blackhole"
+	ReasonRebind     = "rebind"
+	ReasonEnobufs    = "enobufs"
+	ReasonShortWrite = "short-write"
+)
+
+// Shedding reasons (ShedUnmarked.Reason): where in the send pipeline the
+// overloaded machine abandoned unmarked data.
+const (
+	ReasonShedIngress = "shed-ingress" // discarded before segmentation
+	ReasonShedQueue   = "shed-queue"   // queued packet abandoned to admit marked data
+)
+
 // KindNone is the Kind recorded when a threshold callback returned no
 // adaptation report.
 const KindNone = "nil"
@@ -69,6 +107,12 @@ func Reasons() []string {
 		ReasonUpper, ReasonLower,
 		ReasonAnnounced, ReasonDiscardOn, ReasonDiscardOff,
 		ReasonBadDegree, ReasonFrameAboveMSS, ReasonRescale,
+		ReasonLocalClose, ReasonRemoteFin, ReasonPeerDead, ReasonFinTimeout,
+		ReasonReset, ReasonRefused, ReasonHandshakeTimeout, ReasonAborted,
+		ReasonSockErr, ReasonResumed,
+		ReasonDrop, ReasonReorder, ReasonCorrupt, ReasonTruncate, ReasonDelay,
+		ReasonBlackhole, ReasonRebind, ReasonEnobufs, ReasonShortWrite,
+		ReasonShedIngress, ReasonShedQueue,
 		KindNone,
 	}
 }

@@ -81,6 +81,23 @@ const (
 	// driver (Env.Emit cannot return an error); Size carries the number of
 	// datagrams affected and Reason the OS error text.
 	TxError
+	// FaultInjected records a fault deliberately applied to a datagram by
+	// the chaoswire middlebox (Reason "drop", "reorder", "corrupt",
+	// "truncate", "delay", "blackhole", "rebind", "enobufs", "short-write",
+	// or "dup" for duplication); Size carries the datagram length and ConnID
+	// the connection the datagram belonged to, when parseable.
+	FaultInjected
+	// ConnResumed records a session resumption: a dialer renegotiated a
+	// fresh connection ID after its predecessor died (dead interval, NAT
+	// rebind). ConnID is the successor's ID, Seq carries the predecessor's
+	// ID, and Size the number of carried-over marked messages (client side).
+	ConnResumed
+	// ShedUnmarked records graceful degradation under local overload: an
+	// unmarked message or queued packet abandoned because the send backlog
+	// exceeded Config.MaxSendBacklog (Reason "shed-ingress" before
+	// segmentation, "shed-queue" for queued packets making room for marked
+	// data); Size carries the shed payload bytes.
+	ShedUnmarked
 
 	// NumTypes is the number of event types (array-sizing sentinel).
 	NumTypes
@@ -101,6 +118,9 @@ var typeNames = [NumTypes]string{
 	ThresholdCallbackFired: "threshold_callback",
 	CoordinationDecision:   "coordination_decision",
 	TxError:                "tx_error",
+	FaultInjected:          "fault.injected",
+	ConnResumed:            "conn.resumed",
+	ShedUnmarked:           "shed.unmarked",
 }
 
 // String returns the stable wire name of the type (the qlog-style event

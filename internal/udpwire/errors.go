@@ -1,0 +1,110 @@
+package udpwire
+
+import (
+	"net"
+
+	"github.com/cercs/iqrudp/internal/trace"
+)
+
+// wireErr is a typed driver error. Each exported sentinel is a comparable
+// singleton — existing callers test identity (err == ErrTimeout) — that
+// also implements net.Error, so errors.Is and Timeout() work through any
+// wrapping (see OpError).
+type wireErr struct {
+	msg     string
+	timeout bool
+}
+
+func (e *wireErr) Error() string   { return e.msg }
+func (e *wireErr) Timeout() bool   { return e.timeout }
+func (e *wireErr) Temporary() bool { return e.timeout }
+
+// Errors returned by the driver. All implement net.Error; the two deadline
+// errors report Timeout() true.
+var (
+	// ErrClosed reports an operation on a connection that has shut down
+	// (local Close, remote FIN, or abortive teardown).
+	ErrClosed net.Error = &wireErr{msg: "udpwire: connection closed"}
+	// ErrTimeout reports a Recv (or Accept) deadline that elapsed with the
+	// connection still healthy.
+	ErrTimeout net.Error = &wireErr{msg: "udpwire: timed out", timeout: true}
+	// ErrRefused reports a connection that died before its handshake
+	// completed — the peer answered with RST (e.g. a server whose accept
+	// queue is full) or the socket failed underneath the dial.
+	ErrRefused net.Error = &wireErr{msg: "udpwire: connection refused"}
+	// ErrPeerDead reports a connection aborted because nothing was heard
+	// from the peer for Config.DeadInterval. A dialed connection in this
+	// state may be revived with Resume.
+	ErrPeerDead net.Error = &wireErr{msg: "udpwire: peer dead", timeout: true}
+	// ErrHandshakeTimeout reports a Dial whose handshake did not complete
+	// within the dial timeout.
+	ErrHandshakeTimeout net.Error = &wireErr{msg: "udpwire: handshake timed out", timeout: true}
+)
+
+// OpError wraps a typed driver error with operation context ("dial",
+// "resume") and the remote address. Unwrap preserves errors.Is against the
+// sentinels, and the net.Error methods delegate, so wrapping never hides
+// Timeout().
+type OpError struct {
+	Op   string
+	Addr string
+	Err  error
+}
+
+func (e *OpError) Error() string {
+	s := "udpwire: " + e.Op
+	if e.Addr != "" {
+		s += " " + e.Addr
+	}
+	return s + ": " + e.Err.Error()
+}
+
+func (e *OpError) Unwrap() error { return e.Err }
+
+func (e *OpError) Timeout() bool {
+	ne, ok := e.Err.(net.Error)
+	return ok && ne.Timeout()
+}
+
+func (e *OpError) Temporary() bool {
+	ne, ok := e.Err.(net.Error)
+	return ok && ne.Temporary()
+}
+
+// reasonErr maps a machine close reason (trace.Reason* close constants)
+// onto the driver's typed error taxonomy.
+func reasonErr(reason string) error {
+	switch reason {
+	case trace.ReasonPeerDead:
+		return ErrPeerDead
+	case trace.ReasonRefused:
+		return ErrRefused
+	case trace.ReasonHandshakeTimeout:
+		return ErrHandshakeTimeout
+	default:
+		// local-close, remote-fin, fin-timeout, rst, aborted, resumed,
+		// sock-err, and the pre-reason linger path all read as "closed".
+		return ErrClosed
+	}
+}
+
+// Err returns the typed error describing why the connection closed, or nil
+// while it is open. After closure it is stable: exactly one close reason is
+// recorded per connection.
+func (c *Conn) Err() error {
+	if !c.Closed() {
+		return nil
+	}
+	c.mu.Lock()
+	reason := c.m.CloseReason()
+	c.mu.Unlock()
+	return reasonErr(reason)
+}
+
+// CloseReason reports the machine's recorded close reason ("" while open) —
+// the same value carried by the ConnState trace event for the dead edge.
+func (c *Conn) CloseReason() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.CloseReason()
+}

@@ -1,0 +1,96 @@
+package udpwire
+
+import (
+	"math/rand/v2"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/packet"
+	"github.com/cercs/iqrudp/internal/trace"
+)
+
+// Dialer bundles a dial target with its configuration so a connection can be
+// re-established after it dies — the survivability half of the fault model: a
+// connection aborted by the dead-interval detector (ErrPeerDead) or orphaned
+// by a NAT rebind is replaced, not mourned.
+type Dialer struct {
+	Addr    string        // "host:port" dial target
+	Config  core.Config   // transport configuration for each attempt
+	Timeout time.Duration // handshake bound per attempt (0 = Dial's default)
+}
+
+// Dial opens a fresh connection to the dialer's target.
+func (d *Dialer) Dial() (*Conn, error) { return Dial(d.Addr, d.Config, d.Timeout) }
+
+// Redial replaces a dead (or dying) connection with a successor that resumes
+// it: the new SYN carries a resume token naming the predecessor's ConnID so a
+// ConnID-demultiplexing server can evict the zombie immediately instead of
+// waiting out its dead interval, and every marked message the predecessor
+// accepted but never saw fully acknowledged is re-sent on the successor —
+// at-least-once delivery for marked data across the outage. Unmarked backlog
+// is deliberately left behind: it was droppable on the wire, so it is
+// droppable across a resume.
+//
+// prev may still be open (e.g. the application decided the peer moved before
+// the dead-interval fired); it is aborted first. On success the returned
+// connection reports the predecessor via ResumedFrom.
+func (d *Dialer) Redial(prev *Conn) (*Conn, error) {
+	if prev.dialAddr == "" {
+		return nil, &OpError{Op: "resume", Addr: d.Addr, Err: errNotDialed}
+	}
+	if !prev.Closed() {
+		prev.Abort()
+	}
+	prev.mu.Lock()
+	prevID := prev.m.ConnID()
+	carry := prev.m.CarryoverMarked()
+	prev.mu.Unlock()
+
+	cfg := d.Config
+	cfg.ResumeToken = packet.AppendResumeToken(nil, prevID)
+	for cfg.ConnID == 0 || cfg.ConnID == prevID {
+		cfg.ConnID = rand.Uint32()
+	}
+	c, err := Dial(d.Addr, cfg, d.Timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.resumedFrom = prevID
+	c.mu.Unlock()
+	if cfg.Tracer != nil {
+		cfg.Tracer.Trace(trace.Event{
+			Time:   time.Since(c.epoch),
+			Type:   trace.ConnResumed,
+			ConnID: cfg.ConnID,
+			Seq:    prevID,
+			Size:   len(carry),
+		})
+	}
+	for _, b := range carry {
+		if err := c.Send(b, true); err != nil {
+			return c, &OpError{Op: "resume", Addr: d.Addr, Err: err}
+		}
+	}
+	return c, nil
+}
+
+// Resume replaces this dead dialed connection with a successor to the same
+// target under the same configuration (see Dialer.Redial for the semantics).
+// Only dialed connections can resume; accepted connections belong to their
+// server's lifecycle.
+func (c *Conn) Resume(timeout time.Duration) (*Conn, error) {
+	d := &Dialer{Addr: c.dialAddr, Config: c.dialCfg, Timeout: timeout}
+	return d.Redial(c)
+}
+
+// ResumedFrom returns the ConnID of the dead predecessor this connection
+// resumed, or zero for a connection that began life with a fresh Dial.
+func (c *Conn) ResumedFrom() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumedFrom
+}
+
+// errNotDialed reports a Resume/Redial on an accepted connection.
+var errNotDialed = &wireErr{msg: "udpwire: resume: not a dialed connection"}

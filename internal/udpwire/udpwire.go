@@ -11,8 +11,6 @@
 package udpwire
 
 import (
-	"errors"
-	"fmt"
 	"math/rand/v2"
 	"net"
 	"sync"
@@ -21,17 +19,8 @@ import (
 	"github.com/cercs/iqrudp/internal/attr"
 	"github.com/cercs/iqrudp/internal/core"
 	"github.com/cercs/iqrudp/internal/packet"
+	"github.com/cercs/iqrudp/internal/trace"
 	"github.com/cercs/iqrudp/internal/uio"
-)
-
-// Errors returned by the driver.
-var (
-	ErrClosed  = errors.New("udpwire: connection closed")
-	ErrTimeout = errors.New("udpwire: timed out")
-	// ErrRefused reports a connection that died before its handshake
-	// completed — the peer answered with RST (e.g. a server whose accept
-	// queue is full) or the socket failed underneath the dial.
-	ErrRefused = errors.New("udpwire: connection refused")
 )
 
 // Conn is an IQ-RUDP connection over a UDP socket. Dialed connections own a
@@ -46,11 +35,14 @@ type Conn struct {
 	peer  *net.UDPAddr
 	epoch time.Time
 
-	ownSocket  bool                                    // Close closes the socket (dialed conns)
-	local      net.Addr                                // accepted conns: the shared socket's address
-	sendTo     func(b []byte, peer *net.UDPAddr) error // accepted conns: shared-socket writer
-	onDetach   func(c *Conn)                           // accepted conns: demux-table removal
-	detachOnce sync.Once
+	ownSocket   bool                                    // Close closes the socket (dialed conns)
+	dialAddr    string                                  // dialed conns: the dial target, for Resume
+	dialCfg     core.Config                             // dialed conns: the dial config, for Resume
+	resumedFrom uint32                                  // predecessor ConnID when this conn was resumed
+	local       net.Addr                                // accepted conns: the shared socket's address
+	sendTo      func(b []byte, peer *net.UDPAddr) error // accepted conns: shared-socket writer
+	onDetach    func(c *Conn)                           // accepted conns: demux-table removal
+	detachOnce  sync.Once
 
 	pendingMsgs []core.Message
 	msgs        chan core.Message
@@ -281,6 +273,8 @@ func Dial(raddr string, cfg core.Config, timeout time.Duration) (*Conn, error) {
 	}
 	c := newConn(cfg, sock, ua)
 	c.ownSocket = true
+	c.dialAddr = raddr
+	c.dialCfg = cfg
 	if tb, err := uio.NewTxBatcher(sock, txRingSize); err == nil {
 		c.txb = tb
 	}
@@ -305,12 +299,18 @@ func Dial(raddr string, cfg core.Config, timeout time.Duration) (*Conn, error) {
 	case <-c.established:
 		return c, nil
 	case <-c.closed:
-		// RST before establishment (server refused) or socket failure.
+		// Died before establishment: RST from the server (refused) or a
+		// socket failure underneath the dial. Tear resources down, then
+		// surface the machine's recorded reason as a typed error.
 		c.Close()
-		return nil, fmt.Errorf("%w: %s", ErrRefused, raddr)
+		err := c.Err()
+		if err == ErrClosed {
+			err = ErrRefused // pre-establishment death with no richer reason
+		}
+		return nil, &OpError{Op: "dial", Addr: raddr, Err: err}
 	case <-deadline.C:
-		c.Close()
-		return nil, fmt.Errorf("%w: handshake to %s", ErrTimeout, raddr)
+		c.abortWith(trace.ReasonHandshakeTimeout)
+		return nil, &OpError{Op: "dial", Addr: raddr, Err: ErrHandshakeTimeout}
 	}
 }
 
@@ -328,7 +328,9 @@ func (c *Conn) readLoop() {
 	for {
 		msgs, err := c.rxb.Recv()
 		if err != nil {
-			c.Close()
+			// The socket died under the connection (or Close tore it down,
+			// in which case the machine already recorded its reason).
+			c.abortWith(trace.ReasonSockErr)
 			return
 		}
 		c.handleBatch(msgs, &p)
@@ -374,7 +376,7 @@ func (c *Conn) readLoopSimple() {
 	for {
 		n, err := c.sock.Read(buf)
 		if err != nil {
-			c.Close()
+			c.abortWith(trace.ReasonSockErr)
 			return
 		}
 		if err := packet.DecodeInto(&p, buf[:n], p.Payload); err != nil {
@@ -465,12 +467,14 @@ func (c *Conn) Recv(timeout time.Duration) (core.Message, error) {
 	case <-tc:
 		return core.Message{}, ErrTimeout
 	case <-c.closed:
-		// Drain anything already queued before reporting closure.
+		// Drain anything already queued before reporting closure, then
+		// surface the typed close reason (ErrClosed for an orderly shutdown,
+		// ErrPeerDead / ErrRefused / … otherwise).
 		select {
 		case msg := <-c.msgs:
 			return msg, nil
 		default:
-			return core.Message{}, ErrClosed
+			return core.Message{}, c.Err()
 		}
 	}
 }
@@ -586,6 +590,12 @@ func (c *Conn) CloseWithin(linger time.Duration) error {
 	select {
 	case <-c.closed:
 	case <-lingerT.C:
+		// The graceful drain outlived its bound: force the machine dead with
+		// a typed reason (timers are gated on c.closed, so without this the
+		// machine would be frozen mid-FIN with no recorded close reason).
+		c.mu.Lock()
+		c.m.AbortWith(trace.ReasonFinTimeout)
+		c.mu.Unlock()
 		c.closeOnce.Do(func() { close(c.closed) })
 	}
 	if c.ownSocket {
@@ -601,9 +611,17 @@ func (c *Conn) CloseWithin(linger time.Duration) error {
 // no FIN, no drain. The serve engine uses it to evict a zombie connection
 // whose peer address has been taken over by a new dialer: FINing the old
 // connection would spray packets at the new one.
-func (c *Conn) Abort() {
+func (c *Conn) Abort() { c.abortWith(trace.ReasonAborted) }
+
+// AbortWith is Abort recording an explicit close reason (one of the
+// trace.Reason* close constants), so the cause an acceptor observed — e.g.
+// a resumed successor superseding this connection — surfaces through Err
+// and the trace stream.
+func (c *Conn) AbortWith(reason string) { c.abortWith(reason) }
+
+func (c *Conn) abortWith(reason string) {
 	c.mu.Lock()
-	c.m.Abort()
+	c.m.AbortWith(reason)
 	c.mu.Unlock()
 	c.closeOnce.Do(func() { close(c.closed) })
 	if c.ownSocket {

@@ -159,6 +159,15 @@ const (
 	TraceThresholdCallbackFired = trace.ThresholdCallbackFired
 	TraceCoordinationDecision   = trace.CoordinationDecision
 	TraceTxError                = trace.TxError
+	// TraceFaultInjected marks a fault the chaoswire middlebox applied to a
+	// datagram (test/benchmark runs only; never emitted by the transport).
+	TraceFaultInjected = trace.FaultInjected
+	// TraceConnResumed marks a session resumption (Conn.Resume / the serve
+	// engine admitting a resume token).
+	TraceConnResumed = trace.ConnResumed
+	// TraceShedUnmarked marks graceful degradation under local overload
+	// (Config.MaxSendBacklog shedding unmarked traffic).
+	TraceShedUnmarked = trace.ShedUnmarked
 )
 
 // Trace sink constructors and helpers.
@@ -195,14 +204,32 @@ type (
 	ServerShardStats = serve.ShardStats
 )
 
-// Driver errors.
+// Driver errors. All implement net.Error; ErrTimeout, ErrPeerDead and
+// ErrHandshakeTimeout report Timeout() true. Dial and Resume wrap them in
+// *OpError (errors.Is still matches the sentinels through the wrapping).
 var (
 	ErrClosed  = udpwire.ErrClosed
 	ErrTimeout = udpwire.ErrTimeout
 	// ErrRefused reports that the server answered the handshake with RST
 	// (accept queue full, ConnID collision, or draining).
 	ErrRefused = udpwire.ErrRefused
+	// ErrPeerDead reports a connection aborted after hearing nothing from
+	// the peer for Config.DeadInterval; Conn.Resume can replace it.
+	ErrPeerDead = udpwire.ErrPeerDead
+	// ErrHandshakeTimeout reports a Dial whose handshake never completed.
+	ErrHandshakeTimeout = udpwire.ErrHandshakeTimeout
 )
+
+// OpError wraps a driver error with operation context ("dial", "resume")
+// and the remote address.
+type OpError = udpwire.OpError
+
+// Dialer bundles a dial target and configuration so a dead connection can
+// be re-established (Redial) with session resumption: the successor names
+// its predecessor in the handshake, the server evicts the zombie, and
+// marked messages the predecessor never saw acknowledged are re-sent.
+// Conn.Resume is the per-connection shorthand.
+type Dialer = udpwire.Dialer
 
 // DefaultConfig returns the standard transport parameters (1400 B segments,
 // coordination enabled, zero receiver loss tolerance).

@@ -132,6 +132,12 @@ func (e *Exporter) WritePrometheus(w io.Writer) error {
 		p("# HELP %s_window_rescales_total Coordination decisions that rescaled the window.\n", namespace)
 		p("# TYPE %s_window_rescales_total counter\n", namespace)
 		p("%s_window_rescales_total %d\n", namespace, s.Rescales)
+		p("# HELP %s_resumes_total Session resumptions (conn.resumed events).\n", namespace)
+		p("# TYPE %s_resumes_total counter\n", namespace)
+		p("%s_resumes_total %d\n", namespace, s.Resumes)
+		p("# HELP %s_shed_bytes_total Payload bytes shed under local overload.\n", namespace)
+		p("# TYPE %s_shed_bytes_total counter\n", namespace)
+		p("%s_shed_bytes_total %d\n", namespace, s.ShedBytes)
 		p("# HELP %s_cwnd_packets Last observed congestion window.\n", namespace)
 		p("# TYPE %s_cwnd_packets gauge\n", namespace)
 		p("%s_cwnd_packets %g\n", namespace, s.Cwnd)
@@ -175,6 +181,8 @@ func (e *Exporter) Vars() map[string]any {
 		out["sent_bytes"] = s.SentBytes
 		out["acked_bytes"] = s.AckedBytes
 		out["window_rescales"] = s.Rescales
+		out["resumes"] = s.Resumes
+		out["shed_bytes"] = s.ShedBytes
 		out["cwnd_packets"] = s.Cwnd
 		out["error_ratio"] = s.ErrorRatio
 		out["rate_bytes_per_second"] = s.RateBps
