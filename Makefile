@@ -12,7 +12,7 @@ GO ?= go
 CHAOS_SEED ?= 1
 CHAOS_DUR  ?= 5s
 
-.PHONY: check build test vet lint race race-smoke chaos-smoke fuzz-smoke bench bench-alloc bench-server benchstat tables
+.PHONY: check build test vet lint race race-smoke chaos-smoke fuzz-smoke bench bench-alloc bench-obs bench-server benchstat tables
 
 check: vet lint build race ## vet + iqlint + build + full race-enabled test run (includes the short seeded chaos pass)
 
@@ -51,6 +51,9 @@ bench: ## nil-tracer send-path benchmarks (compare against a saved baseline)
 
 bench-alloc: ## zero-allocation fast-path A/B (allocs/op + msgs/sec vs baseline) -> BENCH_alloc.json
 	BENCH_ALLOC_JSON=$(CURDIR)/BENCH_alloc.json $(GO) test -run TestAllocBenchJSON -count=1 -v .
+
+bench-obs: ## histogram-recording overhead A/B (ns/op + allocs/op, hists on vs off) -> BENCH_obs.json
+	BENCH_OBS_JSON=$(CURDIR)/BENCH_obs.json $(GO) test -run TestObsBenchJSON -count=1 -v .
 
 bench-server: ## many-connection serve-vs-listener throughput A/B -> BENCH_server.json
 	BENCH_SERVER_JSON=$(CURDIR)/BENCH_server.json $(GO) test -run TestServerEngineBenchJSON -v ./internal/serve/

@@ -142,12 +142,19 @@ func (e *pipeEnv) After(d time.Duration, fn func()) core.Timer {
 }
 
 func newPipePair(tb testing.TB) (*core.Machine, *pipeWorld) {
+	return newPipePairCfg(tb, core.DefaultConfig)
+}
+
+// newPipePairCfg builds the pipe with a per-machine config factory (each
+// side gets a fresh config, so observability state is never shared); the
+// obs-overhead harness uses it to A/B instrumented machines.
+func newPipePairCfg(tb testing.TB, mk func() core.Config) (*core.Machine, *pipeWorld) {
 	tb.Helper()
 	w := &pipeWorld{timers: make([]*pipeTimer, 0, 64), q: make([]wireEvt, 0, 64)}
 	ea := &pipeEnv{w: w}
 	eb := &pipeEnv{w: w}
-	a := core.NewMachine(core.DefaultConfig(), ea)
-	b := core.NewMachine(core.DefaultConfig(), eb)
+	a := core.NewMachine(mk(), ea)
+	b := core.NewMachine(mk(), eb)
 	ea.peer = b
 	eb.peer = a
 	b.StartServer()
@@ -176,8 +183,12 @@ func sendRound(a *core.Machine, w *pipeWorld, payload []byte) {
 // measureRoundAllocs warms the freelists then measures allocations and
 // packets for steady-state message rounds.
 func measureRoundAllocs(tb testing.TB) (roundAllocs, pktsPerRound float64) {
+	return measureRoundAllocsCfg(tb, core.DefaultConfig)
+}
+
+func measureRoundAllocsCfg(tb testing.TB, mk func() core.Config) (roundAllocs, pktsPerRound float64) {
 	tb.Helper()
-	a, w := newPipePair(tb)
+	a, w := newPipePairCfg(tb, mk)
 	payload := make([]byte, 1200)
 	for i := 0; i < 200; i++ {
 		sendRound(a, w, payload)

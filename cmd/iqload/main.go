@@ -15,12 +15,16 @@
 //	iqload -to host:9901 -unmarked 0.5                       # half droppable
 //
 // Messages of at least 16 bytes carry a timestamp; the sink reports
-// per-connection p50/p99 delivery latency in its final block (one-way, so
-// meaningful on loopback or clock-synchronised hosts).
+// per-connection p50/p99/p999 delivery latency in its final block (one-way,
+// so meaningful on loopback or clock-synchronised hosts).
 //
 // Either mode takes -trace file.jsonl (machine-event trace for cmd/iqstat)
 // and -metrics-addr host:port (live Prometheus /metrics + expvar
-// /debug/vars; the serve engine's gauges are registered automatically).
+// /debug/vars; the serve engine's gauges, histograms and /debug/iqrudp
+// introspection document are registered automatically). Source connections
+// run with histograms and the flight recorder armed: the survivability
+// line counts connections that died leaving a black box (see cmd/iqstat
+// -flight for rendering a dumped record).
 package main
 
 import (
@@ -81,7 +85,7 @@ func main() {
 			log.Fatal(err)
 		}
 	case *to != "":
-		if err := runSource(*to, *duration, *size, *rate, *unmarked, *seed, *conns, *churn, chaosCfg, tracer); err != nil {
+		if err := runSource(*to, *duration, *size, *rate, *unmarked, *seed, *conns, *churn, chaosCfg, tracer, exporter); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -147,6 +151,8 @@ func runSink(addr string, tolerance float64, engine string, shards int, tracer i
 			for name, fn := range srv.Gauges() {
 				exporter.AddGauge(name, fn)
 			}
+			exporter.AddHistSource(srv.HistSnapshots)
+			exporter.SetIntrospection(func() any { return srv.Introspect() })
 		}
 		fmt.Println("iqload sink (serve engine) on", srv.Addr())
 		accept = func() (*iqrudp.Conn, error) { return srv.Accept(0) }
@@ -215,8 +221,8 @@ func sinkConn(conn *iqrudp.Conn) {
 	elapsed := time.Since(start).Seconds()
 	latency := ""
 	if lat.N() > 0 {
-		latency = fmt.Sprintf(", delivery p50=%.2fms p99=%.2fms",
-			lat.Quantile(0.5), lat.Quantile(0.99))
+		latency = fmt.Sprintf(", delivery p50=%.2fms p99=%.2fms p999=%.2fms",
+			lat.Quantile(0.5), lat.Quantile(0.99), lat.Quantile(0.999))
 	}
 	fmt.Printf("done %s: %d messages (%d marked), %.1f KB, %.1f KB/s average%s\n",
 		conn.RemoteAddr(), total, marked, float64(bytes)/1000,
@@ -278,12 +284,20 @@ func (c *typedErrCounts) String() string {
 		c.peerDead.Load(), c.refused.Load(), c.hsTimeout.Load())
 }
 
-func runSource(to string, duration time.Duration, size int, rate, unmarked float64, seed int64, conns int, churn float64, chaos chaosOpts, tracer iqrudp.Tracer) error {
+func runSource(to string, duration time.Duration, size int, rate, unmarked float64, seed int64, conns int, churn float64, chaos chaosOpts, tracer iqrudp.Tracer, exporter *metricsexp.Exporter) error {
 	if conns < 1 {
 		conns = 1
 	}
 	cfg := iqrudp.DefaultConfig()
 	cfg.Tracer = tracer
+	// Arm the observability surface: one histogram set shared by every
+	// worker (records are atomic, so sharing just merges their samples)
+	// and a flight recorder per connection for typed-error postmortems.
+	cfg.Hists = iqrudp.NewHists()
+	cfg.FlightEvents = 64
+	if exporter != nil {
+		exporter.AddHistSource(cfg.Hists.Snapshots)
+	}
 	fmt.Printf("sending %dB messages to %s for %v over %d connection(s)\n",
 		size, to, duration, conns)
 	if chaos.enabled {
@@ -299,13 +313,14 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 	}
 
 	var (
-		totalSent atomic.Uint64
-		dials     atomic.Uint64
-		failures  atomic.Uint64
-		resumes   atomic.Uint64
-		typed     typedErrCounts
-		lastMu    sync.Mutex
-		lastMet   *iqrudp.Metrics
+		totalSent  atomic.Uint64
+		dials      atomic.Uint64
+		failures   atomic.Uint64
+		resumes    atomic.Uint64
+		flightRecs atomic.Uint64
+		typed      typedErrCounts
+		lastMu     sync.Mutex
+		lastMet    *iqrudp.Metrics
 	)
 	deadline := time.Now().Add(duration)
 	var wg sync.WaitGroup
@@ -375,6 +390,9 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 				// marked data is carried onto the successor connection.
 				for err != nil && errors.Is(err, iqrudp.ErrPeerDead) {
 					typed.count(err)
+					if conn.FlightRecord() != nil {
+						flightRecs.Add(1)
+					}
 					err = nil
 					if !time.Now().Before(end) {
 						break
@@ -401,6 +419,11 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 				if err != nil {
 					failures.Add(1)
 					typed.count(err)
+					// Close above was not clean — the abort already happened,
+					// so the black box (if armed) is retrievable after Close.
+					if conn.FlightRecord() != nil {
+						flightRecs.Add(1)
+					}
 					fmt.Fprintf(os.Stderr, "conn %d: send: %v\n", i, err)
 				}
 			}
@@ -413,8 +436,9 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 	fmt.Printf("sent %d messages over %d dial(s) (%d failure(s)), %.1f KB/s offered, %d msgs/s\n",
 		sent, dials.Load(), failures.Load(),
 		float64(sent)*float64(size)/elapsed/1000, int(float64(sent)/elapsed))
-	if chaos.enabled || resumes.Load() > 0 {
-		fmt.Printf("survivability: %d resume(s); typed errors: %s\n", resumes.Load(), &typed)
+	if chaos.enabled || resumes.Load() > 0 || flightRecs.Load() > 0 {
+		fmt.Printf("survivability: %d resume(s); typed errors: %s; %d flight record(s)\n",
+			resumes.Load(), &typed, flightRecs.Load())
 	}
 	lastMu.Lock()
 	if lastMet != nil {

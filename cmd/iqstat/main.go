@@ -10,9 +10,16 @@
 //	iqstat -conn 2 trace.jsonl         # one connection only
 //	iqstat -cwnd trace.jsonl           # add cwnd-over-time charts
 //	iqstat -full trace.jsonl           # timeline includes every event
+//	iqstat -flight flight.json         # render a flight-record dump instead
+//
+// A flight-record dump is either one Conn.FlightRecord marshalled to JSON
+// or a /debug/iqrudp introspection document (its flight_records array);
+// -flight renders each record's header, metrics, histogram summaries and
+// event ring in the familiar timeline format.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,18 +27,28 @@ import (
 	"sort"
 	"time"
 
+	"github.com/cercs/iqrudp/internal/core"
 	"github.com/cercs/iqrudp/internal/stats"
 	"github.com/cercs/iqrudp/internal/trace"
 )
 
 func main() {
 	var (
-		conn  = flag.Int("conn", -1, "restrict to one connection id (-1 = all)")
-		cwnd  = flag.Bool("cwnd", false, "chart the congestion window over time per connection")
-		full  = flag.Bool("full", false, "timeline every event, not just the decision points")
-		limit = flag.Int("limit", 40, "max timeline rows per connection (0 = unlimited)")
+		conn   = flag.Int("conn", -1, "restrict to one connection id (-1 = all)")
+		cwnd   = flag.Bool("cwnd", false, "chart the congestion window over time per connection")
+		full   = flag.Bool("full", false, "timeline every event, not just the decision points")
+		limit  = flag.Int("limit", 40, "max timeline rows per connection (0 = unlimited)")
+		flight = flag.String("flight", "", "render a flight-record dump (JSON, \"-\" for stdin) instead of a JSONL trace")
 	)
 	flag.Parse()
+
+	if *flight != "" {
+		if err := renderFlight(*flight); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	events, err := load(flag.Arg(0))
 	if err != nil {
@@ -73,6 +90,84 @@ func load(path string) ([]trace.Event, error) {
 		r = f
 	}
 	return trace.ReadJSONL(r)
+}
+
+// renderFlight reads a flight-record dump from path (or stdin when "-")
+// and prints each record. The dump is either one record — the output of
+// Conn.FlightRecord marshalled to JSON — or an introspection document from
+// /debug/iqrudp, whose flight_records array holds the retained records.
+func renderFlight(path string) error {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		FlightRecords []*core.FlightRecord `json:"flight_records"`
+	}
+	if err := json.Unmarshal(data, &doc); err == nil && len(doc.FlightRecords) > 0 {
+		for i, rec := range doc.FlightRecords {
+			if i > 0 {
+				fmt.Println()
+			}
+			printFlight(rec)
+		}
+		return nil
+	}
+	var rec core.FlightRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("parse flight record %s: %w", path, err)
+	}
+	if rec.CloseReason == "" && len(rec.Events) == 0 {
+		return fmt.Errorf("%s: no flight record in input", path)
+	}
+	printFlight(&rec)
+	return nil
+}
+
+// printFlight renders one record: header, transport metrics, histogram
+// summaries, then the event ring in the trace-timeline format.
+func printFlight(rec *core.FlightRecord) {
+	fmt.Printf("## conn %d — flight record: %s in state %s at %v\n",
+		rec.ConnID, rec.CloseReason, rec.State, rec.ClosedAt.Round(time.Millisecond))
+	if rec.Peer != "" {
+		fmt.Printf("   peer %s\n", rec.Peer)
+	}
+	fmt.Printf("   %v\n\n", rec.Metrics)
+	if len(rec.Hists) > 0 {
+		tb := stats.NewTable("Distributions",
+			"Metric", "Count", "Mean", "P50", "P90", "P99", "P999")
+		for _, h := range rec.Hists {
+			tb.AddRow(h.Name, h.Count,
+				fmtSample(h.Mean, h.Unit), fmtSample(h.P50, h.Unit),
+				fmtSample(h.P90, h.Unit), fmtSample(h.P99, h.Unit),
+				fmtSample(h.P999, h.Unit))
+		}
+		fmt.Println(tb.String())
+	}
+	for _, ev := range rec.Events {
+		fmt.Printf("  %10s  %s\n", ev.Time.Round(100*time.Microsecond), describe(ev))
+	}
+	if rec.Dropped > 0 {
+		fmt.Printf("  … %d earlier event(s) overwritten in the ring\n", rec.Dropped)
+	}
+}
+
+// fmtSample formats one histogram summary value in its native unit:
+// durations for seconds-unit histograms, plain numbers otherwise.
+func fmtSample(v float64, unit string) string {
+	if unit == "seconds" {
+		return time.Duration(v * float64(time.Second)).Round(10 * time.Microsecond).String()
+	}
+	return fmt.Sprintf("%.1f", v)
 }
 
 // histogram tabulates event counts by type.

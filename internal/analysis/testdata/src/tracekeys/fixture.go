@@ -3,6 +3,7 @@ package fixture
 
 import (
 	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/hist"
 	"github.com/cercs/iqrudp/internal/trace"
 )
 
@@ -40,4 +41,23 @@ func attrs(l *attr.List) {
 	l.Set("NET_BOGUS", attr.Float(0))  // want `raw quality-attribute key "NET_BOGUS"`
 	l.Set(attr.AdaptFreq, attr.Float(1))
 	l.Set("my_custom_key", attr.Float(2)) // the vocabulary is open: fine
+}
+
+func lookup(metric string) bool {
+	for _, m := range hist.Metrics() {
+		if m == metric {
+			return true
+		}
+	}
+	return false
+}
+
+func metrics() {
+	_ = hist.NewLatency(hist.MetricRTT) // the registered constant: fine
+	_ = lookup("rtt_seconds")           // want `raw metric name "rtt_seconds"`
+	_ = lookup("queue_depth_furlongs")  // want `unregistered metric name "queue_depth_furlongs"`
+	_ = lookup(hist.MetricDispatch)
+	var name string
+	name = "dispatch_latency_seconds" // want `raw metric name "dispatch_latency_seconds"`
+	_ = name
 }

@@ -10,9 +10,12 @@
 //     Reason* / Kind* string constant (trace.Reasons lists them);
 //   - internal/attr declares every reserved quality-attribute key
 //     (ADAPT_*, NET_*, LOSS_TOLERANCE, MARKED, DEADLINE) as a constant
-//     (attr.Names lists them).
+//     (attr.Names lists them);
+//   - internal/hist declares every histogram metric name (the Prometheus
+//     series metricsexp renders) as a Metric* constant (hist.Metrics
+//     lists them).
 //
-// The pass reads both constant sets out of the type-checked import graph
+// The pass reads the constant sets out of the type-checked import graph
 // (no hard-coded copies to drift) and reports:
 //
 //   - a string literal assigned to trace.Event.Reason/.Kind, or passed to
@@ -21,7 +24,11 @@
 //     miss it;
 //   - a string literal that looks like a reserved attribute key
 //     (ADAPT_*/NET_* shape, or equal to a registered name) anywhere
-//     outside the registry package — use the attr constant.
+//     outside the registry package — use the attr constant;
+//   - a string literal equal to a registered metric name anywhere outside
+//     internal/hist — use the hist constant — and an unregistered literal
+//     passed to a parameter named metric, which names a series no
+//     dashboard will ever find.
 //
 // Application-defined attribute names (the registry is an open vocabulary
 // by design) are untouched: only the reserved shapes are claimed.
@@ -53,22 +60,27 @@ var reservedKey = regexp.MustCompile(`^(ADAPT|NET)_[A-Z0-9_]+$`)
 type registry struct {
 	reasons   map[string]bool // values of trace.Reason* / trace.Kind* constants
 	attrNames map[string]bool // values of attr's exported name constants
+	metrics   map[string]bool // values of hist.Metric* constants
 	hasTrace  bool
 	inTrace   bool // analyzing internal/trace itself
 	inAttr    bool // analyzing internal/attr itself
+	inHist    bool // analyzing internal/hist itself
 }
 
 func harvest(pass *analysis.Pass) *registry {
 	reg := &registry{
 		reasons:   map[string]bool{},
 		attrNames: map[string]bool{},
+		metrics:   map[string]bool{},
 		inTrace:   analysis.PathMatches(pass.Pkg.Path(), "internal/trace"),
 		inAttr:    analysis.PathMatches(pass.Pkg.Path(), "internal/attr"),
+		inHist:    analysis.PathMatches(pass.Pkg.Path(), "internal/hist"),
 	}
 	collect := func(pkg *types.Package) {
 		isTrace := analysis.PathMatches(pkg.Path(), "internal/trace")
 		isAttr := analysis.PathMatches(pkg.Path(), "internal/attr")
-		if !isTrace && !isAttr {
+		isHist := analysis.PathMatches(pkg.Path(), "internal/hist")
+		if !isTrace && !isAttr && !isHist {
 			return
 		}
 		scope := pkg.Scope()
@@ -84,6 +96,9 @@ func harvest(pass *analysis.Pass) *registry {
 			}
 			if isAttr && reservedAttrConst(val) {
 				reg.attrNames[val] = true
+			}
+			if isHist && strings.HasPrefix(name, "Metric") {
+				reg.metrics[val] = true
 			}
 		}
 	}
@@ -117,10 +132,12 @@ func run(pass *analysis.Pass) error {
 				checkEventLit(pass, reg, x)
 			case *ast.CallExpr:
 				checkReasonArgs(pass, reg, x)
+				checkMetricArgs(pass, reg, x)
 			case *ast.AssignStmt:
 				checkReasonAssign(pass, reg, x)
 			case *ast.BasicLit:
 				checkAttrLiteral(pass, reg, x)
+				checkMetricLiteral(pass, reg, x)
 			}
 			return true
 		})
@@ -204,6 +221,36 @@ func checkReasonArgs(pass *analysis.Pass, reg *registry, call *ast.CallExpr) {
 	}
 }
 
+// checkMetricArgs flags unregistered string literals passed to parameters
+// named metric. Registered values are left to checkMetricLiteral, which
+// catches them wherever they appear.
+func checkMetricArgs(pass *analysis.Pass, reg *registry, call *ast.CallExpr) {
+	if reg.inHist {
+		return
+	}
+	callee := pass.Callee(call)
+	if callee == nil {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		if sig.Params().At(i).Name() != "metric" {
+			continue
+		}
+		val, pos, ok := litString(arg)
+		if !ok || val == "" || reg.metrics[val] {
+			continue
+		}
+		pass.Reportf(pos, "unregistered metric name %q; add a Metric* constant in internal/hist — unregistered series are invisible to dashboards and this check", val)
+	}
+}
+
 // checkReasonAssign flags string literals assigned to variables named
 // reason/kind/which — the staging pattern `reason := ""; ... reason = "dup"`
 // feeds trace.Event.Reason just as directly as a literal in the composite.
@@ -237,5 +284,21 @@ func checkAttrLiteral(pass *analysis.Pass, reg *registry, bl *ast.BasicLit) {
 	}
 	if reg.attrNames[s] || reservedKey.MatchString(s) {
 		pass.Reportf(bl.Pos(), "raw quality-attribute key %q; use the internal/attr constant (typo'd keys are published but never matched)", s)
+	}
+}
+
+// checkMetricLiteral flags registered metric-name literals outside the
+// histogram package: the name is a wire-format contract (the Prometheus
+// series metricsexp renders), so every mention must come from the constant.
+func checkMetricLiteral(pass *analysis.Pass, reg *registry, bl *ast.BasicLit) {
+	if reg.inHist || bl.Kind != token.STRING {
+		return
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return
+	}
+	if reg.metrics[s] {
+		pass.Reportf(bl.Pos(), "raw metric name %q; use the internal/hist Metric* constant so exporters and dashboards stay in sync", s)
 	}
 }

@@ -1,10 +1,12 @@
 package chaoswire
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
@@ -147,8 +149,9 @@ func drainAndClose(c *udpwire.Conn, bound time.Duration) []*udpwire.Conn {
 
 // clientCfg is the soak clients' transport configuration: fast liveness so
 // blackholes kill connections within the test budget, a bounded backlog so
-// overload sheds instead of ballooning, and a tolerant receiver so unmarked
-// loss is tolerated end to end.
+// overload sheds instead of ballooning, a tolerant receiver so unmarked
+// loss is tolerated end to end, and the flight recorder armed so every
+// chaos-killed connection leaves a black box.
 func clientCfg(tr trace.Tracer) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.LossTolerance = 0.5
@@ -157,7 +160,33 @@ func clientCfg(tr trace.Tracer) core.Config {
 	cfg.MaxSendBacklog = 128
 	cfg.RTOMin = 100 * time.Millisecond
 	cfg.Tracer = tr
+	cfg.FlightEvents = 64
 	return cfg
+}
+
+// dumpFlightRecord writes a killed connection's black box as JSON into
+// $CHAOS_FLIGHT_DIR (CI uploads the directory as a build artifact; render
+// a dump with `iqstat -flight <file>`). No-op when the variable is unset.
+func dumpFlightRecord(t *testing.T, rec *core.FlightRecord) {
+	dir := os.Getenv("CHAOS_FLIGHT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Errorf("flight dump: %v", err)
+		return
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Errorf("flight dump: %v", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("flight-conn%d-%s.json", rec.ConnID, rec.CloseReason))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Errorf("flight dump: %v", err)
+		return
+	}
+	t.Logf("flight record dumped to %s", path)
 }
 
 // TestResumeAcrossBlackhole is the acceptance scenario: a connection dialed
@@ -216,6 +245,20 @@ func TestResumeAcrossBlackhole(t *testing.T) {
 	if !errors.As(err, &ne) || !ne.Timeout() {
 		t.Fatalf("ErrPeerDead must be a net.Error with Timeout()=true, got %v", err)
 	}
+
+	// The abnormal death must leave a retrievable black box naming the
+	// typed reason, with the dead transition as its final ring event.
+	rec := c.FlightRecord()
+	if rec == nil {
+		t.Fatal("chaos-killed connection left no flight record")
+	}
+	if rec.CloseReason != trace.ReasonPeerDead {
+		t.Fatalf("flight record reason = %q, want %q", rec.CloseReason, trace.ReasonPeerDead)
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("flight record has an empty event ring")
+	}
+	dumpFlightRecord(t, rec)
 
 	// Resume (the dial itself rides out any blackhole tail via SYN
 	// retransmission) and send a post-outage batch.

@@ -115,6 +115,22 @@ type Config struct {
 	// context; implementations must be fast and safe for concurrent use
 	// when one sink is shared across connections.
 	Tracer trace.Tracer
+
+	// Hists, when non-nil, receives distribution samples (RTT, delivery
+	// latency, ack delay, send-backlog depth) at the machine's measurement
+	// points. Build it with NewHists. Recording is lock-free and
+	// allocation-free, so one Hists may be shared across connections for
+	// fleet-wide aggregation or kept per-connection for flight-record
+	// summaries. Nil disables at the cost of one untaken branch per point.
+	Hists *Hists
+
+	// FlightEvents, when positive, keeps an always-on ring of that many
+	// most-recent trace events per connection (in addition to Tracer, which
+	// may be nil). On abnormal close the ring, the final Metrics and the
+	// histogram summaries are snapshotted into a FlightRecord — the
+	// connection's black box, retrievable via Machine.FlightRecord. Zero
+	// disables the recorder.
+	FlightEvents int
 }
 
 // DefaultConfig returns the paper's standard transport parameters.

@@ -125,6 +125,13 @@ type Machine struct {
 	// tracing (see trace.go for the instrumentation wrappers).
 	tr trace.Tracer
 
+	// Observability (see obs.go): optional histogram set, the always-on
+	// flight-recorder ring feeding tr alongside cfg.Tracer, and the black-box
+	// snapshot taken on abnormal close.
+	hs         *Hists
+	flightRing *trace.Ring
+	flightRec  *FlightRecord
+
 	// Callbacks.
 	upperThresh, lowerThresh float64
 	onUpper, onLower         ThresholdCallback
@@ -189,6 +196,11 @@ func NewMachine(cfg Config, env Env) *Machine {
 		peerWnd:     cfg.RecvWindow,
 		arrivals:    stats.NewArrivals(false),
 		tr:          cfg.Tracer,
+		hs:          cfg.Hists,
+	}
+	if cfg.FlightEvents > 0 {
+		m.flightRing = trace.NewRing(cfg.FlightEvents)
+		m.tr = trace.Multi(cfg.Tracer, m.flightRing)
 	}
 	m.reasm = newReassembler(m)
 	m.meas = newMeasurement(m)
@@ -373,6 +385,9 @@ func (m *Machine) abortWith(reason string) {
 	}
 	m.closeReason = reason
 	m.setStateReason(stDead, reason)
+	// Snapshot the black box after the dead edge traced above, so the
+	// record's event ring ends with the fatal transition.
+	m.snapFlight(reason)
 	m.stopTimers()
 	// Return the out-of-order buffer's pooled clones: abort is the one exit
 	// path that bypasses drainOOO/applyFwd, and without this the buffered
@@ -546,7 +561,7 @@ func (m *Machine) handleSynAck(p *packet.Packet) {
 		m.peerTol = tol
 	}
 	if p.TSEcho > 0 {
-		m.rtt.Sample(m.env.Now() - p.TSEcho)
+		m.sampleRTT(m.env.Now() - p.TSEcho)
 	}
 	m.establish()
 	// Complete the three-way exchange so the passive side establishes too.

@@ -239,6 +239,12 @@ func (r *reassembler) maybeComplete() {
 	if msg.Partial {
 		r.m.metrics.PartialMsgs++
 	}
+	if r.m.hs != nil && msg.Marked && msg.SentAt > 0 {
+		// Send→deliver latency for marked messages. SentAt is the sender's
+		// packet timestamp, so the difference crosses clock domains over real
+		// sockets; RecordDur clamps the skew-negative case to zero.
+		r.m.hs.Delivery.RecordDur(msg.DeliveredAt - msg.SentAt)
+	}
 	r.m.arrivals.Observe(msg.DeliveredAt)
 	r.reset()
 	r.m.env.Deliver(msg)

@@ -122,6 +122,9 @@ func (m *Machine) SendMsg(data []byte, marked bool, attrs *attr.List) error {
 		m.sndNxt++
 		m.pending = append(m.pending, sp)
 	}
+	if m.hs != nil {
+		m.hs.Backlog.Record(int64(m.pendingLen()))
+	}
 	m.trySend()
 	return nil
 }
@@ -403,7 +406,7 @@ func (m *Machine) handleAck(p *packet.Packet) {
 	}
 	now := m.env.Now()
 	if p.TSEcho > 0 {
-		m.rtt.Sample(now - p.TSEcho)
+		m.sampleRTT(now - p.TSEcho)
 	}
 
 	wasLimited := m.windowLimited() // demand before this ack frees space
@@ -421,6 +424,9 @@ func (m *Machine) handleAck(p *packet.Packet) {
 				m.inFlight--
 				ackedBytes += uint64(len(sp.payload))
 				m.metrics.AckedPackets++
+				if m.hs != nil {
+					m.hs.AckDelay.RecordDur(now - sp.sentAt)
+				}
 				if m.tr != nil {
 					m.tracePacket(trace.PacketAcked, sp, "")
 				}
@@ -459,6 +465,9 @@ func (m *Machine) handleAck(p *packet.Packet) {
 				m.sackedCnt++
 				sackedNew++
 				m.metrics.AckedPackets++
+				if m.hs != nil {
+					m.hs.AckDelay.RecordDur(now - sp.sentAt)
+				}
 				m.meas.onAckedBytes(uint64(len(sp.payload)))
 				m.metrics.AckedBytes += uint64(len(sp.payload))
 				if m.tr != nil {

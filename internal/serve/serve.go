@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/hist"
 	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/udpwire"
 	"github.com/cercs/iqrudp/internal/uio"
@@ -82,6 +83,17 @@ type Options struct {
 	// SockBuf is the per-socket read and write buffer request in bytes
 	// (subject to the kernel's rmem_max/wmem_max). Default 4 MiB.
 	SockBuf int
+
+	// FlightEvents sizes each accepted connection's always-on flight-
+	// recorder ring (trace events kept for the postmortem black box) and
+	// enables its per-connection histogram set. Default 64; -1 disables the
+	// recorder, histograms and the per-shard distribution histograms.
+	FlightEvents int
+
+	// FlightRecords bounds how many abnormal-close flight records the
+	// engine retains (oldest evicted first). Default 32; -1 retains none
+	// (the total is still counted).
+	FlightRecords int
 }
 
 func (o *Options) sanitize() {
@@ -106,6 +118,18 @@ func (o *Options) sanitize() {
 	if o.SockBuf <= 0 {
 		o.SockBuf = 4 << 20
 	}
+	switch {
+	case o.FlightEvents == 0:
+		o.FlightEvents = 64
+	case o.FlightEvents < 0:
+		o.FlightEvents = 0
+	}
+	switch {
+	case o.FlightRecords == 0:
+		o.FlightRecords = 32
+	case o.FlightRecords < 0:
+		o.FlightRecords = 0
+	}
 }
 
 // Server is the sharded multi-connection engine. Accepted connections are
@@ -129,6 +153,13 @@ type Server struct {
 	resumes     atomic.Uint64 // SYNs carrying a valid resume token
 	stray       atomic.Uint64
 	sockBufErrs atomic.Uint64 // SetReadBuffer/SetWriteBuffer failures at bind
+
+	// Observability retention (see obs.go): merged histograms of closed
+	// connections and the bounded flight-record ring.
+	obsMu       sync.Mutex
+	archive     []hist.Snapshot
+	flights     []*core.FlightRecord
+	flightTotal uint64
 }
 
 // Listen binds laddr ("host:port") and starts the engine. cfg configures
@@ -170,6 +201,10 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 			byID:   make(map[uint32]*udpwire.Conn),
 			byAddr: make(map[string]uint32),
 			txq:    make(chan uio.Msg, 4*opt.Batch*len(srv.shards)),
+		}
+		if opt.FlightEvents > 0 {
+			srv.shards[i].rxBatchH = hist.NewBatch(hist.MetricRxBatch)
+			srv.shards[i].dispatchH = hist.NewLatency(hist.MetricDispatch)
 		}
 	}
 	// Each shard routes transmissions through the shard that owns its

@@ -5,7 +5,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/cercs/iqrudp/internal/hist"
 	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/trace"
 	"github.com/cercs/iqrudp/internal/udpwire"
@@ -34,6 +36,12 @@ type shard struct {
 	txPackets atomic.Uint64
 	txBatches atomic.Uint64
 	txDrops   atomic.Uint64
+
+	// Distribution metrics (nil when Options.FlightEvents disables
+	// observability): datagrams per batched read, and decode+route latency
+	// of one batch. Only socket-owning shards record.
+	rxBatchH  *hist.Hist
+	dispatchH *hist.Hist
 }
 
 // homeShard routes a ConnID to its owning shard.
@@ -61,12 +69,20 @@ func (sh *shard) readLoop(rb *uio.RxBatcher) {
 		}
 		sh.rxBatches.Add(1)
 		sh.rxPackets.Add(uint64(len(msgs)))
+		var began time.Time
+		if sh.rxBatchH != nil {
+			sh.rxBatchH.Record(int64(len(msgs)))
+			began = time.Now()
+		}
 		for _, m := range msgs {
 			if err := packet.DecodeInto(p, m.B, p.Payload); err != nil {
 				sh.rxErrors.Add(1)
 				continue
 			}
 			sh.srv.homeShard(p.ConnID).route(p, m.Addr)
+		}
+		if sh.dispatchH != nil {
+			sh.dispatchH.RecordDur(time.Since(began))
 		}
 		rb.Release(msgs)
 	}
@@ -176,7 +192,7 @@ func (sh *shard) acceptSyn(p *packet.Packet, raddr *net.UDPAddr, key string) {
 	}
 
 	io := sh.io
-	c := udpwire.NewAccepted(sh.srv.cfg, io.sock.LocalAddr(), raddr,
+	c := udpwire.NewAccepted(sh.srv.connConfig(), io.sock.LocalAddr(), raddr,
 		io.enqueueTx, sh.detach)
 	sh.byID[p.ConnID] = c
 	sh.byAddr[key] = p.ConnID
@@ -220,7 +236,8 @@ func (sh *shard) refuse(p *packet.Packet, raddr *net.UDPAddr) {
 	}
 }
 
-// detach removes a closed connection from the demux tables.
+// detach removes a closed connection from the demux tables and archives
+// its observability state (histogram samples, flight record).
 func (sh *shard) detach(c *udpwire.Conn) {
 	id := c.ID()
 	if id == 0 {
@@ -237,6 +254,7 @@ func (sh *shard) detach(c *udpwire.Conn) {
 		}
 	}
 	sh.mu.Unlock()
+	sh.srv.noteClosed(c)
 }
 
 // enqueueTx queues one outbound datagram for the shard's transmit loop.

@@ -529,6 +529,36 @@ func (c *Conn) Metrics() core.Metrics {
 	return c.m.Metrics()
 }
 
+// State reports the machine's connection phase ("established", "dead", ...).
+func (c *Conn) State() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.State()
+}
+
+// Hists returns the histogram set this connection records into (nil when
+// Config.Hists was not set). The histograms themselves are lock-free.
+func (c *Conn) Hists() *core.Hists {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m.Hists()
+}
+
+// FlightRecord returns the connection's black box: the trace-event ring,
+// final metrics and histogram summaries snapshotted when it closed
+// abnormally. Nil while the connection is alive, after a clean close, or
+// when Config.FlightEvents was zero. The record's Peer field is stamped
+// with the current peer address.
+func (c *Conn) FlightRecord() *core.FlightRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec := c.m.FlightRecord()
+	if rec != nil && rec.Peer == "" && c.peer != nil {
+		rec.Peer = c.peer.String()
+	}
+	return rec
+}
+
 // Registry returns the connection's quality-attribute registry.
 func (c *Conn) Registry() *attr.Registry {
 	c.mu.Lock()

@@ -170,6 +170,25 @@ const (
 	TraceShedUnmarked = trace.ShedUnmarked
 )
 
+// Histogram and postmortem types, re-exported. Setting Config.Hists (see
+// NewHists) records latency/depth distributions on the machine's hot paths;
+// Config.FlightEvents > 0 arms the per-connection flight recorder, whose
+// black-box snapshot Conn.FlightRecord returns after an abnormal close.
+// The serve engine enables both by default for accepted connections and
+// aggregates them (Server.HistSnapshots, Server.FlightRecords,
+// Server.Introspect); cmd/iqstat -flight renders a dumped record.
+type (
+	// Hists is the per-connection histogram set sampled by the machine.
+	Hists = core.Hists
+	// FlightRecord is the black-box snapshot of an abnormally-closed
+	// connection: final state and reason, metrics, histogram summaries and
+	// the last ring of trace events.
+	FlightRecord = core.FlightRecord
+)
+
+// NewHists allocates a histogram set for Config.Hists.
+var NewHists = core.NewHists
+
 // Trace sink constructors and helpers.
 var (
 	// NewTraceRing returns a ring buffer keeping the n most recent events.

@@ -5,9 +5,14 @@
 // functions — e.g. a connection's Metrics snapshot. It renders two
 // formats:
 //
-//   - Prometheus text exposition at GET /metrics;
+//   - Prometheus text exposition at GET /metrics — counters, gauges, and
+//     (via AddHistSource) real histogram series with _bucket/_sum/_count;
 //   - an expvar-style JSON document at GET /debug/vars (also published to
-//     the process-wide expvar registry under "iqrudp" on first Serve).
+//     the process-wide expvar registry under "iqrudp" on first Serve),
+//     carrying quantile summaries for each registered histogram;
+//   - a live introspection document at GET /debug/iqrudp (via
+//     SetIntrospection — typically serve.Server.Introspect): shards, live
+//     connections and recent flight records as JSON.
 //
 // Wire-up:
 //
@@ -28,12 +33,15 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"github.com/cercs/iqrudp/internal/hist"
 	"github.com/cercs/iqrudp/internal/trace"
 )
 
@@ -46,8 +54,10 @@ type Exporter struct {
 	counters *trace.Counters
 	start    time.Time
 
-	mu     sync.Mutex
-	gauges map[string]func() float64
+	mu        sync.Mutex
+	gauges    map[string]func() float64
+	histSrcs  []func() []hist.Snapshot
+	introspec func() any
 }
 
 // New returns an exporter reading from counters (which may be shared by
@@ -68,6 +78,56 @@ func (e *Exporter) AddGauge(name string, fn func() float64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.gauges[sanitize(name)] = fn
+}
+
+// AddHistSource registers a histogram source; fn is called at scrape time
+// and may return any number of snapshots. Snapshots from all sources are
+// merged by metric name, so per-connection, per-shard and archived
+// histograms of the same metric render as one series (iqrudp_<name>_bucket
+// / _sum / _count in Prometheus, quantile summaries in the expvar JSON).
+func (e *Exporter) AddHistSource(fn func() []hist.Snapshot) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.histSrcs = append(e.histSrcs, fn)
+}
+
+// SetIntrospection registers the live-introspection document served as
+// JSON at /debug/iqrudp — typically serve.Server.Introspect wrapped in a
+// closure (fn() any). fn is called per request; nil disables the endpoint
+// (404).
+func (e *Exporter) SetIntrospection(fn func() any) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.introspec = fn
+}
+
+// histSnapshot evaluates the registered histogram sources outside the
+// lock, merged by metric name.
+func (e *Exporter) histSnapshot() []hist.Snapshot {
+	e.mu.Lock()
+	srcs := make([]func() []hist.Snapshot, len(e.histSrcs))
+	copy(srcs, e.histSrcs)
+	e.mu.Unlock()
+	var snaps []hist.Snapshot
+	for _, fn := range srcs {
+		snaps = append(snaps, fn()...)
+	}
+	return hist.MergeByName(snaps)
+}
+
+// escapeLabel escapes a Prometheus label value: backslash, double quote
+// and newline, per the text exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes HELP text: backslash and newline only (quotes are
+// legal there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // sanitize maps name into the Prometheus metric-name alphabet.
@@ -121,7 +181,7 @@ func (e *Exporter) WritePrometheus(w io.Writer) error {
 		p("# HELP %s_trace_events_total Machine events traced, by event type.\n", namespace)
 		p("# TYPE %s_trace_events_total counter\n", namespace)
 		for t := trace.Type(0); t < trace.NumTypes; t++ {
-			p("%s_trace_events_total{event=%q} %d\n", namespace, t.String(), s.Counts[t])
+			p("%s_trace_events_total{event=\"%s\"} %d\n", namespace, escapeLabel(t.String()), s.Counts[t])
 		}
 		p("# HELP %s_sent_bytes_total Payload bytes transmitted, including retransmissions.\n", namespace)
 		p("# TYPE %s_sent_bytes_total counter\n", namespace)
@@ -150,6 +210,29 @@ func (e *Exporter) WritePrometheus(w io.Writer) error {
 		p("# HELP %s_srtt_seconds Last observed smoothed round-trip time.\n", namespace)
 		p("# TYPE %s_srtt_seconds gauge\n", namespace)
 		p("%s_srtt_seconds %g\n", namespace, s.SRTT.Seconds())
+	}
+
+	for _, s := range e.histSnapshot() {
+		name := sanitize(s.Name)
+		scale := s.Unit.Scale()
+		p("# HELP %s_%s %s\n", namespace, name,
+			escapeHelp(fmt.Sprintf("Distribution of %s samples.", s.Name)))
+		p("# TYPE %s_%s histogram\n", namespace, name)
+		var cum uint64
+		for i, c := range s.Counts {
+			if c == 0 {
+				continue // cumulative buckets: empty ones add no information
+			}
+			cum += c
+			upper := s.Upper(i)
+			if upper == math.MaxUint64 {
+				continue // the overflow bucket is the +Inf line below
+			}
+			p("%s_%s_bucket{le=\"%g\"} %d\n", namespace, name, float64(upper)*scale, cum)
+		}
+		p("%s_%s_bucket{le=\"+Inf\"} %d\n", namespace, name, s.Count)
+		p("%s_%s_sum %g\n", namespace, name, float64(s.Sum)*scale)
+		p("%s_%s_count %d\n", namespace, name, s.Count)
 	}
 
 	gauges := e.gaugeSnapshot()
@@ -188,14 +271,23 @@ func (e *Exporter) Vars() map[string]any {
 		out["rate_bytes_per_second"] = s.RateBps
 		out["srtt_seconds"] = s.SRTT.Seconds()
 	}
+	if snaps := e.histSnapshot(); len(snaps) > 0 {
+		hists := make(map[string]hist.Summary, len(snaps))
+		for _, s := range snaps {
+			hists[s.Name] = s.Summary()
+		}
+		out["hists"] = hists
+	}
 	for name, v := range e.gaugeSnapshot() {
 		out[name] = v
 	}
 	return out
 }
 
-// Handler returns an http.Handler serving /metrics (Prometheus text) and
-// /debug/vars (expvar-style JSON). The root path redirects to /metrics.
+// Handler returns an http.Handler serving /metrics (Prometheus text),
+// /debug/vars (expvar-style JSON) and /debug/iqrudp (live introspection
+// JSON, when SetIntrospection was called). The root path redirects to
+// /metrics.
 func (e *Exporter) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -205,6 +297,17 @@ func (e *Exporter) Handler() http.Handler {
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		writeJSON(w, e.Vars())
+	})
+	mux.HandleFunc("/debug/iqrudp", func(w http.ResponseWriter, r *http.Request) {
+		e.mu.Lock()
+		fn := e.introspec
+		e.mu.Unlock()
+		if fn == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		writeJSON(w, fn())
 	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {

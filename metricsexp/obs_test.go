@@ -1,0 +1,139 @@
+package metricsexp
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/hist"
+)
+
+func TestEscaping(t *testing.T) {
+	cases := []struct{ in, label, help string }{
+		{`plain`, `plain`, `plain`},
+		{`back\slash`, `back\\slash`, `back\\slash`},
+		{"new\nline", `new\nline`, `new\nline`},
+		{`quo"te`, `quo\"te`, `quo"te`},
+		{"all\\\n\"", `all\\\n\"`, `all\\\n"`},
+	}
+	for _, c := range cases {
+		if got := escapeLabel(c.in); got != c.label {
+			t.Errorf("escapeLabel(%q) = %q, want %q", c.in, got, c.label)
+		}
+		if got := escapeHelp(c.in); got != c.help {
+			t.Errorf("escapeHelp(%q) = %q, want %q", c.in, got, c.help)
+		}
+	}
+}
+
+// TestExpositionFormatLocked pins the exact Prometheus text rendered for a
+// histogram source and a gauge — the wire format downstream scrapers parse.
+// Only the uptime preamble (nondeterministic) is stripped.
+func TestExpositionFormatLocked(t *testing.T) {
+	h := hist.NewBatch(hist.MetricRxBatch)
+	h.Record(3)
+	h.Record(3)
+	h.Record(10)
+	e := New(nil)
+	e.AddHistSource(func() []hist.Snapshot { return []hist.Snapshot{h.Snapshot()} })
+	e.AddGauge("load", func() float64 { return 1.5 })
+
+	var sb strings.Builder
+	if err := e.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(sb.String(), "\n", 4)
+	if len(lines) != 4 || !strings.HasPrefix(lines[0], "# HELP iqrudp_uptime_seconds") {
+		t.Fatalf("unexpected preamble: %q", sb.String())
+	}
+	want := `# HELP iqrudp_rx_batch_size Distribution of rx_batch_size samples.
+# TYPE iqrudp_rx_batch_size histogram
+iqrudp_rx_batch_size_bucket{le="3"} 2
+iqrudp_rx_batch_size_bucket{le="10"} 3
+iqrudp_rx_batch_size_bucket{le="+Inf"} 3
+iqrudp_rx_batch_size_sum 16
+iqrudp_rx_batch_size_count 3
+# TYPE iqrudp_load gauge
+iqrudp_load 1.5
+`
+	if lines[3] != want {
+		t.Fatalf("exposition format changed:\n got: %q\nwant: %q", lines[3], want)
+	}
+}
+
+// TestPrometheusHistogramSeconds checks unit scaling and source merging:
+// two sources of the same metric render as one series in seconds.
+func TestPrometheusHistogramSeconds(t *testing.T) {
+	a, b := hist.NewLatency(hist.MetricRTT), hist.NewLatency(hist.MetricRTT)
+	for i := 0; i < 10; i++ {
+		a.RecordDur(time.Millisecond)
+		b.RecordDur(2 * time.Millisecond)
+	}
+	e := New(nil)
+	e.AddHistSource(func() []hist.Snapshot { return []hist.Snapshot{a.Snapshot()} })
+	e.AddHistSource(func() []hist.Snapshot { return []hist.Snapshot{b.Snapshot()} })
+
+	var sb strings.Builder
+	if err := e.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"# TYPE iqrudp_rtt_seconds histogram",
+		`iqrudp_rtt_seconds_bucket{le="+Inf"} 20`,
+		"iqrudp_rtt_seconds_count 20",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("missing %q in:\n%s", frag, out)
+		}
+	}
+	// Sum should be ~30ms expressed in seconds.
+	if !strings.Contains(out, "iqrudp_rtt_seconds_sum 0.03") {
+		t.Fatalf("sum not in seconds:\n%s", out)
+	}
+
+	// The expvar document carries the quantile summary.
+	vars := e.Vars()
+	hists, ok := vars["hists"].(map[string]hist.Summary)
+	if !ok {
+		t.Fatalf("vars has no hists: %+v", vars)
+	}
+	sum := hists[hist.MetricRTT]
+	if sum.Count != 20 || sum.P99 < 0.0005 || sum.P99 > 0.005 {
+		t.Fatalf("rtt summary: %+v", sum)
+	}
+}
+
+func TestIntrospectionEndpoint(t *testing.T) {
+	e := New(nil)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/iqrudp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unset introspection: status %d, want 404", resp.StatusCode)
+	}
+
+	e.SetIntrospection(func() any {
+		return map[string]any{"conns_total": 3}
+	})
+	resp, err = http.Get(srv.URL + "/debug/iqrudp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || doc["conns_total"].(float64) != 3 {
+		t.Fatalf("introspection: %d %+v", resp.StatusCode, doc)
+	}
+}
