@@ -12,7 +12,7 @@ GO ?= go
 CHAOS_SEED ?= 1
 CHAOS_DUR  ?= 5s
 
-.PHONY: check build test vet lint race race-smoke chaos-smoke fuzz-smoke bench bench-alloc bench-obs bench-server benchstat tables
+.PHONY: check build test vet lint race race-smoke chaos-smoke fuzz-smoke bench bench-alloc bench-obs bench-server bench-fec benchstat tables
 
 check: vet lint build race ## vet + iqlint + build + full race-enabled test run (includes the short seeded chaos pass)
 
@@ -57,6 +57,9 @@ bench-obs: ## histogram-recording overhead A/B (ns/op + allocs/op, hists on vs o
 
 bench-server: ## many-connection serve-vs-listener throughput A/B -> BENCH_server.json
 	BENCH_SERVER_JSON=$(CURDIR)/BENCH_server.json $(GO) test -run TestServerEngineBenchJSON -v ./internal/serve/
+
+bench-fec: ## delivery-latency A/B at 5/10/20% seeded loss, FEC on vs off -> BENCH_fec.json
+	BENCH_FEC_JSON=$(CURDIR)/BENCH_fec.json $(GO) test -run TestFecLatencyBenchJSON -count=1 -v ./internal/chaoswire/
 
 benchstat: ## diff two saved `go test -bench` outputs: make benchstat OLD=old.txt NEW=new.txt
 	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)

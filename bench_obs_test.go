@@ -92,8 +92,9 @@ func TestObsAllocParity(t *testing.T) {
 	}
 	for _, s := range hs.Snapshots() {
 		// RTT, ack-delay and backlog all sample on this path; delivery
-		// samples on the peer. Anything at zero means a dead hook.
-		if s.Name != hist.MetricDelivery && s.Count == 0 {
+		// samples on the peer, and FEC repair latency only on a loss the
+		// repair layer reconstructs. Anything else at zero means a dead hook.
+		if s.Name != hist.MetricDelivery && s.Name != hist.MetricFecRepair && s.Count == 0 {
 			t.Errorf("histogram %s recorded nothing on the steady-state path", s.Name)
 		}
 	}

@@ -68,8 +68,14 @@ func main() {
 		blackhole   = flag.Duration("blackhole", 0, "chaos: one total outage of this length per connection, a third of the way into the run (outlast Config.DeadInterval to exercise resume)")
 		rebind      = flag.Duration("rebind", 0, "chaos: rebind each connection's NAT mapping at this interval (0 = never)")
 		chaosSeed   = flag.Uint64("chaos-seed", 1, "chaos: deterministic fault-stream seed (per-connection streams derive from it)")
+		fec         = flag.Bool("fec", false, "enable forward-erasure repair (negotiated at the handshake; set on both source and sink)")
+		fecRate     = flag.Int("fec-rate", 16, "fec: repair-group size K — one parity packet per K data packets; adapts down under measured loss")
 	)
 	flag.Parse()
+	fecGroup := 0
+	if *fec {
+		fecGroup = *fecRate
+	}
 	chaosCfg := chaosOpts{
 		enabled: *chaos, loss: *loss, dup: *dup, reorder: *reorder,
 		blackhole: *blackhole, rebind: *rebind, seed: *chaosSeed,
@@ -81,11 +87,11 @@ func main() {
 	defer cleanup()
 	switch {
 	case *listen != "":
-		if err := runSink(*listen, *tolerance, *engine, *shards, tracer, exporter); err != nil {
+		if err := runSink(*listen, *tolerance, *engine, *shards, fecGroup, tracer, exporter); err != nil {
 			log.Fatal(err)
 		}
 	case *to != "":
-		if err := runSource(*to, *duration, *size, *rate, *unmarked, *seed, *conns, *churn, chaosCfg, tracer, exporter); err != nil {
+		if err := runSource(*to, *duration, *size, *rate, *unmarked, *seed, *conns, *churn, fecGroup, chaosCfg, tracer, exporter); err != nil {
 			log.Fatal(err)
 		}
 	default:
@@ -136,9 +142,10 @@ func buildTracer(traceFile, metricsAddr string) (iqrudp.Tracer, *metricsexp.Expo
 	return iqrudp.MultiTracer(sinks...), exporter, cleanup, nil
 }
 
-func runSink(addr string, tolerance float64, engine string, shards int, tracer iqrudp.Tracer, exporter *metricsexp.Exporter) error {
+func runSink(addr string, tolerance float64, engine string, shards int, fecGroup int, tracer iqrudp.Tracer, exporter *metricsexp.Exporter) error {
 	cfg := iqrudp.ServerConfig(tolerance)
 	cfg.Tracer = tracer
+	cfg.FECGroup = fecGroup
 	accept := func() (*iqrudp.Conn, error) { return nil, nil }
 	switch engine {
 	case "serve":
@@ -227,7 +234,12 @@ func sinkConn(conn *iqrudp.Conn) {
 	fmt.Printf("done %s: %d messages (%d marked), %.1f KB, %.1f KB/s average%s\n",
 		conn.RemoteAddr(), total, marked, float64(bytes)/1000,
 		float64(bytes)/elapsed/1000, latency)
-	fmt.Println("transport:", conn.Metrics())
+	mt := conn.Metrics()
+	if mt.FecRepairsRecv > 0 || mt.FecRecovered > 0 {
+		fmt.Printf("fec: %d repair(s) received, %d lost packet(s) reconstructed (%d marked) — each a retransmit avoided\n",
+			mt.FecRepairsRecv, mt.FecRecovered, mt.FecRecoveredMarked)
+	}
+	fmt.Println("transport:", mt)
 }
 
 // stampMagic prefixes timestamped payloads (see stamp/stampAge).
@@ -284,12 +296,13 @@ func (c *typedErrCounts) String() string {
 		c.peerDead.Load(), c.refused.Load(), c.hsTimeout.Load())
 }
 
-func runSource(to string, duration time.Duration, size int, rate, unmarked float64, seed int64, conns int, churn float64, chaos chaosOpts, tracer iqrudp.Tracer, exporter *metricsexp.Exporter) error {
+func runSource(to string, duration time.Duration, size int, rate, unmarked float64, seed int64, conns int, churn float64, fecGroup int, chaos chaosOpts, tracer iqrudp.Tracer, exporter *metricsexp.Exporter) error {
 	if conns < 1 {
 		conns = 1
 	}
 	cfg := iqrudp.DefaultConfig()
 	cfg.Tracer = tracer
+	cfg.FECGroup = fecGroup
 	// Arm the observability surface: one histogram set shared by every
 	// worker (records are atomic, so sharing just merges their samples)
 	// and a flight recorder per connection for typed-error postmortems.
@@ -300,6 +313,9 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 	}
 	fmt.Printf("sending %dB messages to %s for %v over %d connection(s)\n",
 		size, to, duration, conns)
+	if fecGroup > 0 {
+		fmt.Printf("fec: repair group %d (one parity per %d data packets, loss-adaptive)\n", fecGroup, fecGroup)
+	}
 	if chaos.enabled {
 		fmt.Printf("chaos: loss=%g dup=%g reorder=%g blackhole=%v rebind=%v seed=%d\n",
 			chaos.loss, chaos.dup, chaos.reorder, chaos.blackhole, chaos.rebind, chaos.seed)
@@ -318,6 +334,8 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 		failures   atomic.Uint64
 		resumes    atomic.Uint64
 		flightRecs atomic.Uint64
+		fecSent    atomic.Uint64
+		fecRecov   atomic.Uint64
 		typed      typedErrCounts
 		lastMu     sync.Mutex
 		lastMet    *iqrudp.Metrics
@@ -412,6 +430,8 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 				}
 				totalSent.Add(uint64(sent))
 				mt := conn.Metrics()
+				fecSent.Add(mt.FecRepairsSent)
+				fecRecov.Add(mt.FecRecovered)
 				conn.Close()
 				lastMu.Lock()
 				lastMet = &mt
@@ -439,6 +459,10 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 	if chaos.enabled || resumes.Load() > 0 || flightRecs.Load() > 0 {
 		fmt.Printf("survivability: %d resume(s); typed errors: %s; %d flight record(s)\n",
 			resumes.Load(), &typed, flightRecs.Load())
+	}
+	if fecGroup > 0 {
+		fmt.Printf("fec: %d repair(s) sent, %d inbound loss(es) repaired; sink-side reconstructions are in the sink's summary\n",
+			fecSent.Load(), fecRecov.Load())
 	}
 	lastMu.Lock()
 	if lastMet != nil {

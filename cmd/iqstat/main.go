@@ -73,6 +73,9 @@ func main() {
 	if tb := faultBreakdown(events); tb != nil {
 		fmt.Println(tb.String())
 	}
+	if tb := fecBreakdown(events); tb != nil {
+		fmt.Println(tb.String())
+	}
 	for _, id := range connIDs(events) {
 		printConn(id, byConn(events, id), *full, *limit, *cwnd)
 	}
@@ -220,6 +223,35 @@ func faultBreakdown(events []trace.Event) *stats.Table {
 	return tb
 }
 
+// fecBreakdown summarises the forward-erasure repair activity in the trace,
+// or returns nil when it has none (FEC disabled or never negotiated).
+func fecBreakdown(events []trace.Event) *stats.Table {
+	var sent, parityBytes, recovered, recoveredMarked, rateChanges int
+	for _, ev := range events {
+		switch ev.Type {
+		case trace.FecRepairSent:
+			sent++
+			parityBytes += ev.Size
+		case trace.FecRecovered:
+			recovered++
+			if ev.Marked {
+				recoveredMarked++
+			}
+		case trace.FecRateChange:
+			rateChanges++
+		}
+	}
+	if sent == 0 && recovered == 0 {
+		return nil
+	}
+	tb := stats.NewTable("FEC repair", "What", "Count", "Bytes")
+	tb.AddRow("repairs sent", sent, uint64(parityBytes))
+	tb.AddRow("packets recovered", recovered, "")
+	tb.AddRow("  of them marked", recoveredMarked, "")
+	tb.AddRow("group-size changes", rateChanges, "")
+	return tb
+}
+
 func connIDs(events []trace.Event) []uint32 {
 	seen := map[uint32]bool{}
 	var ids []uint32
@@ -249,7 +281,8 @@ func keyEvent(ev trace.Event) bool {
 	switch ev.Type {
 	case trace.ConnState, trace.CoordinationDecision,
 		trace.ThresholdCallbackFired, trace.RTOFired, trace.RTOBackoff,
-		trace.ConnResumed, trace.ShedUnmarked:
+		trace.ConnResumed, trace.ShedUnmarked, trace.FecRateChange,
+		trace.EackClipped:
 		return true
 	}
 	return false
@@ -327,6 +360,22 @@ func describe(ev trace.Event) string {
 		return fmt.Sprintf("shed unmarked %dB (%s)", ev.Size, ev.Reason)
 	case trace.FaultInjected:
 		return fmt.Sprintf("fault %s injected, %dB datagram", ev.Reason, ev.Size)
+	case trace.FecRepairSent:
+		s := fmt.Sprintf("fec repair sent base=%d, %dB parity", ev.Seq, ev.Size)
+		if ev.Reason != "" {
+			s += " (" + ev.Reason + ")"
+		}
+		return s
+	case trace.FecRecovered:
+		s := fmt.Sprintf("fec recovered seq=%d msg=%d size=%d", ev.Seq, ev.MsgID, ev.Size)
+		if ev.Marked {
+			s += " marked"
+		}
+		return s
+	case trace.FecRateChange:
+		return fmt.Sprintf("fec group %g → %g (%s, loss=%.3f)", ev.PrevCwnd, ev.Cwnd, ev.Reason, ev.ErrorRatio)
+	case trace.EackClipped:
+		return fmt.Sprintf("eack clipped, %d extent(s) dropped", ev.Size)
 	case trace.PacketSent, trace.PacketReceived, trace.PacketAcked,
 		trace.PacketLost, trace.PacketRetransmitted, trace.PacketAbandoned:
 		s := fmt.Sprintf("%s seq=%d msg=%d size=%d", ev.Type, ev.Seq, ev.MsgID, ev.Size)

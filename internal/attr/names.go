@@ -66,6 +66,14 @@ const (
 	// Deadline optionally carries a per-message delivery deadline in seconds
 	// from send time (used by rate-based applications, Table 8).
 	Deadline = "DEADLINE"
+
+	// FECGroup is the receiver's declared FEC repair-group preference: Value
+	// (int) is the largest group size K (data packets per repair packet) it
+	// wants to decode, 0 or absent meaning FEC is not supported. Exchanged
+	// at connection setup like LossTolerance; the sender emits repair
+	// packets only when the peer advertised a positive value, and adapts K
+	// downward from this ceiling as measured loss grows.
+	FECGroup = "FEC_GROUP"
 )
 
 // Names lists every reserved attribute name declared above. The attribute
@@ -78,6 +86,6 @@ func Names() []string {
 	return []string{
 		AdaptFreq, AdaptMark, AdaptPktSize, AdaptWhen, AdaptCond, AdaptCondRate,
 		NetLoss, NetRTT, NetRate, NetCwnd, NetRetrans,
-		LossTolerance, Marked, Deadline,
+		LossTolerance, Marked, Deadline, FECGroup,
 	}
 }

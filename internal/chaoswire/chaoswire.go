@@ -72,6 +72,13 @@ type Config struct {
 	// Up faults apply to client→server datagrams, Down to server→client.
 	Up, Down Faults
 
+	// Latency, when positive, delays every forwarded datagram by this much
+	// in each direction — a base one-way path latency underneath the fault
+	// lanes, so loss-recovery mechanisms race a realistic round trip
+	// instead of a loopback one. Deferring faults (Reorder, Delay) stack on
+	// top of it.
+	Latency time.Duration
+
 	// Tracer, when non-nil, receives a FaultInjected event per fault.
 	Tracer trace.Tracer
 }
@@ -292,6 +299,17 @@ func (p *Proxy) process(l *lane, b []byte, send func([]byte)) {
 		p.blackholed.Add(1)
 		p.traceFault(trace.ReasonBlackhole, b)
 		return
+	}
+	if lat := p.cfg.Latency; lat > 0 {
+		// Emulated path latency: every transmit defers by the base one-way
+		// delay. The deferred write needs its own copy (b is lent only for
+		// this call), and the post-Close guard in the underlying send keeps
+		// late timers harmless.
+		inner := send
+		send = func(d []byte) {
+			cp := append([]byte(nil), d...)
+			time.AfterFunc(lat, func() { inner(cp) })
+		}
 	}
 
 	l.mu.Lock()

@@ -99,7 +99,7 @@ func TestProxyRelaysOverSockets(t *testing.T) {
 			if err != nil {
 				return
 			}
-			echo.WriteToUDP(buf[:n], a)
+			echo.WriteToUDP(buf[:n], a) //iqlint:ignore errdrop -- test echo responder, best effort
 		}
 	}()
 
@@ -114,7 +114,7 @@ func TestProxyRelaysOverSockets(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	cli.SetDeadline(time.Now().Add(5 * time.Second))
+	cli.SetDeadline(time.Now().Add(5 * time.Second)) //iqlint:ignore errdrop -- test socket, deadline best effort
 	if _, err := cli.Write([]byte("ping")); err != nil {
 		t.Fatal(err)
 	}

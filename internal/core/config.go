@@ -17,6 +17,7 @@ import (
 	"math"
 	"time"
 
+	"github.com/cercs/iqrudp/internal/fec"
 	"github.com/cercs/iqrudp/internal/trace"
 )
 
@@ -103,6 +104,17 @@ type Config struct {
 	// Zero means unbounded (the historical behavior).
 	MaxSendBacklog int
 
+	// FECGroup, when positive, enables forward-erasure repair (internal/fec)
+	// and is this endpoint's declared decode preference: the largest repair
+	// group size K (data packets per repair packet) it is willing to track as
+	// a receiver, advertised to the peer during the handshake via the
+	// FEC_GROUP attribute. As a sender the machine emits repair packets only
+	// when the peer advertised a positive value, starting at the peer's K and
+	// adapting downward as measured loss grows. Zero disables FEC entirely
+	// (no advertisement, arriving REPAIR packets ignored). Values are clamped
+	// to [2, fec.GroupMax] on the wire.
+	FECGroup int
+
 	// ResumeToken, when non-empty, is carried as the SYN payload: a resuming
 	// dialer names its dead predecessor connection so the server can evict
 	// it (built with packet.AppendResumeToken; see Conn.Resume in udpwire).
@@ -177,6 +189,12 @@ func (c *Config) sanitize() {
 	}
 	if c.DisableCC && c.FixedWindow <= 0 {
 		c.FixedWindow = 54
+	}
+	if c.FECGroup < 0 {
+		c.FECGroup = 0
+	}
+	if c.FECGroup > fec.GroupMax {
+		c.FECGroup = fec.GroupMax
 	}
 }
 
@@ -295,6 +313,12 @@ type Metrics struct {
 	ShedMsgs       uint64 // messages lost to backlog shedding (MaxSendBacklog)
 	ShedPackets    uint64 // queued packets abandoned by backlog shedding
 	ShedBytes      uint64 // payload bytes shed under local overload
+
+	FecRepairsSent     uint64 // REPAIR packets emitted (sender side)
+	FecRepairsRecv     uint64 // REPAIR packets handled (receiver side)
+	FecRecovered       uint64 // data packets reconstructed from repair groups
+	FecRecoveredMarked uint64 // recovered packets that were marked (a retransmit the ack race can now cancel)
+	EackClips          uint64 // acks whose EACK extent list hit the per-ack cap
 }
 
 // String formats the snapshot as a one-line summary, the form used by
@@ -304,12 +328,14 @@ func (m Metrics) String() string {
 		"srtt=%v rttvar=%v cwnd=%.1f inflight=%d loss=%.2f%% raw=%.2f%% rate=%.1fKB/s "+
 			"sent=%d rtx=%d acked=%d skipped=%d discarded=%d deadline=%d "+
 			"delivered=%d partial=%d lost=%d ackedKB=%.1f rescales=%d txerr=%d "+
-			"shed=%d/%dpkt/%.1fKB",
+			"shed=%d/%dpkt/%.1fKB fec=%d/%d/%d(%dm) eackclip=%d",
 		m.SRTT.Round(time.Microsecond), m.RTTVar.Round(time.Microsecond),
 		m.Cwnd, m.InFlight, m.ErrorRatio*100, m.RawRatio*100, m.RateBps/1000,
 		m.SentPackets, m.Retransmits, m.AckedPackets, m.SkippedPackets,
 		m.SenderDiscards, m.DeadlineDrops,
 		m.DeliveredMsgs, m.PartialMsgs, m.LostMsgs,
 		float64(m.AckedBytes)/1000, m.WindowRescales, m.TxErrors,
-		m.ShedMsgs, m.ShedPackets, float64(m.ShedBytes)/1000)
+		m.ShedMsgs, m.ShedPackets, float64(m.ShedBytes)/1000,
+		m.FecRepairsSent, m.FecRepairsRecv, m.FecRecovered, m.FecRecoveredMarked,
+		m.EackClips)
 }

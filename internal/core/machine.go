@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/fec"
 	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/stats"
 	"github.com/cercs/iqrudp/internal/trace"
@@ -118,6 +119,19 @@ type Machine struct {
 	rtt  *rttEstimator
 	meas *measurement
 	coo  *coordinator
+
+	// Forward-erasure repair (see fec.go). The encoder exists only when both
+	// sides negotiated FEC at the handshake; the decoder is built lazily on
+	// the first REPAIR packet. Every field is nil/zero on a FEC-off
+	// connection, so the hooks on the hot paths reduce to untaken nil checks.
+	fecEnc        *fec.Encoder
+	fecDec        *fec.Decoder
+	peerFecGroup  int             // peer's advertised decode group size (0 = no FEC)
+	fecBaseK      int             // negotiated group-size ceiling for adaptation
+	fecQueue      []fec.Recovered // reconstructed packets awaiting re-injection
+	fecDraining   bool            // drainFecQueue reentrancy guard
+	fecFlushTimer Timer           // partial-group flush timer
+	fecFlushFn    func()          // cached onFecFlush method value
 
 	reg *attr.Registry
 
@@ -288,7 +302,7 @@ func (m *Machine) sendSyn() {
 		Seq:    m.sndISN,
 		Wnd:    m.cfg.RecvWindow,
 		TS:     m.env.Now(),
-		Attrs:  attr.NewList(attr.Attr{Name: attr.LossTolerance, Value: attr.Float(m.localTol)}),
+		Attrs:  m.handshakeAttrs(),
 		// A resuming dialer names its dead predecessor in the SYN payload so
 		// ConnID-demultiplexing servers can evict it (see packet.ResumeToken).
 		Payload: m.cfg.ResumeToken,
@@ -320,6 +334,7 @@ func (m *Machine) establish() {
 	}
 	m.lastHeard = m.env.Now()
 	m.lastSent = m.env.Now()
+	m.armFec()
 	m.startLiveness()
 	m.meas.start()
 	if m.onEstablished != nil {
@@ -349,6 +364,11 @@ func (m *Machine) maybeFinish() {
 	}
 	if m.pendingLen() > 0 || m.inFlightCount() > 0 {
 		return
+	}
+	// Flush the open partial repair group before the FIN so the flow's tail
+	// packets keep their erasure protection.
+	if m.fecEnc != nil && m.fecEnc.Pending() > 0 {
+		m.emitRepair(trace.ReasonFecFlush)
 	}
 	m.setState(stFinWait)
 	m.out = packet.Packet{
@@ -402,12 +422,12 @@ func (m *Machine) abortWith(reason string) {
 }
 
 func (m *Machine) stopTimers() {
-	for _, t := range []Timer{m.rtxTimer, m.connTimer, m.measTicker, m.liveTimer, m.paceTimer} {
+	for _, t := range []Timer{m.rtxTimer, m.connTimer, m.measTicker, m.liveTimer, m.paceTimer, m.fecFlushTimer} {
 		if t != nil {
 			t.Stop()
 		}
 	}
-	m.rtxTimer, m.connTimer, m.measTicker, m.liveTimer, m.paceTimer = nil, nil, nil, nil, nil
+	m.rtxTimer, m.connTimer, m.measTicker, m.liveTimer, m.paceTimer, m.fecFlushTimer = nil, nil, nil, nil, nil, nil
 	m.meas.stop()
 }
 
@@ -482,6 +502,8 @@ func (m *Machine) HandlePacket(p *packet.Packet) {
 		m.handleSynAck(p)
 	case packet.DATA:
 		m.handleData(p)
+	case packet.REPAIR:
+		m.handleRepair(p)
 	case packet.ACK, packet.EACK:
 		m.handleAck(p)
 	case packet.NUL:
@@ -517,6 +539,9 @@ func (m *Machine) handleSyn(p *packet.Packet) {
 		if tol, err := p.Attrs.Float(attr.LossTolerance); err == nil {
 			m.peerTol = tol
 		}
+		if v, err := p.Attrs.Int(attr.FECGroup); err == nil && v > 0 {
+			m.peerFecGroup = int(v)
+		}
 		m.sendSynAck(p.TS)
 		// Retry until the initiator's first ACK or DATA establishes us: the
 		// SYNACK (or the final handshake leg) can be lost.
@@ -533,8 +558,19 @@ func (m *Machine) sendSynAck(tsEcho time.Duration) {
 		Wnd:    m.cfg.RecvWindow,
 		TS:     m.env.Now(),
 		TSEcho: tsEcho,
-		Attrs:  attr.NewList(attr.Attr{Name: attr.LossTolerance, Value: attr.Float(m.localTol)}),
+		Attrs:  m.handshakeAttrs(),
 	})
+}
+
+// handshakeAttrs builds the attribute list both handshake legs carry: the
+// local receiver's loss tolerance, plus its FEC decode preference when
+// repair is enabled.
+func (m *Machine) handshakeAttrs() *attr.List {
+	l := attr.NewList(attr.Attr{Name: attr.LossTolerance, Value: attr.Float(m.localTol)})
+	if m.cfg.FECGroup > 0 {
+		l.Set(attr.FECGroup, attr.Int(int64(m.cfg.FECGroup)))
+	}
+	return l
 }
 
 func (m *Machine) synAckRetry() {
@@ -559,6 +595,9 @@ func (m *Machine) handleSynAck(p *packet.Packet) {
 	m.rcvNxt = p.Seq + 1
 	if tol, err := p.Attrs.Float(attr.LossTolerance); err == nil {
 		m.peerTol = tol
+	}
+	if v, err := p.Attrs.Int(attr.FECGroup); err == nil && v > 0 {
+		m.peerFecGroup = int(v)
 	}
 	if p.TSEcho > 0 {
 		m.sampleRTT(m.env.Now() - p.TSEcho)

@@ -92,6 +92,7 @@ func (me *measurement) tick() {
 		})
 	}
 
+	m.fecAdapt()
 	me.fireCallbacks()
 }
 

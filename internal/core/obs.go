@@ -30,26 +30,30 @@ type Hists struct {
 	AckDelay *hist.Hist
 	// Backlog records the untransmitted send-queue depth at each SendMsg.
 	Backlog *hist.Hist
+	// FecRepair records hole-open→reconstruction latency of packets the FEC
+	// repair layer recovered (receiver side, single clock).
+	FecRepair *hist.Hist
 }
 
 // NewHists builds the standard machine histogram set.
 func NewHists() *Hists {
 	return &Hists{
-		RTT:      hist.NewLatency(hist.MetricRTT),
-		Delivery: hist.NewLatency(hist.MetricDelivery),
-		AckDelay: hist.NewLatency(hist.MetricAckDelay),
-		Backlog:  hist.NewDepth(hist.MetricBacklog),
+		RTT:       hist.NewLatency(hist.MetricRTT),
+		Delivery:  hist.NewLatency(hist.MetricDelivery),
+		AckDelay:  hist.NewLatency(hist.MetricAckDelay),
+		Backlog:   hist.NewDepth(hist.MetricBacklog),
+		FecRepair: hist.NewLatency(hist.MetricFecRepair),
 	}
 }
 
 // all returns the histograms in declaration order.
-func (h *Hists) all() [4]*hist.Hist {
-	return [4]*hist.Hist{h.RTT, h.Delivery, h.AckDelay, h.Backlog}
+func (h *Hists) all() [5]*hist.Hist {
+	return [5]*hist.Hist{h.RTT, h.Delivery, h.AckDelay, h.Backlog, h.FecRepair}
 }
 
 // Snapshots copies the current state of every histogram.
 func (h *Hists) Snapshots() []hist.Snapshot {
-	out := make([]hist.Snapshot, 0, 4)
+	out := make([]hist.Snapshot, 0, 5)
 	for _, hh := range h.all() {
 		out = append(out, hh.Snapshot())
 	}
@@ -59,7 +63,7 @@ func (h *Hists) Snapshots() []hist.Snapshot {
 // Summaries condenses the non-empty histograms into quantile summaries —
 // the compact form carried by flight records.
 func (h *Hists) Summaries() []hist.Summary {
-	out := make([]hist.Summary, 0, 4)
+	out := make([]hist.Summary, 0, 5)
 	for _, hh := range h.all() {
 		if s := hh.Snapshot(); s.Count > 0 {
 			out = append(out, s.Summary())

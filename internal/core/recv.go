@@ -53,6 +53,13 @@ func (m *Machine) handleData(p *packet.Packet) {
 		})
 	}
 	m.sendAckEcho(true, p.TS)
+	// Every arrival — fresh, duplicate or out-of-order — feeds the repair
+	// decoder after normal processing; reconstructions it unlocks re-enter
+	// HandlePacket from the hook (and land back here, including in this
+	// hook, where the drain guard flattens the recursion).
+	if m.fecDec != nil {
+		m.fecOnData(p)
+	}
 }
 
 // clonePacket deep-copies a borrowed packet into a pooled one for the
@@ -281,6 +288,16 @@ func (m *Machine) appendSortedEacks(dst []uint32, limit int) []uint32 {
 	out := dst[start:]
 	sort.Slice(out, func(i, j int) bool { return packet.SeqLT(out[i], out[j]) })
 	if len(out) > limit {
+		// The clipped extents stay unreported this ack: the sender may
+		// retransmit data the receiver already holds. Surface the clip
+		// instead of truncating silently.
+		m.metrics.EackClips++
+		if m.tr != nil {
+			m.tr.Trace(trace.Event{
+				Time: m.env.Now(), Type: trace.EackClipped, ConnID: m.connID,
+				Size: len(out) - limit,
+			})
+		}
 		dst = dst[:start+limit]
 	}
 	return dst

@@ -10,8 +10,13 @@ package core
 // reconstructed: a message partially released by a cumulative ack has lost
 // its leading payloads. For messages at or below the MSS — the datagram
 // case resumption targets — every unacked marked message qualifies.
-// Messages whose every fragment was selectively acked (EACK) are excluded:
-// the receiver already has them.
+//
+// A selective ack (EACK) does not exempt a message: a sacked packet sits in
+// the peer's out-of-order buffer, not its application, and when the
+// connection dies before the hole in front of it fills, that buffer dies
+// too (SACK reneging, in TCP terms). Only the cumulative ack proves
+// delivery, so sacked-but-uncumulated messages are re-sent — a duplicate at
+// worst, which at-least-once permits.
 //
 // Call after the machine is dead (the driver aborts before redialing);
 // single-fragment payloads alias the application's original buffers.
@@ -21,7 +26,6 @@ func (m *Machine) CarryoverMarked() [][]byte {
 		nextIdx int
 		fragCnt int
 		whole   bool // fragments 0..nextIdx-1 all present
-		unacked bool // at least one fragment not selectively acked
 	}
 	var order []uint32
 	msgs := make(map[uint32]*carry)
@@ -44,9 +48,6 @@ func (m *Machine) CarryoverMarked() [][]byte {
 		}
 		cm.nextIdx = int(sp.frag) + 1
 		cm.parts = append(cm.parts, sp.payload)
-		if !sp.sacked {
-			cm.unacked = true
-		}
 	}
 	for _, sp := range m.flight {
 		scan(sp)
@@ -57,7 +58,7 @@ func (m *Machine) CarryoverMarked() [][]byte {
 	var out [][]byte
 	for _, id := range order {
 		cm := msgs[id]
-		if !cm.whole || cm.nextIdx != cm.fragCnt || !cm.unacked {
+		if !cm.whole || cm.nextIdx != cm.fragCnt {
 			continue
 		}
 		if len(cm.parts) == 1 {

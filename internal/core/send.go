@@ -384,6 +384,12 @@ func (m *Machine) transmit(sp *sendPkt, isRtx bool) {
 	}
 	m.lastSent = now
 	m.env.Emit(&m.out)
+	// First transmissions feed the repair encoder (retransmissions are
+	// already protected by being retransmissions); a filled group emits its
+	// REPAIR packet from inside the hook.
+	if m.fecEnc != nil && !isRtx {
+		m.fecOnTransmit(sp)
+	}
 }
 
 // handleAck processes cumulative acknowledgements and EACK extents.

@@ -1,0 +1,204 @@
+package fec
+
+import (
+	"math/bits"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/packet"
+)
+
+// HistoryDefault is the default size of the decoder's unit-history ring.
+// It must comfortably exceed the peer's flight window so every live group
+// member is still on hand when its repair packet arrives.
+const HistoryDefault = 256
+
+// groupsMax bounds the parked repair groups awaiting a second chance (a
+// retransmission or reordered arrival closing all but one hole). Oldest is
+// evicted first; a group parked this long is almost always already dead to
+// the retransmission path anyway.
+const groupsMax = 8
+
+// slot is one remembered data packet, re-framed as a parity unit.
+type slot struct {
+	seq   uint32
+	valid bool
+	at    time.Duration // arrival time (receiver clock)
+	buf   []byte        // encoded unit, storage reused across occupants
+}
+
+// group is a parked repair whose span had two or more holes on arrival.
+type group struct {
+	base    uint32
+	span    int
+	present uint64 // bit i set: unit base+i folded into acc
+	acc     []byte // parity folded with every present unit
+	at      time.Duration
+}
+
+// Decoder reconstructs lost DATA packets from REPAIR parity on the receive
+// path. It is not safe for concurrent use; the machine drives it from its
+// serialisation context.
+type Decoder struct {
+	c       Codec
+	slots   []slot
+	groups  []group
+	unit    []byte // staging scratch for OnData
+	accFree []byte // one-deep accumulator freelist
+}
+
+// NewDecoder builds a decoder remembering the last history data packets
+// (0 means HistoryDefault).
+func NewDecoder(c Codec, history int) *Decoder {
+	if history <= 0 {
+		history = HistoryDefault
+	}
+	return &Decoder{c: c, slots: make([]slot, history)}
+}
+
+// OnData records one arriving DATA packet (every arrival: in-order,
+// duplicate or out-of-order — duplicates are how retransmissions refill a
+// parked group) and folds it into any parked group covering it. Closed
+// groups' reconstructions are appended to recs.
+func (d *Decoder) OnData(seq uint32, flags uint8, msgID uint32, frag, fragCnt uint16, attrs *attr.List, payload []byte, now time.Duration, recs []Recovered) []Recovered {
+	unit, err := appendUnit(d.unit[:0], flags, msgID, frag, fragCnt, attrs, payload)
+	if err != nil {
+		return recs
+	}
+	d.unit = unit
+
+	s := &d.slots[seq%uint32(len(d.slots))]
+	s.seq = seq
+	s.valid = true
+	s.at = now
+	s.buf = append(s.buf[:0], unit...)
+
+	for i := 0; i < len(d.groups); {
+		g := &d.groups[i]
+		off := seq - g.base
+		if off >= uint32(g.span) || g.present&(1<<off) != 0 {
+			i++
+			continue
+		}
+		g.acc = d.c.Fold(g.acc, unit, int(off))
+		g.present |= 1 << off
+		if bits.OnesCount64(g.present) == g.span-1 {
+			recs = d.close(g, now, recs)
+			d.drop(i)
+			continue
+		}
+		i++
+	}
+	return recs
+}
+
+// OnRepair handles an arriving REPAIR packet covering [base, base+span).
+// rcvNxt is the receiver's next in-order sequence number: members below it
+// that have aged out of the history ring are already delivered, and a group
+// missing one of those can never be closed, so it is dropped rather than
+// parked. Reconstructions are appended to recs.
+func (d *Decoder) OnRepair(base uint32, span int, parity []byte, rcvNxt uint32, now time.Duration, recs []Recovered) []Recovered {
+	if span <= 0 || span > GroupMax || len(parity) < unitHeader {
+		return recs
+	}
+	for i := range d.groups {
+		if d.groups[i].base == base {
+			return recs // duplicate repair
+		}
+	}
+
+	g := group{base: base, span: span, at: now}
+	g.acc = append(d.takeAcc(), parity...)
+	dead := false
+	for i := 0; i < span; i++ {
+		seq := base + uint32(i)
+		if s := &d.slots[seq%uint32(len(d.slots))]; s.valid && s.seq == seq {
+			g.acc = d.c.Fold(g.acc, s.buf, i)
+			g.present |= 1 << i
+		} else if packet.SeqLT(seq, rcvNxt) {
+			// Delivered but aged out of the ring: unfoldable forever.
+			dead = true
+			break
+		}
+	}
+	missing := span - bits.OnesCount64(g.present)
+	if dead || missing == 0 {
+		d.giveAcc(g.acc)
+		return recs
+	}
+	if missing == 1 {
+		return d.close(&g, now, recs)
+	}
+	if len(d.groups) >= groupsMax {
+		d.giveAcc(d.groups[0].acc)
+		d.groups = append(d.groups[:0], d.groups[1:]...)
+	}
+	d.groups = append(d.groups, g)
+	return recs
+}
+
+// close reconstructs g's single missing unit and appends it to recs. It
+// consumes g.acc either way: the storage transfers into the Recovered value
+// (whose Attrs/Payload alias it) or returns to the freelist on a parse
+// failure, and g.acc is nilled so the caller's removal cannot recycle a
+// buffer the Recovered still references.
+func (d *Decoder) close(g *group, now time.Duration, recs []Recovered) []Recovered {
+	acc := g.acc
+	g.acc = nil
+	idx := bits.TrailingZeros64(^g.present)
+	if idx >= g.span {
+		d.giveAcc(acc)
+		return recs
+	}
+	seq := g.base + uint32(idx)
+	var r Recovered
+	if !parseUnit(d.c.Reconstruct(acc, idx), seq, &r) {
+		d.giveAcc(acc)
+		return recs
+	}
+	r.HoleOpenAt = d.holeOpenAt(g, seq, now)
+	return append(recs, r)
+}
+
+// holeOpenAt finds when the hole at seq became observable: the earliest
+// arrival among the group's still-remembered later members, bounded by the
+// repair packet's own arrival.
+func (d *Decoder) holeOpenAt(g *group, seq uint32, now time.Duration) time.Duration {
+	open := g.at
+	if open == 0 || open > now {
+		open = now
+	}
+	for i := 0; i < g.span; i++ {
+		m := g.base + uint32(i)
+		if !packet.SeqGT(m, seq) {
+			continue
+		}
+		if s := &d.slots[m%uint32(len(d.slots))]; s.valid && s.seq == m && s.at < open {
+			open = s.at
+		}
+	}
+	return open
+}
+
+// drop removes the parked group at index i, recycling its accumulator.
+func (d *Decoder) drop(i int) {
+	d.giveAcc(d.groups[i].acc)
+	d.groups = append(d.groups[:i], d.groups[i+1:]...)
+}
+
+// accFree is a one-deep accumulator freelist: groups churn one at a time in
+// the common case, and reconstruction hands its buffer away.
+func (d *Decoder) takeAcc() []byte {
+	if d.accFree != nil {
+		b := d.accFree[:0]
+		d.accFree = nil
+		return b
+	}
+	return nil
+}
+
+func (d *Decoder) giveAcc(b []byte) {
+	if b != nil {
+		d.accFree = b
+	}
+}

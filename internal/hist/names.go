@@ -28,6 +28,10 @@ const (
 	// MetricDispatch is the decode+route latency of one receive batch
 	// (serve, per shard).
 	MetricDispatch = "dispatch_latency_seconds"
+	// MetricFecRepair is the hole-open→reconstruction latency of packets
+	// recovered by the FEC repair layer (core, receiver side; single clock:
+	// measured from the repair group's first out-of-order arrival).
+	MetricFecRepair = "fec_repair_latency_seconds"
 )
 
 // Metrics lists every registered histogram metric name.
@@ -39,6 +43,7 @@ func Metrics() []string {
 		MetricBacklog,
 		MetricRxBatch,
 		MetricDispatch,
+		MetricFecRepair,
 	}
 }
 

@@ -1,0 +1,132 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The EACK trailer is a chunked base+bitmask ack-vector (the shape of
+// MS-RDPEUDP's ACK vector): instead of one uint32 per out-of-order sequence
+// number, the list is cut into runs of ascending sequence numbers, each
+// encoded as
+//
+//	base(4) nbytes(2) bitmap(nbytes)
+//
+// where bit i of the bitmap (LSB-first within each byte) set means sequence
+// number base+i was received. The trailer is a uint16 chunk count followed
+// by the chunks. A dense hole pattern — the common case, since the machine's
+// out-of-order buffer is a window around rcvNxt — costs one bit per covered
+// sequence number instead of four bytes, so large-window EACKs stop scaling
+// linearly in header bytes.
+//
+// The encoding round-trips arbitrary lists exactly: a sequence number that
+// does not extend the current chunk (out of order, duplicate, or beyond the
+// chunk span cap) starts a new chunk, so decoded order equals encoded order.
+
+const (
+	// ackVecChunkBytesMax caps one chunk's bitmap; a chunk therefore covers
+	// at most ackVecSpanMax consecutive sequence numbers.
+	ackVecChunkBytesMax = 256
+	ackVecSpanMax       = ackVecChunkBytesMax * 8
+	// ackVecSeqsMax bounds the decoded list, so a hostile vector cannot
+	// balloon memory (it also keeps the chunk count within uint16).
+	ackVecSeqsMax = 0xFFFF
+	// ackVecGapMax starts a new chunk rather than encode a run of empty
+	// bitmap bytes: beyond this gap the 6-byte chunk header is cheaper.
+	ackVecGapMax = 64
+)
+
+// ackVecWalk cuts eacks into encodable chunks, calling fn once per chunk
+// with the run eacks[start:end] and the chunk's span (offset of the last
+// member plus one, from base eacks[start]).
+func ackVecWalk(eacks []uint32, fn func(start, end int, span uint32)) {
+	for start := 0; start < len(eacks); {
+		base := eacks[start]
+		last := uint32(0)
+		end := start + 1
+		for end < len(eacks) {
+			off := eacks[end] - base
+			if off <= last || off >= ackVecSpanMax || off-last > ackVecGapMax {
+				break
+			}
+			last = off
+			end++
+		}
+		fn(start, end, last+1)
+		start = end
+	}
+}
+
+// ackVecSize returns the encoded trailer size for eacks.
+func ackVecSize(eacks []uint32) int {
+	n := 2
+	ackVecWalk(eacks, func(_, _ int, span uint32) {
+		n += 4 + 2 + int(span+7)/8
+	})
+	return n
+}
+
+// appendAckVec appends the ack-vector trailer for eacks to b.
+func appendAckVec(b []byte, eacks []uint32) ([]byte, error) {
+	if len(eacks) > ackVecSeqsMax {
+		return nil, errTooManyEacks(len(eacks))
+	}
+	chunks := 0
+	ackVecWalk(eacks, func(_, _ int, _ uint32) { chunks++ })
+	b = binary.BigEndian.AppendUint16(b, uint16(chunks))
+	ackVecWalk(eacks, func(start, end int, span uint32) {
+		base := eacks[start]
+		nb := int(span+7) / 8
+		b = binary.BigEndian.AppendUint32(b, base)
+		b = binary.BigEndian.AppendUint16(b, uint16(nb))
+		bm := len(b)
+		for i := 0; i < nb; i++ {
+			b = append(b, 0)
+		}
+		for _, s := range eacks[start:end] {
+			off := s - base
+			b[bm+int(off>>3)] |= 1 << (off & 7)
+		}
+	})
+	return b, nil
+}
+
+func errTooManyEacks(n int) error {
+	return fmt.Errorf("packet: too many EACK extents (%d)", n)
+}
+
+// decodeAckVec parses the ack-vector trailer at the start of body into
+// p.Eacks (appending; the caller has reset the slice) and returns the
+// number of bytes consumed.
+func decodeAckVec(p *Packet, body []byte) (int, error) {
+	if len(body) < 2 {
+		return 0, ErrBadLength
+	}
+	chunks := int(binary.BigEndian.Uint16(body))
+	off := 2
+	for c := 0; c < chunks; c++ {
+		if off+6 > len(body) {
+			return 0, ErrBadLength
+		}
+		base := binary.BigEndian.Uint32(body[off:])
+		nb := int(binary.BigEndian.Uint16(body[off+4:]))
+		off += 6
+		if nb > ackVecChunkBytesMax || off+nb > len(body) {
+			return 0, ErrBadLength
+		}
+		for i := 0; i < nb; i++ {
+			bits := body[off+i]
+			for bit := 0; bits != 0; bit++ {
+				if bits&1 != 0 {
+					if len(p.Eacks) >= ackVecSeqsMax {
+						return 0, ErrBadLength
+					}
+					p.Eacks = append(p.Eacks, base+uint32(i<<3|bit))
+				}
+				bits >>= 1
+			}
+		}
+		off += nb
+	}
+	return off, nil
+}

@@ -16,7 +16,7 @@ import (
 // from whatever the packet held before.
 // Run with: go test -fuzz=FuzzDecodeInto ./internal/packet
 func FuzzDecodeInto(f *testing.F) {
-	for _, typ := range []Type{SYN, SYNACK, DATA, ACK, EACK, NUL, RST, FIN, FINACK} {
+	for _, typ := range []Type{SYN, SYNACK, DATA, ACK, EACK, NUL, RST, FIN, FINACK, REPAIR} {
 		p := &Packet{
 			Type: typ, Flags: FlagMarked, ConnID: 7, Seq: 100, Ack: 50,
 			Wnd: 64, TS: time.Second, Payload: []byte("seed"),
@@ -24,10 +24,14 @@ func FuzzDecodeInto(f *testing.F) {
 		if typ == EACK {
 			p.Eacks = []uint32{101, 103}
 		}
+		if typ == REPAIR {
+			p.FragCnt = 8
+		}
 		if b, err := Encode(p); err == nil {
 			f.Add(b)
 		}
 	}
+	addAckVecSeeds(f)
 	pa := &Packet{
 		Type: DATA, ConnID: 1, Seq: 2,
 		Attrs: attr.NewList(attr.Attr{Name: attr.AdaptCond, Value: attr.Float(0.25)}),

@@ -11,10 +11,34 @@ import (
 // never panic and must reject anything that fails validation cleanly.
 // Run with: go test -fuzz=FuzzDecode ./internal/packet
 
+// addAckVecSeeds seeds a fuzzer with ack-vector shapes the structured tests
+// care about: multi-chunk vectors, wraparound bases, and the truncated /
+// corrupted variants chaoswire's truncate and corrupt lanes produce.
+func addAckVecSeeds(f *testing.F) {
+	for _, eacks := range [][]uint32{
+		{12, 13, 17, 900},
+		{0xFFFFFFFE, 0xFFFFFFFF, 0, 1},
+		{5, 6, 7, 5000, 5001},
+	} {
+		p := &Packet{Type: EACK, ConnID: 7, Ack: 10, Eacks: eacks}
+		b, err := Encode(p)
+		if err != nil {
+			continue
+		}
+		f.Add(b)
+		// Truncated vector (CRC left stale, as the truncate lane does).
+		f.Add(append([]byte(nil), b[:len(b)-6]...))
+		// Corrupt chunk header: inflate the first chunk's byte count.
+		mut := append([]byte(nil), b...)
+		mut[headerLen+6] ^= 0xFF
+		f.Add(mut)
+	}
+}
+
 func FuzzDecode(f *testing.F) {
 	// Seed corpus: valid encodings of each packet type plus mutations the
 	// property tests found interesting.
-	for _, typ := range []Type{SYN, SYNACK, DATA, ACK, EACK, NUL, RST, FIN, FINACK} {
+	for _, typ := range []Type{SYN, SYNACK, DATA, ACK, EACK, NUL, RST, FIN, FINACK, REPAIR} {
 		p := &Packet{
 			Type: typ, Flags: FlagMarked, ConnID: 7, Seq: 100, Ack: 50,
 			Wnd: 64, TS: time.Second, Payload: []byte("seed"),
@@ -22,10 +46,14 @@ func FuzzDecode(f *testing.F) {
 		if typ == EACK {
 			p.Eacks = []uint32{101, 103}
 		}
+		if typ == REPAIR {
+			p.FragCnt = 8
+		}
 		if b, err := Encode(p); err == nil {
 			f.Add(b)
 		}
 	}
+	addAckVecSeeds(f)
 	pa := &Packet{
 		Type: DATA, ConnID: 1, Seq: 2,
 		Attrs: attr.NewList(attr.Attr{Name: attr.AdaptCond, Value: attr.Float(0.25)}),

@@ -31,6 +31,7 @@ const (
 	RST                    // abort
 	FIN                    // orderly close
 	FINACK                 // close acknowledgement
+	REPAIR                 // FEC repair: parity over a group of DATA packets
 )
 
 // String returns the type mnemonic.
@@ -54,6 +55,8 @@ func (t Type) String() string {
 		return "FIN"
 	case FINACK:
 		return "FINACK"
+	case REPAIR:
+		return "REPAIR"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -74,8 +77,10 @@ const (
 	FlagMsgEnd
 )
 
-// Version is the wire format version byte.
-const Version = 1
+// Version is the wire format version byte. Version 2 replaced the EACK
+// trailer's per-sequence uint32 list with the chunked base+bitmask
+// ack-vector and added the REPAIR packet type.
+const Version = 2
 
 // headerLen is the fixed part of the encoding:
 // version(1) type(1) flags(1) connID(4) seq(4) ack(4) fwd(4) wnd(2)
@@ -92,14 +97,14 @@ type Packet struct {
 	Flags  uint8
 	ConnID uint32
 
-	Seq uint32 // packet sequence number (DATA), or next-to-send for control
+	Seq uint32 // packet sequence number (DATA), group base (REPAIR), or next-to-send for control
 	Ack uint32 // cumulative ack: next expected sequence number
 	Fwd uint32 // forward-seq point (valid with FlagFwd)
 	Wnd uint16 // advertised receive window, packets
 
 	MsgID   uint32 // application message this fragment belongs to
 	Frag    uint16 // fragment index within the message
-	FragCnt uint16 // total fragments in the message
+	FragCnt uint16 // total fragments in the message; group span for REPAIR
 
 	TS     time.Duration // sender timestamp
 	TSEcho time.Duration // echoed timestamp for RTT measurement
@@ -107,8 +112,11 @@ type Packet struct {
 	Attrs   *attr.List
 	Payload []byte
 
-	// Eacks lists out-of-order sequence numbers received, carried in the
-	// payload of EACK packets (not in the fixed header).
+	// Eacks lists out-of-order sequence numbers received, carried by EACK
+	// packets between header and payload. On the wire the list is the
+	// chunked base+bitmask ack-vector (see appendAckVec); the decoded
+	// []uint32 surface is unchanged, so EACK consumers never see the
+	// compression.
 	Eacks []uint32
 }
 
@@ -126,7 +134,7 @@ func (p *Packet) HasFwd() bool { return p.Flags&FlagFwd != 0 }
 func (p *Packet) WireSize() int {
 	n := Overhead + p.Attrs.EncodedSize() + len(p.Payload)
 	if p.Type == EACK {
-		n += 2 + 4*len(p.Eacks)
+		n += ackVecSize(p.Eacks)
 	}
 	return n
 }
@@ -160,7 +168,7 @@ func Encode(p *Packet) ([]byte, error) {
 // returning the extended slice. Callers on the fast path pass a retained
 // scratch buffer (dst[:0]) so steady-state encoding allocates nothing.
 func AppendEncode(dst []byte, p *Packet) ([]byte, error) {
-	if p.Type < SYN || p.Type > FINACK {
+	if p.Type < SYN || p.Type > REPAIR {
 		return nil, fmt.Errorf("%w: %d", ErrBadType, p.Type)
 	}
 	if len(p.Payload) > 0xFFFF {
@@ -194,12 +202,9 @@ func AppendEncode(dst []byte, p *Packet) ([]byte, error) {
 		}
 	}
 	if p.Type == EACK {
-		if len(p.Eacks) > 0xFFFF {
-			return nil, fmt.Errorf("packet: too many EACK extents (%d)", len(p.Eacks))
-		}
-		b = binary.BigEndian.AppendUint16(b, uint16(len(p.Eacks)))
-		for _, s := range p.Eacks {
-			b = binary.BigEndian.AppendUint32(b, s)
+		var err error
+		if b, err = appendAckVec(b, p.Eacks); err != nil {
+			return nil, err
 		}
 	}
 	b = append(b, p.Payload...)
@@ -235,7 +240,7 @@ func DecodeInto(p *Packet, b []byte, payloadBuf []byte) error {
 		return fmt.Errorf("%w: %d", ErrBadVersion, body[0])
 	}
 	p.Type, p.Flags = Type(body[1]), body[2]
-	if p.Type < SYN || p.Type > FINACK {
+	if p.Type < SYN || p.Type > REPAIR {
 		return fmt.Errorf("%w: %d", ErrBadType, body[1])
 	}
 	p.Attrs = nil
@@ -272,18 +277,11 @@ func DecodeInto(p *Packet, b []byte, payloadBuf []byte) error {
 		off += n
 	}
 	if p.Type == EACK {
-		if off+2 > len(body) {
-			return ErrBadLength
+		n, err := decodeAckVec(p, body[off:])
+		if err != nil {
+			return err
 		}
-		n := int(binary.BigEndian.Uint16(body[off:]))
-		off += 2
-		if off+4*n > len(body) {
-			return ErrBadLength
-		}
-		for i := 0; i < n; i++ {
-			p.Eacks = append(p.Eacks, binary.BigEndian.Uint32(body[off:]))
-			off += 4
-		}
+		off += n
 	}
 	if off+payloadLen != len(body) {
 		return ErrBadLength

@@ -81,7 +81,7 @@ func TestEackRoundTrip(t *testing.T) {
 }
 
 func TestEmptyControlPackets(t *testing.T) {
-	for _, typ := range []Type{SYN, SYNACK, ACK, NUL, RST, FIN, FINACK} {
+	for _, typ := range []Type{SYN, SYNACK, ACK, NUL, RST, FIN, FINACK, REPAIR} {
 		p := &Packet{Type: typ, ConnID: 1, Seq: 2, Ack: 3}
 		b, err := Encode(p)
 		if err != nil {
@@ -113,6 +113,135 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	// Sanity: the pristine buffer still decodes.
 	if _, err := Decode(b); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ackVecBytes returns the encoded EACK trailer (the ack-vector) of p, with
+// everything before it and the trailing CRC stripped.
+func ackVecBytes(t *testing.T, p *Packet) (full, vec []byte) {
+	t.Helper()
+	b, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, b[headerLen : len(b)-len(p.Payload)-4]
+}
+
+func TestAckVecRoundTrip(t *testing.T) {
+	cases := [][]uint32{
+		nil,
+		{12},
+		{12, 13, 17},                    // one dense chunk
+		{5, 6, 7, 5000},                 // span break forces a second chunk
+		{9, 9},                          // duplicate forces a second chunk
+		{40, 12, 13},                    // out-of-order start forces a new chunk
+		{0xFFFFFFFE, 0xFFFFFFFF, 0, 1},  // circular ascent across the wrap
+		{100, 101, 102, 103, 104, 2147}, // last member just inside the span cap
+	}
+	for _, eacks := range cases {
+		p := &Packet{Type: EACK, Ack: 10, Eacks: eacks}
+		b, err := Encode(p)
+		if err != nil {
+			t.Fatalf("%v: %v", eacks, err)
+		}
+		if len(b) > p.WireSize() {
+			t.Fatalf("%v: WireSize = %d under-reserves, encoded %d", eacks, p.WireSize(), len(b))
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%v: %v", eacks, err)
+		}
+		if len(got.Eacks) != len(eacks) {
+			t.Fatalf("eacks = %v, want %v", got.Eacks, eacks)
+		}
+		for i := range eacks {
+			if got.Eacks[i] != eacks[i] {
+				t.Fatalf("eacks = %v, want %v", got.Eacks, eacks)
+			}
+		}
+	}
+}
+
+// TestAckVecCompact pins the size win over the old 4-bytes-per-seq list: a
+// dense 64-entry window hole pattern must encode in well under a quarter of
+// the old trailer.
+func TestAckVecCompact(t *testing.T) {
+	eacks := make([]uint32, 64)
+	for i := range eacks {
+		eacks[i] = 1000 + uint32(2*i) // every other seq missing
+	}
+	old := 2 + 4*len(eacks)
+	if got := ackVecSize(eacks); got >= old/4 {
+		t.Fatalf("ack-vector size %d, want < %d (old list %d)", got, old/4, old)
+	}
+}
+
+// TestAckVecTruncated mirrors chaoswire's truncate lane: cutting bytes off
+// the vector must be rejected (by length validation once the CRC is fixed
+// up), never mis-decoded or panicking.
+func TestAckVecTruncated(t *testing.T) {
+	p := &Packet{Type: EACK, Ack: 10, Eacks: []uint32{12, 13, 17, 900}}
+	full, vec := ackVecBytes(t, p)
+	body := full[: len(full)-4 : len(full)-4]
+	for cut := 1; cut <= len(vec); cut++ {
+		short := append([]byte(nil), body[:len(body)-cut]...)
+		short = binary.BigEndian.AppendUint32(short,
+			crc32.Checksum(short, crc32.MakeTable(crc32.Castagnoli)))
+		if _, err := Decode(short); err == nil {
+			t.Fatalf("truncation of %d vector bytes not rejected", cut)
+		}
+	}
+}
+
+// TestAckVecCorrupt flips each byte of the vector (CRC fixed up, so the
+// vector validation itself is exercised): every mutation must either decode
+// cleanly or be rejected — never panic — and an inflated chunk byte count
+// must be caught by the length checks.
+func TestAckVecCorrupt(t *testing.T) {
+	p := &Packet{Type: EACK, Ack: 10, Eacks: []uint32{12, 13, 17, 900}}
+	full, vec := ackVecBytes(t, p)
+	start := len(full) - 4 - len(vec)
+	for i := 0; i < len(vec); i++ {
+		for _, x := range []byte{0xFF, 0x80, 0x01} {
+			mut := append([]byte(nil), full[:len(full)-4]...)
+			mut[start+i] ^= x
+			mut = binary.BigEndian.AppendUint32(mut,
+				crc32.Checksum(mut, crc32.MakeTable(crc32.Castagnoli)))
+			q, err := Decode(mut)
+			if err == nil && len(q.Eacks) > ackVecSeqsMax {
+				t.Fatalf("corrupt vector decoded %d extents", len(q.Eacks))
+			}
+		}
+	}
+	// An oversized per-chunk byte count is rejected outright.
+	mut := append([]byte(nil), full[:len(full)-4]...)
+	binary.BigEndian.PutUint16(mut[start+2+4:], ackVecChunkBytesMax+1)
+	mut = binary.BigEndian.AppendUint32(mut,
+		crc32.Checksum(mut, crc32.MakeTable(crc32.Castagnoli)))
+	if _, err := Decode(mut); err == nil {
+		t.Fatal("oversized chunk byte count not rejected")
+	}
+}
+
+func TestRepairRoundTrip(t *testing.T) {
+	p := &Packet{
+		Type: REPAIR, ConnID: 5, Seq: 1000, FragCnt: 8, Ack: 42, Wnd: 16,
+		TS: time.Second, Payload: []byte("parity-bytes"),
+	}
+	b, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != REPAIR || got.Seq != 1000 || got.FragCnt != 8 ||
+		string(got.Payload) != "parity-bytes" {
+		t.Fatalf("repair round trip: %+v", got)
+	}
+	if REPAIR.String() != "REPAIR" {
+		t.Fatalf("REPAIR name = %q", REPAIR.String())
 	}
 }
 
@@ -173,7 +302,7 @@ func TestQuickRoundTrip(t *testing.T) {
 	f := func(typRaw uint8, flags uint8, connID, seq, ack, fwd uint32,
 		wnd uint16, msgID uint32, frag, fragCnt uint16, ts, tsEcho int64,
 		payload []byte, eacks []uint32) bool {
-		typ := Type(typRaw%9) + 1
+		typ := Type(typRaw%10) + 1
 		if len(payload) > 0xFFFF {
 			payload = payload[:0xFFFF]
 		}

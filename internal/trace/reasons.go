@@ -92,6 +92,13 @@ const (
 	ReasonShedQueue   = "shed-queue"   // queued packet abandoned to admit marked data
 )
 
+// FEC reasons (FecRepairSent/FecRateChange.Reason): why the repair layer
+// acted.
+const (
+	ReasonFecFlush = "fec-flush" // partial group's repair flushed at send-idle
+	ReasonFecAdapt = "fec-adapt" // group size retuned to the measured loss rate
+)
+
 // KindNone is the Kind recorded when a threshold callback returned no
 // adaptation report.
 const KindNone = "nil"
@@ -113,6 +120,7 @@ func Reasons() []string {
 		ReasonDrop, ReasonReorder, ReasonCorrupt, ReasonTruncate, ReasonDelay,
 		ReasonBlackhole, ReasonRebind, ReasonEnobufs, ReasonShortWrite,
 		ReasonShedIngress, ReasonShedQueue,
+		ReasonFecFlush, ReasonFecAdapt,
 		KindNone,
 	}
 }

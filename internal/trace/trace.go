@@ -98,6 +98,24 @@ const (
 	// segmentation, "shed-queue" for queued packets making room for marked
 	// data); Size carries the shed payload bytes.
 	ShedUnmarked
+	// FecRepairSent records a REPAIR packet emitted by the sender's FEC
+	// encoder: Seq is the group base sequence number, Size the parity
+	// payload length, and Reason "" for a full group or "fec-flush" for a
+	// partial group flushed at idle.
+	FecRepairSent
+	// FecRecovered records a data packet reconstructed from a repair group
+	// on the receive path: Seq/MsgID/Size/Marked describe the recovered
+	// packet, which then re-enters HandlePacket like a wire arrival.
+	FecRecovered
+	// FecRateChange records the sender's adaptive repair-rate update at a
+	// measurement-period close: PrevCwnd → Cwnd carry the old and new group
+	// size K (data packets per repair), ErrorRatio the smoothed loss signal
+	// that drove it, Reason "fec-adapt".
+	FecRateChange
+	// EackClipped records the receiver truncating its EACK extent list at
+	// the per-ack cap; Size is the number of out-of-order extents dropped
+	// from the acknowledgement.
+	EackClipped
 
 	// NumTypes is the number of event types (array-sizing sentinel).
 	NumTypes
@@ -121,6 +139,10 @@ var typeNames = [NumTypes]string{
 	FaultInjected:          "fault.injected",
 	ConnResumed:            "conn.resumed",
 	ShedUnmarked:           "shed.unmarked",
+	FecRepairSent:          "fec.repair_sent",
+	FecRecovered:           "fec.recovered",
+	FecRateChange:          "fec.rate",
+	EackClipped:            "eack.clipped",
 }
 
 // String returns the stable wire name of the type (the qlog-style event

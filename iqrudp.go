@@ -168,6 +168,18 @@ const (
 	// TraceShedUnmarked marks graceful degradation under local overload
 	// (Config.MaxSendBacklog shedding unmarked traffic).
 	TraceShedUnmarked = trace.ShedUnmarked
+	// TraceFecRepairSent marks a REPAIR packet emitted for a repair group
+	// (Config.FECGroup; Seq is the group base, Size the parity bytes).
+	TraceFecRepairSent = trace.FecRepairSent
+	// TraceFecRecovered marks a lost DATA packet reconstructed from parity
+	// and re-injected through the normal receive path.
+	TraceFecRecovered = trace.FecRecovered
+	// TraceFecRateChange marks the loss-adaptive repair-group resize at a
+	// measurement-period close (PrevCwnd/Cwnd carry the old/new group size).
+	TraceFecRateChange = trace.FecRateChange
+	// TraceEackClipped marks an EACK whose out-of-order list exceeded the
+	// per-packet bound and was truncated (Size is the clipped tail length).
+	TraceEackClipped = trace.EackClipped
 )
 
 // Histogram and postmortem types, re-exported. Setting Config.Hists (see
