@@ -31,9 +31,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-race-smoke: ## quick -race pass: loopback wire tests incl. the traced-sinks smoke, TX ring, packet pool and the serve engine
-	$(GO) test -race -run 'TestTracedLoopbackAllSinks|TestDialListenRoundTrip|TestManyMessagesOrdered|TestConcurrentSendersOneConnection|TestBidirectional|TestDialedTxRingFlushes|TestTxErrorCounted' ./internal/udpwire/
+race-smoke: ## quick -race pass: loopback wire tests incl. the traced-sinks smoke, TX ring, packet pool, the timing wheel and the serve engine
+	$(GO) test -race -run 'TestTracedLoopbackAllSinks|TestDialListenRoundTrip|TestManyMessagesOrdered|TestConcurrentSendersOneConnection|TestBidirectional|TestDialedTxRingFlushes|TestTxErrorCounted|TestWheelTimer' ./internal/udpwire/
 	$(GO) test -race ./internal/packet/
+	$(GO) test -race ./internal/wheel/
 	$(GO) test -race ./internal/serve/
 	$(GO) test -race -run 'TestSteadyStateAllocs' .
 

@@ -1,4 +1,4 @@
-// Command benchdiff compares two `go test -bench` output files and prints a
+// Command benchdiff compares two benchmark result files and prints a
 // per-benchmark old/new/delta table. It is a dependency-free stand-in for
 // benchstat: point it at a saved baseline and a fresh run.
 //
@@ -7,13 +7,23 @@
 //	go test -bench . -run '^$' . > new.txt
 //	go run ./cmd/benchdiff old.txt new.txt
 //
-// Only lines beginning with "Benchmark" are considered. Every metric pair on
-// the line (ns/op, B/op, allocs/op, and any custom ReportMetric unit) is
-// diffed. Benchmarks present in only one file are listed without a delta.
+// Two input formats, chosen by file extension:
+//
+//   - `go test -bench` text output: only lines beginning with "Benchmark"
+//     are considered, and every metric pair on the line (ns/op, B/op,
+//     allocs/op, any custom ReportMetric unit) is diffed;
+//   - .json: the repo's BENCH_*.json reports. Every numeric leaf is a
+//     metric named by its JSON path; matrix rows (objects carrying
+//     gomaxprocs/shards/conns, as in BENCH_server.json) are keyed by that
+//     workload shape rather than array position, so two runs line up even
+//     if cells were added or reordered.
+//
+// Benchmarks present in only one file are listed without a delta.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
@@ -88,9 +98,93 @@ func main() {
 	}
 }
 
-// parseFile reads one `go test -bench` output file. The "-8" GOMAXPROCS
-// suffix is stripped so runs from differently sized machines still line up.
+// parseFile dispatches on extension: .json reports flatten by path, text
+// files parse as `go test -bench` output.
 func parseFile(path string) (map[string]metrics, error) {
+	if strings.HasSuffix(path, ".json") {
+		return parseJSONFile(path)
+	}
+	return parseBenchFile(path)
+}
+
+// parseJSONFile flattens a BENCH_*.json report: every numeric leaf becomes
+// a metric, its parent object's JSON path the benchmark name.
+func parseJSONFile(path string) (map[string]metrics, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]metrics)
+	flattenJSON(v, "", out)
+	return out, nil
+}
+
+func flattenJSON(v any, prefix string, out map[string]metrics) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			switch lv := val.(type) {
+			case float64:
+				name := prefix
+				if name == "" {
+					name = "(root)"
+				}
+				m := out[name]
+				if m == nil {
+					m = make(metrics)
+					out[name] = m
+				}
+				m[k] = lv
+			case map[string]any, []any:
+				flattenJSON(val, joinPath(prefix, k), out)
+			}
+			// Strings and booleans carry run metadata (timestamps, offload
+			// capability flags), not comparable measurements: cellLabel
+			// folds the flags that matter into the row key instead.
+		}
+	case []any:
+		for i, el := range x {
+			label := strconv.Itoa(i)
+			if obj, ok := el.(map[string]any); ok {
+				if l := cellLabel(obj); l != "" {
+					label = l
+				}
+			}
+			flattenJSON(el, joinPath(prefix, label), out)
+		}
+	}
+}
+
+// cellLabel keys a matrix row by its workload shape (BENCH_server.json
+// cells) so runs with reordered or added cells still line up.
+func cellLabel(obj map[string]any) string {
+	p, ok1 := obj["gomaxprocs"].(float64)
+	s, ok2 := obj["shards"].(float64)
+	c, ok3 := obj["conns"].(float64)
+	if !ok1 || !ok2 || !ok3 {
+		return ""
+	}
+	label := fmt.Sprintf("p%.0f.s%.0f.c%.0f", p, s, c)
+	if off, ok := obj["offload"].(bool); ok && !off {
+		label += ".nooffload"
+	}
+	return label
+}
+
+func joinPath(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}
+
+// parseBenchFile reads one `go test -bench` output file. The "-8" GOMAXPROCS
+// suffix is stripped so runs from differently sized machines still line up.
+func parseBenchFile(path string) (map[string]metrics, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

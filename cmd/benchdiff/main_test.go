@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFlattenJSONMatrix(t *testing.T) {
+	doc := `{
+	  "msg_bytes": 256,
+	  "offload": {"gso": true, "gro": true},
+	  "baseline": {"serve": {"msgs_per_sec": 100}, "speedup": 1.5},
+	  "matrix": [
+	    {"gomaxprocs": 1, "shards": 2, "conns": 200, "offload": true, "msgs_per_sec": 90},
+	    {"gomaxprocs": 1, "shards": 2, "conns": 200, "offload": false, "msgs_per_sec": 70},
+	    {"gomaxprocs": 4, "shards": 4, "conns": 200, "offload": true, "msgs_per_sec": 250}
+	  ],
+	  "generated_at": "2026-08-08T00:00:00Z"
+	}`
+	var v any
+	if err := json.Unmarshal([]byte(doc), &v); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]metrics)
+	flattenJSON(v, "", out)
+
+	checks := []struct {
+		name, metric string
+		want         float64
+	}{
+		{"(root)", "msg_bytes", 256},
+		{"baseline.serve", "msgs_per_sec", 100},
+		{"baseline", "speedup", 1.5},
+		{"matrix.p1.s2.c200", "msgs_per_sec", 90},
+		{"matrix.p1.s2.c200.nooffload", "msgs_per_sec", 70},
+		{"matrix.p4.s4.c200", "msgs_per_sec", 250},
+	}
+	for _, c := range checks {
+		m, ok := out[c.name]
+		if !ok {
+			t.Errorf("missing benchmark row %q (have %v)", c.name, keys(out))
+			continue
+		}
+		if got := m[c.metric]; got != c.want {
+			t.Errorf("%s %s = %v, want %v", c.name, c.metric, got, c.want)
+		}
+	}
+	// Matrix rows must be keyed by shape, not array index.
+	if _, ok := out["matrix.0"]; ok {
+		t.Error("matrix cell keyed by array index, want workload-shape key")
+	}
+}
+
+func keys(m map[string]metrics) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

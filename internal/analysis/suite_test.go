@@ -26,6 +26,9 @@ func TestLockemit(t *testing.T)  { analysistest.Run(t, lockemit.Analyzer, "testd
 func TestPoolcheck(t *testing.T) { analysistest.Run(t, poolcheck.Analyzer, "testdata/src/poolcheck") }
 func TestTimeafterloop(t *testing.T) {
 	analysistest.Run(t, timeafterloop.Analyzer, "testdata/src/timeafterloop")
+	// The raw-timer rule only fires when the package path ends in a
+	// wheel-backed suffix, so it gets its own sub-fixture.
+	analysistest.Run(t, timeafterloop.Analyzer, "testdata/src/timeafterloop/internal/udpwire")
 }
 func TestTracekeys(t *testing.T) { analysistest.Run(t, tracekeys.Analyzer, "testdata/src/tracekeys") }
 

@@ -1,0 +1,35 @@
+// Package udpwire exercises the wheel-backed-package raw-timer rule: the
+// fixture's import path ends in internal/udpwire, so time.AfterFunc and
+// time.NewTimer are flagged everywhere, not just in loops.
+package udpwire
+
+import "time"
+
+func protocolTimer(fire func()) {
+	time.AfterFunc(time.Second, fire) // want `raw time.AfterFunc in a wheel-backed package`
+}
+
+func retransmitTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want `raw time.NewTimer in a wheel-backed package`
+}
+
+func dialDeadline(done chan struct{}) bool {
+	t := time.NewTimer(time.Second) //iqlint:ignore timeafterloop -- fixture: deadline timer blocking on channel receive
+	defer t.Stop()
+	select {
+	case <-done:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+func loopStillChecked(stop chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Second): // want `time.After in a loop leaks a timer`
+		case <-stop:
+			return
+		}
+	}
+}

@@ -57,6 +57,8 @@ func metrics() {
 	_ = lookup("rtt_seconds")           // want `raw metric name "rtt_seconds"`
 	_ = lookup("queue_depth_furlongs")  // want `unregistered metric name "queue_depth_furlongs"`
 	_ = lookup(hist.MetricDispatch)
+	_ = lookup("wheel_lateness_seconds") // want `raw metric name "wheel_lateness_seconds"`
+	_ = lookup(hist.MetricWheelLateness)
 	var name string
 	name = "dispatch_latency_seconds" // want `raw metric name "dispatch_latency_seconds"`
 	_ = name

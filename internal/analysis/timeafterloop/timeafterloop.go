@@ -1,4 +1,5 @@
-// Package timeafterloop rejects time.After (and time.Tick) inside loops.
+// Package timeafterloop rejects time.After (and time.Tick) inside loops,
+// and raw runtime timers in the packages that have a timing wheel.
 //
 // Each time.After call allocates a timer the runtime cannot free until it
 // fires; in a loop that re-selects every iteration — the shape of every
@@ -7,10 +8,22 @@
 // CloseWithin and the serve Close backstop. The fix is a time.NewTimer /
 // NewTicker hoisted out of the loop (Stop it when done), or the
 // connection's own deadline machinery.
+//
+// In the transport packages where the timing wheel is the timer backend
+// (internal/core, internal/serve, internal/udpwire), time.AfterFunc and
+// time.NewTimer are additionally flagged everywhere, loop or not:
+// per-connection protocol timers re-arm on nearly every packet and belong
+// on the wheel (core.Env.After / internal/wheel), which re-arms without
+// allocating. The legitimate exceptions — one-shot deadline timers whose
+// goroutine blocks on a channel receive, which a wheel callback cannot
+// serve — carry an //iqlint:ignore with the reason. Test files are exempt
+// (the vet driver covers them; tests freely use runtime timers as
+// harness machinery).
 package timeafterloop
 
 import (
 	"go/ast"
+	"strings"
 
 	"github.com/cercs/iqrudp/internal/analysis"
 )
@@ -18,12 +31,30 @@ import (
 // Analyzer is the timeafterloop pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "timeafterloop",
-	Doc:  "reject time.After/time.Tick inside for/range loops (timer-leak regression guard)",
+	Doc:  "reject time.After/time.Tick inside loops, and raw runtime timers where the timing wheel is the backend",
 	Run:  run,
 }
 
+// wheelPkgs lists the package paths whose timers belong on the timing
+// wheel. internal/wheel itself is exempt: its driver goroutine sleeps on
+// the one runtime timer the wheel exists to multiplex.
+var wheelPkgs = []string{"internal/core", "internal/serve", "internal/udpwire"}
+
+func inWheelPkg(path string) bool {
+	for _, p := range wheelPkgs {
+		if analysis.PathMatches(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
 func run(pass *analysis.Pass) error {
+	wheelPkg := inWheelPkg(pass.Pkg.Path())
 	for _, f := range pass.Files {
+		if wheelPkg && !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			checkRawTimers(pass, f)
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			var body *ast.BlockStmt
 			switch loop := n.(type) {
@@ -51,4 +82,23 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkRawTimers flags time.AfterFunc/time.NewTimer in a wheel-backed
+// package: protocol timers go through the wheel; deadline timers that must
+// stay on the runtime carry an //iqlint:ignore with the reason.
+func checkRawTimers(pass *analysis.Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pass.IsPkgFunc(call, "time", "AfterFunc") {
+			pass.Reportf(call.Pos(), "raw time.AfterFunc in a wheel-backed package; arm the timing wheel instead (core.Env.After / internal/wheel), or //iqlint:ignore with the reason this timer cannot live on the wheel")
+		}
+		if pass.IsPkgFunc(call, "time", "NewTimer") {
+			pass.Reportf(call.Pos(), "raw time.NewTimer in a wheel-backed package; arm the timing wheel instead (core.Env.After / internal/wheel), or //iqlint:ignore with the reason this timer cannot live on the wheel")
+		}
+		return true
+	})
 }

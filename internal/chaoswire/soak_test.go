@@ -315,6 +315,10 @@ func TestResumeAcrossBlackhole(t *testing.T) {
 //  3. every traced Reason outside TxError is registered (tracekeys-clean);
 //  4. no goroutine and no pooled-packet leaks.
 func TestChaosSoak(t *testing.T) {
+	// The process-wide timing wheel starts its driver goroutine on first
+	// use and runs for the life of the process; warm it before the baseline
+	// so it doesn't read as a leak.
+	udpwire.DefaultWheel()
 	baselineGoroutines := runtime.NumGoroutine()
 	baselinePool := packet.PoolOutstanding()
 

@@ -8,8 +8,24 @@ import (
 )
 
 // Timer is a cancellable deadline armed through the Env.
+//
+// Handle lifecycle (the recycling contract): a Timer handle is live from
+// the After call that returned it until either Stop is called on it or its
+// callback begins executing — whichever comes first. After that the handle
+// is spent: the environment is free to recycle it for a later After, so a
+// retained spent handle may alias a different logical timer and Stop on it
+// could cancel the wrong one. The machine therefore (a) drops its reference
+// immediately after every Stop, and (b) clears the owning field at the top
+// of every timer callback, before any code that could arm a timer runs.
+// Environments with reusable handles (the udpwire wheel adapter) rely on
+// this; environments that mint a fresh handle per After (the simulator)
+// are trivially compatible.
 type Timer interface {
 	// Stop cancels the timer, reporting whether it was still pending.
+	// False means the timer already fired, was already stopped, or its
+	// callback is concurrently being dispatched; in the last case the
+	// environment suppresses the callback if the Stop ran inside the
+	// machine's serialisation context before the callback entered it.
 	Stop() bool
 }
 
@@ -35,7 +51,11 @@ type Env interface {
 	// Deliver hands a reassembled application message up the stack.
 	Deliver(msg Message)
 
-	// After arms a timer that invokes fn from the driving context.
+	// After arms a timer that invokes fn from the driving context. The
+	// returned handle is subject to the Timer recycling contract: the
+	// machine passes callbacks cached at construction (never fresh
+	// closures), so environments may recycle handles and a steady-state
+	// re-arm can be allocation-free.
 	After(d time.Duration, fn func()) Timer
 }
 

@@ -153,22 +153,30 @@ type Machine struct {
 	onWritable               func()
 	onClosed                 func()
 
-	// Timers.
+	// Timers. Every timer callback clears its field on entry (see the
+	// Env.After contract: a fired Timer handle is spent and must not be
+	// retained), and each callback is cached as a method value at
+	// construction so re-arming never allocates a closure.
 	rtxTimer    Timer
 	rtxAt       time.Duration // absolute fire time of the armed rtx timer
 	rtxIsProbe  bool          // armed for a forward-point probe, not an RTO
 	rtxExpireFn func()        // cached onRtxExpire method value (no per-arm closure)
 	connTimer   Timer
+	synRetryFn  func() // cached onSynRetry method value
+	finRetryFn  func() // cached onFinRetry method value
 	measTicker  Timer
 
 	closing     bool   // Close requested; FIN once the pipeline drains
 	closeReason string // why the connection died; set exactly once by abortWith
 	tolDirty    bool   // localTol changed; piggyback on next ack
 
-	lastHeard time.Duration // when the peer was last heard from
-	lastSent  time.Duration // when we last emitted anything
-	liveTimer Timer
-	paceTimer Timer // armed while a paced transmission gap is pending
+	lastHeard    time.Duration // when the peer was last heard from
+	lastSent     time.Duration // when we last emitted anything
+	liveTimer    Timer
+	liveFn       func()        // cached onLiveTick method value
+	liveInterval time.Duration // keepalive probe period, set by startLiveness
+	paceTimer    Timer         // armed while a paced transmission gap is pending
+	paceFn       func()        // cached onPaceGap method value
 
 	metrics Metrics
 
@@ -220,6 +228,10 @@ func NewMachine(cfg Config, env Env) *Machine {
 	m.meas = newMeasurement(m)
 	m.coo = newCoordinator(m)
 	m.rtxExpireFn = m.onRtxExpire
+	m.synRetryFn = m.onSynRetry
+	m.finRetryFn = m.onFinRetry
+	m.paceFn = m.onPaceGap
+	m.liveFn = m.onLiveTick
 	m.reg.Set(attr.LossTolerance, attr.Float(m.localTol))
 	return m
 }
@@ -308,11 +320,25 @@ func (m *Machine) sendSyn() {
 		Payload: m.cfg.ResumeToken,
 	}
 	m.env.Emit(p)
-	m.armConnRetry(func() {
-		if m.state == stSynSent {
-			m.sendSyn()
-		}
-	})
+	m.armConnRetry(m.synRetryFn)
+}
+
+// onSynRetry is the cached SYN-retransmission callback: while the active
+// open is still unanswered, re-send the SYN (which re-arms the retry).
+func (m *Machine) onSynRetry() {
+	m.connTimer = nil
+	if m.state == stSynSent {
+		m.sendSyn()
+	}
+}
+
+// onFinRetry is the cached FIN-timeout callback: an unanswered FIN gets one
+// retry interval before the connection is torn down.
+func (m *Machine) onFinRetry() {
+	m.connTimer = nil
+	if m.state == stFinWait {
+		m.abortWith(trace.ReasonFinTimeout) // give up after one retry interval
+	}
 }
 
 func (m *Machine) armConnRetry(fn func()) {
@@ -376,11 +402,7 @@ func (m *Machine) maybeFinish() {
 		TS: m.env.Now(),
 	}
 	m.env.Emit(&m.out)
-	m.armConnRetry(func() {
-		if m.state == stFinWait {
-			m.abortWith(trace.ReasonFinTimeout) // give up after one retry interval
-		}
-	})
+	m.armConnRetry(m.finRetryFn)
 }
 
 // Abort tears the machine down immediately — no FIN exchange, no drain.
@@ -440,27 +462,31 @@ func (m *Machine) startLiveness() {
 	if interval <= 0 {
 		return
 	}
-	var tick func()
-	tick = func() {
-		if m.state != stEstablished && m.state != stFinWait {
-			return
-		}
-		now := m.env.Now()
-		if m.cfg.DeadInterval > 0 && now-m.lastHeard >= m.cfg.DeadInterval {
-			m.abortWith(trace.ReasonPeerDead)
-			return
-		}
-		if m.cfg.Keepalive > 0 && now-m.lastSent >= m.cfg.Keepalive {
-			m.out = packet.Packet{
-				Type: packet.NUL, ConnID: m.connID,
-				Seq: m.sndNxt, Ack: m.rcvNxt, Wnd: m.advertiseWnd(), TS: now,
-			}
-			m.env.Emit(&m.out)
-			m.lastSent = now
-		}
-		m.liveTimer = m.env.After(interval, tick)
+	m.liveInterval = interval
+	m.liveTimer = m.env.After(interval, m.liveFn)
+}
+
+// onLiveTick is the cached keepalive/dead-peer callback: probe or abort,
+// then re-arm.
+func (m *Machine) onLiveTick() {
+	m.liveTimer = nil
+	if m.state != stEstablished && m.state != stFinWait {
+		return
 	}
-	m.liveTimer = m.env.After(interval, tick)
+	now := m.env.Now()
+	if m.cfg.DeadInterval > 0 && now-m.lastHeard >= m.cfg.DeadInterval {
+		m.abortWith(trace.ReasonPeerDead)
+		return
+	}
+	if m.cfg.Keepalive > 0 && now-m.lastSent >= m.cfg.Keepalive {
+		m.out = packet.Packet{
+			Type: packet.NUL, ConnID: m.connID,
+			Seq: m.sndNxt, Ack: m.rcvNxt, Wnd: m.advertiseWnd(), TS: now,
+		}
+		m.env.Emit(&m.out)
+		m.lastSent = now
+	}
+	m.liveTimer = m.env.After(m.liveInterval, m.liveFn)
 }
 
 // NoteTxError records n socket-level transmit failures observed by the

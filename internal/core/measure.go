@@ -23,10 +23,13 @@ type measurement struct {
 	raw           float64
 	lastRate      float64
 	running       bool
+	tickFn        func() // cached onTick method value (no per-arm closure)
 }
 
 func newMeasurement(m *Machine) *measurement {
-	return &measurement{m: m, smoothedRatio: stats.NewEWMA(m.cfg.LossRatioAlpha)}
+	me := &measurement{m: m, smoothedRatio: stats.NewEWMA(m.cfg.LossRatioAlpha)}
+	me.tickFn = me.onTick
+	return me
 }
 
 func (me *measurement) onSend(n uint64)       { me.sent += n }
@@ -49,13 +52,18 @@ func (me *measurement) start() {
 func (me *measurement) stop() { me.running = false }
 
 func (me *measurement) arm() {
-	me.m.measTicker = me.m.env.After(me.m.cfg.MeasurementPeriod, func() {
-		if !me.running || me.m.state == stDead {
-			return
-		}
-		me.tick()
-		me.arm()
-	})
+	me.m.measTicker = me.m.env.After(me.m.cfg.MeasurementPeriod, me.tickFn)
+}
+
+// onTick is the cached period-boundary callback: close the period and
+// re-arm while the loop is running.
+func (me *measurement) onTick() {
+	me.m.measTicker = nil
+	if !me.running || me.m.state == stDead {
+		return
+	}
+	me.tick()
+	me.arm()
 }
 
 // tick closes a measurement period.

@@ -331,16 +331,20 @@ func (m *Machine) pacedSend() {
 				interval = 100 * time.Microsecond
 			}
 		}
-		m.paceTimer = m.env.After(interval, func() {
-			m.paceTimer = nil
-			m.trySend()
-		})
+		m.paceTimer = m.env.After(interval, m.paceFn)
 		return
 	}
 	if m.fwdPending && m.pendingLen() == 0 && m.inFlightCount() == 0 {
 		m.emitFwdProbe()
 	}
 	m.maybeFinish()
+}
+
+// onPaceGap is the cached pacing-gap callback: the gap has elapsed, resume
+// the paced train.
+func (m *Machine) onPaceGap() {
+	m.paceTimer = nil
+	m.trySend()
 }
 
 // transmit emits one DATA packet (first transmission or retransmission). The

@@ -32,6 +32,10 @@ const (
 	// recovered by the FEC repair layer (core, receiver side; single clock:
 	// measured from the repair group's first out-of-order arrival).
 	MetricFecRepair = "fec_repair_latency_seconds"
+	// MetricWheelLateness is how far past its deadline each timing-wheel
+	// callback was dispatched (serve, per shard; bounded by ~2 wheel ticks
+	// plus scheduler noise when healthy).
+	MetricWheelLateness = "wheel_lateness_seconds"
 )
 
 // Metrics lists every registered histogram metric name.
@@ -44,6 +48,7 @@ func Metrics() []string {
 		MetricRxBatch,
 		MetricDispatch,
 		MetricFecRepair,
+		MetricWheelLateness,
 	}
 }
 

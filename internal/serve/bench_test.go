@@ -13,14 +13,22 @@ import (
 
 	"github.com/cercs/iqrudp/internal/stats"
 	"github.com/cercs/iqrudp/internal/udpwire"
+	"github.com/cercs/iqrudp/internal/uio"
 )
 
-// The many-connection throughput benchmark behind `make bench-server`. It
-// runs the same loopback workload — N concurrent dialers sending marked,
-// timestamped messages under backpressure — against the serve engine and
-// against the legacy single-goroutine udpwire.Listener, and records both
-// sides' sustained delivered msgs/sec and delivery-latency percentiles in
-// a JSON file. Gated on BENCH_SERVER_JSON so ordinary test runs skip it.
+// The many-connection throughput benchmark behind `make bench-server`. Two
+// parts, both gated on BENCH_SERVER_JSON so ordinary test runs skip them:
+//
+//   - a serve-vs-legacy-listener A/B at one fixed point (the historical
+//     baseline comparison), and
+//   - a shards × GOMAXPROCS × conns matrix over the serve engine alone,
+//     each cell recording sustained delivered msgs/sec, latency
+//     percentiles, wire bytes per connection and timing-wheel arms/sec,
+//     plus one cell with segmentation offload forced off so the GSO/GRO
+//     delta is visible in the same document.
+//
+// The same loopback workload drives every cell: N concurrent dialers
+// sending marked, timestamped messages under backpressure.
 
 type benchSide struct {
 	MsgsPerSec float64 `json:"msgs_per_sec"`
@@ -29,18 +37,39 @@ type benchSide struct {
 	Delivered  uint64  `json:"delivered_msgs"`
 }
 
+// benchCell is one matrix point: the workload shape plus what it measured.
+type benchCell struct {
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	Shards          int     `json:"shards"`
+	Conns           int     `json:"conns"`
+	Offload         bool    `json:"offload"` // engine-side GSO/GRO enabled (and kernel-supported)
+	MsgsPerSec      float64 `json:"msgs_per_sec"`
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	BytesPerConn    float64 `json:"bytes_per_conn"`     // wire bytes (rx+tx) per connection over the window
+	TimerArmsPerSec float64 `json:"timer_arms_per_sec"` // timing-wheel (re)arms/sec across shards
+}
+
 type benchReport struct {
+	MsgBytes    int         `json:"msg_bytes"`
+	WindowSec   float64     `json:"window_sec"`
+	HostCPUs    int         `json:"host_cpus"`
+	Offload     uio.Offload `json:"offload"` // kernel capability probe
+	Baseline    benchAB     `json:"baseline"`
+	Matrix      []benchCell `json:"matrix"`
+	GeneratedAt string      `json:"generated_at"`
+	Note        string      `json:"note,omitempty"`
+}
+
+// benchAB is the serve-vs-listener comparison at one fixed point.
+type benchAB struct {
 	Conns       int       `json:"conns"`
-	MsgBytes    int       `json:"msg_bytes"`
-	WindowSec   float64   `json:"window_sec"`
 	GOMAXPROCS  int       `json:"gomaxprocs"`
 	ServeShards int       `json:"serve_shards"`
 	Serve       benchSide `json:"serve"`
 	Listener    benchSide `json:"listener"`
 	Speedup     float64   `json:"speedup"`
 	P99Ratio    float64   `json:"p99_latency_ratio"`
-	GeneratedAt string    `json:"generated_at"`
-	Note        string    `json:"note,omitempty"`
 }
 
 func TestServerEngineBenchJSON(t *testing.T) {
@@ -54,31 +83,80 @@ func TestServerEngineBenchJSON(t *testing.T) {
 		warmup   = 500 * time.Millisecond
 		window   = 2 * time.Second
 	)
-	serveSide := benchEngine(t, "serve", conns, msgBytes, warmup, window)
-	listenSide := benchEngine(t, "listener", conns, msgBytes, warmup, window)
+	serveSide, _ := benchEngine(t, "serve", conns, msgBytes, warmup, window, Options{
+		Shards: benchShards(), Backlog: conns + 16, Batch: 64, DrainTimeout: time.Second,
+	})
+	listenSide, _ := benchEngine(t, "listener", conns, msgBytes, warmup, window, Options{})
 
 	rep := benchReport{
-		Conns:       conns,
-		MsgBytes:    msgBytes,
-		WindowSec:   window.Seconds(),
-		GOMAXPROCS:  maxprocs(),
-		ServeShards: benchShards(),
-		Serve:       serveSide,
-		Listener:    listenSide,
+		MsgBytes:  msgBytes,
+		WindowSec: window.Seconds(),
+		HostCPUs:  runtime.NumCPU(),
+		Offload:   uio.ProbeOffload(),
+		Baseline: benchAB{
+			Conns:       conns,
+			GOMAXPROCS:  maxprocs(),
+			ServeShards: benchShards(),
+			Serve:       serveSide,
+			Listener:    listenSide,
+		},
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 	}
 	if listenSide.MsgsPerSec > 0 {
-		rep.Speedup = serveSide.MsgsPerSec / listenSide.MsgsPerSec
+		rep.Baseline.Speedup = serveSide.MsgsPerSec / listenSide.MsgsPerSec
 	}
 	if serveSide.P99Ms > 0 {
-		rep.P99Ratio = listenSide.P99Ms / serveSide.P99Ms
+		rep.Baseline.P99Ratio = listenSide.P99Ms / serveSide.P99Ms
 	}
-	if maxprocs() == 1 {
+
+	// The matrix: scale shards with GOMAXPROCS, hold the workload fixed
+	// where possible, and include a no-offload twin of one cell so the
+	// GSO/GRO delta shows in the same run. GOMAXPROCS above the physical
+	// core count measures scheduling behavior only — host_cpus tells the
+	// reader how many cells had real parallelism available.
+	type point struct {
+		procs, shards, conns int
+		noOffload            bool
+	}
+	points := []point{
+		{procs: 1, shards: 1, conns: 64},
+		{procs: 1, shards: 2, conns: conns},
+		{procs: 1, shards: 2, conns: conns, noOffload: true},
+		{procs: 2, shards: 2, conns: conns},
+		{procs: 4, shards: 4, conns: conns},
+	}
+	off := uio.ProbeOffload()
+	for _, pt := range points {
+		prev := runtime.GOMAXPROCS(pt.procs)
+		side, extra := benchEngine(t, "serve", pt.conns, msgBytes, warmup, window, Options{
+			Shards: pt.shards, Backlog: pt.conns + 16, Batch: 64,
+			DrainTimeout: time.Second, NoOffload: pt.noOffload,
+		})
+		runtime.GOMAXPROCS(prev)
+		cell := benchCell{
+			GOMAXPROCS:      pt.procs,
+			Shards:          pt.shards,
+			Conns:           pt.conns,
+			Offload:         !pt.noOffload && (off.GSO || off.GRO),
+			MsgsPerSec:      side.MsgsPerSec,
+			P50Ms:           side.P50Ms,
+			P99Ms:           side.P99Ms,
+			BytesPerConn:    extra.bytesPerConn,
+			TimerArmsPerSec: extra.timerArmsPerSec,
+		}
+		rep.Matrix = append(rep.Matrix, cell)
+		t.Logf("cell p%d s%d c%d offload=%v: %.0f msgs/s p99 %.2fms %.0f B/conn %.0f arms/s",
+			pt.procs, pt.shards, pt.conns, cell.Offload,
+			cell.MsgsPerSec, cell.P99Ms, cell.BytesPerConn, cell.TimerArmsPerSec)
+	}
+
+	if runtime.NumCPU() == 1 {
 		rep.Note = "single-CPU host: the in-process load generator shares the core " +
-			"with both engines, so delivered msgs/sec is CPU-bound for both and the " +
-			"throughput gap reflects syscall batching only; the shard model's " +
-			"throughput speedup scales with cores (see p99_latency_ratio for the " +
-			"queueing gap that shows even here)"
+			"with the engine, so delivered msgs/sec is CPU-bound in every cell and " +
+			"GOMAXPROCS>1 rows measure scheduling, not parallel speedup; the " +
+			"offload=false twin isolates the GSO/GRO syscall-batching delta, and " +
+			"the baseline p99_latency_ratio shows the sharding queueing gap that " +
+			"appears even here"
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -89,11 +167,18 @@ func TestServerEngineBenchJSON(t *testing.T) {
 	}
 	t.Logf("serve %.0f msgs/s (p99 %.2fms) vs listener %.0f msgs/s (p99 %.2fms): %.1fx -> %s",
 		serveSide.MsgsPerSec, serveSide.P99Ms,
-		listenSide.MsgsPerSec, listenSide.P99Ms, rep.Speedup, path)
+		listenSide.MsgsPerSec, listenSide.P99Ms, rep.Baseline.Speedup, path)
+}
+
+// benchExtras carries the serve-engine counters a cell reports beyond
+// throughput (zero for the listener leg).
+type benchExtras struct {
+	bytesPerConn    float64
+	timerArmsPerSec float64
 }
 
 // benchEngine measures one acceptor's sustained delivered msgs/sec.
-func benchEngine(t *testing.T, engine string, conns, msgBytes int, warmup, window time.Duration) benchSide {
+func benchEngine(t *testing.T, engine string, conns, msgBytes int, warmup, window time.Duration, opt Options) (benchSide, benchExtras) {
 	t.Helper()
 	cfg := testConfig()
 
@@ -101,12 +186,12 @@ func benchEngine(t *testing.T, engine string, conns, msgBytes int, warmup, windo
 		acceptFn func() (*udpwire.Conn, error)
 		addr     string
 		closeFn  func()
+		srv      *Server
 	)
 	switch engine {
 	case "serve":
-		srv, err := Listen("127.0.0.1:0", cfg, Options{
-			Shards: benchShards(), Backlog: conns + 16, Batch: 64, DrainTimeout: time.Second,
-		})
+		var err error
+		srv, err = Listen("127.0.0.1:0", cfg, opt)
 		if err != nil {
 			t.Fatalf("serve.Listen: %v", err)
 		}
@@ -218,11 +303,19 @@ func benchEngine(t *testing.T, engine string, conns, msgBytes int, warmup, windo
 	}
 
 	time.Sleep(warmup)
+	var statsBefore Stats
+	if srv != nil {
+		statsBefore = srv.Stats()
+	}
 	measuring.Store(true)
 	before := delivered.Load()
 	time.Sleep(window)
 	count := delivered.Load() - before
 	measuring.Store(false)
+	var statsAfter Stats
+	if srv != nil {
+		statsAfter = srv.Stats()
+	}
 	close(stop)
 	wg.Wait()
 	acceptMu.Lock()
@@ -244,7 +337,26 @@ func benchEngine(t *testing.T, engine string, conns, msgBytes int, warmup, windo
 		side.P99Ms = lat.Quantile(0.99)
 	}
 	latMu.Unlock()
-	return side
+
+	var extra benchExtras
+	if srv != nil {
+		var bytes, arms uint64
+		for i, ss := range statsAfter.Shards {
+			bytes += ss.RxBytes + ss.TxBytes
+			arms += ss.TimerArms
+			if i < len(statsBefore.Shards) {
+				prev := statsBefore.Shards[i]
+				bytes -= prev.RxBytes + prev.TxBytes
+				arms -= prev.TimerArms
+			}
+		}
+		live := conns - int(dialFailures.Load())
+		if live > 0 {
+			extra.bytesPerConn = float64(bytes) / float64(live)
+		}
+		extra.timerArmsPerSec = float64(arms) / window.Seconds()
+	}
+	return side, extra
 }
 
 func maxprocs() int { return runtime.GOMAXPROCS(0) }

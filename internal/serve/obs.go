@@ -85,6 +85,9 @@ func (srv *Server) HistSnapshots() []hist.Snapshot {
 		if sh.rxBatchH != nil {
 			snaps = append(snaps, sh.rxBatchH.Snapshot(), sh.dispatchH.Snapshot())
 		}
+		if sh.wheelLateH != nil {
+			snaps = append(snaps, sh.wheelLateH.Snapshot())
+		}
 	}
 	srv.obsMu.Lock()
 	snaps = append(snaps, srv.archive...)
@@ -113,10 +116,11 @@ type IntroConn struct {
 // IntroShard describes one shard: its I/O counters plus batch-size and
 // dispatch-latency distributions.
 type IntroShard struct {
-	Shard    int           `json:"shard"`
-	Stats    ShardStats    `json:"stats"`
-	RxBatch  *hist.Summary `json:"rx_batch,omitempty"`
-	Dispatch *hist.Summary `json:"dispatch,omitempty"`
+	Shard     int           `json:"shard"`
+	Stats     ShardStats    `json:"stats"`
+	RxBatch   *hist.Summary `json:"rx_batch,omitempty"`
+	Dispatch  *hist.Summary `json:"dispatch,omitempty"`
+	WheelLate *hist.Summary `json:"wheel_late,omitempty"`
 }
 
 // Introspection is the /debug/iqrudp document: engine stats, per-shard
@@ -146,6 +150,12 @@ func (srv *Server) Introspect() Introspection {
 			if s := sh.dispatchH.Snapshot(); s.Count > 0 {
 				sum := s.Summary()
 				is.Dispatch = &sum
+			}
+		}
+		if sh.wheelLateH != nil {
+			if s := sh.wheelLateH.Snapshot(); s.Count > 0 {
+				sum := s.Summary()
+				is.WheelLate = &sum
 			}
 		}
 		doc.Shards = append(doc.Shards, is)

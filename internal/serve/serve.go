@@ -52,6 +52,7 @@ import (
 	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/udpwire"
 	"github.com/cercs/iqrudp/internal/uio"
+	"github.com/cercs/iqrudp/internal/wheel"
 )
 
 // Errors, shared with the socket driver so callers handle one vocabulary.
@@ -94,6 +95,11 @@ type Options struct {
 	// engine retains (oldest evicted first). Default 32; -1 retains none
 	// (the total is still counted).
 	FlightRecords int
+
+	// NoOffload disables UDP GSO/GRO segmentation offload on the engine's
+	// sockets even when the kernel supports it — the A/B knob for the
+	// bench matrix and for triaging offload-suspect behavior.
+	NoOffload bool
 }
 
 func (o *Options) sanitize() {
@@ -138,10 +144,11 @@ type Server struct {
 	cfg core.Config
 	opt Options
 
-	socks  []*net.UDPConn
-	shards []*shard
-	rxPool *uio.BufPool // receive buffers, shared by every shard's batcher
-	accept chan *udpwire.Conn
+	socks   []*net.UDPConn
+	shards  []*shard
+	rxPool  *uio.BufPool // receive buffers, shared by every shard's batcher
+	offload uio.Offload  // kernel segmentation-offload support probed at bind
+	accept  chan *udpwire.Conn
 
 	drainCh   chan struct{} // closed when Close begins: no new admissions
 	closed    chan struct{} // closed when teardown completes
@@ -171,12 +178,24 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// With GRO the kernel coalesces a burst of same-flow datagrams into one
+	// super-datagram per recvmmsg slot, so receive buffers must hold a full
+	// coalesced train (64 KiB) rather than one MTU-sized packet.
+	offload := uio.ProbeOffload()
+	if opt.NoOffload {
+		offload = uio.Offload{}
+	}
+	bufSize := rxBufSize(cfg)
+	if offload.GRO {
+		bufSize = uio.GROBufSize
+	}
 	srv := &Server{
 		cfg:     cfg,
 		opt:     opt,
 		socks:   socks,
+		rxPool:  uio.NewBufPool(bufSize),
+		offload: offload,
 		shards:  make([]*shard, opt.Shards),
-		rxPool:  uio.NewBufPool(rxBufSize(cfg)),
 		accept:  make(chan *udpwire.Conn, opt.Backlog),
 		drainCh: make(chan struct{}),
 		closed:  make(chan struct{}),
@@ -198,6 +217,7 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 			srv:    srv,
 			idx:    i,
 			sock:   socks[i%len(socks)],
+			wh:     wheel.New(0),
 			byID:   make(map[uint32]*udpwire.Conn),
 			byAddr: make(map[string]uint32),
 			txq:    make(chan uio.Msg, 4*opt.Batch*len(srv.shards)),
@@ -205,6 +225,8 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 		if opt.FlightEvents > 0 {
 			srv.shards[i].rxBatchH = hist.NewBatch(hist.MetricRxBatch)
 			srv.shards[i].dispatchH = hist.NewLatency(hist.MetricDispatch)
+			srv.shards[i].wheelLateH = hist.NewLatency(hist.MetricWheelLateness)
+			srv.shards[i].wh.SetLatenessHist(srv.shards[i].wheelLateH)
 		}
 	}
 	// Each shard routes transmissions through the shard that owns its
@@ -217,9 +239,17 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 		sh := srv.shards[i]
 		rb, err := uio.NewRxBatcher(socks[i], srv.rxPool, opt.Batch)
 		if err == nil {
+			if offload.GRO {
+				// Best effort: a socket that refuses UDP_GRO just stays on
+				// the one-datagram-per-slot path.
+				rb.EnableGRO()
+			}
 			var tb *uio.TxBatcher
 			tb, err = uio.NewTxBatcher(socks[i], opt.Batch)
 			if err == nil {
+				if opt.NoOffload {
+					tb.SetGSO(false)
+				}
 				go sh.readLoop(rb)
 				go sh.txLoop(tb)
 				continue
@@ -228,9 +258,19 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 		for _, s := range socks {
 			s.Close()
 		}
+		srv.closeWheels()
 		return nil, fmt.Errorf("serve: shard %d: %w", i, err)
 	}
 	return srv, nil
+}
+
+// closeWheels stops every shard's timer goroutine.
+func (srv *Server) closeWheels() {
+	for _, sh := range srv.shards {
+		if sh != nil && sh.wh != nil {
+			sh.wh.Close()
+		}
+	}
 }
 
 // rxBufSize sizes the pooled receive buffers: at least one MSS-sized
@@ -249,7 +289,7 @@ func rxBufSize(cfg core.Config) int {
 func (srv *Server) Accept(timeout time.Duration) (*udpwire.Conn, error) {
 	var tc <-chan time.Time
 	if timeout > 0 {
-		t := time.NewTimer(timeout)
+		t := time.NewTimer(timeout) //iqlint:ignore timeafterloop -- per-call accept deadline blocking on channel receive, not a protocol timer
 		defer t.Stop()
 		tc = t.C
 	}
@@ -300,7 +340,7 @@ func (srv *Server) Close() error {
 		}
 		done := make(chan struct{})
 		go func() { wg.Wait(); close(done) }()
-		backstop := time.NewTimer(srv.opt.DrainTimeout + time.Second)
+		backstop := time.NewTimer(srv.opt.DrainTimeout + time.Second) //iqlint:ignore timeafterloop -- one-shot drain backstop; Close blocks on channel receive
 		defer backstop.Stop()
 		select {
 		case <-done:
@@ -311,6 +351,9 @@ func (srv *Server) Close() error {
 		for _, sock := range srv.socks {
 			sock.Close()
 		}
+		// After the drain no connection needs another timer: stop the
+		// per-shard wheel goroutines.
+		srv.closeWheels()
 	})
 	return nil
 }
@@ -329,24 +372,29 @@ func (srv *Server) Conns() int {
 // ShardStats is one shard's I/O counters. Only socket-owning shards (all of
 // them on Linux, shard 0 in the portable fallback) accumulate rx/tx counts.
 type ShardStats struct {
-	Conns     int    // connections homed on this shard
-	RxPackets uint64 // datagrams received
-	RxBatches uint64 // recvmmsg calls that returned at least one datagram
-	RxErrors  uint64 // undecodable datagrams
-	TxPackets uint64 // datagrams transmitted
-	TxBatches uint64 // sendmmsg flushes
-	TxDrops   uint64 // datagrams dropped (queue overflow or send failure)
+	Conns      int    // connections homed on this shard
+	RxPackets  uint64 // datagrams received
+	RxBatches  uint64 // recvmmsg calls that returned at least one datagram
+	RxErrors   uint64 // undecodable datagrams
+	RxBytes    uint64 // wire bytes received
+	TxPackets  uint64 // datagrams transmitted
+	TxBatches  uint64 // sendmmsg flushes
+	TxBytes    uint64 // wire bytes transmitted
+	TxDrops    uint64 // datagrams dropped (queue overflow or send failure)
+	TimerArms  uint64 // timing-wheel (re)arms on this shard's wheel
+	TimerFires uint64 // timing-wheel callback dispatches
 }
 
 // Stats is a point-in-time snapshot of the engine.
 type Stats struct {
-	Conns       int    // live connections
-	Accepted    uint64 // connections admitted since start
-	Refused     uint64 // SYNs refused with RST (backlog full, collision, draining)
-	Migrations  uint64 // peer-address rebinds absorbed
-	Resumes     uint64 // session resumptions (SYNs naming a dead predecessor)
-	Stray       uint64 // non-SYN packets for unknown ConnIDs
-	SockBufErrs uint64 // SetReadBuffer/SetWriteBuffer failures at bind
+	Conns       int         // live connections
+	Accepted    uint64      // connections admitted since start
+	Refused     uint64      // SYNs refused with RST (backlog full, collision, draining)
+	Migrations  uint64      // peer-address rebinds absorbed
+	Resumes     uint64      // session resumptions (SYNs naming a dead predecessor)
+	Stray       uint64      // non-SYN packets for unknown ConnIDs
+	SockBufErrs uint64      // SetReadBuffer/SetWriteBuffer failures at bind
+	Offload     uio.Offload // kernel GSO/GRO support probed at bind
 	Shards      []ShardStats
 }
 
@@ -359,20 +407,26 @@ func (srv *Server) Stats() Stats {
 		Resumes:     srv.resumes.Load(),
 		Stray:       srv.stray.Load(),
 		SockBufErrs: srv.sockBufErrs.Load(),
+		Offload:     srv.offload,
 		Shards:      make([]ShardStats, len(srv.shards)),
 	}
 	for i, sh := range srv.shards {
 		sh.mu.RLock()
 		conns := len(sh.byID)
 		sh.mu.RUnlock()
+		ws := sh.wh.Stats()
 		st.Shards[i] = ShardStats{
-			Conns:     conns,
-			RxPackets: sh.rxPackets.Load(),
-			RxBatches: sh.rxBatches.Load(),
-			RxErrors:  sh.rxErrors.Load(),
-			TxPackets: sh.txPackets.Load(),
-			TxBatches: sh.txBatches.Load(),
-			TxDrops:   sh.txDrops.Load(),
+			Conns:      conns,
+			RxPackets:  sh.rxPackets.Load(),
+			RxBatches:  sh.rxBatches.Load(),
+			RxErrors:   sh.rxErrors.Load(),
+			RxBytes:    sh.rxBytes.Load(),
+			TxPackets:  sh.txPackets.Load(),
+			TxBatches:  sh.txBatches.Load(),
+			TxBytes:    sh.txBytes.Load(),
+			TxDrops:    sh.txDrops.Load(),
+			TimerArms:  ws.Arms,
+			TimerFires: ws.Fires,
 		}
 		st.Conns += conns
 	}
@@ -414,6 +468,35 @@ func (srv *Server) Gauges() map[string]func() float64 {
 				flushes += sh.txBatches.Load()
 			}
 			return float64(flushes)
+		},
+		// Cumulative wire bytes (rx+tx) per live connection: the per-conn
+		// traffic share a capacity planner sizes buffers against.
+		"serve.bytes_per_conn": func() float64 {
+			var bytes uint64
+			for _, sh := range srv.shards {
+				bytes += sh.rxBytes.Load() + sh.txBytes.Load()
+			}
+			conns := srv.Conns()
+			if conns == 0 {
+				return 0
+			}
+			return float64(bytes) / float64(conns)
+		},
+		// Timing-wheel traffic across shards: arms per fire >> 1 means most
+		// timers are re-armed before expiry (the healthy steady state).
+		"serve.timer.arms": func() float64 {
+			var arms uint64
+			for _, sh := range srv.shards {
+				arms += sh.wh.Stats().Arms
+			}
+			return float64(arms)
+		},
+		"serve.timer.fires": func() float64 {
+			var fires uint64
+			for _, sh := range srv.shards {
+				fires += sh.wh.Stats().Fires
+			}
+			return float64(fires)
 		},
 		// Process-wide decoded-packet freelist (internal/packet pool).
 		"packet.pool.hit":  func() float64 { h, _ := packet.PoolStats(); return float64(h) },

@@ -12,6 +12,7 @@ import (
 	"github.com/cercs/iqrudp/internal/trace"
 	"github.com/cercs/iqrudp/internal/udpwire"
 	"github.com/cercs/iqrudp/internal/uio"
+	"github.com/cercs/iqrudp/internal/wheel"
 )
 
 // shard owns one slice of the connection table: every connection whose
@@ -24,6 +25,12 @@ type shard struct {
 	sock *net.UDPConn
 	io   *shard // shard running the loops for sock (itself when socket-owning)
 
+	// wh drives every timer of every connection homed on this shard: one
+	// timing-wheel goroutine per shard instead of a runtime timer per arm,
+	// so timer dispatch (and the machine work it triggers) stays
+	// shard-local. Closed by Server.Close after the drain completes.
+	wh *wheel.Wheel
+
 	mu     sync.RWMutex
 	byID   map[uint32]*udpwire.Conn
 	byAddr map[string]uint32 // source address -> ConnID, for SYN-time collision checks
@@ -33,15 +40,20 @@ type shard struct {
 	rxPackets atomic.Uint64
 	rxBatches atomic.Uint64
 	rxErrors  atomic.Uint64
+	rxBytes   atomic.Uint64
 	txPackets atomic.Uint64
 	txBatches atomic.Uint64
+	txBytes   atomic.Uint64
 	txDrops   atomic.Uint64
 
 	// Distribution metrics (nil when Options.FlightEvents disables
-	// observability): datagrams per batched read, and decode+route latency
-	// of one batch. Only socket-owning shards record.
-	rxBatchH  *hist.Hist
-	dispatchH *hist.Hist
+	// observability): datagrams per batched read, decode+route latency of
+	// one batch, and how late the shard's wheel dispatches its timers.
+	// Only socket-owning shards record rx metrics; every shard's wheel
+	// records lateness.
+	rxBatchH   *hist.Hist
+	dispatchH  *hist.Hist
+	wheelLateH *hist.Hist
 }
 
 // homeShard routes a ConnID to its owning shard.
@@ -69,6 +81,11 @@ func (sh *shard) readLoop(rb *uio.RxBatcher) {
 		}
 		sh.rxBatches.Add(1)
 		sh.rxPackets.Add(uint64(len(msgs)))
+		var bytes uint64
+		for _, m := range msgs {
+			bytes += uint64(len(m.B))
+		}
+		sh.rxBytes.Add(bytes)
 		var began time.Time
 		if sh.rxBatchH != nil {
 			sh.rxBatchH.Record(int64(len(msgs)))
@@ -192,7 +209,7 @@ func (sh *shard) acceptSyn(p *packet.Packet, raddr *net.UDPAddr, key string) {
 	}
 
 	io := sh.io
-	c := udpwire.NewAccepted(sh.srv.connConfig(), io.sock.LocalAddr(), raddr,
+	c := udpwire.NewAcceptedOn(sh.wh, sh.srv.connConfig(), io.sock.LocalAddr(), raddr,
 		io.enqueueTx, sh.detach)
 	sh.byID[p.ConnID] = c
 	sh.byAddr[key] = p.ConnID
@@ -301,6 +318,11 @@ func (sh *shard) txLoop(tb *uio.TxBatcher) {
 		sent, err := tb.Send(batch)
 		sh.txBatches.Add(1)
 		sh.txPackets.Add(uint64(sent))
+		var bytes uint64
+		for _, m := range batch[:sent] {
+			bytes += uint64(len(m.B))
+		}
+		sh.txBytes.Add(bytes)
 		if sent < len(batch) {
 			sh.txDrops.Add(uint64(len(batch) - sent))
 		}

@@ -124,7 +124,7 @@ func (ln *Listener) forget(c *Conn) {
 func (ln *Listener) Accept(timeout time.Duration) (*Conn, error) {
 	var tc <-chan time.Time
 	if timeout > 0 {
-		t := time.NewTimer(timeout)
+		t := time.NewTimer(timeout) //iqlint:ignore timeafterloop -- per-call accept deadline blocking on channel receive, not a protocol timer
 		defer t.Stop()
 		tc = t.C
 	}

@@ -1,7 +1,7 @@
 // Package udpwire drives the sans-I/O IQ-RUDP machine over real UDP sockets
 // with goroutines: a reader loop feeding decoded packets into the machine, a
-// timer adapter on time.AfterFunc, and a buffered delivery queue toward the
-// application. It is the production driver; the simulator (internal/netem +
+// hierarchical-timing-wheel timer adapter with reusable handles (see
+// wheeltimer.go), and a buffered delivery queue toward the application. It is the production driver; the simulator (internal/netem +
 // internal/endpoint) is the reproducible one.
 //
 // Concurrency model: one mutex serialises every machine interaction (reader,
@@ -21,6 +21,7 @@ import (
 	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/trace"
 	"github.com/cercs/iqrudp/internal/uio"
+	"github.com/cercs/iqrudp/internal/wheel"
 )
 
 // Conn is an IQ-RUDP connection over a UDP socket. Dialed connections own a
@@ -68,6 +69,12 @@ type Conn struct {
 	// the responses it provokes (acks for every packet in the batch) leave as
 	// one batched transmit. Owned by readLoop; not guarded by mu.
 	rxb *uio.RxBatcher
+
+	// Timing-wheel timer backend (see wheeltimer.go): the wheel driving
+	// this connection's machine timers and the freelist of spent handles
+	// awaiting reuse. wh is set at construction; wtFree is guarded by mu.
+	wh     *wheel.Wheel
+	wtFree []*wtimer
 }
 
 // txRingSize bounds the staged datagrams per flush: one machine interaction
@@ -166,29 +173,6 @@ func (e env) Deliver(msg core.Message) {
 	e.c.pendingMsgs = append(e.c.pendingMsgs, msg)
 }
 
-// timer wraps time.AfterFunc and re-locks around the machine callback.
-type timer struct{ t *time.Timer }
-
-func (t timer) Stop() bool { return t.t.Stop() }
-
-func (e env) After(d time.Duration, fn func()) core.Timer {
-	c := e.c
-	return timer{t: time.AfterFunc(d, func() {
-		c.mu.Lock()
-		select {
-		case <-c.closed:
-			c.mu.Unlock()
-			return
-		default:
-		}
-		fn()
-		c.flushTxLocked()
-		out := c.takeDeliveries()
-		c.mu.Unlock()
-		c.dispatch(out)
-	})}
-}
-
 // takeDeliveries drains the staged deliveries; called with mu held.
 func (c *Conn) takeDeliveries() []core.Message {
 	out := c.pendingMsgs
@@ -214,8 +198,13 @@ func (c *Conn) dispatch(msgs []core.Message) {
 	}
 }
 
-// newConn wires a connection around an existing machine-less state.
-func newConn(cfg core.Config, sock *net.UDPConn, peer *net.UDPAddr) *Conn {
+// newConn wires a connection around an existing machine-less state. A nil
+// wh selects the process-wide default wheel (dialed connections and the
+// plain Listener); the serve engine passes its shard's wheel.
+func newConn(cfg core.Config, sock *net.UDPConn, peer *net.UDPAddr, wh *wheel.Wheel) *Conn {
+	if wh == nil {
+		wh = DefaultWheel()
+	}
 	c := &Conn{
 		sock:        sock,
 		peer:        peer,
@@ -223,6 +212,7 @@ func newConn(cfg core.Config, sock *net.UDPConn, peer *net.UDPAddr) *Conn {
 		msgs:        make(chan core.Message, 1024),
 		established: make(chan struct{}),
 		closed:      make(chan struct{}),
+		wh:          wh,
 	}
 	c.m = core.NewMachine(cfg, env{c})
 	c.m.OnEstablished(func() { c.estOnce.Do(func() { close(c.established) }) })
@@ -240,7 +230,15 @@ func newConn(cfg core.Config, sock *net.UDPConn, peer *net.UDPAddr) *Conn {
 // its demux tables. The returned connection is passively open: feed it the
 // peer's SYN (and everything after) via HandleIncoming.
 func NewAccepted(cfg core.Config, local net.Addr, peer *net.UDPAddr, sendTo func(b []byte, peer *net.UDPAddr) error, onDetach func(c *Conn)) *Conn {
-	c := newConn(cfg, nil, peer)
+	return NewAcceptedOn(nil, cfg, local, peer, sendTo, onDetach)
+}
+
+// NewAcceptedOn is NewAccepted with an explicit timing wheel driving the
+// connection's machine timers: the serve engine passes its shard's wheel so
+// timer dispatch stays shard-local. A nil wheel selects the process-wide
+// default.
+func NewAcceptedOn(wh *wheel.Wheel, cfg core.Config, local net.Addr, peer *net.UDPAddr, sendTo func(b []byte, peer *net.UDPAddr) error, onDetach func(c *Conn)) *Conn {
+	c := newConn(cfg, nil, peer, wh)
 	c.local = local
 	c.sendTo = sendTo
 	c.onDetach = onDetach
@@ -271,7 +269,7 @@ func Dial(raddr string, cfg core.Config, timeout time.Duration) (*Conn, error) {
 			cfg.ConnID = rand.Uint32()
 		}
 	}
-	c := newConn(cfg, sock, ua)
+	c := newConn(cfg, sock, ua, nil)
 	c.ownSocket = true
 	c.dialAddr = raddr
 	c.dialCfg = cfg
@@ -293,7 +291,7 @@ func Dial(raddr string, cfg core.Config, timeout time.Duration) (*Conn, error) {
 	c.m.StartClient()
 	c.flushTxLocked()
 	c.mu.Unlock()
-	deadline := time.NewTimer(timeout)
+	deadline := time.NewTimer(timeout) //iqlint:ignore timeafterloop -- one-shot dial deadline; the goroutine blocks on channel receive, which a wheel callback cannot serve
 	defer deadline.Stop()
 	select {
 	case <-c.established:
@@ -457,7 +455,7 @@ func (c *Conn) SendMsg(data []byte, marked bool, attrs *attr.List) error {
 func (c *Conn) Recv(timeout time.Duration) (core.Message, error) {
 	var tc <-chan time.Time
 	if timeout > 0 {
-		t := time.NewTimer(timeout)
+		t := time.NewTimer(timeout) //iqlint:ignore timeafterloop -- per-call receive deadline blocking on channel receive, not a protocol timer
 		defer t.Stop()
 		tc = t.C
 	}
@@ -615,7 +613,7 @@ func (c *Conn) CloseWithin(linger time.Duration) error {
 	c.m.Close()
 	c.flushTxLocked()
 	c.mu.Unlock()
-	lingerT := time.NewTimer(linger)
+	lingerT := time.NewTimer(linger) //iqlint:ignore timeafterloop -- one-shot close linger; the caller blocks on channel receive
 	defer lingerT.Stop()
 	select {
 	case <-c.closed:

@@ -23,16 +23,21 @@ type mmsghdr struct {
 	_   [4]byte
 }
 
-// RxBatcher reads datagram batches from one socket via recvmmsg.
+// RxBatcher reads datagram batches from one socket via recvmmsg. With GRO
+// enabled (EnableGRO) one recvmmsg entry can carry a kernel-coalesced run
+// of same-peer datagrams, which Recv splits back into per-segment Msgs.
 type RxBatcher struct {
 	rc     syscall.RawConn
 	pool   *BufPool
 	noAddr bool // connected socket: source is fixed, skip sockaddr work
+	gro    bool // kernel coalescing active: parse UDP_GRO cmsgs, split
 
 	hdrs    []mmsghdr
 	iovs    []syscall.Iovec
 	names   [][syscall.SizeofSockaddrAny]byte
 	bufs    [][]byte
+	ctrls   [][groCtrlSpace]byte // cmsg space, allocated when GRO enables
+	lent    [][]byte             // raw pool buffers on loan to the current batch
 	scratch []Msg
 }
 
@@ -50,9 +55,32 @@ func NewRxBatcher(sock *net.UDPConn, pool *BufPool, batch int) (*RxBatcher, erro
 		iovs:    make([]syscall.Iovec, batch),
 		names:   make([][syscall.SizeofSockaddrAny]byte, batch),
 		bufs:    make([][]byte, batch),
+		lent:    make([][]byte, 0, batch),
 		scratch: make([]Msg, 0, batch),
 	}, nil
 }
+
+// EnableGRO asks the kernel to coalesce same-peer datagram runs into one
+// recvmmsg entry, reporting whether the socket accepted it. The caller must
+// draw buffers from a pool sized for coalesced datagrams (up to 64KiB; see
+// ProbeOffload). Call before the first Recv.
+func (rb *RxBatcher) EnableGRO() bool {
+	if rb.gro {
+		return true
+	}
+	var ok bool
+	if err := rb.rc.Control(func(fd uintptr) {
+		ok = syscall.SetsockoptInt(int(fd), solUDP, udpGRO, 1) == nil
+	}); err != nil || !ok {
+		return false
+	}
+	rb.gro = true
+	rb.ctrls = make([][groCtrlSpace]byte, len(rb.hdrs))
+	return true
+}
+
+// GROEnabled reports whether receive coalescing is active.
+func (rb *RxBatcher) GROEnabled() bool { return rb.gro }
 
 // NewConnectedRxBatcher is NewRxBatcher for a connect()ed socket: the kernel
 // already filters to one peer, so received messages carry a nil Addr and the
@@ -85,6 +113,13 @@ func (rb *RxBatcher) Recv() ([]Msg, error) {
 		}
 		rb.hdrs[i].hdr.Iov = &rb.iovs[i]
 		rb.hdrs[i].hdr.Iovlen = 1
+		if rb.gro {
+			rb.hdrs[i].hdr.Control = &rb.ctrls[i][0]
+			rb.hdrs[i].hdr.SetControllen(groCtrlSpace)
+		} else {
+			rb.hdrs[i].hdr.Control = nil
+			rb.hdrs[i].hdr.Controllen = 0
+		}
 		rb.hdrs[i].n = 0
 	}
 	var n int
@@ -119,31 +154,62 @@ func (rb *RxBatcher) Recv() ([]Msg, error) {
 		if !rb.noAddr {
 			addr = parseSockaddr(&rb.names[i])
 		}
-		msgs = append(msgs, Msg{B: rb.bufs[i][:rb.hdrs[i].n], Addr: addr})
+		data := rb.bufs[i][:rb.hdrs[i].n]
+		rb.lent = append(rb.lent, rb.bufs[i])
 		rb.bufs[i] = nil // ownership moves to the caller until Release
+		seg := 0
+		if rb.gro {
+			seg = groSegSize(rb.ctrls[i][:rb.hdrs[i].hdr.Controllen])
+		}
+		if seg > 0 && seg < len(data) {
+			// Coalesced run: split back into wire segments, all sharing
+			// the raw buffer (Release returns the loans, not the views)
+			// and the peer address.
+			for off := 0; off < len(data); off += seg {
+				end := off + seg
+				if end > len(data) {
+					end = len(data)
+				}
+				msgs = append(msgs, Msg{B: data[off:end], Addr: addr})
+			}
+		} else {
+			msgs = append(msgs, Msg{B: data, Addr: addr})
+		}
 	}
 	rb.scratch = msgs
 	return msgs, nil
 }
 
-// Release returns the batch's buffers to the pool.
+// Release returns the batch's buffers to the pool. The msgs argument is
+// kept for API symmetry with the portable path: this batcher tracks the
+// raw buffers it lent (a GRO split hands out several views of one buffer,
+// which must be returned exactly once).
 func (rb *RxBatcher) Release(msgs []Msg) {
-	for _, m := range msgs {
-		rb.pool.Put(m.B)
+	for i, b := range rb.lent {
+		rb.pool.Put(b)
+		rb.lent[i] = nil
 	}
+	rb.lent = rb.lent[:0]
 }
 
-// TxBatcher writes datagram batches to one socket via sendmmsg.
+// TxBatcher writes datagram batches to one socket via sendmmsg. When the
+// socket accepts UDP_SEGMENT (probed at construction), Send coalesces each
+// consecutive same-peer run of equal-size messages into one super-datagram
+// header carrying a GSO cmsg: the kernel re-splits it into the original
+// wire segments, so receivers see exactly what the plain path sends.
 type TxBatcher struct {
-	rc    syscall.RawConn
-	v6    bool // AF_INET6 socket: IPv4 peers need v4-mapped v6 sockaddrs
-	hdrs  []mmsghdr
-	iovs  []syscall.Iovec
-	names [][syscall.SizeofSockaddrAny]byte
+	rc      syscall.RawConn
+	v6      bool // AF_INET6 socket: IPv4 peers need v4-mapped v6 sockaddrs
+	gso     bool // socket accepted UDP_SEGMENT; cleared on path rejection
+	hdrs    []mmsghdr
+	iovs    []syscall.Iovec
+	names   [][syscall.SizeofSockaddrAny]byte
+	ctrls   [][gsoCtrlSpace]byte
+	runLens []int // msgs behind each built header, for sent-count mapping
 }
 
 // NewTxBatcher builds a batcher over sock sending up to batch datagrams per
-// syscall.
+// syscall, with segmentation offload when the socket supports it.
 func NewTxBatcher(sock *net.UDPConn, batch int) (*TxBatcher, error) {
 	rc, err := sock.SyscallConn()
 	if err != nil {
@@ -151,17 +217,36 @@ func NewTxBatcher(sock *net.UDPConn, batch int) (*TxBatcher, error) {
 	}
 	la, _ := sock.LocalAddr().(*net.UDPAddr)
 	return &TxBatcher{
-		rc:    rc,
-		v6:    la != nil && la.IP.To4() == nil,
-		hdrs:  make([]mmsghdr, batch),
-		iovs:  make([]syscall.Iovec, batch),
-		names: make([][syscall.SizeofSockaddrAny]byte, batch),
+		rc:      rc,
+		v6:      la != nil && la.IP.To4() == nil,
+		gso:     probeGSO(rc),
+		hdrs:    make([]mmsghdr, batch),
+		iovs:    make([]syscall.Iovec, batch),
+		names:   make([][syscall.SizeofSockaddrAny]byte, batch),
+		ctrls:   make([][gsoCtrlSpace]byte, batch),
+		runLens: make([]int, batch),
 	}, nil
 }
 
-// Send transmits the batch, returning how many datagrams went out. Messages
-// with a nil Addr go to the socket's connected peer (dialed sockets).
+// GSOEnabled reports whether segmentation offload is active.
+func (tb *TxBatcher) GSOEnabled() bool { return tb.gso }
+
+// SetGSO forces segmentation offload on or off (bench ablation; "on" still
+// requires the construction-time probe to have succeeded elsewhere).
+func (tb *TxBatcher) SetGSO(on bool) { tb.gso = on }
+
+// Send transmits the batch, returning how many of batch's messages went
+// out. Messages with a nil Addr go to the socket's connected peer (dialed
+// sockets).
 func (tb *TxBatcher) Send(batch []Msg) (int, error) {
+	if !tb.gso {
+		return tb.sendPlain(batch)
+	}
+	return tb.sendGSO(batch)
+}
+
+// sendPlain is the one-header-per-datagram path.
+func (tb *TxBatcher) sendPlain(batch []Msg) (int, error) {
 	n := len(batch)
 	if n > len(tb.hdrs) {
 		n = len(tb.hdrs)
@@ -169,24 +254,109 @@ func (tb *TxBatcher) Send(batch []Msg) (int, error) {
 	for i := 0; i < n; i++ {
 		tb.iovs[i].Base = &batch[i].B[0]
 		tb.iovs[i].SetLen(len(batch[i].B))
-		if batch[i].Addr != nil {
-			tb.hdrs[i].hdr.Name = &tb.names[i][0]
-			tb.hdrs[i].hdr.Namelen = encodeSockaddr(batch[i].Addr, tb.v6, &tb.names[i])
-		} else {
-			tb.hdrs[i].hdr.Name = nil
-			tb.hdrs[i].hdr.Namelen = 0
-		}
+		tb.setDest(i, batch[i].Addr)
 		tb.hdrs[i].hdr.Iov = &tb.iovs[i]
 		tb.hdrs[i].hdr.Iovlen = 1
+		tb.hdrs[i].hdr.Control = nil
+		tb.hdrs[i].hdr.Controllen = 0
 	}
+	sent, serr, err := tb.sendHdrs(0, n)
+	if err != nil {
+		return sent, err
+	}
+	return sent, serr
+}
+
+// sendGSO coalesces consecutive same-peer equal-size runs into GSO
+// super-datagrams. A run is closed by a peer change, a size increase, a
+// short segment (legal only as the tail), or the kernel's segment/byte
+// ceilings. Single-message runs carry no cmsg and behave exactly like the
+// plain path.
+func (tb *TxBatcher) sendGSO(batch []Msg) (int, error) {
+	n := len(batch)
+	if n > len(tb.hdrs) {
+		n = len(tb.hdrs)
+	}
+	for i := 0; i < n; i++ {
+		tb.iovs[i].Base = &batch[i].B[0]
+		tb.iovs[i].SetLen(len(batch[i].B))
+	}
+	h := 0 // headers built
+	for consumed := 0; consumed < n; h++ {
+		start := consumed
+		segSize := len(batch[start].B)
+		runBytes := segSize
+		runLen := 1
+		if segSize > 0 {
+			for start+runLen < n && runLen < maxGsoSegs {
+				l := len(batch[start+runLen].B)
+				if l == 0 || l > segSize || runBytes+l > maxGsoBytes ||
+					!sameDest(batch[start].Addr, batch[start+runLen].Addr) {
+					break
+				}
+				runBytes += l
+				runLen++
+				if l < segSize {
+					break // a short segment must be the super-datagram's tail
+				}
+			}
+		}
+		tb.setDest(h, batch[start].Addr)
+		tb.hdrs[h].hdr.Iov = &tb.iovs[start]
+		tb.hdrs[h].hdr.Iovlen = uint64(runLen)
+		if runLen > 1 {
+			putGsoCmsg(&tb.ctrls[h], uint16(segSize))
+			tb.hdrs[h].hdr.Control = &tb.ctrls[h][0]
+			tb.hdrs[h].hdr.SetControllen(gsoCtrlSpace)
+		} else {
+			tb.hdrs[h].hdr.Control = nil
+			tb.hdrs[h].hdr.Controllen = 0
+		}
+		tb.runLens[h] = runLen
+		consumed += runLen
+	}
+	sentHdrs, serr, err := tb.sendHdrs(0, h)
 	sent := 0
-	for sent < n {
+	for i := 0; i < sentHdrs; i++ {
+		sent += tb.runLens[i]
+	}
+	if err != nil {
+		return sent, err
+	}
+	if serr != nil && gsoFatal(serr) {
+		// The socket probe passed but this path rejects GSO (or a run hit
+		// a device limit): disable offload and finish the batch plainly.
+		tb.gso = false
+		rest, err2 := tb.sendPlain(batch[sent:n])
+		return sent + rest, err2
+	}
+	return sent, serr
+}
+
+// setDest points header i at addr (nil: the connected peer).
+func (tb *TxBatcher) setDest(i int, addr *net.UDPAddr) {
+	if addr != nil {
+		tb.hdrs[i].hdr.Name = &tb.names[i][0]
+		tb.hdrs[i].hdr.Namelen = encodeSockaddr(addr, tb.v6, &tb.names[i])
+	} else {
+		tb.hdrs[i].hdr.Name = nil
+		tb.hdrs[i].hdr.Namelen = 0
+	}
+}
+
+// sendHdrs pushes headers [from, to) through sendmmsg until done or
+// blocked, returning how many went out, the syscall errno (serr) and any
+// RawConn error. serr is returned rather than folded so sendGSO can
+// classify offload rejections.
+func (tb *TxBatcher) sendHdrs(from, to int) (int, error, error) {
+	sent := from
+	for sent < to {
 		var got int
 		var serr error
 		err := tb.rc.Write(func(fd uintptr) bool {
 			for {
 				r1, _, errno := syscall.Syscall6(sysSendmmsg, fd,
-					uintptr(unsafe.Pointer(&tb.hdrs[sent])), uintptr(n-sent),
+					uintptr(unsafe.Pointer(&tb.hdrs[sent])), uintptr(to-sent),
 					uintptr(syscall.MSG_DONTWAIT), 0, 0)
 				switch errno {
 				case syscall.EINTR:
@@ -202,17 +372,17 @@ func (tb *TxBatcher) Send(batch []Msg) (int, error) {
 			}
 		})
 		if err != nil {
-			return sent, err
+			return sent - from, nil, err
 		}
 		if serr != nil {
-			return sent, serr
+			return sent - from, serr, nil
 		}
 		if got == 0 {
 			break
 		}
 		sent += got
 	}
-	return sent, nil
+	return sent - from, nil, nil
 }
 
 // parseSockaddr converts a raw kernel-filled sockaddr to a *net.UDPAddr.

@@ -1,0 +1,28 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package uio
+
+// Offload stubs for the portable path: UDP GSO/GRO are Linux-only, so the
+// probes report no support and the enable calls are no-ops. The portable
+// batchers' one-datagram-per-syscall semantics are unchanged.
+
+// Offload reports which offloads a socket accepts (never, here).
+type Offload struct {
+	GSO bool `json:"gso"`
+	GRO bool `json:"gro"`
+}
+
+// ProbeOffload reports host support for UDP GSO/GRO.
+func ProbeOffload() Offload { return Offload{} }
+
+// EnableGRO requests kernel receive coalescing; unsupported here.
+func (rb *RxBatcher) EnableGRO() bool { return false }
+
+// GROEnabled reports whether receive coalescing is active.
+func (rb *RxBatcher) GROEnabled() bool { return false }
+
+// GSOEnabled reports whether segmentation offload is active.
+func (tb *TxBatcher) GSOEnabled() bool { return false }
+
+// SetGSO forces segmentation offload on or off; a no-op here.
+func (tb *TxBatcher) SetGSO(on bool) {}

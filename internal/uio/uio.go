@@ -11,6 +11,11 @@ import (
 	"sync/atomic"
 )
 
+// GROBufSize is the receive-buffer size required when UDP_GRO is enabled:
+// the kernel may coalesce a same-flow burst into one super-datagram of up
+// to 64 KiB per recvmmsg slot.
+const GROBufSize = 1 << 16
+
 // Msg is one datagram: a buffer and the peer address. A nil Addr means the
 // socket's connected peer (valid for TX on dialed sockets only; RX always
 // fills Addr).
