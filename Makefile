@@ -22,8 +22,9 @@ build:
 vet:
 	$(GO) vet ./...
 
-lint: ## project-specific invariants: ownership, locking, leaks (see DESIGN.md §12)
+lint: ## project-specific invariants: ownership, locking, leaks (see DESIGN.md §12, §17)
 	$(GO) run ./cmd/iqlint ./...
+	$(GO) run ./cmd/iqlint -staleignores ./...
 
 test:
 	$(GO) test ./...

@@ -1,16 +1,21 @@
 // Command iqlint runs the IQ-RUDP static-analysis suite (internal/analysis):
 //
+//	atomicfield   mixed atomic/plain field access; 64-bit atomic alignment
 //	borrowcheck   Emit/HandlePacket borrow contract (DESIGN §11)
+//	errdrop       socket error returns consumed or counted into Metrics
+//	goroexit      goroutines in internal/* without a reachable shutdown edge
+//	handlecheck   wheel-timer handle lifecycle (use-after-freelist, re-arm)
+//	lockemit      no blocking I/O or Env.Emit under a held mutex
+//	lockorder     cross-package mutex acquisition cycles and self-deadlocks
 //	poolcheck     packet/BufPool acquire-release pairing, use-after-Put
 //	timeafterloop time.After in loops (timer-leak regression guard)
-//	lockemit      no blocking I/O or Env.Emit under a held mutex
-//	errdrop       socket error returns consumed or counted into Metrics
 //	tracekeys     registered trace reasons and attr keys only
 //
 // Standalone (the `make lint` entry point):
 //
 //	iqlint ./...
 //	iqlint -list
+//	iqlint -staleignores ./...
 //
 // or as a go vet tool, one package per invocation with full build-cache
 // integration:
@@ -21,7 +26,9 @@
 //
 //	//iqlint:ignore analyzer1,analyzer2 -- reason
 //
-// on the offending line or the line above it.
+// on the offending line or the line above it. -staleignores audits those
+// comments: it re-runs the suite with suppression off and flags every
+// directive that no longer suppresses anything.
 package main
 
 import (
@@ -31,18 +38,26 @@ import (
 	"strings"
 
 	"github.com/cercs/iqrudp/internal/analysis"
+	"github.com/cercs/iqrudp/internal/analysis/atomicfield"
 	"github.com/cercs/iqrudp/internal/analysis/borrowcheck"
 	"github.com/cercs/iqrudp/internal/analysis/errdrop"
+	"github.com/cercs/iqrudp/internal/analysis/goroexit"
+	"github.com/cercs/iqrudp/internal/analysis/handlecheck"
 	"github.com/cercs/iqrudp/internal/analysis/lockemit"
+	"github.com/cercs/iqrudp/internal/analysis/lockorder"
 	"github.com/cercs/iqrudp/internal/analysis/poolcheck"
 	"github.com/cercs/iqrudp/internal/analysis/timeafterloop"
 	"github.com/cercs/iqrudp/internal/analysis/tracekeys"
 )
 
 var analyzers = []*analysis.Analyzer{
+	atomicfield.Analyzer,
 	borrowcheck.Analyzer,
 	errdrop.Analyzer,
+	goroexit.Analyzer,
+	handlecheck.Analyzer,
 	lockemit.Analyzer,
+	lockorder.Analyzer,
 	poolcheck.Analyzer,
 	timeafterloop.Analyzer,
 	tracekeys.Analyzer,
@@ -70,8 +85,9 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("iqlint", flag.ExitOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	stale := fs.Bool("staleignores", false, "audit //iqlint:ignore comments instead of reporting findings")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: iqlint [-list] [packages]\n")
+		fmt.Fprintf(fs.Output(), "usage: iqlint [-list] [-staleignores] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -100,7 +116,12 @@ func run(args []string) int {
 			hardErr = true
 		}
 	}
-	diags, err := analysis.Run(pkgs, analyzers)
+	var diags []analysis.Diagnostic
+	if *stale {
+		diags, err = analysis.StaleIgnores(pkgs, analyzers)
+	} else {
+		diags, err = analysis.Run(pkgs, analyzers)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1

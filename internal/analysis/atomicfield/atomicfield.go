@@ -1,0 +1,224 @@
+// Package atomicfield flags struct fields that are accessed both through
+// sync/atomic and through plain loads/stores. Mixing the two silently
+// forfeits every guarantee the atomic side paid for: the plain access can
+// tear, reorder, or read a stale cache line, and the race detector only
+// catches the schedules it happens to see. The transport's hot counters
+// migrated to typed atomics (atomic.Uint64 and friends) for exactly this
+// reason; this analyzer keeps raw sync/atomic call sites honest where they
+// remain or reappear.
+//
+// Two rules:
+//
+//  1. mixed access — a field whose address is passed to a sync/atomic
+//     function anywhere in the package must not also be read or written
+//     plainly. Constructors (init, New*/new*, Reset*/reset*) are exempt:
+//     before the value is published there is no concurrency to protect.
+//     Test files are exempt for the same reason harnesses always are.
+//
+//  2. alignment — a 64-bit sync/atomic call on a struct field whose offset
+//     is not 8-byte aligned under 32-bit (GOARCH=386) sizes faults on
+//     32-bit targets. The documented guarantee covers only the first
+//     64-bit-aligned word; fields must be placed (or padded) accordingly.
+//     Typed atomics (atomic.Int64/Uint64) carry their own alignment and
+//     are never flagged.
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/cercs/iqrudp/internal/analysis"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "flag struct fields accessed both atomically and plainly, and misaligned 64-bit atomics",
+	Run:  run,
+}
+
+// atomicSite is one sync/atomic call on a field.
+type atomicSite struct {
+	fn  string // sync/atomic function name, e.g. AddUint64
+	pos token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	atomicFields := map[*types.Var][]atomicSite{} // field -> atomic call sites
+	atomicSels := map[*ast.SelectorExpr]bool{}    // selectors consumed by atomic calls
+
+	// Pass 1: find sync/atomic call sites and record which fields they touch.
+	forEachFunc(pass, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Callee(call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldVar(pass, sel)
+			if field == nil || field.Pkg() != pass.Pkg {
+				return true
+			}
+			atomicSels[sel] = true
+			atomicFields[field] = append(atomicFields[field], atomicSite{fn: fn.Name(), pos: call.Pos()})
+			if strings.HasSuffix(fn.Name(), "64") {
+				checkAlignment(pass, sel, field, fn.Name(), call.Pos())
+			}
+			return true
+		})
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other selector of those fields is a plain access.
+	forEachFunc(pass, func(fd *ast.FuncDecl) {
+		if constructorExempt(fd) {
+			return
+		}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSels[sel] {
+				return true
+			}
+			field := fieldVar(pass, sel)
+			if field == nil {
+				return true
+			}
+			sites, ok := atomicFields[field]
+			if !ok {
+				return true
+			}
+			where := pass.Fset.Position(sites[0].pos)
+			pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic.%s (%s:%d) but read or written plainly here: every access must be atomic",
+				fieldName(field), sites[0].fn, shortFile(where.Filename), where.Line)
+			return true
+		})
+	})
+	return nil
+}
+
+// forEachFunc visits every non-test function declaration in the package.
+func forEachFunc(pass *analysis.Pass, visit func(*ast.FuncDecl)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.TestFile(fd.Pos()) {
+				continue
+			}
+			visit(fd)
+		}
+	}
+}
+
+// fieldVar resolves a selector to the struct field it denotes, or nil.
+func fieldVar(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj().(*types.Var)
+	}
+	return nil
+}
+
+// constructorExempt reports whether fd runs before its value is published.
+func constructorExempt(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return name == "init" ||
+		strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") ||
+		strings.HasPrefix(name, "Reset") || strings.HasPrefix(name, "reset")
+}
+
+// checkAlignment flags a 64-bit atomic on a field whose offset within its
+// owning struct is not 8-byte aligned under 32-bit sizes.
+func checkAlignment(pass *analysis.Pass, sel *ast.SelectorExpr, field *types.Var, fn string, pos token.Pos) {
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	recv := s.Recv()
+	if ptr, ok := recv.Underlying().(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	st, ok := recv.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	sizes := types.SizesFor("gc", "386")
+	if sizes == nil {
+		return
+	}
+	// Walk the (possibly embedded) selection path accumulating the offset
+	// within the outermost struct.
+	var off int64
+	cur := st
+	for _, idx := range s.Index() {
+		if idx >= cur.NumFields() {
+			return
+		}
+		fields := make([]*types.Var, cur.NumFields())
+		for i := range fields {
+			fields[i] = cur.Field(i)
+		}
+		offs := sizes.Offsetsof(fields)
+		off += offs[idx]
+		next := cur.Field(idx).Type()
+		if ptr, ok := next.Underlying().(*types.Pointer); ok {
+			// An embedded pointer restarts the allocation; its pointee's
+			// alignment is the allocator's business, not this struct's.
+			next = ptr.Elem()
+			off = 0
+		}
+		if nst, ok := next.Underlying().(*types.Struct); ok {
+			cur = nst
+		}
+	}
+	if off%8 != 0 {
+		pass.Reportf(pos, "sync/atomic.%s on %s at offset %d: not 8-byte aligned on 32-bit targets — move the field first or use atomic.%s",
+			fn, fieldName(field), off, typedAtomicFor(fn))
+	}
+}
+
+// typedAtomicFor suggests the typed-atomic replacement for a raw call.
+func typedAtomicFor(fn string) string {
+	if strings.Contains(fn, "Int64") && !strings.Contains(fn, "Uint64") {
+		return "Int64"
+	}
+	return "Uint64"
+}
+
+// fieldName renders a field as Type.field for diagnostics.
+func fieldName(field *types.Var) string {
+	// The declaring struct type name is not recoverable from the Var alone
+	// in all cases; package-qualify the field instead.
+	if field.Pkg() != nil {
+		return fmt.Sprintf("%s.%s", shortPath(field.Pkg().Path()), field.Name())
+	}
+	return field.Name()
+}
+
+func shortPath(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}
+
+func shortFile(p string) string {
+	if i := strings.LastIndex(p, "/"); i >= 0 {
+		return p[i+1:]
+	}
+	return p
+}

@@ -1,0 +1,524 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast for
+// the iqlint analysis suite (internal/analysis). PR 4's analyzers
+// approximated control flow by source order — good enough for lexical
+// contracts like "no blocking call between Lock and Unlock", but blind to
+// branches, loops and labeled jumps. The dataflow analyzers added in this
+// layer (lockorder, handlecheck) need real path sensitivity: a handle
+// released on one arm of an if is still owned on the other, and a lock
+// acquired inside a loop is held on the back edge.
+//
+// The graph is deliberately simple: basic blocks of ast.Node (statements
+// plus the control expressions that guard edges — if/for conditions,
+// switch tags, case expressions), connected by successor edges. Function
+// literals are NOT inlined: a FuncLit appears as part of the node that
+// contains it, and analyzers build a separate graph per literal body.
+//
+// Supported control flow: if/else chains, for (all three clauses and bare
+// `for {}`), range, switch/type switch with fallthrough, select, labeled
+// break/continue, goto (forward and backward), return, and panic calls
+// (treated as an edge to Exit, like return). defer is recorded as an
+// ordinary node where it lexically occurs; analyzers that care about
+// at-exit semantics (lockorder treats `defer mu.Unlock()` as holding the
+// lock to function end) special-case DeferStmt in their transfer
+// functions.
+//
+// The builder never fails: syntactically valid but semantically broken
+// input (break outside a loop, goto to a missing label — both parse, and
+// FuzzCFGBuild feeds plenty of each) simply drops the unresolvable edge.
+// After construction the graph is pruned to the blocks reachable from
+// Entry, so `for _, b := range g.Blocks` never visits dead code and the
+// pruning invariant (every listed block reachable, every successor listed)
+// is checkable — the fuzzer asserts it for arbitrary inputs.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: nodes that execute in order, then a transfer
+// of control to one of Succs (empty Succs means the function exits or the
+// block ends in a call that never returns).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is the CFG of one function body. Exit is the synthetic block every
+// return (and the fallthrough end of the body) leads to; it is nil when no
+// path reaches function exit (an unconditional infinite loop).
+type Graph struct {
+	Entry *Block
+	Exit  *Block
+	// Blocks lists every block reachable from Entry, Entry first, in
+	// construction order (roughly source order).
+	Blocks []*Block
+}
+
+// New builds the graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{labels: map[string]*labelInfo{}}
+	b.exit = &Block{}
+	entry := b.newBlock()
+	b.cur = entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.exit)
+	// Unresolved forward gotos (missing label): drop the edge.
+	g := &Graph{Entry: entry, Exit: b.exit}
+	g.prune()
+	return g
+}
+
+// prune keeps only blocks reachable from Entry and numbers them.
+func (g *Graph) prune() {
+	seen := map[*Block]bool{g.Entry: true}
+	order := []*Block{g.Entry}
+	for i := 0; i < len(order); i++ {
+		for _, s := range order[i].Succs {
+			if !seen[s] {
+				seen[s] = true
+				order = append(order, s)
+			}
+		}
+	}
+	for i, blk := range order {
+		blk.Index = i
+	}
+	g.Blocks = order
+	if !seen[g.Exit] {
+		g.Exit = nil
+	}
+}
+
+// String renders the graph for tests and debugging: one line per block
+// with node kinds and successor indexes.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d:", blk.Index)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, " %s", nodeKind(n))
+		}
+		if len(blk.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range blk.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		if blk == g.Exit {
+			sb.WriteString(" [exit]")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func nodeKind(n ast.Node) string {
+	s := fmt.Sprintf("%T", n)
+	if i := strings.LastIndexByte(s, '.'); i >= 0 {
+		s = s[i+1:]
+	}
+	return strings.TrimSuffix(s, "Stmt")
+}
+
+// RangeHead marks a range loop's per-iteration head in a block's node
+// list: the range expression is evaluated on loop entry and Key/Value are
+// assigned each iteration. The wrapper exists so analyzers can see the
+// loop head without ast-inspecting into the loop body (whose statements
+// live in their own blocks).
+type RangeHead struct {
+	Range *ast.RangeStmt
+}
+
+// Pos implements ast.Node.
+func (r *RangeHead) Pos() token.Pos { return r.Range.Pos() }
+
+// End implements ast.Node; it covers only the header, not the body.
+func (r *RangeHead) End() token.Pos { return r.Range.X.End() }
+
+// labelInfo is the jump-target record of one label.
+type labelInfo struct {
+	entry *Block // goto target: the labeled statement itself
+	brk   *Block // labeled break target (loops, switch, select)
+	cont  *Block // labeled continue target (loops only)
+}
+
+type pendingGoto struct {
+	from *Block
+	name string
+}
+
+type builder struct {
+	exit *Block
+	cur  *Block // nil after a terminator until the next statement starts
+
+	breaks    []*Block // innermost-last break targets (for/range/switch/select)
+	continues []*Block // innermost-last continue targets (for/range)
+	fallts    []*Block // innermost-last fallthrough targets (next case clause)
+
+	labels   map[string]*labelInfo
+	gotos    []pendingGoto
+	curLabel string // label naming the next loop/switch/select statement
+}
+
+func (b *builder) newBlock() *Block { return &Block{} }
+
+// current returns the block under construction, starting a fresh
+// (unreachable, later pruned) one after a terminator.
+func (b *builder) current() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *builder) add(n ast.Node) {
+	blk := b.current()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// split ends the current block with an edge into a new one.
+func (b *builder) split() *Block {
+	nb := b.newBlock()
+	b.edge(b.cur, nb)
+	b.cur = nb
+	return nb
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label naming the statement being built.
+func (b *builder) takeLabel() string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.takeLabel()
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.takeLabel()
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, b.takeLabel())
+	case *ast.RangeStmt:
+		b.rangeStmt(s, b.takeLabel())
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body, s, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Body, s, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s, b.takeLabel())
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ReturnStmt:
+		b.takeLabel()
+		b.add(s)
+		b.edge(b.cur, b.exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.takeLabel()
+		b.branchStmt(s)
+	case *ast.ExprStmt:
+		b.takeLabel()
+		b.add(s)
+		if isPanic(s.X) {
+			b.edge(b.cur, b.exit)
+			b.cur = nil
+		}
+	case nil:
+		// tolerated: broken ASTs from the fuzzer
+	default:
+		// AssignStmt, DeclStmt, SendStmt, IncDecStmt, GoStmt, DeferStmt,
+		// EmptyStmt, BadStmt: straight-line nodes.
+		b.takeLabel()
+		b.add(s)
+	}
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	join := b.newBlock()
+
+	b.cur = b.newBlock()
+	b.edge(cond, b.cur)
+	b.stmt(s.Body)
+	b.edge(b.cur, join)
+
+	if s.Else != nil {
+		b.cur = b.newBlock()
+		b.edge(cond, b.cur)
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(cond, join)
+	}
+	b.cur = join
+}
+
+// pushLoop registers break/continue targets (and the label's, if any).
+// labeledStmt already registered the label's goto entry; only the
+// break/continue targets are filled in here.
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		li := b.labels[label]
+		if li == nil {
+			li = &labelInfo{}
+			b.labels[label] = li
+		}
+		li.brk, li.cont = brk, cont
+	}
+}
+
+func (b *builder) popLoop() {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.split()
+	exitB := b.newBlock()
+	var post *Block
+	cont := head
+	if s.Post != nil {
+		post = b.newBlock()
+		cont = post
+	}
+	if s.Cond != nil {
+		b.add(s.Cond)
+		b.edge(head, exitB)
+	}
+	body := b.newBlock()
+	b.edge(head, body)
+
+	b.pushLoop(label, exitB, cont)
+	b.cur = body
+	b.stmt(s.Body)
+	if post != nil {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.stmt(s.Post)
+		b.edge(b.cur, head)
+	} else {
+		b.edge(b.cur, head)
+	}
+	b.popLoop()
+	b.cur = exitB
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.split()
+	b.add(&RangeHead{Range: s}) // X evaluation + per-iteration Key/Value assign
+	exitB := b.newBlock()
+	b.edge(head, exitB)
+	body := b.newBlock()
+	b.edge(head, body)
+
+	b.pushLoop(label, exitB, head)
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, head)
+	b.popLoop()
+	b.cur = exitB
+}
+
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, whole ast.Stmt, label string) {
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	} else if ts, ok := whole.(*ast.TypeSwitchStmt); ok {
+		b.add(ts.Assign)
+	}
+	head := b.cur
+	if head == nil {
+		head = b.current()
+	}
+	exitB := b.newBlock()
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, exitB)
+	}
+
+	b.breaks = append(b.breaks, exitB)
+	if label != "" {
+		b.setLabelBreak(label, exitB)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		var ft *Block
+		if i+1 < len(blocks) {
+			ft = blocks[i+1]
+		}
+		b.fallts = append(b.fallts, ft)
+		b.stmtList(cc.Body)
+		b.fallts = b.fallts[:len(b.fallts)-1]
+		b.edge(b.cur, exitB)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = exitB
+}
+
+// setLabelBreak fills in a label's break target (switch/select statements;
+// labeledStmt already registered the goto entry).
+func (b *builder) setLabelBreak(label string, brk *Block) {
+	li := b.labels[label]
+	if li == nil {
+		li = &labelInfo{}
+		b.labels[label] = li
+	}
+	li.brk = brk
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	head := b.current()
+	exitB := b.newBlock()
+
+	b.breaks = append(b.breaks, exitB)
+	if label != "" {
+		b.setLabelBreak(label, exitB)
+	}
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, exitB)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	// select {} with no cases blocks forever: exitB is unreachable and will
+	// be pruned; building continues into it regardless.
+	b.cur = exitB
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	entry := b.split()
+	name := s.Label.Name
+	// Pre-register the goto target; loop/switch builders overwrite with
+	// their richer break/continue info via pushLoop.
+	if _, ok := b.labels[name]; !ok {
+		b.labels[name] = &labelInfo{entry: entry}
+	} else {
+		b.labels[name].entry = entry
+	}
+	b.resolveGotos(name, entry)
+	b.curLabel = name
+	b.stmt(s.Stmt)
+	b.curLabel = ""
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	var target *Block
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil {
+				target = li.brk
+			}
+		} else if n := len(b.breaks); n > 0 {
+			target = b.breaks[n-1]
+		}
+	case token.CONTINUE:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil {
+				target = li.cont
+			}
+		} else if n := len(b.continues); n > 0 {
+			target = b.continues[n-1]
+		}
+	case token.GOTO:
+		if s.Label != nil {
+			if li := b.labels[s.Label.Name]; li != nil && li.entry != nil {
+				target = li.entry
+			} else {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, name: s.Label.Name})
+			}
+		}
+	case token.FALLTHROUGH:
+		if n := len(b.fallts); n > 0 {
+			target = b.fallts[n-1]
+		}
+	}
+	b.edge(b.cur, target)
+	b.cur = nil
+}
+
+// resolveGotos patches forward gotos once their label's entry exists.
+func (b *builder) resolveGotos(name string, entry *Block) {
+	kept := b.gotos[:0]
+	for _, g := range b.gotos {
+		if g.name == name {
+			b.edge(g.from, entry)
+		} else {
+			kept = append(kept, g)
+		}
+	}
+	b.gotos = kept
+}

@@ -1,0 +1,410 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as a file, returns the graph of the first FuncDecl.
+func build(t *testing.T, body string) *Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return New(fd.Body)
+		}
+	}
+	t.Fatal("no function")
+	return nil
+}
+
+// checkInvariants asserts the pruning contract: every listed block is
+// reachable from Entry (by construction of prune), successors are listed,
+// indexes match positions, Exit has no successors.
+func checkInvariants(t *testing.T, g *Graph) {
+	t.Helper()
+	listed := make(map[*Block]bool, len(g.Blocks))
+	for i, b := range g.Blocks {
+		if b.Index != i {
+			t.Errorf("block %d has Index %d", i, b.Index)
+		}
+		listed[b] = true
+	}
+	if !listed[g.Entry] {
+		t.Error("entry not listed")
+	}
+	if g.Exit != nil {
+		if !listed[g.Exit] {
+			t.Error("reachable exit not listed")
+		}
+		if len(g.Exit.Succs) != 0 {
+			t.Error("exit has successors")
+		}
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == nil {
+				t.Errorf("b%d has nil successor", b.Index)
+			} else if !listed[s] {
+				t.Errorf("b%d has unlisted successor", b.Index)
+			}
+		}
+	}
+}
+
+// reaches reports whether to is reachable from from.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{from: true}
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// hasNode reports whether some reachable block contains a node whose
+// nodeKind string equals shape.
+func hasNode(g *Graph, shape string) bool {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if nodeKind(n) == shape {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestStraightLine(t *testing.T) {
+	g := build(t, "x := 1\nx++\n_ = x")
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatal("exit unreachable")
+	}
+	if len(g.Blocks) != 2 { // entry, exit
+		t.Fatalf("want 2 blocks, got %d:\n%s", len(g.Blocks), g)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	g := build(t, "if x := 1; x > 0 {\n_ = x\n} else {\nx--\n}")
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatal("exit unreachable")
+	}
+	// cond block must have exactly two successors (then, else).
+	var cond *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.BinaryExpr); ok {
+				cond = b
+			}
+		}
+	}
+	if cond == nil || len(cond.Succs) != 2 {
+		t.Fatalf("condition block missing or wrong arity:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopPrunesExit(t *testing.T) {
+	g := build(t, "for {\nx := 1\n_ = x\n}")
+	checkInvariants(t, g)
+	if g.Exit != nil {
+		t.Fatalf("bare for{} must make exit unreachable:\n%s", g)
+	}
+}
+
+func TestForBreakReachesExit(t *testing.T) {
+	g := build(t, "for {\nif x := 1; x > 0 {\nbreak\n}\n}")
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatalf("break must reach exit:\n%s", g)
+	}
+}
+
+func TestDeadCodeAfterReturnPruned(t *testing.T) {
+	g := build(t, "return\nx := 1\n_ = x")
+	checkInvariants(t, g)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				t.Fatalf("dead assignment survived pruning:\n%s", g)
+			}
+		}
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	// continue outer from the inner loop must edge back to the outer head,
+	// and break outer must reach the statement after both loops.
+	g := build(t, `
+outer:
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if i == 2 {
+				break outer
+			}
+		}
+	}
+	done()`)
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatal("exit unreachable")
+	}
+	if !hasNode(g, "Expr") { // the done() call after the loops
+		t.Fatalf("statement after labeled loops unreachable:\n%s", g)
+	}
+}
+
+func TestLabeledBreakOnlyExit(t *testing.T) {
+	// The only way out of the outer loop is the labeled break: exit must
+	// still be reachable, and the plain break must not escape the inner.
+	g := build(t, `
+outer:
+	for {
+		for {
+			break outer
+		}
+	}`)
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatalf("labeled break must escape both loops:\n%s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := build(t, `
+	switch x := 1; x {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}`)
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatal("exit unreachable")
+	}
+	// The case-1 clause must have an edge into the case-2 clause: find the
+	// block containing the a() call and check its successor holds b().
+	var aBlk *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "a" {
+						aBlk = blk
+					}
+				}
+			}
+		}
+	}
+	if aBlk == nil {
+		t.Fatalf("case-1 clause missing:\n%s", g)
+	}
+	foundFT := false
+	for _, s := range aBlk.Succs {
+		for _, n := range s.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "b" {
+						foundFT = true
+					}
+				}
+			}
+		}
+	}
+	if !foundFT {
+		t.Fatalf("fallthrough edge missing:\n%s", g)
+	}
+}
+
+func TestSwitchNoDefaultFallsPast(t *testing.T) {
+	g := build(t, "switch x := 1; x {\ncase 1:\na()\n}\nafter()")
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g := build(t, `
+	var a, b chan int
+	select {
+	case v := <-a:
+		_ = v
+	case b <- 1:
+		return
+	}
+	after()`)
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatal("exit unreachable")
+	}
+	// Both comm clauses appear as reachable nodes.
+	if !hasNode(g, "Assign") || !hasNode(g, "Send") {
+		t.Fatalf("comm clauses missing:\n%s", g)
+	}
+}
+
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := build(t, "select {}\nafter()")
+	checkInvariants(t, g)
+	if g.Exit != nil {
+		t.Fatalf("select{} must make exit unreachable:\n%s", g)
+	}
+	if hasNode(g, "Expr") {
+		t.Fatalf("code after select{} must be pruned:\n%s", g)
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := build(t, "var xs []int\nfor _, x := range xs {\n_ = x\n}\nafter()")
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatal("exit unreachable")
+	}
+	if !hasNode(g, "RangeHead") {
+		t.Fatalf("range head marker missing:\n%s", g)
+	}
+	// The RangeHead node must not drag the body along: the head block's
+	// nodes must not include the body's assignment.
+	for _, blk := range g.Blocks {
+		isHead := false
+		for _, n := range blk.Nodes {
+			if _, ok := n.(*RangeHead); ok {
+				isHead = true
+			}
+		}
+		if !isHead {
+			continue
+		}
+		if len(blk.Succs) != 2 {
+			t.Fatalf("range head must branch body/exit:\n%s", g)
+		}
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g := build(t, "i := 0\nloop:\ni++\nif i < 3 {\ngoto loop\n}")
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatal("exit unreachable")
+	}
+	// The goto must create a cycle: the label block reaches itself.
+	var label *Block
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if inc, ok := n.(*ast.IncDecStmt); ok && inc.Tok == token.INC {
+				label = blk
+			}
+		}
+	}
+	if label == nil {
+		t.Fatalf("label block missing:\n%s", g)
+	}
+	cyclic := false
+	for _, s := range label.Succs {
+		if reaches(s, label) {
+			cyclic = true
+		}
+	}
+	if !cyclic {
+		t.Fatalf("backward goto must form a cycle:\n%s", g)
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := build(t, "goto done\n{\nx := 1\n_ = x\n}\ndone:\nafter()")
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatal("exit unreachable")
+	}
+	if hasNode(g, "Assign") {
+		t.Fatalf("skipped block must be pruned:\n%s", g)
+	}
+	if !hasNode(g, "Expr") {
+		t.Fatalf("goto target unreachable:\n%s", g)
+	}
+}
+
+func TestPanicTerminates(t *testing.T) {
+	g := build(t, "if x := 1; x > 0 {\npanic(\"boom\")\n}\nafter()")
+	checkInvariants(t, g)
+	if g.Exit == nil {
+		t.Fatal("exit unreachable")
+	}
+	// The panic block's only successor is exit.
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok || !isPanic(es.X) {
+				continue
+			}
+			if len(blk.Succs) != 1 || blk.Succs[0] != g.Exit {
+				t.Fatalf("panic must edge to exit only:\n%s", g)
+			}
+		}
+	}
+}
+
+func TestDeferIsStraightLineNode(t *testing.T) {
+	g := build(t, "defer cleanup()\nwork()")
+	checkInvariants(t, g)
+	if !hasNode(g, "Defer") {
+		t.Fatalf("defer node missing:\n%s", g)
+	}
+	if g.Exit == nil {
+		t.Fatal("exit unreachable")
+	}
+}
+
+// Broken-but-parseable input must not panic and must drop the bad edges.
+func TestToleratesBrokenJumps(t *testing.T) {
+	for _, body := range []string{
+		"break",
+		"continue",
+		"goto nowhere",
+		"break missing",
+		"continue missing",
+	} {
+		g := build(t, body)
+		checkInvariants(t, g)
+		if g == nil {
+			t.Fatalf("nil graph for %q", body)
+		}
+	}
+}
+
+func TestStringRendersEveryBlock(t *testing.T) {
+	g := build(t, "if x := 1; x > 0 {\nreturn\n}")
+	s := g.String()
+	for i := range g.Blocks {
+		if !strings.Contains(s, "b"+string(rune('0'+i))) && i < 10 {
+			t.Fatalf("dump missing block %d:\n%s", i, s)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// FuzzCFGBuild parses arbitrary Go source and builds a graph for every
+// function body found. The builder must never panic — even on
+// syntactically valid but semantically broken code (break outside a loop,
+// goto to a missing label, unreachable labels) — and the result must
+// satisfy the pruning invariant: every listed block is reachable from
+// Entry, every successor is listed, indexes are positional, and Exit
+// (when non-nil) is listed with no successors.
+func FuzzCFGBuild(f *testing.F) {
+	seeds := []string{
+		"package p\nfunc f() { for { select { case <-c: return } } }",
+		"package p\nfunc f() {\nouter:\n\tfor {\n\t\tfor {\n\t\t\tcontinue outer\n\t\t}\n\t}\n}",
+		"package p\nfunc f() { switch x {\ncase 1:\n\tfallthrough\ndefault:\n} }",
+		"package p\nfunc f() { goto x; x: goto x }",
+		"package p\nfunc f() { break; continue; goto nowhere }",
+		"package p\nfunc f() { defer g(); panic(1) }",
+		"package p\nfunc f() { for i := range xs { if i > 0 { break } } }",
+		"package p\nfunc f() { select {} }",
+		"package p\nfunc f() { if a { return } else if b { panic(0) } }",
+		"package p\nfunc f() {\nL:\n\tswitch {\n\tdefault:\n\t\tbreak L\n\t}\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			return // only valid parses exercise the builder
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			g := New(body)
+			listed := make(map[*Block]bool, len(g.Blocks))
+			for i, b := range g.Blocks {
+				if b == nil {
+					t.Fatal("nil block listed")
+				}
+				if b.Index != i {
+					t.Fatalf("block %d carries Index %d", i, b.Index)
+				}
+				listed[b] = true
+			}
+			if len(g.Blocks) == 0 || g.Blocks[0] != g.Entry {
+				t.Fatal("entry must be listed first")
+			}
+			if g.Exit != nil {
+				if !listed[g.Exit] {
+					t.Fatal("non-nil exit must be listed (reachable)")
+				}
+				if len(g.Exit.Succs) != 0 {
+					t.Fatal("exit has successors")
+				}
+			}
+			for _, b := range g.Blocks {
+				for _, s := range b.Succs {
+					if s == nil {
+						t.Fatal("nil successor")
+					}
+					if !listed[s] {
+						t.Fatal("successor points at a pruned block")
+					}
+				}
+			}
+			return true
+		})
+	})
+}

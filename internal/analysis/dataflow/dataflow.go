@@ -1,0 +1,101 @@
+// Package dataflow is the forward-dataflow engine the lattice-based iqlint
+// analyzers run on top of internal/analysis/cfg. An analyzer describes its
+// problem as an Analysis: an entry state, a transfer function applied to
+// each node of a basic block in order, and a join that merges states where
+// control-flow paths meet. Forward iterates a worklist to the fixpoint and
+// returns each reachable block's entry state; Each then replays the
+// transfer function through every block so the analyzer can observe the
+// state immediately before each node — the shape every checker here needs
+// ("was the lock held when this call ran", "was the handle still owned
+// when this expression used it").
+//
+// States are ordinary Go values chosen by the analyzer (typically small
+// maps). The engine never aliases a state across blocks without calling
+// Clone, so transfer functions are free to mutate their argument and
+// return it. Termination is the analyzer's responsibility: Join must be
+// monotone over a finite lattice (the set-union and three-point lattices
+// used by lockorder and handlecheck trivially are). As a backstop against
+// a buggy non-monotone Join looping forever, Forward gives up after a
+// large bounded number of iterations — a sound over-approximation is not
+// available at that point, so it simply stops refining.
+package dataflow
+
+import (
+	"go/ast"
+
+	"github.com/cercs/iqrudp/internal/analysis/cfg"
+)
+
+// Analysis defines one forward dataflow problem over states of type S.
+type Analysis[S any] interface {
+	// Entry is the state at function entry.
+	Entry() S
+	// Clone returns an independent copy of s.
+	Clone(s S) S
+	// Transfer applies one node's effect. It may mutate s and return it.
+	Transfer(s S, n ast.Node) S
+	// Join merges from into into (without retaining from), reporting
+	// whether into changed. Both arguments are owned by the engine.
+	Join(into, from S) (S, bool)
+}
+
+// maxSteps bounds worklist processing (blocks re-queued on change); real
+// functions converge in a handful of passes, so this only guards against a
+// non-monotone Join.
+const maxSteps = 1 << 16
+
+// Forward computes the fixpoint of a over g and returns the entry state of
+// every reachable block.
+func Forward[S any](g *cfg.Graph, a Analysis[S]) map[*cfg.Block]S {
+	in := make(map[*cfg.Block]S, len(g.Blocks))
+	in[g.Entry] = a.Entry()
+	work := []*cfg.Block{g.Entry}
+	queued := map[*cfg.Block]bool{g.Entry: true}
+	for steps := 0; len(work) > 0 && steps < maxSteps; steps++ {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := a.Clone(in[blk])
+		for _, n := range blk.Nodes {
+			out = a.Transfer(out, n)
+		}
+		for _, succ := range blk.Succs {
+			old, ok := in[succ]
+			changed := false
+			if !ok {
+				in[succ] = a.Clone(out)
+				changed = true
+			} else {
+				in[succ], changed = a.Join(old, out)
+			}
+			if changed && !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// Each replays the transfer function through every reachable block,
+// invoking visit with each node and the state immediately before it. visit
+// must not mutate the state (Clone it to keep it). in is the map returned
+// by Forward for the same graph and analysis.
+func Each[S any](g *cfg.Graph, a Analysis[S], in map[*cfg.Block]S, visit func(n ast.Node, before S)) {
+	for _, blk := range g.Blocks {
+		s, ok := in[blk]
+		if !ok {
+			continue
+		}
+		s = a.Clone(s)
+		for _, n := range blk.Nodes {
+			visit(n, s)
+			s = a.Transfer(s, n)
+		}
+	}
+}
+
+// Run is the common Forward+Each sequence.
+func Run[S any](g *cfg.Graph, a Analysis[S], visit func(n ast.Node, before S)) {
+	Each(g, a, Forward(g, a), visit)
+}

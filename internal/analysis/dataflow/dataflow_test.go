@@ -1,0 +1,154 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"github.com/cercs/iqrudp/internal/analysis/cfg"
+)
+
+// assigned is a may-assigned analysis: the set of variable names that may
+// have been assigned on some path. A deliberately simple finite union
+// lattice that still exercises joins, loops and back edges.
+type assigned struct{}
+
+func (assigned) Entry() map[string]bool { return map[string]bool{} }
+func (assigned) Clone(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+func (assigned) Transfer(s map[string]bool, n ast.Node) map[string]bool {
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				s[id.Name] = true
+			}
+		}
+	}
+	return s
+}
+func (assigned) Join(into, from map[string]bool) (map[string]bool, bool) {
+	changed := false
+	for k := range from {
+		if !into[k] {
+			into[k] = true
+			changed = true
+		}
+	}
+	return into, changed
+}
+
+func graphOf(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return cfg.New(fd.Body)
+		}
+	}
+	t.Fatal("no function")
+	return nil
+}
+
+// stateAt returns the before-state of the first call to name().
+func stateAt(t *testing.T, body, name string) map[string]bool {
+	t.Helper()
+	g := graphOf(t, body)
+	var got map[string]bool
+	Run[map[string]bool](g, assigned{}, func(n ast.Node, before map[string]bool) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok || got != nil {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+			got = assigned{}.Clone(before)
+		}
+	})
+	if got == nil {
+		t.Fatalf("probe %s() not visited", name)
+	}
+	return got
+}
+
+func TestBranchJoinUnions(t *testing.T) {
+	s := stateAt(t, `
+	if cond {
+		a := 1
+		_ = a
+	} else {
+		b := 2
+		_ = b
+	}
+	probe()`, "probe")
+	if !s["a"] || !s["b"] {
+		t.Fatalf("join must union both arms, got %v", s)
+	}
+}
+
+func TestBranchStateNotLeakedAcrossArms(t *testing.T) {
+	// Inside the else arm, a's assignment from the then arm must not show.
+	g := graphOf(t, `
+	if cond {
+		a := 1
+		_ = a
+	} else {
+		probe()
+	}`)
+	var got map[string]bool
+	Run[map[string]bool](g, assigned{}, func(n ast.Node, before map[string]bool) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+					got = assigned{}.Clone(before)
+				}
+			}
+		}
+	})
+	if got == nil {
+		t.Fatal("probe not visited")
+	}
+	if got["a"] {
+		t.Fatalf("then-arm state leaked into else arm: %v", got)
+	}
+}
+
+func TestLoopBackEdgeReachesFixpoint(t *testing.T) {
+	// x is assigned inside the loop; on the second iteration (via the back
+	// edge) the loop head must know it. The probe before the assignment
+	// must therefore see x as may-assigned.
+	s := stateAt(t, `
+	for i := 0; i < 3; i++ {
+		probe()
+		x := 1
+		_ = x
+	}`, "probe")
+	if !s["x"] {
+		t.Fatalf("back-edge state missing, got %v", s)
+	}
+}
+
+func TestStateBeforeLoopBody(t *testing.T) {
+	s := stateAt(t, `
+	probe()
+	for {
+		x := 1
+		_ = x
+	}`, "probe")
+	if s["x"] {
+		t.Fatalf("loop-body state visible before the loop, got %v", s)
+	}
+}

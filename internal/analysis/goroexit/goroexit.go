@@ -1,0 +1,363 @@
+// Package goroexit flags goroutines launched in internal packages without
+// a reachable shutdown edge. The transport's long-lived goroutines — shard
+// read loops, the wheel's tick pump, the server tx loop — all follow one
+// of two exit disciplines: a select arm receiving from a channel the
+// package closes on shutdown (or ctx.Done()), or a blocking I/O call whose
+// error return exits the loop when the socket is closed under it. A
+// goroutine with neither leaks on Close: it pins its closure (connections,
+// buffers, sockets) forever and, under test, trips the leak checkers.
+//
+// Two rules, applied to every `go` statement whose target is a function
+// literal or a same-package function:
+//
+//  1. a goroutine whose CFG has no reachable exit and no shutdown edge
+//     anywhere in its body can only spin forever: flagged outright;
+//
+//  2. every unconditional `for {}` loop in the body (or in same-package
+//     functions it calls, transitively) must contain a shutdown edge: a
+//     receive/range/select-arm on a channel that the package closes
+//     somewhere, that arrived as a parameter, or ctx.Done(); or a
+//     blocking I/O call (Recv, Read*, Accept*) paired with a return — the
+//     closed-socket exit path. Loops that can leave on their own — a
+//     return in the body, or a break targeting the loop — are exempt: a
+//     bounded worklist drain is not a spin.
+//
+// The analyzer is scoped to packages under internal/: the rules encode
+// this module's shutdown conventions, not a universal property.
+package goroexit
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"github.com/cercs/iqrudp/internal/analysis"
+	"github.com/cercs/iqrudp/internal/analysis/cfg"
+)
+
+// Analyzer is the goroexit analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroexit",
+	Doc:  "flag goroutines in internal packages with no reachable shutdown edge",
+	Run:  run,
+}
+
+// blockingIO lists method names whose blocking call returns with an error
+// once the underlying socket or batcher is closed — the closed-socket exit.
+var blockingIO = map[string]bool{
+	"Recv": true, "Read": true, "ReadFrom": true, "ReadFromUDP": true,
+	"ReadMsgUDP": true, "ReadFromUDPAddrPort": true, "ReadMsgUDPAddrPort": true,
+	"ReadBatch": true, "Accept": true, "AcceptUDP": true, "Receive": true,
+}
+
+// env carries the per-goroutine analysis context down the walk.
+type env struct {
+	params map[*types.Var]bool    // channel-typed parameters in scope
+	seen   map[*ast.FuncDecl]bool // recursion guard across declared callees
+}
+
+func (e env) withDecl(fd *ast.FuncDecl, info *types.Info) env {
+	ne := env{params: paramSet(fd.Type, info), seen: e.seen}
+	return ne
+}
+
+// paramSet collects the parameter objects of a function type.
+func paramSet(ft *ast.FuncType, info *types.Info) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	if ft == nil || ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	closed map[string]bool               // chanKey of every close() target in the package
+	decls  map[*types.Func]*ast.FuncDecl // same-package function bodies
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.Contains(pass.Pkg.Path(), "/internal/") && !strings.HasPrefix(pass.Pkg.Path(), "internal/") {
+		return nil
+	}
+	c := &checker{
+		pass:   pass,
+		closed: map[string]bool{},
+		decls:  map[*types.Func]*ast.FuncDecl{},
+	}
+
+	// Pre-pass: index declarations and every channel the package closes.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && !pass.TestFile(fd.Pos()) {
+				c.decls[fn] = fd
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+					if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsBuiltin() {
+						if key := c.chanKey(call.Args[0]); key != "" {
+							c.closed[key] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Main pass: every go statement in non-test files.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.TestFile(fd.Pos()) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				c.checkGo(g)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkGo applies both rules to one go statement.
+func (c *checker) checkGo(g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	var ft *ast.FuncType
+	what := "goroutine"
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body, ft = fun.Body, fun.Type
+	default:
+		fn := c.pass.Callee(g.Call)
+		if fn == nil {
+			return // dynamic dispatch: target unknown, stay quiet
+		}
+		fd, ok := c.decls[fn]
+		if !ok {
+			return // other package or no body here
+		}
+		body, ft = fd.Body, fd.Type
+		what = "goroutine " + fn.Name()
+	}
+	params := paramSet(ft, c.pass.Info)
+
+	if cfg.New(body).Exit == nil && !c.hasShutdown(body, env{params: params, seen: map[*ast.FuncDecl]bool{}}) {
+		c.pass.Reportf(g.Pos(), "%s has no reachable exit and no shutdown edge: add a done-channel or ctx.Done() case, or a blocking receive that returns on close", what)
+		return
+	}
+	if !c.loopsOK(body, env{params: params, seen: map[*ast.FuncDecl]bool{}}) {
+		c.pass.Reportf(g.Pos(), "%s loops forever with no shutdown edge: no close-signal receive, ctx.Done() case, or blocking I/O call with an exit path", what)
+	}
+}
+
+// loopsOK reports whether every unconditional for-loop reachable from body
+// (through same-package calls) carries a shutdown edge.
+func (c *checker) loopsOK(body *ast.BlockStmt, e env) bool {
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own go statement's problem, if any
+		case *ast.ForStmt:
+			// Each loop gets its own recursion guard: a callee visited for
+			// one loop must still count for the next. Worklist-style loops
+			// that can leave on their own (break/return) are not the
+			// forever-spin this rule is after.
+			if n.Cond == nil && !loopCanExit(n) && !c.hasShutdown(n.Body, env{params: e.params, seen: map[*ast.FuncDecl]bool{}}) {
+				ok = false
+				return false
+			}
+		case *ast.CallExpr:
+			if fd := c.calleeDecl(n); fd != nil && !e.seen[fd] {
+				e.seen[fd] = true
+				if !c.loopsOK(fd.Body, e.withDecl(fd, c.pass.Info)) {
+					ok = false
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// hasShutdown reports whether body contains a shutdown edge: a qualifying
+// channel operation, a blocking I/O call paired with an exit statement, or
+// a call into a same-package function that itself has one.
+func (c *checker) hasShutdown(body *ast.BlockStmt, e env) bool {
+	found := false
+	hasIO := false
+	hasExit := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && c.shutdownChan(n.X, e) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.Info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan && c.shutdownChan(n.X, e) {
+					found = true
+				}
+			}
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			hasExit = true
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && blockingIO[sel.Sel.Name] {
+				hasIO = true
+			}
+			if fd := c.calleeDecl(n); fd != nil && !e.seen[fd] {
+				e.seen[fd] = true
+				if c.hasShutdown(fd.Body, e.withDecl(fd, c.pass.Info)) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found || (hasIO && hasExit)
+}
+
+// loopCanExit reports whether a bare for-loop can leave on its own: a
+// return statement in its body, or a break that targets it. Unlabeled
+// breaks count only outside nested breakable constructs (a nested
+// for/range/switch/select retargets them); a labeled break is always
+// accepted — labels name enclosing statements, so at worst this trades a
+// missed warning for never flagging a worklist loop that drains and breaks.
+func loopCanExit(loop *ast.ForStmt) bool {
+	return bodyExits(loop.Body, true)
+}
+
+func bodyExits(n ast.Node, top bool) bool {
+	exits := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if exits || x == nil {
+			return false
+		}
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			exits = true
+			return false
+		case *ast.BranchStmt:
+			if x.Tok == token.BREAK && (top || x.Label != nil) {
+				exits = true
+			}
+			return false
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if x == n {
+				return true // the node this recursion level started from
+			}
+			if bodyExits(x, false) {
+				exits = true
+			}
+			return false
+		}
+		return true
+	})
+	return exits
+}
+
+// calleeDecl resolves a call to a same-package declared function.
+func (c *checker) calleeDecl(call *ast.CallExpr) *ast.FuncDecl {
+	fn := c.pass.Callee(call)
+	if fn == nil {
+		return nil
+	}
+	return c.decls[fn]
+}
+
+// shutdownChan reports whether e is a channel the shutdown machinery can
+// reach: one the package closes somewhere, one that arrived as a
+// parameter (the caller owns its lifecycle), or ctx.Done().
+func (c *checker) shutdownChan(expr ast.Expr, e env) bool {
+	expr = ast.Unparen(expr)
+	// ctx.Done() — a Done() method returning a receive-only channel.
+	if call, ok := expr.(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if t := c.pass.Info.TypeOf(call); t != nil {
+				if ch, ok := t.Underlying().(*types.Chan); ok && ch.Dir() == types.RecvOnly {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		if v, ok := c.pass.Info.Uses[id].(*types.Var); ok && e.params[v] {
+			return true
+		}
+	}
+	key := c.chanKey(expr)
+	return key != "" && c.closed[key]
+}
+
+// chanKey names a channel expression so receives can be matched against
+// close() sites: fields key by owner type + field name (instance-blind),
+// package vars by name, locals by declaration position.
+func (c *checker) chanKey(e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := c.pass.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			recv := s.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				return "field:" + named.Obj().Name() + "." + e.Sel.Name
+			}
+			return "field:" + e.Sel.Name
+		}
+		if v, ok := c.pass.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return "var:" + v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		var v *types.Var
+		if u, ok := c.pass.Info.Uses[e].(*types.Var); ok {
+			v = u
+		} else if d, ok := c.pass.Info.Defs[e].(*types.Var); ok {
+			v = d
+		}
+		if v == nil {
+			return ""
+		}
+		if v.Parent() == c.pass.Pkg.Scope() {
+			return "var:" + c.pass.Pkg.Path() + "." + v.Name()
+		}
+		return "pos:" + strconv.Itoa(int(v.Pos()))
+	}
+	return ""
+}

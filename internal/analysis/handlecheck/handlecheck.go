@@ -1,0 +1,425 @@
+// Package handlecheck verifies the wheel-timer handle lifecycle. A
+// wheel.Timer (and the udpwire wtimer that wraps one) is a *reusable*
+// handle: spent handles are pushed onto their owning connection's freelist
+// and popped by later After calls, so steady-state timer traffic allocates
+// nothing. The discipline that makes the recycling safe is invisible to
+// the compiler:
+//
+//   - a handle pushed onto a freelist is spent: the pusher must not touch
+//     it again — the next pop may already own it on another code path;
+//   - a handle popped from freelist A must return to freelist A: released
+//     into another connection's freelist it would be re-armed on the
+//     wrong wheel with the wrong callback;
+//   - a raw wheel.Timer that was Stopped must not be re-Armed by the same
+//     owner without reacquisition — Stop bumped the generation to suppress
+//     the in-flight dispatch, and the idiom is to recycle through the
+//     freelist, not to resurrect the dead handle in place.
+//
+// The analyzer runs a forward dataflow (internal/analysis/cfg + dataflow)
+// per function over handle-typed locals, parameters and field paths:
+// appending a handle to a handle-typed slice releases it, popping from one
+// records its origin, and any later use of a released handle — or a
+// release into a different freelist than the origin, or an Arm after Stop
+// — is a diagnostic. Handle types are *wheel.Timer itself and any pointer
+// to a struct carrying a *wheel.Timer field (the adapter shape). Test
+// files are exempt: harnesses park and poke handles in ways the
+// production contract forbids.
+package handlecheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"github.com/cercs/iqrudp/internal/analysis"
+	"github.com/cercs/iqrudp/internal/analysis/cfg"
+	"github.com/cercs/iqrudp/internal/analysis/dataflow"
+)
+
+// Analyzer is the handlecheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "handlecheck",
+	Doc:  "verify wheel-timer handle lifecycle: no use after freelist release, no cross-freelist escape, no re-arm after Stop",
+	Run:  run,
+}
+
+// hstate is one handle's dataflow state.
+type hstate struct {
+	released bool   // pushed onto a freelist on some path
+	stopped  bool   // raw handle Stopped on some path (cleared by reassignment)
+	origin   string // freelist expression it was popped from, "" if unknown/fresh
+}
+
+// S is the per-block state: handle key -> state. Keys are "v:<declpos>"
+// for variables and "s:<expr>" for field paths like t.wt.
+type S = map[string]*hstate
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.TestFile(fd.Pos()) {
+				continue
+			}
+			checkBody(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	if !mentionsHandles(pass, body) {
+		return
+	}
+	g := cfg.New(body)
+	ha := handleAnalysis{pass: pass}
+	in := dataflow.Forward[S](g, ha)
+	sink := &reporter{pass: pass, reported: map[string]bool{}}
+	dataflow.Each(g, ha, in, func(n ast.Node, before S) {
+		process(pass, ha.Clone(before), n, sink)
+	})
+}
+
+// mentionsHandles cheaply skips functions that never touch a handle type.
+func mentionsHandles(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok {
+			if t := pass.Info.TypeOf(e); t != nil && handleKind(t) != notHandle {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+type handleKindT int
+
+const (
+	notHandle handleKindT = iota
+	rawHandle             // *wheel.Timer
+	adapterHandle
+)
+
+// handleKind classifies a type as a timer handle.
+func handleKind(t types.Type) handleKindT {
+	if analysis.IsNamedType(t, "internal/wheel", "Timer") {
+		return rawHandle
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return notHandle
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return notHandle
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return notHandle
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if analysis.IsNamedType(st.Field(i).Type(), "internal/wheel", "Timer") {
+			return adapterHandle
+		}
+	}
+	return notHandle
+}
+
+// handleKey names a trackable handle expression, or "" when the expression
+// is not a handle or not a stable var/field path.
+func handleKey(pass *analysis.Pass, e ast.Expr) string {
+	e = ast.Unparen(e)
+	t := pass.Info.TypeOf(e)
+	if t == nil || handleKind(t) == notHandle {
+		return ""
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok {
+			return fmt.Sprintf("v:%d", v.Pos())
+		}
+		if v, ok := pass.Info.Defs[e].(*types.Var); ok {
+			return fmt.Sprintf("v:%d", v.Pos())
+		}
+	case *ast.SelectorExpr:
+		return "s:" + types.ExprString(e)
+	}
+	return ""
+}
+
+// displayKey renders a handle key for diagnostics.
+func displayKey(pass *analysis.Pass, e ast.Expr) string { return types.ExprString(ast.Unparen(e)) }
+
+type handleAnalysis struct{ pass *analysis.Pass }
+
+func (h handleAnalysis) Entry() S { return S{} }
+
+func (h handleAnalysis) Clone(s S) S {
+	c := make(S, len(s))
+	for k, v := range s {
+		cp := *v
+		c[k] = &cp
+	}
+	return c
+}
+
+func (h handleAnalysis) Transfer(s S, n ast.Node) S {
+	process(h.pass, s, n, nil)
+	return s
+}
+
+func (h handleAnalysis) Join(into, from S) (S, bool) {
+	changed := false
+	for k, fv := range from {
+		iv, ok := into[k]
+		if !ok {
+			cp := *fv
+			into[k] = &cp
+			changed = true
+			continue
+		}
+		if fv.released && !iv.released {
+			iv.released = true
+			changed = true
+		}
+		if fv.stopped && !iv.stopped {
+			iv.stopped = true
+			changed = true
+		}
+		if iv.origin != fv.origin && iv.origin != "" {
+			iv.origin = "" // paths disagree: origin unknown
+			changed = true
+		}
+	}
+	return into, changed
+}
+
+// reporter carries diagnostics out of the replay pass, de-duplicating the
+// use-after-release cascade per handle.
+type reporter struct {
+	pass     *analysis.Pass
+	reported map[string]bool
+}
+
+func (r *reporter) useAfterRelease(key string, e ast.Expr) {
+	if r.reported["use:"+key] {
+		return
+	}
+	r.reported["use:"+key] = true
+	r.pass.Reportf(e.Pos(), "wheel timer handle %s used after it was released to the freelist", displayKey(r.pass, e))
+}
+
+// process applies one node's effect; with a non-nil sink it also reports.
+func process(pass *analysis.Pass, s S, n ast.Node, sink *reporter) {
+	switch stmt := n.(type) {
+	case *ast.AssignStmt:
+		// Go evaluates LHS operand bases and RHS expressions before any
+		// assignment happens: uses first, then effects, then definitions.
+		for _, lhs := range stmt.Lhs {
+			if handleKey(pass, lhs) == "" {
+				scanUses(pass, s, lhs, sink)
+			} else if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+				scanUses(pass, s, sel.X, sink) // the path base is still a use
+			}
+		}
+		for _, rhs := range stmt.Rhs {
+			scanUses(pass, s, rhs, sink)
+		}
+		assignHandles(pass, s, stmt)
+		return
+	case *cfg.RangeHead:
+		scanUses(pass, s, stmt.Range.X, sink)
+		return
+	case *ast.DeferStmt:
+		scanUses(pass, s, stmt.Call, sink)
+		return
+	case *ast.GoStmt:
+		scanUses(pass, s, stmt.Call, sink)
+		return
+	}
+	if e, ok := n.(ast.Expr); ok {
+		scanUses(pass, s, e, sink)
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt, *ast.DeferStmt, *ast.GoStmt:
+			if x != n {
+				process(pass, s, x, sink)
+				return false
+			}
+		case ast.Expr:
+			scanUses(pass, s, x, sink)
+			return false
+		}
+		return true
+	})
+}
+
+// assignHandles applies the definition half of an assignment: handle-typed
+// targets become freshly owned, recording a freelist origin for pops.
+func assignHandles(pass *analysis.Pass, s S, stmt *ast.AssignStmt) {
+	for i, lhs := range stmt.Lhs {
+		key := handleKey(pass, lhs)
+		if key == "" {
+			continue
+		}
+		st := &hstate{}
+		if len(stmt.Rhs) == len(stmt.Lhs) {
+			if idx, ok := ast.Unparen(stmt.Rhs[i]).(*ast.IndexExpr); ok {
+				if elem := sliceElem(pass.Info.TypeOf(idx.X)); elem != nil && handleKind(elem) != notHandle {
+					st.origin = types.ExprString(idx.X)
+				}
+			}
+		}
+		s[key] = st
+	}
+}
+
+func sliceElem(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		return sl.Elem()
+	}
+	return nil
+}
+
+// scanUses walks an expression tree (skipping function literals) applying
+// handle semantics: releases at appends, Stop/Arm effects, and
+// use-after-release checks on every other handle occurrence.
+func scanUses(pass *analysis.Pass, s S, n ast.Node, sink *reporter) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if handleAppend(pass, s, x, sink) {
+				return false
+			}
+			if handleMethod(pass, s, x, sink) {
+				return false
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			e := x.(ast.Expr)
+			key := handleKey(pass, e)
+			if key == "" {
+				return true
+			}
+			if st, ok := s[key]; ok && st.released {
+				if sink != nil {
+					sink.useAfterRelease(key, e)
+				}
+				st.released = false // squelch the cascade
+			}
+			// A selector handle was checked as a whole; its base is a
+			// different (non-handle or enclosing) path — still worth
+			// descending for adapter-typed bases.
+			return true
+		}
+		return true
+	})
+}
+
+// handleAppend recognizes `append(freelist, h...)` as the release point.
+// It scans the slice argument for uses first (it is evaluated before the
+// release takes effect), then releases each handle argument.
+func handleAppend(pass *analysis.Pass, s S, x *ast.CallExpr, sink *reporter) bool {
+	id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(x.Args) < 2 {
+		return false
+	}
+	if tv, ok := pass.Info.Types[x.Fun]; !ok || !tv.IsBuiltin() {
+		return false
+	}
+	elem := sliceElem(pass.Info.TypeOf(x.Args[0]))
+	if elem == nil || handleKind(elem) == notHandle {
+		return false
+	}
+	scanUses(pass, s, x.Args[0], sink)
+	list := types.ExprString(ast.Unparen(x.Args[0]))
+	for _, arg := range x.Args[1:] {
+		key := handleKey(pass, arg)
+		if key == "" {
+			scanUses(pass, s, arg, sink)
+			continue
+		}
+		st, ok := s[key]
+		if !ok {
+			st = &hstate{}
+			s[key] = st
+		}
+		if st.released {
+			if sink != nil {
+				sink.pass.Reportf(arg.Pos(), "wheel timer handle %s released to the freelist twice", displayKey(sink.pass, arg))
+			}
+		}
+		if st.origin != "" && st.origin != list {
+			if sink != nil {
+				sink.pass.Reportf(arg.Pos(), "handle popped from freelist %s is released into %s: a handle must return to its owning freelist", st.origin, list)
+			}
+		}
+		st.released = true
+	}
+	return true
+}
+
+// handleMethod applies Stop/Arm semantics on raw handles and checks the
+// receiver (and arguments) as uses.
+func handleMethod(pass *analysis.Pass, s S, x *ast.CallExpr, sink *reporter) bool {
+	sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	key := handleKey(pass, sel.X)
+	if key == "" {
+		return false
+	}
+	if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		scanUses(pass, s, inner.X, sink) // t.wt.Stop() is also a use of t
+	}
+	raw := handleKind(pass.Info.TypeOf(ast.Unparen(sel.X))) == rawHandle
+	st, ok := s[key]
+	if !ok {
+		st = &hstate{}
+		s[key] = st
+	}
+	if st.released {
+		if sink != nil {
+			sink.useAfterRelease(key, sel.X)
+		}
+		st.released = false
+	}
+	if raw {
+		switch sel.Sel.Name {
+		case "Stop":
+			st.stopped = true
+		case "Arm":
+			if st.stopped && sink != nil {
+				sink.pass.Reportf(x.Pos(), "wheel timer handle %s re-armed after Stop without reacquisition from the freelist", displayKey(sink.pass, sel.X))
+			}
+			if st.stopped {
+				st.stopped = false // squelch repeats
+			}
+		}
+	}
+	for _, arg := range x.Args {
+		scanUses(pass, s, arg, sink)
+	}
+	return true
+}

@@ -1,0 +1,1112 @@
+// Package lockorder builds a package-spanning mutex acquisition graph and
+// flags lock-order cycles — the static shadow of a deadlock. The transport
+// has four locks that matter and three layers that take them: a serve shard
+// admits connections under shard.mu (acceptSyn constructs the Conn — and
+// runs its machine — while holding it), every machine interaction runs
+// under Conn.mu, and every timer (re)arm under Conn.mu reaches the wheel
+// through env.After → Timer.Arm, which takes Wheel.mu. That order —
+// shard.mu → Conn.mu → Wheel.mu — is only safe as long as nothing closes
+// the loop: a wheel callback that re-entered Conn.mu *while the wheel lock
+// was held* would deadlock the wheel goroutine against every armed
+// connection (wheel.fireSlot deliberately drops Wheel.mu before
+// dispatching for exactly this reason).
+//
+// The analyzer proves the order stays acyclic:
+//
+//   - Per function, a forward dataflow over the CFG tracks the set of held
+//     locks (acquired = Lock/RLock on a sync.Mutex/RWMutex; released =
+//     non-deferred Unlock/RUnlock; `defer mu.Unlock()` holds to the end).
+//     Locks are identified by their owning class — "udpwire.Conn.mu", not
+//     the instance — because lock *order* is a class-level property.
+//   - Each function gets a summary: direct acquisitions with the held-set
+//     at the site, plus every outgoing call (direct, interface, dynamic)
+//     with the held-set at the call. Function literals are summarized
+//     separately; go statements record their target with an empty held-set
+//     (a goroutine starts with nothing held).
+//   - At Finish (after every package of the run), interface calls expand to
+//     the concrete methods matching by name and canonical signature
+//     (core.Env.After → udpwire's env.After), and calls through func-typed
+//     values expand *by storage location*: a callback registered into a
+//     struct field or package variable — directly (`c.cb = c.relock`), via
+//     a composite literal, or through a setter whose parameter the summary
+//     traces into the field (Machine.OnClosed(fn) stores fn into
+//     Machine.onClosed) — becomes a candidate exactly for dispatches
+//     through that location (`m.onClosed()`, or a local loaded from it:
+//     `fn := t.fn; fn()`). Flow-keying is what keeps an application's
+//     unrelated func() closures out of the transport's callback slots;
+//     dispatch sites whose storage cannot be named stay silent rather than
+//     guessing by signature. A transitive closure of "locks a call may
+//     acquire" then propagates over the call graph; every held→acquired
+//     pair is an edge, a strongly connected component with an internal
+//     edge is a reportable cycle, and a self-edge (L acquired while L is
+//     held — the callback-under-same-lock pattern) is a self-deadlock.
+//
+// Cross-package edges need every involved package in one run: `make lint`
+// and TestSuiteCleanOnTree load the whole tree. Under `go vet -vettool`
+// each package runs alone, so only package-local cycles surface there.
+//
+// Instance-insensitivity is deliberate but approximate: two instances of
+// one class locked in sequence (lock ordering by address, as in hand-over-
+// hand list traversal) would be flagged; none exist in this tree. Suppress
+// a considered site with //iqlint:ignore lockorder.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"github.com/cercs/iqrudp/internal/analysis"
+	"github.com/cercs/iqrudp/internal/analysis/cfg"
+	"github.com/cercs/iqrudp/internal/analysis/dataflow"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockorder",
+	Doc:      "detect lock-order cycles and callbacks re-entering a lock already held at their dispatch site",
+	Run:      run,
+	NewState: func() analysis.State { return newState() },
+}
+
+// acq is one direct lock acquisition with the locks held when it ran.
+type acq struct {
+	lock string
+	held []string
+	pos  token.Pos
+}
+
+// callKind distinguishes how a call site's targets are resolved at Finish.
+type callKind int
+
+const (
+	callDirect  callKind = iota // target is a FuncKey
+	callIface                   // expand by method name + signature
+	callDynamic                 // expand by the callbacks registered into the flow key
+)
+
+// argRef is one func-typed argument at a call site: either a concrete
+// function value (target) or the enclosing function's own parameter
+// (fromParam), forwarded onward.
+type argRef struct {
+	idx       int
+	target    string
+	fromParam int // -1 unless the argument is a parameter of the caller
+}
+
+// call is one outgoing call with the locks held at the site.
+type call struct {
+	kind   callKind
+	target string // FuncKey (callDirect)
+	name   string // method name (callIface)
+	sig    string // canonical signature (callIface)
+	iface  string // interface fingerprint (callIface): sorted "name|sig" list
+	flow   string // storage location of the dispatched value (callDynamic)
+	held   []string
+	args   []argRef
+	pos    token.Pos
+}
+
+// summary is what one function contributes to the graph.
+type summary struct {
+	key      string
+	acquires []acq
+	calls    []call
+}
+
+// localInfo is where a function-local func variable's values come from:
+// concrete function values assigned to it, and storage locations loaded
+// from (`fn := t.fn`).
+type localInfo struct {
+	directs []string
+	flows   []string
+}
+
+// state is the per-run accumulator.
+type state struct {
+	fns   map[string]*summary
+	order []string // insertion order of fns, for deterministic iteration
+
+	// methods indexes concrete methods by "name|sig" for interface-call
+	// expansion; regs indexes callback targets by storage location (flow
+	// key) for dynamic-call expansion.
+	methods map[string][]string
+	regs    map[string][]string
+
+	// methodRecv maps each registered method to its receiver type's key, and
+	// typeMethods each receiver type to its full method set (promoted methods
+	// included) as "name|sig" entries. Together they let interface-call
+	// expansion keep only receivers that satisfy the called interface, not
+	// every method that happens to share a name and signature.
+	methodRecv  map[string]string
+	typeMethods map[string]map[string]bool
+
+	// params holds each summarized function's parameter objects (nil for
+	// unnamed slots, so indexes align with call-site arguments); locals its
+	// func-typed local variables' sources; paramFlows the storage locations
+	// each parameter is stored into, for setter-style registration.
+	params     map[string][]*types.Var
+	locals     map[string]map[*types.Var]*localInfo
+	paramFlows map[string]map[int][]string
+}
+
+func newState() *state {
+	return &state{
+		fns:         make(map[string]*summary),
+		methods:     make(map[string][]string),
+		regs:        make(map[string][]string),
+		methodRecv:  make(map[string]string),
+		typeMethods: make(map[string]map[string]bool),
+		params:      make(map[string][]*types.Var),
+		locals:      make(map[string]map[*types.Var]*localInfo),
+		paramFlows:  make(map[string]map[int][]string),
+	}
+}
+
+func run(pass *analysis.Pass) error {
+	st := pass.State.(*state)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.TestFile(fd.Pos()) {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			key := analysis.FuncKey(fn)
+			if fd.Recv != nil {
+				sig := fn.Type().(*types.Signature)
+				st.addMethod(fn.Name()+"|"+analysis.SigKey(sig), key)
+				st.recordReceiver(key, sig.Recv().Type())
+			}
+			st.analyzeBody(pass, key, fd.Type, fd.Body)
+			// Every literal nested in the body is its own summarized function.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					st.analyzeBody(pass, litKey(pass, lit), lit.Type, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// litKey names a function literal by its position, the same way at its
+// registration site and at its analysis.
+func litKey(pass *analysis.Pass, lit *ast.FuncLit) string {
+	pos := pass.Fset.Position(lit.Pos())
+	file := pos.Filename
+	if i := strings.LastIndexByte(file, '/'); i >= 0 {
+		file = file[i+1:]
+	}
+	return fmt.Sprintf("%s.func@%s:%d:%d", pass.Pkg.Path(), file, pos.Line, pos.Column)
+}
+
+func (st *state) addMethod(nameSig, key string) {
+	st.methods[nameSig] = append(st.methods[nameSig], key)
+}
+
+// recordReceiver notes a method's receiver type and, on first sight of the
+// type, snapshots its full pointer method set (so promoted methods count)
+// as canonical "name|sig" entries. Named-type identity does not survive the
+// source-checked/export-data package split, so interface satisfaction is
+// checked on these strings rather than with types.Implements.
+func (st *state) recordReceiver(key string, recv types.Type) {
+	rk := namedKey(recv)
+	if rk == "" {
+		return
+	}
+	st.methodRecv[key] = rk
+	if _, ok := st.typeMethods[rk]; ok {
+		return
+	}
+	set := make(map[string]bool)
+	t := recv
+	if _, ok := t.(*types.Pointer); !ok {
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		set[m.Name()+"|"+analysis.SigKey(m.Type().(*types.Signature))] = true
+	}
+	st.typeMethods[rk] = set
+}
+
+// ifaceFingerprint renders an interface's complete method set as a sorted
+// "name|sig" list, the satisfaction test's counterpart to typeMethods.
+func ifaceFingerprint(t types.Type) string {
+	iface, ok := t.Underlying().(*types.Interface)
+	if !ok {
+		return ""
+	}
+	entries := make([]string, 0, iface.NumMethods())
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		entries = append(entries, m.Name()+"|"+analysis.SigKey(m.Type().(*types.Signature)))
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, ";")
+}
+
+// ifaceTargets expands an interface call to the registered methods whose
+// receiver type satisfies the called interface. A receiver with no recorded
+// method set is kept: dropping it on missing data would hide real edges.
+func (st *state) ifaceTargets(c call) []string {
+	candidates := st.methods[c.name+"|"+c.sig]
+	if c.iface == "" {
+		return candidates
+	}
+	required := strings.Split(c.iface, ";")
+	var out []string
+	for _, key := range candidates {
+		set := st.typeMethods[st.methodRecv[key]]
+		if set != nil && !hasAll(set, required) {
+			continue
+		}
+		out = append(out, key)
+	}
+	return out
+}
+
+func hasAll(set map[string]bool, required []string) bool {
+	for _, r := range required {
+		if !set[r] {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *state) addReg(flow, target string) {
+	for _, t := range st.regs[flow] {
+		if t == target {
+			return
+		}
+	}
+	st.regs[flow] = append(st.regs[flow], target)
+}
+
+func (st *state) addParamFlow(fnKey string, idx int, flow string) bool {
+	pf := st.paramFlows[fnKey]
+	if pf == nil {
+		pf = make(map[int][]string)
+		st.paramFlows[fnKey] = pf
+	}
+	for _, f := range pf[idx] {
+		if f == flow {
+			return false
+		}
+	}
+	pf[idx] = append(pf[idx], flow)
+	return true
+}
+
+// analyzeBody summarizes one function body: the held-set dataflow plus a
+// replay pass that records acquisitions, calls and callback registrations.
+func (st *state) analyzeBody(pass *analysis.Pass, key string, ft *ast.FuncType, body *ast.BlockStmt) {
+	if _, ok := st.fns[key]; ok {
+		return // a package loaded twice under overlapping patterns
+	}
+	sum := &summary{key: key}
+	st.fns[key] = sum
+	st.order = append(st.order, key)
+	st.params[key] = paramVars(pass, ft)
+	st.locals[key] = localSources(st, pass, body)
+
+	g := cfg.New(body)
+	ha := heldAnalysis{st: st, pass: pass, fnKey: key}
+	in := dataflow.Forward[map[string]bool](g, ha)
+	dataflow.Each(g, ha, in, func(n ast.Node, before map[string]bool) {
+		st.process(pass, key, ha.Clone(before), n, sum)
+	})
+}
+
+// paramVars lists a function's parameter objects; unnamed slots stay nil so
+// indexes align with call-site argument positions.
+func paramVars(pass *analysis.Pass, ft *ast.FuncType) []*types.Var {
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var out []*types.Var
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			v, _ := pass.Info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// localSources records, flow-insensitively, where each func-typed local
+// variable's values come from, for dispatch through locals.
+func localSources(st *state, pass *analysis.Pass, body *ast.BlockStmt) map[*types.Var]*localInfo {
+	out := map[*types.Var]*localInfo{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var v *types.Var
+				if d, ok := pass.Info.Defs[id].(*types.Var); ok {
+					v = d
+				} else if u, ok := pass.Info.Uses[id].(*types.Var); ok {
+					v = u
+				}
+				if v == nil {
+					continue
+				}
+				rhs := ast.Unparen(n.Rhs[i])
+				if _, ok := pass.Info.TypeOf(rhs).(*types.Signature); !ok {
+					continue
+				}
+				li := out[v]
+				if li == nil {
+					li = &localInfo{}
+					out[v] = li
+				}
+				if target := st.funcValueKey(pass, rhs); target != "" {
+					li.directs = appendUniq(li.directs, target)
+				} else if fk := st.flowKey(pass, rhs); fk != "" {
+					li.flows = appendUniq(li.flows, fk)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func appendUniq(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// heldAnalysis is the held-locks lattice: a may-hold set of lock classes.
+type heldAnalysis struct {
+	st    *state
+	pass  *analysis.Pass
+	fnKey string
+}
+
+func (h heldAnalysis) Entry() map[string]bool { return map[string]bool{} }
+
+func (h heldAnalysis) Clone(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (h heldAnalysis) Transfer(s map[string]bool, n ast.Node) map[string]bool {
+	return h.st.process(h.pass, h.fnKey, s, n, nil)
+}
+
+func (h heldAnalysis) Join(into, from map[string]bool) (map[string]bool, bool) {
+	changed := false
+	for k := range from {
+		if !into[k] {
+			into[k] = true
+			changed = true
+		}
+	}
+	return into, changed
+}
+
+// process applies one CFG node's effect to the held-set. With a non-nil
+// sink it additionally records acquisitions, calls and registrations —
+// recording runs only in the replay pass, never during the fixpoint.
+func (st *state) process(pass *analysis.Pass, fnKey string, s map[string]bool, n ast.Node, sink *summary) map[string]bool {
+	switch stmt := n.(type) {
+	case *ast.DeferStmt:
+		// A deferred Unlock holds the lock to function end; a deferred
+		// plain call runs with whatever the exit path holds — approximated
+		// by the held-set here, which the common defer-right-after-acquire
+		// idiom makes exact.
+		if _, op := st.lockOp(pass, stmt.Call); op != 0 {
+			return s
+		}
+		st.scan(pass, fnKey, s, stmt.Call, sink, heldNow)
+		return s
+	case *ast.GoStmt:
+		// The goroutine starts with nothing held; its argument expressions
+		// evaluate now but cannot themselves take locks (checked by scan).
+		st.scan(pass, fnKey, s, stmt.Call, sink, heldNone)
+		return s
+	case *cfg.RangeHead:
+		st.scan(pass, fnKey, s, stmt.Range.X, sink, heldNow)
+		return s
+	}
+	st.scan(pass, fnKey, s, n, sink, heldNow)
+	return s
+}
+
+// heldMode selects the held-set recorded for calls found by scan.
+type heldMode int
+
+const (
+	heldNow  heldMode = iota // the current held-set
+	heldNone                 // empty (go statements)
+)
+
+// scan walks one node (skipping function-literal bodies), mutating the
+// held-set at lock operations and, when sink is non-nil, recording calls
+// and callback registrations.
+func (st *state) scan(pass *analysis.Pass, fnKey string, s map[string]bool, n ast.Node, sink *summary, mode heldMode) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false // summarized separately
+		case *ast.AssignStmt:
+			if sink != nil {
+				st.registerAssign(pass, fnKey, x)
+			}
+		case *ast.CompositeLit:
+			if sink != nil {
+				st.registerComposite(pass, x)
+			}
+		case *ast.CallExpr:
+			st.handleCall(pass, fnKey, s, x, sink, mode)
+		}
+		return true
+	})
+}
+
+// registerAssign records func-typed values stored into nameable locations:
+// a concrete value registers directly; the enclosing function's parameter
+// records a param-flow so call sites of this function register their
+// arguments at Finish.
+func (st *state) registerAssign(pass *analysis.Pass, fnKey string, x *ast.AssignStmt) {
+	if len(x.Lhs) != len(x.Rhs) {
+		return
+	}
+	for i, lhs := range x.Lhs {
+		rhs := ast.Unparen(x.Rhs[i])
+		if _, ok := pass.Info.TypeOf(rhs).(*types.Signature); !ok {
+			continue
+		}
+		fk := st.flowKey(pass, lhs)
+		if fk == "" {
+			continue
+		}
+		if target := st.funcValueKey(pass, rhs); target != "" {
+			st.addReg(fk, target)
+			continue
+		}
+		if idx := st.paramIndex(pass, fnKey, rhs); idx >= 0 {
+			st.addParamFlow(fnKey, idx, fk)
+		}
+	}
+}
+
+// registerComposite records func-typed fields of a struct literal.
+func (st *state) registerComposite(pass *analysis.Pass, x *ast.CompositeLit) {
+	owner := namedKey(pass.Info.TypeOf(x))
+	if owner == "" {
+		return
+	}
+	for _, elt := range x.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if target := st.funcValueKey(pass, kv.Value); target != "" {
+			st.addReg("field:"+owner+"."+key.Name, target)
+		}
+	}
+}
+
+// flowKey names a storage location for callback flow: a struct field
+// (instance-blind, like lock classes), a package-level variable, or the
+// location behind an index expression. "" when the location has no stable
+// name.
+func (st *state) flowKey(pass *analysis.Pass, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			if owner := namedKey(s.Recv()); owner != "" {
+				return "field:" + owner + "." + e.Sel.Name
+			}
+			return ""
+		}
+		if v, ok := pass.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return "var:" + v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := pass.Info.Uses[e].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return "var:" + v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.IndexExpr:
+		return st.flowKey(pass, e.X)
+	}
+	return ""
+}
+
+// paramIndex resolves e to the enclosing function's parameter index, -1
+// otherwise.
+func (st *state) paramIndex(pass *analysis.Pass, fnKey string, e ast.Expr) int {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	v, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return -1
+	}
+	for i, p := range st.params[fnKey] {
+		if p != nil && p == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// funcValueKey resolves a func-valued expression to a summary key: a
+// literal's position key or a referenced function's FuncKey.
+func (st *state) funcValueKey(pass *analysis.Pass, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return litKey(pass, e)
+	case *ast.Ident:
+		if f, ok := pass.Info.Uses[e].(*types.Func); ok {
+			return analysis.FuncKey(f)
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.Info.Uses[e.Sel].(*types.Func); ok {
+			return analysis.FuncKey(f)
+		}
+	}
+	return ""
+}
+
+// callArgs records the func-typed arguments of a call: concrete values and
+// forwarded parameters, for Finish-time setter registration.
+func (st *state) callArgs(pass *analysis.Pass, fnKey string, x *ast.CallExpr) []argRef {
+	var out []argRef
+	for i, arg := range x.Args {
+		if _, ok := pass.Info.TypeOf(ast.Unparen(arg)).(*types.Signature); !ok {
+			continue
+		}
+		if target := st.funcValueKey(pass, arg); target != "" {
+			out = append(out, argRef{idx: i, target: target, fromParam: -1})
+			continue
+		}
+		if p := st.paramIndex(pass, fnKey, arg); p >= 0 {
+			out = append(out, argRef{idx: i, fromParam: p})
+		}
+	}
+	return out
+}
+
+func (st *state) handleCall(pass *analysis.Pass, fnKey string, s map[string]bool, x *ast.CallExpr, sink *summary, mode heldMode) {
+	if key, op := st.lockOp(pass, x); op != 0 {
+		if key == "" {
+			return
+		}
+		switch op {
+		case opAcquire:
+			if sink != nil {
+				sink.acquires = append(sink.acquires, acq{lock: key, held: heldSlice(s, mode), pos: x.Pos()})
+			}
+			s[key] = true
+		case opRelease:
+			delete(s, key)
+		}
+		return
+	}
+
+	if sink == nil {
+		return // calls do not change the held-set; nothing left to do
+	}
+
+	held := heldSlice(s, mode)
+	if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+		sink.calls = append(sink.calls, call{kind: callDirect, target: litKey(pass, lit), held: held, pos: x.Pos()})
+		return
+	}
+	if f := pass.Callee(x); f != nil {
+		// sync.Once.Do runs its argument synchronously: treat it as a
+		// direct call of the argument under the current held-set.
+		if f.Name() == "Do" && analysis.IsNamedType(recvType(f), "sync", "Once") {
+			if len(x.Args) == 1 {
+				if target := st.funcValueKey(pass, x.Args[0]); target != "" {
+					sink.calls = append(sink.calls, call{kind: callDirect, target: target, held: held, pos: x.Pos()})
+				}
+			}
+			return
+		}
+		args := st.callArgs(pass, fnKey, x)
+		if rt := recvType(f); rt != nil && types.IsInterface(rt) {
+			sink.calls = append(sink.calls, call{
+				kind:  callIface,
+				name:  f.Name(),
+				sig:   analysis.SigKey(f.Type().(*types.Signature)),
+				iface: ifaceFingerprint(rt),
+				held:  held,
+				args:  args,
+				pos:   x.Pos(),
+			})
+			return
+		}
+		sink.calls = append(sink.calls, call{kind: callDirect, target: analysis.FuncKey(f), held: held, args: args, pos: x.Pos()})
+		return
+	}
+	// Builtin or conversion: nothing to record. Otherwise a call through a
+	// func-typed value: a dynamic dispatch of whatever was registered into
+	// its storage location.
+	if tv, ok := pass.Info.Types[x.Fun]; ok && (tv.IsBuiltin() || tv.IsType()) {
+		return
+	}
+	if _, ok := pass.Info.TypeOf(x.Fun).(*types.Signature); !ok {
+		return
+	}
+	fun := ast.Unparen(x.Fun)
+	if fk := st.flowKey(pass, fun); fk != "" {
+		sink.calls = append(sink.calls, call{kind: callDynamic, flow: fk, held: held, pos: x.Pos()})
+		return
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+			if li := st.locals[fnKey][v]; li != nil {
+				for _, target := range li.directs {
+					sink.calls = append(sink.calls, call{kind: callDirect, target: target, held: held, pos: x.Pos()})
+				}
+				for _, fk := range li.flows {
+					sink.calls = append(sink.calls, call{kind: callDynamic, flow: fk, held: held, pos: x.Pos()})
+				}
+			}
+		}
+	}
+	// An unnameable dispatch target (parameter call, call result): silent —
+	// guessing by signature would wire unrelated callbacks together.
+}
+
+func recvType(f *types.Func) types.Type {
+	if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+		return recv.Type()
+	}
+	return nil
+}
+
+func heldSlice(s map[string]bool, mode heldMode) []string {
+	if mode == heldNone || len(s) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+const (
+	opAcquire = 1
+	opRelease = 2
+)
+
+// lockOp classifies a call as a mutex operation and derives the lock's
+// class key ("pkgpath.Type.field" for fields, "pkgpath.name" for package
+// vars, "funcKey.name" for function-local mutexes).
+func (st *state) lockOp(pass *analysis.Pass, x *ast.CallExpr) (key string, op int) {
+	sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = opAcquire
+	case "Unlock", "RUnlock":
+		op = opRelease
+	default:
+		return "", 0
+	}
+	f := pass.Callee(x)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", 0
+	}
+	rt := recvType(f)
+	if !analysis.IsNamedType(rt, "sync", "Mutex") && !analysis.IsNamedType(rt, "sync", "RWMutex") {
+		return "", 0
+	}
+	return st.lockKey(pass, sel.X), op
+}
+
+// lockKey maps the expression the mutex method was selected from to its
+// class key. An unresolvable base yields "" (the operation is dropped).
+func (st *state) lockKey(pass *analysis.Pass, base ast.Expr) string {
+	switch base := ast.Unparen(base).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.Info.Selections[base]; ok {
+			if owner := namedKey(s.Recv()); owner != "" {
+				return owner + "." + base.Sel.Name
+			}
+			return ""
+		}
+		// Qualified package-level var: pkg.mu.Lock().
+		if v, ok := pass.Info.Uses[base.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		v, ok := pass.Info.Uses[base].(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return ""
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name() // package-level mutex
+		}
+		if owner := namedKey(v.Type()); owner != "" && !strings.HasSuffix(owner, ".Mutex") && !strings.HasSuffix(owner, ".RWMutex") {
+			return owner + ".(embedded)" // receiver with an embedded mutex
+		}
+		// Function-local mutex (or a pointer alias of one): a class unique
+		// to this function, so cross-function cycles cannot involve it but
+		// same-class re-acquisition still can.
+		return v.Pkg().Path() + ".local." + v.Name()
+	}
+	return ""
+}
+
+// namedKey renders a (possibly pointered) named type as "pkgpath.Name".
+func namedKey(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// display shortens a lock or function key for diagnostics: everything
+// before the last path separator is noise to a human reader.
+func display(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+// edge is one "acquired while held" pair, kept at its first-seen site.
+type edge struct {
+	from, to string
+	pos      token.Pos
+	via      string // display name of the callee that closes the edge, "" for direct acquisitions
+}
+
+// calleeParamFlows resolves the storage locations a call's parameters flow
+// into, unioning over interface implementations.
+func (st *state) calleeParamFlows(c call) map[int][]string {
+	switch c.kind {
+	case callDirect:
+		return st.paramFlows[c.target]
+	case callIface:
+		merged := map[int][]string{}
+		for _, target := range st.ifaceTargets(c) {
+			for idx, flows := range st.paramFlows[target] {
+				for _, fk := range flows {
+					merged[idx] = appendUniq(merged[idx], fk)
+				}
+			}
+		}
+		return merged
+	}
+	return nil
+}
+
+// propagateRegistrations closes param flows over forwarding chains (a
+// wrapper passing its own parameter into a setter) and then registers
+// every concrete func-typed argument into the locations its parameter slot
+// reaches.
+func (st *state) propagateRegistrations() {
+	for changed := true; changed; {
+		changed = false
+		for _, key := range st.order {
+			for _, c := range st.fns[key].calls {
+				if len(c.args) == 0 {
+					continue
+				}
+				pf := st.calleeParamFlows(c)
+				if len(pf) == 0 {
+					continue
+				}
+				for _, a := range c.args {
+					if a.fromParam < 0 {
+						continue
+					}
+					for _, fk := range pf[a.idx] {
+						if st.addParamFlow(key, a.fromParam, fk) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, key := range st.order {
+		for _, c := range st.fns[key].calls {
+			if len(c.args) == 0 {
+				continue
+			}
+			pf := st.calleeParamFlows(c)
+			if len(pf) == 0 {
+				continue
+			}
+			for _, a := range c.args {
+				if a.target == "" {
+					continue
+				}
+				for _, fk := range pf[a.idx] {
+					st.addReg(fk, a.target)
+				}
+			}
+		}
+	}
+}
+
+// Finish builds the acquisition graph from every package's summaries and
+// reports self-deadlocks and lock-order cycles.
+func (st *state) Finish(report func(analysis.Diagnostic)) error {
+	st.propagateRegistrations()
+	closure := st.transitiveAcquires()
+
+	// One edge per (pair, site): the same pair at another site is its own
+	// finding, but several expansions of one call site collapse to one.
+	type edgeKey struct {
+		from, to string
+		pos      token.Pos
+	}
+	var edges []edge
+	seen := make(map[edgeKey]bool)
+	addEdge := func(from, to string, pos token.Pos, via string) {
+		k := edgeKey{from: from, to: to, pos: pos}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		edges = append(edges, edge{from: from, to: to, pos: pos, via: via})
+	}
+
+	for _, key := range st.order {
+		sum := st.fns[key]
+		for _, a := range sum.acquires {
+			for _, h := range a.held {
+				addEdge(h, a.lock, a.pos, "")
+			}
+		}
+		for _, c := range sum.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, target := range st.resolve(c) {
+				for lock := range closure[target] {
+					for _, h := range c.held {
+						addEdge(h, lock, c.pos, display(target))
+					}
+				}
+			}
+		}
+	}
+
+	// Self-edges are the callback-under-same-lock pattern: report directly.
+	var graphEdges []edge
+	for _, e := range edges {
+		if e.from == e.to {
+			if e.via != "" {
+				report(analysis.Diagnostic{Pos: e.pos, Message: fmt.Sprintf(
+					"call into %s may re-acquire %s, which is already held here: self-deadlock", e.via, display(e.to))})
+			} else {
+				report(analysis.Diagnostic{Pos: e.pos, Message: fmt.Sprintf(
+					"%s acquired while already held: self-deadlock", display(e.to))})
+			}
+			continue
+		}
+		graphEdges = append(graphEdges, e)
+	}
+
+	// A cycle among distinct locks: every edge inside a strongly connected
+	// component participates in one.
+	comp := sccOf(graphEdges)
+	for _, e := range graphEdges {
+		cf, okf := comp[e.from]
+		ct, okt := comp[e.to]
+		if !okf || !okt || cf != ct {
+			continue
+		}
+		var members []string
+		for lock, c := range comp {
+			if c == cf {
+				members = append(members, display(lock))
+			}
+		}
+		sort.Strings(members)
+		suffix := ""
+		if e.via != "" {
+			suffix = " via " + e.via
+		}
+		report(analysis.Diagnostic{Pos: e.pos, Message: fmt.Sprintf(
+			"lock-order cycle: %s acquired%s while holding %s (cycle: %s)",
+			display(e.to), suffix, display(e.from), strings.Join(members, " ↔ "))})
+	}
+	return nil
+}
+
+// resolve expands one call site to the summarized functions it may reach.
+func (st *state) resolve(c call) []string {
+	switch c.kind {
+	case callDirect:
+		if _, ok := st.fns[c.target]; ok {
+			return []string{c.target}
+		}
+	case callIface:
+		return st.ifaceTargets(c)
+	case callDynamic:
+		return st.regs[c.flow]
+	}
+	return nil
+}
+
+// transitiveAcquires computes, per function, the set of lock classes it may
+// acquire directly or through any resolvable chain of calls.
+func (st *state) transitiveAcquires() map[string]map[string]bool {
+	closure := make(map[string]map[string]bool, len(st.fns))
+	for key, sum := range st.fns {
+		locks := make(map[string]bool)
+		for _, a := range sum.acquires {
+			locks[a.lock] = true
+		}
+		closure[key] = locks
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range st.order {
+			sum := st.fns[key]
+			locks := closure[key]
+			for _, c := range sum.calls {
+				for _, target := range st.resolve(c) {
+					for lock := range closure[target] {
+						if !locks[lock] {
+							locks[lock] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return closure
+}
+
+// sccOf assigns every lock appearing in edges to its strongly connected
+// component (iterative Tarjan).
+func sccOf(edges []edge) map[string]int {
+	succs := make(map[string][]string)
+	var nodes []string
+	seenNode := make(map[string]bool)
+	addNode := func(n string) {
+		if !seenNode[n] {
+			seenNode[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for _, e := range edges {
+		addNode(e.from)
+		addNode(e.to)
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool, len(nodes))
+	comp := make(map[string]int, len(nodes))
+	var stack []string
+	next, nComp := 0, 0
+
+	type frame struct {
+		node string
+		succ int
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		work := []frame{{node: root}}
+		for len(work) > 0 {
+			fr := &work[len(work)-1]
+			v := fr.node
+			if fr.succ == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for fr.succ < len(succs[v]) {
+				w := succs[v][fr.succ]
+				fr.succ++
+				if _, ok := index[w]; !ok {
+					work = append(work, frame{node: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				parent := work[len(work)-1].node
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comp
+}

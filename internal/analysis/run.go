@@ -41,9 +41,17 @@ func HasDirective(fd *ast.FuncDecl, directive string) bool {
 	return false
 }
 
-// suppressions maps filename -> line -> analyzer names ignored there.
-func suppressions(pkgs []*Package) map[string]map[int][]string {
-	sup := make(map[string]map[int][]string)
+// ignoreComment is one parsed //iqlint:ignore directive.
+type ignoreComment struct {
+	file  string
+	line  int
+	pos   token.Pos
+	names []string
+}
+
+// ignoreComments parses every //iqlint:ignore directive in the load.
+func ignoreComments(pkgs []*Package) []ignoreComment {
+	var out []ignoreComment
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -57,28 +65,47 @@ func suppressions(pkgs []*Package) map[string]map[int][]string {
 						rest = rest[:reason]
 					}
 					pos := pkg.Fset.Position(c.Pos())
-					lines := sup[pos.Filename]
-					if lines == nil {
-						lines = make(map[int][]string)
-						sup[pos.Filename] = lines
-					}
+					ic := ignoreComment{file: pos.Filename, line: pos.Line, pos: c.Pos()}
 					for _, name := range strings.Split(rest, ",") {
 						if name = strings.TrimSpace(name); name != "" {
-							lines[pos.Line] = append(lines[pos.Line], name)
+							ic.names = append(ic.names, name)
 						}
+					}
+					if len(ic.names) > 0 {
+						out = append(out, ic)
 					}
 				}
 			}
 		}
 	}
+	return out
+}
+
+// suppressions maps filename -> line -> analyzer names ignored there.
+func suppressions(pkgs []*Package) map[string]map[int][]string {
+	sup := make(map[string]map[int][]string)
+	for _, ic := range ignoreComments(pkgs) {
+		lines := sup[ic.file]
+		if lines == nil {
+			lines = make(map[int][]string)
+			sup[ic.file] = lines
+		}
+		lines[ic.line] = append(lines[ic.line], ic.names...)
+	}
 	return sup
 }
 
-// Run applies every analyzer to every package and returns the surviving
-// diagnostics, sorted by position, with //iqlint:ignore suppressions
-// applied (a suppression on the diagnostic's line or the line above it).
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// runRaw applies every analyzer to every package — including each
+// stateful analyzer's Finish hook — and returns the diagnostics before
+// suppression filtering or sorting.
+func runRaw(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	states := make(map[*Analyzer]State)
+	for _, a := range analyzers {
+		if a.NewState != nil {
+			states[a] = a.NewState()
+		}
+	}
 	for _, pkg := range pkgs {
 		if pkg.Pkg == nil {
 			continue
@@ -90,12 +117,39 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:    pkg.Files,
 				Pkg:      pkg.Pkg,
 				Info:     pkg.Info,
+				State:    states[a],
 			}
 			pass.report = func(d Diagnostic) { diags = append(diags, d) }
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", pkg.ImportPath, a.Name, err)
 			}
 		}
+	}
+	for _, a := range analyzers {
+		st := states[a]
+		if st == nil {
+			continue
+		}
+		report := func(d Diagnostic) {
+			if d.Analyzer == "" {
+				d.Analyzer = a.Name
+			}
+			diags = append(diags, d)
+		}
+		if err := st.Finish(report); err != nil {
+			return nil, fmt.Errorf("%s: finish: %v", a.Name, err)
+		}
+	}
+	return diags, nil
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics, sorted by position, with //iqlint:ignore suppressions
+// applied (a suppression on the diagnostic's line or the line above it).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, err := runRaw(pkgs, analyzers)
+	if err != nil {
+		return nil, err
 	}
 	sup := suppressions(pkgs)
 	kept := diags[:0]
@@ -145,4 +199,66 @@ func Print(w io.Writer, fset *token.FileSet, diags []Diagnostic) {
 		pos := fset.Position(d.Pos)
 		fmt.Fprintf(w, "%s: %s [%s]\n", pos, d.Message, d.Analyzer)
 	}
+}
+
+// StaleIgnores audits the //iqlint:ignore comments of a load: it re-runs
+// every analyzer with suppression disabled and flags each ignore directive
+// that no longer suppresses any diagnostic (the code it excused was fixed
+// or moved — the comment now only misleads) and each directive naming an
+// analyzer that does not exist. Returned diagnostics carry the analyzer
+// name "staleignores" and are sorted by position.
+func StaleIgnores(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	raw, err := runRaw(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	// file -> covered line -> analyzers that actually reported there. An
+	// ignore at line L covers diagnostics on L and L+1.
+	hits := make(map[string]map[int]map[string]bool)
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		for _, d := range raw {
+			pos := fset.Position(d.Pos)
+			lines := hits[pos.Filename]
+			if lines == nil {
+				lines = make(map[int]map[string]bool)
+				hits[pos.Filename] = lines
+			}
+			for _, l := range []int{pos.Line, pos.Line - 1} {
+				if lines[l] == nil {
+					lines[l] = make(map[string]bool)
+				}
+				lines[l][d.Analyzer] = true
+			}
+		}
+	}
+	var out []Diagnostic
+	for _, ic := range ignoreComments(pkgs) {
+		covered := hits[ic.file][ic.line]
+		for _, name := range ic.names {
+			switch {
+			case name != "all" && !known[name]:
+				out = append(out, Diagnostic{
+					Pos:      ic.pos,
+					Analyzer: "staleignores",
+					Message:  fmt.Sprintf("//iqlint:ignore names unknown analyzer %q", name),
+				})
+			case name == "all" && len(covered) > 0,
+				name != "all" && covered[name]:
+				// live suppression
+			default:
+				out = append(out, Diagnostic{
+					Pos:      ic.pos,
+					Analyzer: "staleignores",
+					Message:  fmt.Sprintf("stale //iqlint:ignore %s: no %s diagnostic on this line; delete the comment", name, name),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
 }

@@ -1,0 +1,64 @@
+// Package fixture exercises the atomicfield analyzer: fields accessed both
+// through sync/atomic and plainly, and 64-bit atomics on fields whose
+// offset is not 8-byte aligned under 32-bit sizes. Field diagnostics
+// package-qualify by import path tail, so they read "atomicfield.hits".
+package fixture
+
+import "sync/atomic"
+
+// counters mixes atomic and plain access to hits; drops is plain-only and
+// never flagged.
+type counters struct {
+	hits  uint64
+	drops uint64
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) read() uint64 {
+	return c.hits // want `field atomicfield.hits is accessed with sync/atomic.AddUint64`
+}
+
+func (c *counters) note() {
+	c.drops++
+}
+
+// newCounters writes plainly inside a constructor: exempt, the value is
+// not yet published.
+func newCounters() *counters {
+	c := &counters{}
+	c.hits = 0
+	return c
+}
+
+// drain reads plainly on a deliberately single-threaded path.
+func (c *counters) drain() uint64 {
+	v := c.hits //iqlint:ignore atomicfield -- single-threaded teardown path, writers already joined
+	return v
+}
+
+// --- 64-bit alignment ----------------------------------------------------
+
+// misaligned puts the uint64 after a uint32: offset 4 under GOARCH=386
+// sizes, so the atomic faults on 32-bit targets.
+type misaligned struct {
+	flag uint32
+	n    uint64
+}
+
+func (m *misaligned) inc() {
+	atomic.AddUint64(&m.n, 1) // want `sync/atomic.AddUint64 on atomicfield.n at offset 4: not 8-byte aligned on 32-bit targets`
+}
+
+// aligned leads with the uint64: offset 0 is covered by the allocator
+// guarantee, no diagnostic.
+type aligned struct {
+	n    uint64
+	flag uint32
+}
+
+func (a *aligned) inc() {
+	atomic.AddUint64(&a.n, 1)
+}

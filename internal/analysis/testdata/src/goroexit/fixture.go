@@ -1,0 +1,201 @@
+// Package fixture exercises the goroexit analyzer: goroutines with and
+// without reachable shutdown edges. The fixture path sits under internal/,
+// which is what scopes the analyzer in.
+package fixture
+
+type pump struct {
+	kick chan struct{}
+	done chan struct{}
+}
+
+// Close is the package's shutdown: it closes done, which is what makes
+// <-p.done a recognized shutdown edge everywhere else.
+func (p *pump) Close() {
+	close(p.done)
+}
+
+// --- flagged -------------------------------------------------------------
+
+// startSpinner launches a goroutine that can neither exit nor be told to.
+func (p *pump) startSpinner() {
+	go func() { // want `goroutine has no reachable exit and no shutdown edge`
+		for {
+		}
+	}()
+}
+
+// startPoller has a reachable exit (the early return) but its steady-state
+// loop blocks on a channel nobody ever closes.
+func (p *pump) startPoller(stop bool) {
+	go func() { // want `goroutine loops forever with no shutdown edge`
+		if stop {
+			return
+		}
+		for {
+			<-p.kick
+		}
+	}()
+}
+
+// spin is the named-function variant of the spinner.
+func (p *pump) spin() {
+	for {
+		<-p.kick
+	}
+}
+
+func (p *pump) startSpin() {
+	go p.spin() // want `goroutine spin has no reachable exit and no shutdown edge`
+}
+
+// --- clean ---------------------------------------------------------------
+
+// startPump is the wheel-style tick pump: a select arm on the closed-on-
+// shutdown channel.
+func (p *pump) startPump() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-p.kick:
+			}
+		}
+	}()
+}
+
+// run/start is the named-function variant of the pump.
+func (p *pump) run() {
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-p.kick:
+		}
+	}
+}
+
+func (p *pump) start() {
+	go p.run()
+}
+
+type sock struct{}
+
+func (s *sock) Recv() (int, error) { return 0, nil }
+
+// startReader is the closed-socket exit: blocking I/O whose error return
+// leaves the loop when the socket is torn down under it.
+func startReader(s *sock) {
+	go func() {
+		for {
+			if _, err := s.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// startWorker consumes a parameter channel: the caller owns its lifecycle,
+// and range exits when it closes.
+func startWorker(jobs chan int) {
+	go func(ch chan int) {
+		for v := range ch {
+			_ = v
+		}
+	}(jobs)
+}
+
+// startDelegated loops over a same-package helper that blocks on the
+// shutdown channel: the edge is one call deep.
+func (p *pump) startDelegated() {
+	go func() {
+		for {
+			p.waitTurn()
+		}
+	}()
+}
+
+func (p *pump) waitTurn() {
+	select {
+	case <-p.done:
+	case <-p.kick:
+	}
+}
+
+// startDrainer's steady-state loop has the shutdown select; the inner bare
+// loop is a worklist drain that exits via break and must not be flagged.
+func (p *pump) startDrainer() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-p.kick:
+			}
+			for {
+				if !p.step() {
+					break
+				}
+			}
+		}
+	}()
+}
+
+func (p *pump) step() bool { return false }
+
+// startAdvancer reaches the worklist drain through a same-package helper,
+// the wheel-advance shape: the helper's bare loop breaks out on its own.
+func (p *pump) startAdvancer() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-p.kick:
+				p.advance()
+			}
+		}
+	}()
+}
+
+func (p *pump) advance() {
+	for {
+		if !p.step() {
+			return
+		}
+	}
+}
+
+// startNested's drain breaks out of the inner loop from inside a switch:
+// the unlabeled break targets the switch, so only the labeled break on the
+// loop itself makes it exit.
+func (p *pump) startNested() {
+	go func() {
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-p.kick:
+			}
+		drain:
+			for {
+				switch {
+				case p.step():
+					break drain
+				default:
+				}
+			}
+		}
+	}()
+}
+
+// --- suppression ---------------------------------------------------------
+
+// startHot is a deliberate process-lifetime spinner; the ignore keeps it.
+func (p *pump) startHot() {
+	go func() { //iqlint:ignore goroexit -- diagnostic spinner, process-lifetime by design
+		for {
+			<-p.kick
+		}
+	}()
+}

@@ -1,0 +1,137 @@
+// Package fixture exercises the handlecheck analyzer: use after freelist
+// release, double release, cross-freelist escape, and re-arm after Stop,
+// against the real wheel.Timer type and the wtimer adapter shape.
+package fixture
+
+import (
+	"time"
+
+	"github.com/cercs/iqrudp/internal/wheel"
+)
+
+// ht is the adapter shape: a struct wrapping a raw *wheel.Timer, pooled on
+// a per-connection freelist.
+type ht struct {
+	wt   *wheel.Timer
+	fn   func()
+	free bool
+}
+
+type conn struct {
+	wh     *wheel.Wheel
+	wtFree []*ht
+}
+
+type otherConn struct {
+	wtFree []*ht
+}
+
+// --- use after release ---------------------------------------------------
+
+func (c *conn) useAfterRelease(t *ht) {
+	t.fn = nil
+	c.wtFree = append(c.wtFree, t)
+	t.free = true // want `wheel timer handle t used after it was released to the freelist`
+}
+
+func (c *conn) releaseThenDispatch(t *ht) {
+	fn := t.fn
+	t.fn = nil
+	c.wtFree = append(c.wtFree, t)
+	fn() // the saved callback is fine: the handle itself is not touched
+}
+
+// --- double release ------------------------------------------------------
+
+func (c *conn) doubleRelease(t *ht) {
+	c.wtFree = append(c.wtFree, t)
+	c.wtFree = append(c.wtFree, t) // want `wheel timer handle t released to the freelist twice`
+}
+
+// --- cross-freelist escape -----------------------------------------------
+
+func (c *conn) escape(o *otherConn) {
+	n := len(c.wtFree)
+	if n == 0 {
+		return
+	}
+	t := c.wtFree[n-1]
+	c.wtFree = c.wtFree[:n-1]
+	o.wtFree = append(o.wtFree, t) // want `handle popped from freelist c.wtFree is released into o.wtFree: a handle must return to its owning freelist`
+}
+
+// homecoming is the clean pop/push cycle: same freelist both ways.
+func (c *conn) homecoming() {
+	n := len(c.wtFree)
+	if n == 0 {
+		return
+	}
+	t := c.wtFree[n-1]
+	c.wtFree = c.wtFree[:n-1]
+	t.free = false
+	c.wtFree = append(c.wtFree, t)
+}
+
+// --- re-arm after Stop ---------------------------------------------------
+
+func rearmAfterStop(t *wheel.Timer) {
+	t.Stop()
+	t.Arm(time.Millisecond) // want `wheel timer handle t re-armed after Stop without reacquisition`
+}
+
+// stopThenReacquire reassigns the variable before arming: a fresh handle,
+// no diagnostic.
+func stopThenReacquire(w *wheel.Wheel, t *wheel.Timer) {
+	t.Stop()
+	t = w.NewTimer(func(uint64) {})
+	t.Arm(time.Millisecond)
+}
+
+// stopBranch only stops on one path; arming afterwards is still flagged
+// because the may-analysis carries the stopped bit across the join.
+func stopBranch(t *wheel.Timer, cancel bool) {
+	if cancel {
+		t.Stop()
+	}
+	t.Arm(time.Millisecond) // want `wheel timer handle t re-armed after Stop without reacquisition`
+}
+
+// --- the real adapter cycle, clean ---------------------------------------
+
+// after mirrors udpwire's After: pop or allocate, then arm. The raw timer
+// reached through the popped adapter is fresh from this function's view.
+func (c *conn) after(d time.Duration, fn func()) *ht {
+	var t *ht
+	if n := len(c.wtFree); n > 0 {
+		t = c.wtFree[n-1]
+		c.wtFree[n-1] = nil
+		c.wtFree = c.wtFree[:n-1]
+	} else {
+		t = &ht{}
+		t.wt = c.wh.NewTimer(func(uint64) {})
+	}
+	t.free = false
+	t.fn = fn
+	t.wt.Arm(d)
+	return t
+}
+
+// fire mirrors wtimer.fire: detach the callback, recycle the handle, then
+// dispatch from the saved local — never through the released handle.
+func (c *conn) fire(t *ht) {
+	fn := t.fn
+	t.fn = nil
+	t.free = true
+	c.wtFree = append(c.wtFree, t)
+	if fn != nil {
+		fn()
+	}
+}
+
+// --- suppression ---------------------------------------------------------
+
+// parkAndPoke deliberately touches a parked handle; the ignore keeps it.
+func (c *conn) parkAndPoke(t *ht) {
+	c.wtFree = append(c.wtFree, t)
+	t.free = true //iqlint:ignore handlecheck -- diagnostic poke of a parked handle, single-threaded caller
+}

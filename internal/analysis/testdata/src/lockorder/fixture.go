@@ -1,0 +1,204 @@
+// Package fixture exercises the lockorder analyzer: lock-order cycles
+// across functions, callback dispatch re-entering a held lock, interface
+// expansion, and the clean hand-off patterns the transport uses. Lock
+// classes display by import path, so diagnostics name "lockorder.conn.mu"
+// although the package is called fixture.
+package fixture
+
+import "sync"
+
+type table struct {
+	mu    sync.Mutex
+	conns []*conn
+}
+
+type conn struct {
+	mu sync.Mutex
+	t  *table
+	w  *sched
+	cb func()
+}
+
+type sched struct {
+	mu sync.Mutex
+}
+
+// --- lock-order cycle between two classes -------------------------------
+
+// tableThenConn locks table.mu then conn.mu: one half of the cycle.
+func (t *table) tableThenConn(c *conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c.mu.Lock() // want `lock-order cycle: lockorder.conn.mu acquired while holding lockorder.table.mu`
+	c.mu.Unlock()
+}
+
+// connThenTable closes the loop through a callee: conn.mu is held across a
+// call whose closure acquires table.mu.
+func (c *conn) connThenTable() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t.register(c) // want `lock-order cycle: lockorder.table.mu acquired via lockorder.table.register while holding lockorder.conn.mu`
+}
+
+func (t *table) register(c *conn) {
+	t.mu.Lock()
+	t.conns = append(t.conns, c)
+	t.mu.Unlock()
+}
+
+// --- callback re-entering the lock held at its dispatch site ------------
+
+// setCallback registers a callback that re-locks the connection.
+func (c *conn) setCallback() {
+	c.cb = c.relock
+}
+
+func (c *conn) relock() {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// fireUnderLock dispatches the callback while holding the lock the
+// callback re-acquires: the wheel-callback-under-conn-mutex pattern.
+func (c *conn) fireUnderLock() {
+	c.mu.Lock()
+	c.cb() // want `call into lockorder.conn.relock may re-acquire lockorder.conn.mu, which is already held here: self-deadlock`
+	c.mu.Unlock()
+}
+
+// --- direct self-deadlock through a helper ------------------------------
+
+func (c *conn) helperLocks() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+func (c *conn) callsHelperUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.helperLocks() // want `call into lockorder.conn.helperLocks may re-acquire lockorder.conn.mu, which is already held here: self-deadlock`
+}
+
+// --- interface expansion -------------------------------------------------
+
+type timerEnv interface {
+	arm(func())
+}
+
+type schedEnv struct {
+	w *sched
+}
+
+func (e schedEnv) arm(fn func()) {
+	e.w.mu.Lock()
+	defer e.w.mu.Unlock()
+	_ = fn
+}
+
+// armUnderConn mirrors env.After under Conn.mu: the interface call expands
+// to the concrete schedEnv.arm, whose closure takes sched.mu. The edge
+// conn.mu → sched.mu would be legal on its own, but schedThenConn below
+// locks the reverse direction, so this site participates in a cycle.
+func (c *conn) armUnderConn(env timerEnv) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	env.arm(func() {}) // want `lock-order cycle: lockorder.sched.mu acquired via lockorder.schedEnv.arm while holding lockorder.conn.mu`
+}
+
+func (w *sched) schedThenConn(c *conn) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c.mu.Lock() // want `lock-order cycle: lockorder.conn.mu acquired while holding lockorder.sched.mu`
+	c.mu.Unlock()
+}
+
+// --- interface satisfaction ----------------------------------------------
+
+// wideEnv requires two methods. looksLike declares fire with the matching
+// name and signature but not cancel, so it does not satisfy wideEnv and the
+// dispatch below must not expand to it.
+type wideEnv interface {
+	fire(func())
+	cancel()
+}
+
+type looksLike struct {
+	mu sync.Mutex
+}
+
+func (l *looksLike) fire(fn func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = fn
+}
+
+// fireWide holds conn.mu across the wideEnv dispatch. With backThenConn
+// locking the reverse direction, an expansion to looksLike.fire would
+// fabricate a conn.mu ↔ looksLike.mu cycle; satisfaction filtering keeps
+// this site silent.
+func (c *conn) fireWide(env wideEnv) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	env.fire(func() {})
+}
+
+func (l *looksLike) backThenConn(c *conn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// --- suppression ---------------------------------------------------------
+
+type other struct {
+	mu sync.Mutex
+}
+
+// The hand-over/hand-back pair forms a deliberate, considered cycle; both
+// edge sites carry live suppressions (staleignores would flag them if the
+// diagnostics ever stopped firing).
+func (t *table) consideredHandOver(o *other) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	o.mu.Lock() //iqlint:ignore lockorder -- considered: hand-over ordering is protocol-serialised
+	o.mu.Unlock()
+}
+
+func (o *other) consideredHandBack(t *table) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	t.mu.Lock() //iqlint:ignore lockorder -- considered: hand-back ordering is protocol-serialised
+	t.mu.Unlock()
+}
+
+// --- clean patterns ------------------------------------------------------
+
+// dropBeforeCall releases the lock before calling into the other class:
+// the fireSlot discipline. No edge, no diagnostic.
+func (w *sched) dropBeforeCall(c *conn) {
+	w.mu.Lock()
+	w.mu.Unlock()
+	c.relock()
+}
+
+// goUnderLock launches a goroutine while holding the lock: the goroutine
+// starts with nothing held, so no edge forms.
+func (t *table) goUnderLock(c *conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go c.relock()
+}
+
+// branchRelease releases on the early path; the callee runs lock-free
+// there and the dataflow must not smear the held-set across the branch.
+func (t *table) branchRelease(c *conn, evict bool) {
+	t.mu.Lock()
+	if evict {
+		t.mu.Unlock()
+		c.relock()
+		t.mu.Lock()
+	}
+	t.mu.Unlock()
+}

@@ -1,0 +1,38 @@
+// Package fixture is the cross-package half of the lockorder fixtures: the
+// acquisition cycle spans this package and its sub package, closed through
+// a callback registered here and dispatched there. The test loads the tree
+// with "./..." so both packages feed one acquisition graph.
+package fixture
+
+import (
+	"sync"
+
+	"github.com/cercs/iqrudp/internal/analysis/testdata/src/lockordermulti/sub"
+)
+
+type mgr struct {
+	mu sync.Mutex
+	w  *sub.Worker
+}
+
+// install registers the callback the worker later dispatches under its own
+// lock. The registration itself runs with nothing held: no edge here.
+func (m *mgr) install() {
+	m.w.SetCallback(m.poke)
+}
+
+// poke re-locks the manager; dispatched from sub.Worker.Drive under
+// Worker.mu, it forms the Worker.mu → mgr.mu edge.
+func (m *mgr) poke() {
+	m.mu.Lock()
+	m.mu.Unlock()
+}
+
+// managerThenWorker locks mgr.mu then the worker: the forward half of the
+// cycle. The reverse edge lives in package sub, through the registered
+// callback.
+func (m *mgr) managerThenWorker() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.w.Acquire() // want `lock-order cycle: sub.Worker.mu acquired via sub.Worker.Acquire while holding lockordermulti.mgr.mu`
+}

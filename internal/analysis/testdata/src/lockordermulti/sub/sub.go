@@ -1,0 +1,33 @@
+// Package sub holds the lower half of the cross-package lockorder fixture:
+// a worker whose callback dispatch runs under its own lock. The callback
+// registered by the parent package re-locks the parent, closing the cycle.
+package sub
+
+import "sync"
+
+// Worker dispatches a registered callback under its lock.
+type Worker struct {
+	mu sync.Mutex
+	cb func()
+}
+
+// SetCallback stores the callback; the store is locked but calls nothing.
+func (w *Worker) SetCallback(fn func()) {
+	w.mu.Lock()
+	w.cb = fn
+	w.mu.Unlock()
+}
+
+// Drive dispatches the callback while holding Worker.mu: with the parent's
+// poke registered, this is the reverse half of the cycle.
+func (w *Worker) Drive() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cb() // want `lock-order cycle: lockordermulti.mgr.mu acquired via lockordermulti.mgr.poke while holding sub.Worker.mu`
+}
+
+// Acquire locks the worker from outside.
+func (w *Worker) Acquire() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+}

@@ -1,0 +1,34 @@
+// Package fixture exercises the staleignores audit: one suppression that
+// still covers a firing diagnostic (live, kept), one whose diagnostic went
+// away (stale, flagged), and one naming an analyzer that does not exist
+// (flagged). The suite tests load it directly; it sits outside ./... like
+// every fixture, so the deliberate timer leak never reaches make lint.
+package fixture
+
+import "time"
+
+func live(stop chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Second): //iqlint:ignore timeafterloop -- deliberate leak anchoring the audit's live case
+		case <-stop:
+			return
+		}
+	}
+}
+
+func stale(stop chan struct{}) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C: //iqlint:ignore timeafterloop -- hoisted long ago; nothing fires here
+		case <-stop:
+			return
+		}
+	}
+}
+
+func unknown() {
+	_ = time.Now() //iqlint:ignore nosuchcheck -- typo'd analyzer name
+}
