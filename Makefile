@@ -12,7 +12,7 @@ GO ?= go
 CHAOS_SEED ?= 1
 CHAOS_DUR  ?= 5s
 
-.PHONY: check build test vet lint race race-smoke chaos-smoke fuzz-smoke bench bench-alloc bench-obs bench-server bench-fec benchstat tables
+.PHONY: check build test vet lint race race-smoke chaos-smoke attack-smoke fuzz-smoke bench bench-alloc bench-obs bench-server bench-fec benchstat tables
 
 check: vet lint build race ## vet + iqlint + build + full race-enabled test run (includes the short seeded chaos pass)
 
@@ -41,6 +41,10 @@ race-smoke: ## quick -race pass: loopback wire tests incl. the traced-sinks smok
 
 chaos-smoke: ## seeded fault-injection soak under -race: blackhole + resume survivability, multi-client chaos invariants (leaks, close reasons, marked delivery)
 	CHAOS_SEED=$(CHAOS_SEED) CHAOS_DUR=$(CHAOS_DUR) $(GO) test -race -count=1 -v -run 'TestChaosSoak|TestResumeAcrossBlackhole' ./internal/chaoswire/
+
+attack-smoke: ## hostile-traffic soak under -race: spoofed SYN flood vs stateless validation (no allocation, 3x amp budget, legit marked delivery), cookie replay, garbage datagrams
+	$(GO) test -race -count=1 -v -run 'TestAttackSoak|TestAttackReplayAndGarbage' ./internal/chaoswire/
+	$(GO) test -race -count=1 -run 'TestDialThroughRetry|TestSynFloodStateless|TestCookieReplayRejected|TestAmpGate|TestRstRateCap|TestZombieEviction' ./internal/serve/
 
 fuzz-smoke: ## bounded fuzz pass over the decoders and the reassembler
 	$(GO) test -fuzz '^FuzzDecode$$' -fuzztime 20s -run '^$$' ./internal/packet/

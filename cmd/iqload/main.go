@@ -18,6 +18,18 @@
 // per-connection p50/p99/p999 delivery latency in its final block (one-way,
 // so meaningful on loopback or clock-synchronised hosts).
 //
+// Attack mode turns iqload into a hostile-traffic generator for validating
+// a sink's survivability hardening (spoofed sources are modelled by binding
+// distinct loopback /24 addresses, so it is loopback-only):
+//
+//	iqload -to host:9901 -attack synflood -attack-rate 10000 -duration 5s
+//	iqload -to host:9901 -attack replay                      # cookie replay
+//	iqload -to host:9901 -attack garbage                     # undecodable datagrams
+//
+// It prints an attack-summary table: datagrams/bytes sent, achieved rate,
+// and the reflected volume — which must stay under the sink's 3x
+// anti-amplification budget.
+//
 // Either mode takes -trace file.jsonl (machine-event trace for cmd/iqstat)
 // and -metrics-addr host:port (live Prometheus /metrics + expvar
 // /debug/vars; the serve engine's gauges, histograms and /debug/iqrudp
@@ -70,6 +82,9 @@ func main() {
 		chaosSeed   = flag.Uint64("chaos-seed", 1, "chaos: deterministic fault-stream seed (per-connection streams derive from it)")
 		fec         = flag.Bool("fec", false, "enable forward-erasure repair (negotiated at the handshake; set on both source and sink)")
 		fecRate     = flag.Int("fec-rate", 16, "fec: repair-group size K — one parity packet per K data packets; adapts down under measured loss")
+		attack      = flag.String("attack", "", "attack mode: hostile traffic against -to (synflood|replay|garbage); loopback sinks only")
+		attackRate  = flag.Int("attack-rate", 10000, "attack mode: aggregate datagrams/s across all spoofed sources")
+		attackSrcs  = flag.Int("attack-sources", 8, "attack mode: distinct loopback /24 source addresses")
 	)
 	flag.Parse()
 	fecGroup := 0
@@ -88,6 +103,10 @@ func main() {
 	switch {
 	case *listen != "":
 		if err := runSink(*listen, *tolerance, *engine, *shards, fecGroup, tracer, exporter); err != nil {
+			log.Fatal(err)
+		}
+	case *to != "" && *attack != "":
+		if err := runAttack(*to, *attack, *attackRate, *attackSrcs, *duration); err != nil {
 			log.Fatal(err)
 		}
 	case *to != "":
@@ -469,6 +488,44 @@ func runSource(to string, duration time.Duration, size int, rate, unmarked float
 		fmt.Println("transport (last conn):", *lastMet)
 	}
 	lastMu.Unlock()
+	return nil
+}
+
+// runAttack drives one hostile-traffic generator at the sink for the given
+// duration and prints the attack-summary table. The reflected volume is the
+// attack's own measurement, so the amplification line holds whatever the
+// sink claims about itself.
+func runAttack(to, kind string, rate, sources int, duration time.Duration) error {
+	k, err := chaoswire.ParseAttackKind(kind)
+	if err != nil {
+		return err
+	}
+	atk, err := chaoswire.NewAttacker(to, chaoswire.AttackConfig{
+		Kind: k, Rate: rate, Sources: sources,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attacking %s: %s at %d datagrams/s from %d spoofed source(s) for %v\n",
+		to, k, rate, sources, duration)
+	start := time.Now()
+	atk.Start()
+	time.Sleep(duration)
+	st := atk.Stop()
+	elapsed := time.Since(start).Seconds()
+
+	amp := "n/a"
+	if st.SentBytes > 0 {
+		amp = fmt.Sprintf("%.2fx", float64(st.RcvdBytes)/float64(st.SentBytes))
+	}
+	fmt.Println("attack summary")
+	fmt.Printf("  %-14s %s\n", "kind", k)
+	fmt.Printf("  %-14s %v\n", "duration", duration)
+	fmt.Printf("  %-14s %d\n", "sources", sources)
+	fmt.Printf("  %-14s %d datagrams, %.1f KB\n", "sent", st.Sent, float64(st.SentBytes)/1000)
+	fmt.Printf("  %-14s %d datagrams/s achieved\n", "rate", int(float64(st.Sent)/elapsed))
+	fmt.Printf("  %-14s %d datagrams, %.1f KB\n", "reflected", st.Rcvd, float64(st.RcvdBytes)/1000)
+	fmt.Printf("  %-14s %s of bytes sent (sink's anti-amplification budget is 3x)\n", "amplification", amp)
 	return nil
 }
 

@@ -1,0 +1,218 @@
+package chaoswire
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/packet"
+	"github.com/cercs/iqrudp/internal/serve"
+	"github.com/cercs/iqrudp/internal/udpwire"
+)
+
+// startHardenedSink is startSink with address validation always on — the
+// posture a server under attack would adopt (the load triggers flip it on
+// automatically in production; pinning it makes the assertions exact).
+func startHardenedSink(t *testing.T, cfg core.Config) (*serve.Server, *recvSet) {
+	t.Helper()
+	srv, err := serve.Listen("127.0.0.1:0", cfg, serve.Options{
+		Shards: 2, DrainTimeout: 3 * time.Second, AlwaysValidate: true,
+	})
+	if err != nil {
+		t.Fatalf("serve.Listen: %v", err)
+	}
+	got := newRecvSet()
+	go func() {
+		for {
+			c, err := srv.Accept(0)
+			if err != nil {
+				return
+			}
+			go func(c *udpwire.Conn) {
+				for {
+					msg, err := c.Recv(0)
+					if err != nil {
+						return
+					}
+					if msg.Marked {
+						got.add(string(msg.Data))
+					}
+				}
+			}(c)
+		}
+	}()
+	return srv, got
+}
+
+// TestAttackSoak: a ≥10k pps spoofed-source SYN flood against a validating
+// engine while legitimate marked traffic flows. The engine must (a) keep
+// delivering the legitimate traffic, (b) allocate no connection state for
+// un-cookied flood SYNs, (c) hold reflected bytes toward unvalidated
+// sources within the 3x anti-amplification budget, and (d) come out of the
+// flood with flat goroutine, packet-pool and heap footprints.
+func TestAttackSoak(t *testing.T) {
+	udpwire.DefaultWheel()
+	baselineGoroutines := runtime.NumGoroutine()
+	baselinePool := packet.PoolOutstanding()
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	scfg := core.DefaultConfig()
+	scfg.Keepalive = 200 * time.Millisecond
+	srv, got := startHardenedSink(t, scfg)
+
+	// Legitimate clients dial through the RETRY challenge and keep marked
+	// traffic flowing for the duration of the flood.
+	const clients = 2
+	conns := make([]*udpwire.Conn, clients)
+	for i := range conns {
+		c, err := udpwire.Dial(srv.Addr().String(), clientCfg(nil), 5*time.Second)
+		if err != nil {
+			t.Fatalf("legit dial %d: %v", i, err)
+		}
+		conns[i] = c
+	}
+
+	atk, err := NewAttacker(srv.Addr().String(), AttackConfig{
+		Kind: SynFlood, Rate: 12000, Sources: 8,
+	})
+	if err != nil {
+		t.Fatalf("NewAttacker: %v", err)
+	}
+	atk.Start()
+
+	const dur = 2 * time.Second
+	var sent []string
+	deadline := time.Now().Add(dur)
+	for seq := 0; time.Now().Before(deadline); seq++ {
+		for i, c := range conns {
+			p := fmt.Sprintf("A:%d:%06d", i, seq)
+			if err := c.Send([]byte(p), true); err == nil {
+				sent = append(sent, p)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	as := atk.Stop()
+
+	if as.Sent < 10000*uint64(dur/time.Second) {
+		t.Fatalf("flood too slow: %d datagrams in %v (want >= 10k pps)", as.Sent, dur)
+	}
+
+	// (c) anti-amplification: everything reflected at the flood — RETRYs,
+	// rate-capped RSTs — must stay within 3x what the flood sent.
+	if as.RcvdBytes > 3*as.SentBytes {
+		t.Fatalf("amplification: flood sent %d bytes, got %d back (> 3x)",
+			as.SentBytes, as.RcvdBytes)
+	}
+
+	// (b) no flood SYN allocated a machine: only the legitimate dials are
+	// admitted, and the flood was answered statelessly.
+	st := srv.Stats()
+	if st.Accepted != clients {
+		t.Fatalf("accepted = %d, want %d (flood SYNs must not allocate)", st.Accepted, clients)
+	}
+	if n := srv.Conns(); n != clients {
+		t.Fatalf("Conns = %d, want %d", n, clients)
+	}
+	if st.RetrySent < as.Sent/10 {
+		t.Fatalf("retry sent = %d for %d flood SYNs — flood not answered statelessly?",
+			st.RetrySent, as.Sent)
+	}
+
+	// (a) legitimate marked delivery continued throughout the flood.
+	if len(sent) == 0 {
+		t.Fatal("legit clients sent nothing during the flood")
+	}
+	waitUntil := time.Now().Add(5 * time.Second)
+	for got.len() < len(sent) && time.Now().Before(waitUntil) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got.len() < len(sent) {
+		t.Fatalf("marked delivery under flood: got %d of %d", got.len(), len(sent))
+	}
+
+	for _, c := range conns {
+		drainAndClose(c, 5*time.Second)
+	}
+	srv.Close()
+
+	// Black boxes of any connection the flood managed to kill abnormally
+	// (there should be none) land in $CHAOS_FLIGHT_DIR for CI to archive.
+	if recs, _ := srv.FlightRecords(); len(recs) > 0 {
+		for _, rec := range recs {
+			dumpFlightRecord(t, rec)
+		}
+		t.Errorf("%d abnormal closes during the attack soak", len(recs))
+	}
+
+	// (d) flat footprints once the flood and the server are gone.
+	gDeadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baselineGoroutines+2 && time.Now().Before(gDeadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baselineGoroutines+2 {
+		t.Fatalf("goroutines after attack soak: %d, baseline %d", n, baselineGoroutines)
+	}
+	pDeadline := time.Now().Add(5 * time.Second)
+	for packet.PoolOutstanding() != baselinePool && time.Now().Before(pDeadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := packet.PoolOutstanding(); n != baselinePool {
+		t.Fatalf("packet pool outstanding after attack soak: %d, baseline %d", n, baselinePool)
+	}
+	var after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc+32<<20 {
+		t.Fatalf("heap grew across the flood: %d -> %d bytes", before.HeapAlloc, after.HeapAlloc)
+	}
+}
+
+// TestAttackReplayAndGarbage: the two non-flood generators against a
+// validating engine. Replayed cookies must be rejected without allocating;
+// garbage must die in decode without a response.
+func TestAttackReplayAndGarbage(t *testing.T) {
+	scfg := core.DefaultConfig()
+	srv, _ := startHardenedSink(t, scfg)
+	defer srv.Close()
+
+	for _, kind := range []AttackKind{CookieReplay, Garbage} {
+		atk, err := NewAttacker(srv.Addr().String(), AttackConfig{
+			Kind: kind, Rate: 4000, Sources: 4,
+		})
+		if err != nil {
+			t.Fatalf("%v: NewAttacker: %v", kind, err)
+		}
+		atk.Start()
+		time.Sleep(500 * time.Millisecond)
+		as := atk.Stop()
+		if as.Sent == 0 {
+			t.Fatalf("%v: attack sent nothing", kind)
+		}
+		if as.RcvdBytes > 3*as.SentBytes {
+			t.Fatalf("%v: amplification %d -> %d bytes (> 3x)", kind, as.SentBytes, as.RcvdBytes)
+		}
+		if n := srv.Conns(); n != 0 {
+			t.Fatalf("%v: allocated %d connections", kind, n)
+		}
+	}
+
+	st := srv.Stats()
+	if st.Accepted != 0 {
+		t.Fatalf("attacks were accepted: %d", st.Accepted)
+	}
+	if st.CookieRejects == 0 {
+		t.Fatal("cookie replay was never rejected")
+	}
+	var rxErrors uint64
+	for _, ss := range st.Shards {
+		rxErrors += ss.RxErrors
+	}
+	if rxErrors == 0 {
+		t.Fatal("garbage never hit the decode-error path")
+	}
+}

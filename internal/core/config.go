@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/cercs/iqrudp/internal/fec"
+	"github.com/cercs/iqrudp/internal/guard"
 	"github.com/cercs/iqrudp/internal/trace"
 )
 
@@ -143,6 +144,22 @@ type Config struct {
 	// connection's black box, retrievable via Machine.FlightRecord. Zero
 	// disables the recorder.
 	FlightEvents int
+
+	// Pressure, when non-nil, samples the driver's global brownout level
+	// (0 = none; see guard.Governor). The machine consults it on elastic-
+	// memory decision points: at level ≥ 1 unmarked ingress is shed (within
+	// the receiver's loss tolerance, exactly like MaxSendBacklog overload),
+	// and at level ≥ 2 the advertised receive window is clamped. The
+	// function must be safe to call from the machine's driving context and
+	// cheap (an atomic load and a few compares). Nil disables both hooks.
+	Pressure func() int
+
+	// Mem, when non-nil, is a shared byte ledger the machine charges for its
+	// elastic buffers — send backlog, out-of-order buffer, reassembly — so a
+	// serving engine can bound aggregate memory across thousands of
+	// connections (see guard.Ledger and the serve engine's governor). Nil
+	// disables accounting at zero cost.
+	Mem *guard.Ledger
 }
 
 // DefaultConfig returns the paper's standard transport parameters.

@@ -1,0 +1,54 @@
+package core
+
+import "github.com/cercs/iqrudp/internal/guard"
+
+// Brownout hooks (Config.Pressure / Config.Mem): the machine's side of the
+// serve engine's global resource governor. The ledger charges live on the
+// paths that already own the buffers — SendMsg/popPending for the send
+// backlog, the ooo buffer's insert/drain, the reassembler's append/reset —
+// and abortWith settles whatever remains, so the ledger drains to zero for
+// every connection however it dies.
+
+// brownoutRecvWindow is the advertised-window clamp applied at brownout
+// level ≥ 2: enough packets to keep a connection making progress, small
+// enough to bound its out-of-order buffer.
+const brownoutRecvWindow = 32
+
+// pressureLevel samples the driver's global brownout level (0 when unset).
+func (m *Machine) pressureLevel() int {
+	if m.cfg.Pressure == nil {
+		return 0
+	}
+	return m.cfg.Pressure()
+}
+
+func (m *Machine) memAdd(c guard.Class, n int) {
+	if m.cfg.Mem != nil {
+		m.cfg.Mem.Add(c, n)
+	}
+}
+
+func (m *Machine) memSub(c guard.Class, n int) {
+	if m.cfg.Mem != nil {
+		m.cfg.Mem.Sub(c, n)
+	}
+}
+
+// settleMem releases every byte the machine still has charged to the shared
+// ledger: the untransmitted send backlog and the out-of-order buffer (the
+// reassembler settles itself via reset). Called once, from abortWith.
+func (m *Machine) settleMem() {
+	if m.cfg.Mem == nil {
+		return
+	}
+	backlog := 0
+	for _, sp := range m.pending[m.pendHead:] {
+		backlog += len(sp.payload)
+	}
+	m.cfg.Mem.Sub(guard.ClassSend, backlog)
+	buffered := 0
+	for _, p := range m.ooo {
+		buffered += len(p.Payload)
+	}
+	m.cfg.Mem.Sub(guard.ClassOOO, buffered)
+}

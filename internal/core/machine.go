@@ -82,6 +82,15 @@ type Machine struct {
 	connID    uint32
 	initiator bool
 
+	// Stateless address validation (see packet.RETRY and internal/guard). A
+	// dialer challenged with RETRY echoes the server's cookie at the head of
+	// every subsequent SYN; one challenge per handshake is honoured so a
+	// reflected RETRY cannot livelock the open.
+	cookie      []byte
+	retried     bool   // a RETRY was already honoured this handshake
+	synPayload  []byte // scratch for cookie-block + resume-token SYN payloads
+	synAckTries int    // SYNACK retransmissions this handshake (capped)
+
 	// Send side.
 	sndISN     uint32
 	sndNxt     uint32     // next sequence number to assign
@@ -308,19 +317,42 @@ func (m *Machine) StartServer() {
 }
 
 func (m *Machine) sendSyn() {
+	// A resuming dialer names its dead predecessor in the SYN payload so
+	// ConnID-demultiplexing servers can evict it (see packet.ResumeToken);
+	// a RETRY-challenged dialer prepends the server's cookie (see
+	// packet.AppendCookieBlock). Both ride the same payload.
+	payload := m.cfg.ResumeToken
+	if len(m.cookie) > 0 {
+		m.synPayload = packet.AppendCookieBlock(m.synPayload[:0], m.cookie)
+		m.synPayload = append(m.synPayload, m.cfg.ResumeToken...)
+		payload = m.synPayload
+	}
 	p := &packet.Packet{
-		Type:   packet.SYN,
-		ConnID: m.connID,
-		Seq:    m.sndISN,
-		Wnd:    m.cfg.RecvWindow,
-		TS:     m.env.Now(),
-		Attrs:  m.handshakeAttrs(),
-		// A resuming dialer names its dead predecessor in the SYN payload so
-		// ConnID-demultiplexing servers can evict it (see packet.ResumeToken).
-		Payload: m.cfg.ResumeToken,
+		Type:    packet.SYN,
+		ConnID:  m.connID,
+		Seq:     m.sndISN,
+		Wnd:     m.cfg.RecvWindow,
+		TS:      m.env.Now(),
+		Attrs:   m.handshakeAttrs(),
+		Payload: payload,
 	}
 	m.env.Emit(p)
 	m.armConnRetry(m.synRetryFn)
+}
+
+// handleRetry honours a stateless address-validation challenge: re-send the
+// SYN immediately with the server's cookie echoed in the payload. At most
+// one challenge is honoured per handshake, and only while actively opening,
+// so a spoofed or reflected RETRY can at worst cost one extra datagram.
+//
+//iqlint:borrow
+func (m *Machine) handleRetry(p *packet.Packet) {
+	if m.state != stSynSent || m.retried || len(p.Payload) == 0 || len(p.Payload) > packet.MaxCookieLen {
+		return
+	}
+	m.retried = true
+	m.cookie = append(m.cookie[:0], p.Payload...)
+	m.sendSyn()
 }
 
 // onSynRetry is the cached SYN-retransmission callback: while the active
@@ -431,6 +463,11 @@ func (m *Machine) abortWith(reason string) {
 	// record's event ring ends with the fatal transition.
 	m.snapFlight(reason)
 	m.stopTimers()
+	// Settle the shared memory ledger before the buffers are torn down, so
+	// the serving engine's governor sees this connection's bytes released
+	// however it died. The reassembler settles separately via reset.
+	m.settleMem()
+	m.reasm.reset()
 	// Return the out-of-order buffer's pooled clones: abort is the one exit
 	// path that bypasses drainOOO/applyFwd, and without this the buffered
 	// packets leak from the process-wide freelist accounting.
@@ -542,6 +579,8 @@ func (m *Machine) HandlePacket(p *packet.Packet) {
 		if m.state == stFinWait {
 			m.abortWith(trace.ReasonLocalClose)
 		}
+	case packet.RETRY:
+		m.handleRetry(p)
 	case packet.RST:
 		if m.state == stEstablished || m.state == stFinWait {
 			m.abortWith(trace.ReasonReset)
@@ -570,7 +609,10 @@ func (m *Machine) handleSyn(p *packet.Packet) {
 		}
 		m.sendSynAck(p.TS)
 		// Retry until the initiator's first ACK or DATA establishes us: the
-		// SYNACK (or the final handshake leg) can be lost.
+		// SYNACK (or the final handshake leg) can be lost. A fresh SYN
+		// restarts the retry budget — only a peer that goes silent mid-
+		// handshake exhausts it (see synAckRetry).
+		m.synAckTries = 0
 		m.armConnRetry(m.synAckRetry)
 	}
 }
@@ -599,8 +641,20 @@ func (m *Machine) handshakeAttrs() *attr.List {
 	return l
 }
 
+// maxSynAckRetries bounds SYNACK retransmissions toward a silent initiator.
+// Unbounded retries let a single spoofed SYN pin a half-open connection (and
+// its timers) forever; the cap turns it into a short-lived, self-cleaning
+// allocation. A slow-but-live initiator is unaffected: its retransmitted
+// SYNs reset the budget in handleSyn.
+const maxSynAckRetries = 8
+
 func (m *Machine) synAckRetry() {
 	if m.state != stSynRcvd {
+		return
+	}
+	m.synAckTries++
+	if m.synAckTries > maxSynAckRetries {
+		m.abortWith(trace.ReasonHandshakeTimeout)
 		return
 	}
 	m.sendSynAck(0)

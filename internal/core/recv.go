@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/guard"
 	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/trace"
 )
@@ -18,7 +19,14 @@ import (
 func (m *Machine) handleData(p *packet.Packet) {
 	switch m.state {
 	case stSynRcvd:
-		m.establish() // data from the initiator completes the handshake
+		// Data from the initiator completes the handshake, under the same
+		// return-routability rule as handleAck: the piggybacked ack must
+		// cover our SYNACK's ISN, which a blind spoofer cannot know once
+		// the driver picks a random one.
+		if p.Ack != m.sndUna {
+			return
+		}
+		m.establish()
 	case stEstablished, stFinWait:
 	default:
 		return
@@ -42,6 +50,7 @@ func (m *Machine) handleData(p *packet.Packet) {
 		if len(m.ooo) < int(m.cfg.RecvWindow) {
 			if _, dup := m.ooo[p.Seq]; !dup {
 				m.ooo[p.Seq] = clonePacket(p)
+				m.memAdd(guard.ClassOOO, len(p.Payload))
 			}
 		}
 	}
@@ -93,6 +102,7 @@ func (m *Machine) drainOOO() {
 			return
 		}
 		delete(m.ooo, m.rcvNxt)
+		m.memSub(guard.ClassOOO, len(p.Payload))
 		m.acceptInOrder(p)
 		packet.Put(p)
 	}
@@ -109,6 +119,7 @@ func (m *Machine) applyFwd(fwd uint32) {
 	for packet.SeqLT(m.rcvNxt, fwd) {
 		if p, ok := m.ooo[m.rcvNxt]; ok {
 			delete(m.ooo, m.rcvNxt)
+			m.memSub(guard.ClassOOO, len(p.Payload))
 			m.acceptInOrder(p)
 			packet.Put(p)
 			continue
@@ -141,6 +152,7 @@ type reassembler struct {
 	attrs       *attr.List
 	sentAt      time.Duration
 	orphanSkips int // skipped seqs not attributable to an active message
+	accounted   int // bytes charged to the shared ledger (Config.Mem)
 }
 
 func newReassembler(m *Machine) *reassembler { return &reassembler{m: m} }
@@ -165,6 +177,8 @@ func (r *reassembler) addFragment(p *packet.Packet) {
 		// idx < nextIdx would be a duplicate, impossible at the in-order
 		// point, so it is ignored rather than appended twice.
 		r.data = append(r.data, p.Payload...)
+		r.m.memAdd(guard.ClassReasm, len(p.Payload))
+		r.accounted += len(p.Payload)
 		r.got++
 		r.nextIdx = idx + 1
 	}
@@ -267,6 +281,10 @@ func (r *reassembler) flushIncomplete() {
 }
 
 func (r *reassembler) reset() {
+	// Whether the buffer was delivered or abandoned, it is no longer the
+	// transport's memory: release its ledger charge.
+	r.m.memSub(guard.ClassReasm, r.accounted)
+	r.accounted = 0
 	r.active = false
 	r.data = nil // ownership passed to the application (or abandoned)
 	r.nextIdx = 0

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/cercs/iqrudp/internal/attr"
+	"github.com/cercs/iqrudp/internal/guard"
 	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/trace"
 )
@@ -74,22 +75,20 @@ func (m *Machine) SendMsg(data []byte, marked bool, attrs *attr.List) error {
 	// message evicts queued unmarked packets to make room. Both moves are
 	// gated by the receiver's loss tolerance, exactly like network-loss
 	// skips; a marked message is queued regardless, so overload never
-	// blocks must-deliver data behind droppable data.
+	// blocks must-deliver data behind droppable data. Brownout level ≥ 1
+	// (the driver's global memory governor, Config.Pressure) sheds unmarked
+	// ingress through the same rule: under engine-wide pressure, droppable
+	// traffic degrades first while marked traffic keeps its guarantees.
 	if m.cfg.MaxSendBacklog > 0 && m.pendingLen()+frags > m.cfg.MaxSendBacklog {
 		if marked {
 			m.shedBacklog(frags)
 		} else if m.withinTolerance(1) {
-			m.relMsgsDropped++
-			m.metrics.ShedMsgs++
-			m.metrics.ShedBytes += uint64(len(data))
-			if m.tr != nil {
-				m.tr.Trace(trace.Event{
-					Time: m.env.Now(), Type: trace.ShedUnmarked, ConnID: m.connID,
-					Size: len(data), Reason: trace.ReasonShedIngress,
-				})
-			}
+			m.shedIngress(len(data))
 			return nil
 		}
+	} else if !marked && m.pressureLevel() >= 1 && m.withinTolerance(1) {
+		m.shedIngress(len(data))
+		return nil
 	}
 
 	msgID := m.nextMsgID
@@ -122,11 +121,27 @@ func (m *Machine) SendMsg(data []byte, marked bool, attrs *attr.List) error {
 		m.sndNxt++
 		m.pending = append(m.pending, sp)
 	}
+	m.memAdd(guard.ClassSend, len(data))
 	if m.hs != nil {
 		m.hs.Backlog.Record(int64(m.pendingLen()))
 	}
 	m.trySend()
 	return nil
+}
+
+// shedIngress discards an unmarked message before segmentation — the
+// cheapest disposal point — charging the adaptive-reliability budget and
+// tracing the shed.
+func (m *Machine) shedIngress(size int) {
+	m.relMsgsDropped++
+	m.metrics.ShedMsgs++
+	m.metrics.ShedBytes += uint64(size)
+	if m.tr != nil {
+		m.tr.Trace(trace.Event{
+			Time: m.env.Now(), Type: trace.ShedUnmarked, ConnID: m.connID,
+			Size: size, Reason: trace.ReasonShedIngress,
+		})
+	}
 }
 
 // shedBacklog frees room for an incoming marked message of need fragments by
@@ -201,6 +216,7 @@ func (m *Machine) popPending() *sendPkt {
 		m.pending = m.pending[:0]
 		m.pendHead = 0
 	}
+	m.memSub(guard.ClassSend, len(sp.payload))
 	return sp
 }
 
@@ -401,7 +417,14 @@ func (m *Machine) transmit(sp *sendPkt, isRtx bool) {
 //iqlint:borrow
 func (m *Machine) handleAck(p *packet.Packet) {
 	if m.state == stSynRcvd {
-		// Final leg of the handshake.
+		// Final leg of the handshake — but only an acknowledgement that
+		// covers our SYNACK's ISN proves the peer actually saw it (return
+		// routability). With a random ISN (serve sets Config.InitialSeq), a
+		// blind attacker cannot forge this leg, so a spoofed-source SYN can
+		// never be promoted to an established connection.
+		if p.Ack != m.sndUna {
+			return
+		}
 		m.establish()
 	}
 	if m.state != stEstablished && m.state != stFinWait {
@@ -796,11 +819,18 @@ func (m *Machine) onRtxTimeout() {
 
 // advertiseWnd computes the receive window to advertise.
 func (m *Machine) advertiseWnd() uint16 {
+	wnd := m.cfg.RecvWindow
+	// Brownout level ≥ 2: the driver's global memory governor asks every
+	// connection to stop inviting deep in-flight pipelines — clamp the
+	// advertised window so peers back off without any loss signal.
+	if wnd > brownoutRecvWindow && m.pressureLevel() >= 2 {
+		wnd = brownoutRecvWindow
+	}
 	used := len(m.ooo)
-	if used >= int(m.cfg.RecvWindow) {
+	if used >= int(wnd) {
 		return 0
 	}
-	return m.cfg.RecvWindow - uint16(used)
+	return wnd - uint16(used)
 }
 
 // sendAck emits a pure acknowledgement; extents selects EACK form when

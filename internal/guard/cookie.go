@@ -1,0 +1,109 @@
+package guard
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"net"
+	"sync"
+	"time"
+)
+
+// Cookie layout: keyID (1) | expiry, unix seconds (4) | MAC (16) = 21 bytes.
+// The MAC is HMAC-SHA256 over (source IP, source port, proposed ConnID,
+// expiry), truncated; the cookie itself is opaque to the peer, which echoes
+// it byte-for-byte inside its next SYN (see packet.AppendCookieBlock).
+const (
+	cookieKeyLen = 32
+	cookieMACLen = 16
+
+	// CookieLen is the fixed minted-cookie length.
+	CookieLen = 1 + 4 + cookieMACLen
+)
+
+// CookieSource mints and verifies stateless address-validation cookies. Two
+// secrets are live at any time — the current one signs, both verify — and
+// the older is replaced whenever the current secret's age exceeds the
+// lifetime, so a cookie minted just before a rotation still verifies for
+// its full validity window. Secrets are random at construction (a restart
+// invalidates outstanding cookies, which only costs those dialers one extra
+// round trip).
+type CookieSource struct {
+	mu       sync.Mutex
+	lifetime time.Duration
+	keys     [2][cookieKeyLen]byte
+	cur      int       // index of the signing key
+	rotated  time.Time // when keys[cur] became the signing key
+}
+
+// NewCookieSource builds a source whose cookies are valid for lifetime
+// (also the secret-rotation period). Non-positive lifetimes select 15s.
+func NewCookieSource(lifetime time.Duration) *CookieSource {
+	if lifetime <= 0 {
+		lifetime = 15 * time.Second
+	}
+	s := &CookieSource{lifetime: lifetime, rotated: time.Now()}
+	for i := range s.keys {
+		if _, err := rand.Read(s.keys[i][:]); err != nil {
+			panic("guard: no entropy for cookie secrets: " + err.Error())
+		}
+	}
+	return s
+}
+
+// key returns the signing slot index for minting (rotating first if the
+// current secret has aged out) or the key bytes for keyID when verifying.
+func (s *CookieSource) signingKey(now time.Time) (int, [cookieKeyLen]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now.Sub(s.rotated) >= s.lifetime {
+		s.cur ^= 1
+		if _, err := rand.Read(s.keys[s.cur][:]); err != nil {
+			panic("guard: no entropy for cookie rotation: " + err.Error())
+		}
+		s.rotated = now
+	}
+	return s.cur, s.keys[s.cur]
+}
+
+func (s *CookieSource) keyByID(id int) [cookieKeyLen]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.keys[id]
+}
+
+// Mint returns a fresh cookie binding (addr, connID) until now + lifetime.
+func (s *CookieSource) Mint(addr *net.UDPAddr, connID uint32, now time.Time) []byte {
+	id, key := s.signingKey(now)
+	expiry := uint32(now.Add(s.lifetime).Unix())
+	c := make([]byte, 0, CookieLen)
+	c = append(c, byte(id))
+	c = binary.BigEndian.AppendUint32(c, expiry)
+	return append(c, cookieMAC(key, addr, connID, expiry)...)
+}
+
+// Verify reports whether cookie is an unexpired cookie this source minted
+// for (addr, connID).
+func (s *CookieSource) Verify(cookie []byte, addr *net.UDPAddr, connID uint32, now time.Time) bool {
+	if len(cookie) != CookieLen || cookie[0] > 1 {
+		return false
+	}
+	expiry := binary.BigEndian.Uint32(cookie[1:5])
+	if now.Unix() > int64(expiry) {
+		return false
+	}
+	key := s.keyByID(int(cookie[0]))
+	return hmac.Equal(cookie[5:], cookieMAC(key, addr, connID, expiry))
+}
+
+func cookieMAC(key [cookieKeyLen]byte, addr *net.UDPAddr, connID uint32, expiry uint32) []byte {
+	mac := hmac.New(sha256.New, key[:])
+	var msg [16 + 2 + 4 + 4]byte
+	copy(msg[:16], addr.IP.To16())
+	binary.BigEndian.PutUint16(msg[16:], uint16(addr.Port))
+	binary.BigEndian.PutUint32(msg[18:], connID)
+	binary.BigEndian.PutUint32(msg[22:], expiry)
+	mac.Write(msg[:])
+	return mac.Sum(nil)[:cookieMACLen]
+}

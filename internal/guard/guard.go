@@ -1,0 +1,141 @@
+// Package guard is the transport's survivability toolkit: the pieces that
+// keep a serving engine correct and bounded when the network turns hostile
+// rather than merely lossy. It provides
+//
+//   - CookieSource: HMAC-signed, time-limited address-validation cookies
+//     with a rotating secret, minted into RETRY packets and verified on the
+//     echoing SYN, so connection state is only allocated for peers that
+//     have proven they can receive at their claimed source address;
+//   - Ledger and Governor: lock-free byte-budget accounting across the
+//     engine's elastic memory consumers (accept backlog, send backlogs,
+//     reassembly, out-of-order buffers) driving a three-level brownout
+//     ladder — shed unmarked ingress, clamp advertised windows on new
+//     connections, refuse outright;
+//   - TokenBucket and PrefixLimiter: classic token buckets, standalone for
+//     rate-capping refusal RSTs and keyed by source-address prefix for
+//     SYN-flood damping.
+//
+// Everything here is driver-agnostic and allocation-light; internal/serve
+// wires it together (see DESIGN.md §18 for the threat model).
+package guard
+
+import "sync/atomic"
+
+// Class partitions the ledger's byte accounting by memory consumer.
+type Class uint8
+
+// Ledger classes.
+const (
+	// ClassConn is the fixed per-connection overhead charged at admission
+	// (machine, timers, socket bookkeeping) and released at detach.
+	ClassConn Class = iota
+	// ClassSend is segmented-but-untransmitted send-backlog payload bytes.
+	ClassSend
+	// ClassOOO is buffered out-of-order receive payload bytes.
+	ClassOOO
+	// ClassReasm is partially reassembled message bytes.
+	ClassReasm
+
+	// NumClasses sizes per-class arrays.
+	NumClasses
+)
+
+// Ledger is a lock-free byte ledger shared by every connection of a serving
+// engine. Add and Sub run on packet hot paths, so they are single atomic
+// adds; pairing is the caller's contract. Rare teardown races may briefly
+// drive a class a few bytes negative — consumers treat any non-positive
+// balance as zero.
+type Ledger struct {
+	classes [NumClasses]atomic.Int64
+	total   atomic.Int64
+}
+
+// Add charges n bytes to class c.
+func (l *Ledger) Add(c Class, n int) {
+	if l == nil || n <= 0 {
+		return
+	}
+	l.classes[c].Add(int64(n))
+	l.total.Add(int64(n))
+}
+
+// Sub releases n bytes from class c.
+func (l *Ledger) Sub(c Class, n int) {
+	if l == nil || n <= 0 {
+		return
+	}
+	l.classes[c].Add(-int64(n))
+	l.total.Add(-int64(n))
+}
+
+// Total returns the ledger balance across all classes (never negative).
+func (l *Ledger) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	if t := l.total.Load(); t > 0 {
+		return t
+	}
+	return 0
+}
+
+// Bytes returns one class's balance (never negative).
+func (l *Ledger) Bytes(c Class) int64 {
+	if l == nil {
+		return 0
+	}
+	if b := l.classes[c].Load(); b > 0 {
+		return b
+	}
+	return 0
+}
+
+// Brownout thresholds, in percent of the governor's limit. Crossing each
+// threshold raises the brownout level by one; see Governor.Level.
+const (
+	brownoutShedPct   = 70 // level 1: shed unmarked ingress
+	brownoutClampPct  = 85 // level 2: clamp advertised windows on new conns
+	brownoutRefusePct = 95 // level 3: refuse new connections
+)
+
+// Governor maps a ledger balance onto a brownout level against a fixed byte
+// limit. Level is a single atomic load plus comparisons, cheap enough for
+// per-packet sampling.
+type Governor struct {
+	ledger *Ledger
+	limit  int64
+}
+
+// NewGovernor builds a governor over ledger with the given byte limit.
+func NewGovernor(ledger *Ledger, limit int64) *Governor {
+	if limit <= 0 {
+		return nil
+	}
+	return &Governor{ledger: ledger, limit: limit}
+}
+
+// Limit returns the byte budget.
+func (g *Governor) Limit() int64 { return g.limit }
+
+// Level returns the current brownout level:
+//
+//	0 — normal operation
+//	1 — shed unmarked ingress (≥ 70% of limit)
+//	2 — additionally clamp advertised windows on new connections (≥ 85%)
+//	3 — additionally refuse new connections (≥ 95%)
+func (g *Governor) Level() int {
+	if g == nil {
+		return 0
+	}
+	pct := g.ledger.Total() * 100 / g.limit
+	switch {
+	case pct >= brownoutRefusePct:
+		return 3
+	case pct >= brownoutClampPct:
+		return 2
+	case pct >= brownoutShedPct:
+		return 1
+	default:
+		return 0
+	}
+}

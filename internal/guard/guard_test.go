@@ -1,0 +1,160 @@
+package guard
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestCookieMintVerify(t *testing.T) {
+	s := NewCookieSource(10 * time.Second)
+	now := time.Now()
+	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4242}
+	c := s.Mint(addr, 7, now)
+	if len(c) != CookieLen {
+		t.Fatalf("cookie length %d, want %d", len(c), CookieLen)
+	}
+	if !s.Verify(c, addr, 7, now) {
+		t.Fatal("fresh cookie rejected")
+	}
+	if !s.Verify(c, addr, 7, now.Add(9*time.Second)) {
+		t.Fatal("cookie rejected within lifetime")
+	}
+}
+
+func TestCookieBindsAddrAndConnID(t *testing.T) {
+	s := NewCookieSource(10 * time.Second)
+	now := time.Now()
+	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4242}
+	c := s.Mint(addr, 7, now)
+
+	other := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 2), Port: 4242}
+	if s.Verify(c, other, 7, now) {
+		t.Fatal("cookie verified for a different source IP")
+	}
+	otherPort := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 4243}
+	if s.Verify(c, otherPort, 7, now) {
+		t.Fatal("cookie verified for a different source port")
+	}
+	if s.Verify(c, addr, 8, now) {
+		t.Fatal("cookie verified for a different ConnID")
+	}
+
+	// Bit flips anywhere must fail.
+	for i := range c {
+		mut := append([]byte(nil), c...)
+		mut[i] ^= 0x80
+		if s.Verify(mut, addr, 7, now) {
+			t.Fatalf("mutated cookie (byte %d) verified", i)
+		}
+	}
+	if s.Verify(c[:CookieLen-1], addr, 7, now) || s.Verify(nil, addr, 7, now) {
+		t.Fatal("truncated cookie verified")
+	}
+}
+
+func TestCookieExpiryAndRotation(t *testing.T) {
+	s := NewCookieSource(5 * time.Second)
+	now := time.Now()
+	addr := &net.UDPAddr{IP: net.IPv4(10, 0, 0, 9), Port: 1}
+	c := s.Mint(addr, 1, now)
+	if s.Verify(c, addr, 1, now.Add(6*time.Second)) {
+		t.Fatal("expired cookie verified")
+	}
+
+	// A cookie minted just before a rotation still verifies after it: the
+	// previous secret stays live for one more lifetime.
+	c2 := s.Mint(addr, 2, now)
+	_ = s.Mint(addr, 3, now.Add(5*time.Second)) // triggers rotation
+	if !s.Verify(c2, addr, 2, now.Add(4*time.Second)) {
+		t.Fatal("pre-rotation cookie rejected within lifetime")
+	}
+}
+
+func TestLedgerAndGovernor(t *testing.T) {
+	l := &Ledger{}
+	g := NewGovernor(l, 1000)
+	if g.Level() != 0 {
+		t.Fatalf("empty ledger level %d", g.Level())
+	}
+	l.Add(ClassSend, 700)
+	if g.Level() != 1 {
+		t.Fatalf("at 70%%: level %d, want 1", g.Level())
+	}
+	l.Add(ClassOOO, 150)
+	if g.Level() != 2 {
+		t.Fatalf("at 85%%: level %d, want 2", g.Level())
+	}
+	l.Add(ClassReasm, 100)
+	if g.Level() != 3 {
+		t.Fatalf("at 95%%: level %d, want 3", g.Level())
+	}
+	l.Sub(ClassSend, 700)
+	l.Sub(ClassOOO, 150)
+	l.Sub(ClassReasm, 100)
+	if l.Total() != 0 || g.Level() != 0 {
+		t.Fatalf("drained ledger total=%d level=%d", l.Total(), g.Level())
+	}
+	// Teardown races may overshoot; balances clamp to zero for consumers.
+	l.Sub(ClassConn, 64)
+	if l.Total() != 0 || l.Bytes(ClassConn) != 0 {
+		t.Fatalf("negative balance leaked: total=%d", l.Total())
+	}
+	if NewGovernor(l, 0) != nil || (*Governor)(nil).Level() != 0 {
+		t.Fatal("disabled governor not inert")
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	now := time.Now()
+	b := NewTokenBucket(10, 5)
+	for i := 0; i < 5; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if b.Allow(now) {
+		t.Fatal("token past burst allowed")
+	}
+	if !b.Allow(now.Add(100 * time.Millisecond)) {
+		t.Fatal("refilled token denied")
+	}
+	if (*TokenBucket)(nil).Allow(now) != true {
+		t.Fatal("nil bucket must be unlimited")
+	}
+}
+
+func TestPrefixLimiter(t *testing.T) {
+	now := time.Now()
+	pl := NewPrefixLimiter(2, 8)
+	a := net.IPv4(127, 1, 1, 1)
+	b := net.IPv4(127, 1, 1, 200) // same /24
+	c := net.IPv4(127, 1, 2, 1)   // different /24
+	if !pl.Allow(a, now) || !pl.Allow(b, now) {
+		t.Fatal("burst denied")
+	}
+	if pl.Allow(a, now) {
+		t.Fatal("third SYN from flooded /24 allowed")
+	}
+	if !pl.Allow(c, now) {
+		t.Fatal("neighbouring /24 penalised")
+	}
+	if Prefix(a) != Prefix(b) || Prefix(a) == Prefix(c) {
+		t.Fatal("prefix keying wrong")
+	}
+	v6a, v6b := net.ParseIP("2001:db8:1:2::1"), net.ParseIP("2001:db8:1:3::1")
+	if Prefix(v6a) != Prefix(v6b) {
+		t.Fatal("v6 /48 keying wrong") // same /48, different subnet
+	}
+
+	// Table stays bounded under prefix-rotating floods.
+	for i := 0; i < 100; i++ {
+		pl.Allow(net.IPv4(10, byte(i), byte(i*3), 1), now)
+	}
+	pl.mu.Lock()
+	n := len(pl.buckets)
+	pl.mu.Unlock()
+	if n > 8 {
+		t.Fatalf("bucket table grew to %d entries (max 8)", n)
+	}
+}

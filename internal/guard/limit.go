@@ -1,0 +1,105 @@
+package guard
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// TokenBucket is a classic token bucket: rate tokens per second, capacity
+// burst, one token per Allow. It is mutex-guarded — callers on packet paths
+// hold it only for a few arithmetic operations.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket builds a bucket refilling at rate/s with capacity burst,
+// initially full. Non-positive rate or burst yields a nil bucket (which
+// Allow treats as unlimited).
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if rate <= 0 || burst <= 0 {
+		return nil
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Allow consumes one token if available.
+func (b *TokenBucket) Allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// PrefixLimiter rate-limits by source-address prefix (/24 for IPv4, /48 for
+// IPv6) so one flooding subnet cannot monopolise handshake capacity while
+// neighbouring prefixes proceed unharmed. The bucket table is bounded: when
+// a spoofed flood rotates through more prefixes than maxPrefixes, the table
+// resets rather than grows — briefly over-admitting, never leaking (the
+// engine's cookie-mode trigger catches that case globally).
+type PrefixLimiter struct {
+	mu      sync.Mutex
+	rate    float64
+	max     int
+	buckets map[string]*TokenBucket
+}
+
+// NewPrefixLimiter builds a limiter allowing rate events/s (burst equal to
+// one second's rate) per source prefix, tracking at most maxPrefixes.
+func NewPrefixLimiter(rate float64, maxPrefixes int) *PrefixLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if maxPrefixes <= 0 {
+		maxPrefixes = 4096
+	}
+	return &PrefixLimiter{rate: rate, max: maxPrefixes, buckets: make(map[string]*TokenBucket)}
+}
+
+// Allow consumes one token from ip's prefix bucket.
+func (pl *PrefixLimiter) Allow(ip net.IP, now time.Time) bool {
+	if pl == nil {
+		return true
+	}
+	key := Prefix(ip)
+	pl.mu.Lock()
+	b, ok := pl.buckets[key]
+	if !ok {
+		if len(pl.buckets) >= pl.max {
+			pl.buckets = make(map[string]*TokenBucket)
+		}
+		b = NewTokenBucket(pl.rate, pl.rate)
+		pl.buckets[key] = b
+	}
+	pl.mu.Unlock()
+	return b.Allow(now)
+}
+
+// Prefix returns the limiter's aggregation key for ip: the /24 for IPv4,
+// the /48 for IPv6, or the full address when ip is malformed.
+func Prefix(ip net.IP) string {
+	if v4 := ip.To4(); v4 != nil {
+		return string(v4[:3])
+	}
+	if v6 := ip.To16(); v6 != nil {
+		return string(v6[:6])
+	}
+	return string(ip)
+}

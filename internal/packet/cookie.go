@@ -1,0 +1,44 @@
+package packet
+
+// Address-validation cookie framing. A server under load answers a SYN with
+// a RETRY packet whose payload is an opaque, HMAC-signed cookie (see
+// internal/guard); the initiator echoes the cookie at the head of its next
+// SYN's payload, framed by this block, ahead of any resume token. The
+// framing keeps the SYN payload self-describing: a cookie block is
+// distinguished from a bare resume token by its magic, so legacy SYNs
+// (resume token only, or empty) parse unchanged.
+//
+// Block layout: magic "IQCK" (4) | cookie length (1) | cookie bytes.
+
+var cookieMagic = [4]byte{'I', 'Q', 'C', 'K'}
+
+// MaxCookieLen bounds the cookie length the framing can carry (the length
+// field is one byte).
+const MaxCookieLen = 255
+
+// AppendCookieBlock appends a framed cookie block to dst and returns the
+// extended slice. An empty or oversized cookie appends nothing.
+func AppendCookieBlock(dst, cookie []byte) []byte {
+	if len(cookie) == 0 || len(cookie) > MaxCookieLen {
+		return dst
+	}
+	dst = append(dst, cookieMagic[:]...)
+	dst = append(dst, byte(len(cookie)))
+	return append(dst, cookie...)
+}
+
+// SplitSynPayload splits a SYN payload into its leading cookie (nil when the
+// payload carries none) and the remainder — a resume token, or nothing. A
+// truncated cookie block yields (nil, b): the bytes cannot be a valid resume
+// token either, so downstream parsing fails closed.
+func SplitSynPayload(b []byte) (cookie, rest []byte) {
+	if len(b) < len(cookieMagic)+1 || string(b[:len(cookieMagic)]) != string(cookieMagic[:]) {
+		return nil, b
+	}
+	n := int(b[len(cookieMagic)])
+	body := b[len(cookieMagic)+1:]
+	if n == 0 || n > len(body) {
+		return nil, b
+	}
+	return body[:n], body[n:]
+}

@@ -32,6 +32,7 @@ const (
 	FIN                    // orderly close
 	FINACK                 // close acknowledgement
 	REPAIR                 // FEC repair: parity over a group of DATA packets
+	RETRY                  // stateless address validation: echo the cookie in a fresh SYN
 )
 
 // String returns the type mnemonic.
@@ -57,6 +58,8 @@ func (t Type) String() string {
 		return "FINACK"
 	case REPAIR:
 		return "REPAIR"
+	case RETRY:
+		return "RETRY"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -168,7 +171,7 @@ func Encode(p *Packet) ([]byte, error) {
 // returning the extended slice. Callers on the fast path pass a retained
 // scratch buffer (dst[:0]) so steady-state encoding allocates nothing.
 func AppendEncode(dst []byte, p *Packet) ([]byte, error) {
-	if p.Type < SYN || p.Type > REPAIR {
+	if p.Type < SYN || p.Type > RETRY {
 		return nil, fmt.Errorf("%w: %d", ErrBadType, p.Type)
 	}
 	if len(p.Payload) > 0xFFFF {
@@ -240,7 +243,7 @@ func DecodeInto(p *Packet, b []byte, payloadBuf []byte) error {
 		return fmt.Errorf("%w: %d", ErrBadVersion, body[0])
 	}
 	p.Type, p.Flags = Type(body[1]), body[2]
-	if p.Type < SYN || p.Type > REPAIR {
+	if p.Type < SYN || p.Type > RETRY {
 		return fmt.Errorf("%w: %d", ErrBadType, body[1])
 	}
 	p.Attrs = nil

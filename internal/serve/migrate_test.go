@@ -182,8 +182,23 @@ func TestZombieEviction(t *testing.T) {
 		t.Fatalf("Accept old: %v", err)
 	}
 
-	// Client "restarts" from the same socket with a fresh ConnID.
+	// Client "restarts" from the same socket with a fresh ConnID. Eviction
+	// is destructive, so the engine answers the cookie-less SYN with a
+	// RETRY challenge instead of evicting; nothing changes until the
+	// client proves it owns the source address by echoing the cookie.
 	c.send(&packet.Packet{Type: packet.SYN, ConnID: 12, Seq: 10, Wnd: 64})
+	retry := c.waitFor(packet.RETRY, 5*time.Second)
+	if len(retry.Payload) == 0 {
+		t.Fatal("RETRY carried no cookie")
+	}
+	if old.Closed() {
+		t.Fatal("un-cookied SYN evicted the predecessor")
+	}
+	if got := srv.Stats().EvictDenied; got != 1 {
+		t.Fatalf("evict denied = %d, want 1", got)
+	}
+	c.send(&packet.Packet{Type: packet.SYN, ConnID: 12, Seq: 10, Wnd: 64,
+		Payload: packet.AppendCookieBlock(nil, retry.Payload)})
 	c.waitFor(packet.SYNACK, 5*time.Second)
 	fresh, err := srv.Accept(5 * time.Second)
 	if err != nil {

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math/rand/v2"
 	"sort"
 	"time"
 
@@ -193,12 +194,23 @@ func (srv *Server) Introspect() Introspection {
 
 // connConfig derives the per-connection transport config: the shared
 // engine config plus this connection's own histogram set and flight
-// recorder, so a dead connection's black box carries its distributions.
+// recorder, plus the hardening hooks — a random SYNACK ISN (so a blind
+// spoofer cannot forge the handshake-completing ack), the shared memory
+// ledger, and the governor's brownout level (sampled live by the machine;
+// at level ≥2 the initial advertised window is additionally clamped so
+// brand-new connections start small).
 func (srv *Server) connConfig() core.Config {
 	cfg := srv.cfg
 	if fe := srv.opt.FlightEvents; fe > 0 {
 		cfg.FlightEvents = fe
 		cfg.Hists = core.NewHists()
+	}
+	for cfg.InitialSeq == 0 {
+		cfg.InitialSeq = rand.Uint32()
+	}
+	if srv.gov != nil {
+		cfg.Mem = srv.ledger
+		cfg.Pressure = srv.gov.Level
 	}
 	return cfg
 }

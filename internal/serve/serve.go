@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"github.com/cercs/iqrudp/internal/core"
+	"github.com/cercs/iqrudp/internal/guard"
 	"github.com/cercs/iqrudp/internal/hist"
 	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/udpwire"
@@ -100,6 +101,41 @@ type Options struct {
 	// sockets even when the kernel supports it — the A/B knob for the
 	// bench matrix and for triaging offload-suspect behavior.
 	NoOffload bool
+
+	// AlwaysValidate requires every handshake to present a valid address-
+	// validation cookie: each first SYN is answered statelessly with RETRY
+	// and connection state is only allocated when the echoed cookie
+	// verifies. Off by default — validation then engages under load (see
+	// SynRate, Backlog pressure, and the governor's brownout).
+	AlwaysValidate bool
+
+	// SynRate is the engine-wide SYNs-per-second threshold above which
+	// stateless cookie validation engages. Default 1024; negative disables
+	// the rate trigger.
+	SynRate int
+
+	// SynPrefixRate caps un-cookied SYNs per source /24 (IPv4) or /48
+	// (IPv6) per second; prefixes beyond it are challenged with RETRY
+	// instead of admitted, so one flooding subnet cannot monopolise
+	// handshake capacity. Default 4096; negative disables.
+	SynPrefixRate int
+
+	// CookieLifetime bounds address-validation cookie validity and sets the
+	// signing-secret rotation period. Default 15s.
+	CookieLifetime time.Duration
+
+	// MemLimit is the resource governor's byte budget across the engine's
+	// elastic memory consumers (per-connection overhead, send backlogs,
+	// reassembly, out-of-order buffers). Crossing 70/85/95% of it raises
+	// the brownout level: shed unmarked ingress, clamp advertised windows
+	// on new connections, refuse new connections. Default 256 MiB; negative
+	// disables the governor.
+	MemLimit int64
+
+	// RSTRate caps refusal RSTs per shard per second so the refusal path
+	// cannot be used as a reflection amplifier; refusals beyond it are
+	// counted but unanswered. Default 100; negative disables the cap.
+	RSTRate int
 }
 
 func (o *Options) sanitize() {
@@ -136,6 +172,33 @@ func (o *Options) sanitize() {
 	case o.FlightRecords < 0:
 		o.FlightRecords = 0
 	}
+	switch {
+	case o.SynRate == 0:
+		o.SynRate = 1024
+	case o.SynRate < 0:
+		o.SynRate = 0
+	}
+	switch {
+	case o.SynPrefixRate == 0:
+		o.SynPrefixRate = 4096
+	case o.SynPrefixRate < 0:
+		o.SynPrefixRate = 0
+	}
+	if o.CookieLifetime <= 0 {
+		o.CookieLifetime = 15 * time.Second
+	}
+	switch {
+	case o.MemLimit == 0:
+		o.MemLimit = 256 << 20
+	case o.MemLimit < 0:
+		o.MemLimit = 0
+	}
+	switch {
+	case o.RSTRate == 0:
+		o.RSTRate = 100
+	case o.RSTRate < 0:
+		o.RSTRate = 0
+	}
 }
 
 // Server is the sharded multi-connection engine. Accepted connections are
@@ -160,6 +223,19 @@ type Server struct {
 	resumes     atomic.Uint64 // SYNs carrying a valid resume token
 	stray       atomic.Uint64
 	sockBufErrs atomic.Uint64 // SetReadBuffer/SetWriteBuffer failures at bind
+
+	// Survivability (see harden.go and internal/guard).
+	cookies       *guard.CookieSource  // address-validation cookie mint
+	ledger        *guard.Ledger        // engine-wide elastic-memory ledger (nil = governor off)
+	gov           *guard.Governor      // brownout ladder over the ledger
+	synLimiter    *guard.PrefixLimiter // per-source-prefix SYN damping
+	synMeter      rateMeter            // engine-wide SYN rate, cookie-mode trigger
+	retrySent     atomic.Uint64        // stateless RETRY challenges emitted
+	cookieRejects atomic.Uint64        // presented cookies that failed verification
+	evictDenied   atomic.Uint64        // evictions refused for lack of path proof
+	synLimited    atomic.Uint64        // SYNs challenged by the prefix limiter
+	rstSuppressed atomic.Uint64        // refusal RSTs suppressed by the rate cap
+	ampCapped     atomic.Uint64        // packets suppressed by the anti-amplification gate
 
 	// Observability retention (see obs.go): merged histograms of closed
 	// connections and the bounded flight-record ring.
@@ -199,6 +275,14 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 		accept:  make(chan *udpwire.Conn, opt.Backlog),
 		drainCh: make(chan struct{}),
 		closed:  make(chan struct{}),
+		cookies: guard.NewCookieSource(opt.CookieLifetime),
+	}
+	if opt.MemLimit > 0 {
+		srv.ledger = &guard.Ledger{}
+		srv.gov = guard.NewGovernor(srv.ledger, opt.MemLimit)
+	}
+	if opt.SynPrefixRate > 0 {
+		srv.synLimiter = guard.NewPrefixLimiter(float64(opt.SynPrefixRate), 4096)
 	}
 	for _, sock := range socks {
 		// The kernel clamps granted sizes to rmem_max/wmem_max silently; an
@@ -214,13 +298,15 @@ func Listen(laddr string, cfg core.Config, opt Options) (*Server, error) {
 	}
 	for i := range srv.shards {
 		srv.shards[i] = &shard{
-			srv:    srv,
-			idx:    i,
-			sock:   socks[i%len(socks)],
-			wh:     wheel.New(0),
-			byID:   make(map[uint32]*udpwire.Conn),
-			byAddr: make(map[string]uint32),
-			txq:    make(chan uio.Msg, 4*opt.Batch*len(srv.shards)),
+			srv:       srv,
+			idx:       i,
+			sock:      socks[i%len(socks)],
+			wh:        wheel.New(0),
+			byID:      make(map[uint32]*udpwire.Conn),
+			byAddr:    make(map[string]uint32),
+			gates:     make(map[uint32]*ampGate),
+			rstBucket: guard.NewTokenBucket(float64(opt.RSTRate), float64(opt.RSTRate)),
+			txq:       make(chan uio.Msg, 4*opt.Batch*len(srv.shards)),
 		}
 		if opt.FlightEvents > 0 {
 			srv.shards[i].rxBatchH = hist.NewBatch(hist.MetricRxBatch)
@@ -395,7 +481,18 @@ type Stats struct {
 	Stray       uint64      // non-SYN packets for unknown ConnIDs
 	SockBufErrs uint64      // SetReadBuffer/SetWriteBuffer failures at bind
 	Offload     uio.Offload // kernel GSO/GRO support probed at bind
-	Shards      []ShardStats
+
+	// Survivability counters (see harden.go).
+	RetrySent     uint64 // stateless RETRY challenges emitted
+	CookieRejects uint64 // presented address-validation cookies that failed
+	EvictDenied   uint64 // evictions refused for lack of path proof
+	SynLimited    uint64 // SYNs challenged by the per-prefix limiter
+	RstSuppressed uint64 // refusal RSTs suppressed by the rate cap
+	AmpCapped     uint64 // packets suppressed by the anti-amplification gate
+	BrownoutLevel int    // current governor brownout level (0–3)
+	MemBytes      int64  // ledger balance across elastic memory classes
+
+	Shards []ShardStats
 }
 
 // Stats snapshots the engine's counters.
@@ -408,7 +505,17 @@ func (srv *Server) Stats() Stats {
 		Stray:       srv.stray.Load(),
 		SockBufErrs: srv.sockBufErrs.Load(),
 		Offload:     srv.offload,
-		Shards:      make([]ShardStats, len(srv.shards)),
+
+		RetrySent:     srv.retrySent.Load(),
+		CookieRejects: srv.cookieRejects.Load(),
+		EvictDenied:   srv.evictDenied.Load(),
+		SynLimited:    srv.synLimited.Load(),
+		RstSuppressed: srv.rstSuppressed.Load(),
+		AmpCapped:     srv.ampCapped.Load(),
+		BrownoutLevel: srv.gov.Level(),
+		MemBytes:      srv.ledger.Total(),
+
+		Shards: make([]ShardStats, len(srv.shards)),
 	}
 	for i, sh := range srv.shards {
 		sh.mu.RLock()
@@ -446,6 +553,16 @@ func (srv *Server) Gauges() map[string]func() float64 {
 		// Socket buffer-sizing failures at bind: nonzero means the engine is
 		// running on default kernel buffers.
 		"serve.sockbuf.errors": func() float64 { return float64(srv.sockBufErrs.Load()) },
+		// Survivability: stateless handshake validation, anti-amplification
+		// and the resource governor (see harden.go and DESIGN.md §18).
+		"serve.retry.sent":     func() float64 { return float64(srv.retrySent.Load()) },
+		"serve.cookie.rejects": func() float64 { return float64(srv.cookieRejects.Load()) },
+		"serve.evict.denied":   func() float64 { return float64(srv.evictDenied.Load()) },
+		"serve.syn.limited":    func() float64 { return float64(srv.synLimited.Load()) },
+		"serve.rst.suppressed": func() float64 { return float64(srv.rstSuppressed.Load()) },
+		"serve.amp.capped":     func() float64 { return float64(srv.ampCapped.Load()) },
+		"serve.brownout.level": func() float64 { return float64(srv.gov.Level()) },
+		"serve.mem.bytes":      func() float64 { return float64(srv.ledger.Total()) },
 		"serve.shard.rx_batch": func() float64 {
 			var pkts, batches uint64
 			for _, sh := range srv.shards {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/cercs/iqrudp/internal/guard"
 	"github.com/cercs/iqrudp/internal/hist"
 	"github.com/cercs/iqrudp/internal/packet"
 	"github.com/cercs/iqrudp/internal/trace"
@@ -34,6 +35,15 @@ type shard struct {
 	mu     sync.RWMutex
 	byID   map[uint32]*udpwire.Conn
 	byAddr map[string]uint32 // source address -> ConnID, for SYN-time collision checks
+
+	// gates holds the anti-amplification gate of every connection admitted
+	// without a validated cookie; route credits it per datagram and removes
+	// it once the handshake proves return routability. Guarded by mu.
+	gates map[uint32]*ampGate
+
+	// rstBucket caps outbound RST refusals so a spoofed flood cannot turn
+	// the engine into a reflector; suppressed refusals are still counted.
+	rstBucket *guard.TokenBucket
 
 	txq chan uio.Msg
 
@@ -113,7 +123,22 @@ func (sh *shard) route(p *packet.Packet, raddr *net.UDPAddr) {
 
 	sh.mu.RLock()
 	c := sh.byID[p.ConnID]
+	g := sh.gates[p.ConnID]
 	sh.mu.RUnlock()
+
+	if g != nil {
+		// Every datagram from the unvalidated peer buys it 3x response
+		// budget; once the handshake completes the gate latches open and
+		// can be dropped from the table.
+		g.credit(p.WireSize())
+		if g.promote() {
+			sh.mu.Lock()
+			if cur, ok := sh.gates[p.ConnID]; ok && cur == g {
+				delete(sh.gates, p.ConnID)
+			}
+			sh.mu.Unlock()
+		}
+	}
 
 	if c != nil {
 		if p.Type == packet.SYN && c.RemoteAddr().String() != key {
@@ -151,35 +176,68 @@ func (sh *shard) migrate(c *udpwire.Conn, raddr *net.UDPAddr) {
 	sh.srv.migrations.Add(1)
 }
 
-// acceptSyn admits a new connection, applying address-key fallback (a SYN
-// has no established ConnID entry yet), zombie eviction, backpressure and
-// the drain gate.
+// acceptSyn admits a new connection, applying stateless address validation
+// (cookie challenge under load), per-prefix SYN rate limits, governor
+// brownouts, address-key fallback (a SYN has no established ConnID entry
+// yet), validated zombie eviction, backpressure and the drain gate.
 //
 //iqlint:borrow
 func (sh *shard) acceptSyn(p *packet.Packet, raddr *net.UDPAddr, key string) {
-	if sh.srv.draining() {
+	srv := sh.srv
+	if srv.draining() {
 		sh.refuse(p, raddr)
 		return
+	}
+
+	now := time.Now()
+
+	// Peel the optional cookie block off the SYN payload and verify it
+	// against the rotating secret. A cookie binds (source address, proposed
+	// ConnID), so a valid one proves this 4-tuple completed a RETRY round
+	// trip — the peer owns its source address.
+	cookie, rest := packet.SplitSynPayload(p.Payload)
+	cookieOK := cookie != nil && srv.cookies.Verify(cookie, raddr, p.ConnID, now)
+	if cookie != nil && !cookieOK {
+		srv.cookieRejects.Add(1)
+	}
+
+	// Decide whether this SYN must present a cookie: global load triggers
+	// (cookieMode) or its source prefix exceeding the per-prefix budget.
+	// Cookie-holders skip the prefix limiter — their cookie already cost a
+	// round trip, so they cannot be minted faster than line rate anyway —
+	// which keeps legitimate clients reachable from a flooded /24.
+	synRate := srv.synMeter.tick(now)
+	needCookie := srv.cookieMode(synRate)
+	if !cookieOK && srv.synLimiter != nil && !srv.synLimiter.Allow(raddr.IP, now) {
+		srv.synLimited.Add(1)
+		needCookie = true
 	}
 
 	// Resume: a SYN whose payload carries a resume token names a dead
 	// predecessor connection (see packet.ParseResumeToken). The predecessor
 	// usually dialed from a different source address (NAT rebind, restart),
 	// so the address-key fallback below cannot find it — the token can.
-	// Evict it abortively and immediately: waiting out its dead interval
-	// would leave a zombie holding buffers, and FINing it would spray
-	// packets at an address that may now belong to someone else.
-	if prevID, ok := packet.ParseResumeToken(p.Payload); ok && prevID != p.ConnID {
-		home := sh.srv.homeShard(prevID)
+	// Eviction is destructive, so it demands a validated source address:
+	// an unvalidated token is answered with RETRY instead, never evicting.
+	// Once validated, evict abortively and immediately: waiting out the
+	// dead interval would leave a zombie holding buffers, and FINing it
+	// would spray packets at an address that may now belong to someone else.
+	if prevID, ok := packet.ParseResumeToken(rest); ok && prevID != p.ConnID {
+		if !cookieOK {
+			srv.evictDenied.Add(1)
+			sh.sendRetry(p, raddr, trace.ReasonEvictDenied)
+			return
+		}
+		home := srv.homeShard(prevID)
 		home.mu.RLock()
 		old := home.byID[prevID]
 		home.mu.RUnlock()
 		if old != nil {
 			old.AbortWith(trace.ReasonResumed)
 		}
-		sh.srv.resumes.Add(1)
-		if sh.srv.cfg.Tracer != nil {
-			sh.srv.cfg.Tracer.Trace(trace.Event{
+		srv.resumes.Add(1)
+		if srv.cfg.Tracer != nil {
+			srv.cfg.Tracer.Trace(trace.Event{
 				Type:   trace.ConnResumed,
 				ConnID: p.ConnID,
 				Seq:    prevID,
@@ -187,12 +245,39 @@ func (sh *shard) acceptSyn(p *packet.Packet, raddr *net.UDPAddr, key string) {
 		}
 	}
 
+	// Stateless challenge: under load a cookie-less (or stale-cookied) SYN
+	// is answered with RETRY and forgotten — no machine, no map entry, no
+	// timer. The flood pays for our secret-keyed MAC; we hold nothing.
+	if needCookie && !cookieOK {
+		reason := ""
+		if cookie != nil {
+			reason = trace.ReasonBadCookie
+		}
+		sh.sendRetry(p, raddr, reason)
+		return
+	}
+
+	// Deepest brownout: the ledger says memory is nearly gone, so stop
+	// admitting entirely until established connections release buffers.
+	if srv.gov.Level() >= 3 {
+		sh.refuse(p, raddr)
+		return
+	}
+
 	// Address-key fallback: if this source address already hosts a different
 	// connection, the client restarted from the same port — its predecessor
-	// is a zombie. Evict it abortively (no FIN: the address now belongs to
-	// the new connection) before admitting the successor.
+	// is a zombie. Eviction again demands a validated source: a spoofer who
+	// guesses an active 4-tuple must not be able to knock it down with one
+	// forged SYN. Evict abortively (no FIN: the address now belongs to the
+	// new connection) before admitting the successor.
 	sh.mu.Lock()
 	if oldID, ok := sh.byAddr[key]; ok && oldID != p.ConnID {
+		if !cookieOK {
+			sh.mu.Unlock()
+			srv.evictDenied.Add(1)
+			sh.sendRetry(p, raddr, trace.ReasonEvictDenied)
+			return
+		}
 		if zombie := sh.byID[oldID]; zombie != nil {
 			delete(sh.byID, oldID)
 			delete(sh.byAddr, key)
@@ -209,15 +294,32 @@ func (sh *shard) acceptSyn(p *packet.Packet, raddr *net.UDPAddr, key string) {
 	}
 
 	io := sh.io
-	c := udpwire.NewAcceptedOn(sh.wh, sh.srv.connConfig(), io.sock.LocalAddr(), raddr,
-		io.enqueueTx, sh.detach)
+	send := io.enqueueTx
+	var g *ampGate
+	if !cookieOK {
+		// Admitted without address validation (light load): cap bytes
+		// toward this peer at 3x bytes received until its handshake
+		// completes. The admitting SYN itself is the first credit.
+		g = &ampGate{}
+		g.credit(p.WireSize())
+		send = sh.gatedSendTo(g, p.ConnID)
+	}
+	c := udpwire.NewAcceptedOn(sh.wh, srv.connConfig(), io.sock.LocalAddr(), raddr,
+		send, sh.detach)
+	if g != nil {
+		g.conn.Store(c)
+	}
 	sh.byID[p.ConnID] = c
 	sh.byAddr[key] = p.ConnID
+	if g != nil {
+		sh.gates[p.ConnID] = g
+	}
 	sh.mu.Unlock()
 
 	select {
 	case sh.srv.accept <- c:
-		sh.srv.accepted.Add(1)
+		srv.accepted.Add(1)
+		srv.ledger.Add(guard.ClassConn, connOverhead)
 		c.HandleIncoming(p)
 	default:
 		// Accept queue full: refuse with RST so the client fails fast
@@ -228,6 +330,9 @@ func (sh *shard) acceptSyn(p *packet.Packet, raddr *net.UDPAddr, key string) {
 		}
 		if id, ok := sh.byAddr[key]; ok && id == p.ConnID {
 			delete(sh.byAddr, key)
+		}
+		if cur, ok := sh.gates[p.ConnID]; ok && cur == g {
+			delete(sh.gates, p.ConnID)
 		}
 		sh.mu.Unlock()
 		c.Abort()
@@ -240,6 +345,13 @@ func (sh *shard) acceptSyn(p *packet.Packet, raddr *net.UDPAddr, key string) {
 //iqlint:borrow
 func (sh *shard) refuse(p *packet.Packet, raddr *net.UDPAddr) {
 	sh.srv.refused.Add(1)
+	if sh.rstBucket != nil && !sh.rstBucket.Allow(time.Now()) {
+		// RST emission is rate-capped per shard so a spoofed flood cannot
+		// use the engine as a reflector; the refusal is still counted above
+		// and the suppression surfaced through Stats.
+		sh.srv.rstSuppressed.Add(1)
+		return
+	}
 	rst := &packet.Packet{
 		Type:   packet.RST,
 		ConnID: p.ConnID,
@@ -270,7 +382,11 @@ func (sh *shard) detach(c *udpwire.Conn) {
 			delete(sh.byAddr, addr.String())
 		}
 	}
+	if g, ok := sh.gates[id]; ok && g.conn.Load() == c {
+		delete(sh.gates, id)
+	}
 	sh.mu.Unlock()
+	sh.srv.ledger.Sub(guard.ClassConn, connOverhead)
 	sh.srv.noteClosed(c)
 }
 

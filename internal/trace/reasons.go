@@ -92,6 +92,13 @@ const (
 	ReasonShedQueue   = "shed-queue"   // queued packet abandoned to admit marked data
 )
 
+// Survivability reasons (RetrySent.Reason): why the serve engine answered a
+// SYN with a stateless RETRY challenge instead of allocating state.
+const (
+	ReasonBadCookie   = "bad-cookie"   // a presented address-validation cookie failed verification
+	ReasonEvictDenied = "evict-denied" // eviction of existing state demanded without path proof
+)
+
 // FEC reasons (FecRepairSent/FecRateChange.Reason): why the repair layer
 // acted.
 const (
@@ -120,6 +127,7 @@ func Reasons() []string {
 		ReasonDrop, ReasonReorder, ReasonCorrupt, ReasonTruncate, ReasonDelay,
 		ReasonBlackhole, ReasonRebind, ReasonEnobufs, ReasonShortWrite,
 		ReasonShedIngress, ReasonShedQueue,
+		ReasonBadCookie, ReasonEvictDenied,
 		ReasonFecFlush, ReasonFecAdapt,
 		KindNone,
 	}

@@ -116,6 +116,18 @@ const (
 	// the per-ack cap; Size is the number of out-of-order extents dropped
 	// from the acknowledgement.
 	EackClipped
+	// RetrySent records the serve engine answering a SYN statelessly with a
+	// RETRY challenge instead of allocating connection state: ConnID is the
+	// initiator's proposed ID, Size the cookie length, and Reason "" for a
+	// load-triggered challenge, "bad-cookie" when a presented cookie failed
+	// verification, or "evict-denied" when the SYN asked to evict existing
+	// state without proof of path ownership.
+	RetrySent
+	// AmpCapped records the anti-amplification gate suppressing an outgoing
+	// packet to a not-yet-validated peer because sending it would exceed
+	// three times the bytes received from that address; ConnID is the
+	// affected connection and Size the suppressed packet's length.
+	AmpCapped
 
 	// NumTypes is the number of event types (array-sizing sentinel).
 	NumTypes
@@ -143,6 +155,8 @@ var typeNames = [NumTypes]string{
 	FecRecovered:           "fec.recovered",
 	FecRateChange:          "fec.rate",
 	EackClipped:            "eack.clipped",
+	RetrySent:              "retry.sent",
+	AmpCapped:              "amp.capped",
 }
 
 // String returns the stable wire name of the type (the qlog-style event

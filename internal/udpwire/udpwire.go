@@ -669,3 +669,16 @@ func (c *Conn) Closed() bool {
 		return false
 	}
 }
+
+// Handshaked reports whether the handshake has completed. It never takes
+// the connection lock, so it is safe from contexts that already hold it —
+// the serve engine's anti-amplification gate calls it from inside the
+// machine's Emit path.
+func (c *Conn) Handshaked() bool {
+	select {
+	case <-c.established:
+		return true
+	default:
+		return false
+	}
+}

@@ -180,6 +180,14 @@ const (
 	// TraceEackClipped marks an EACK whose out-of-order list exceeded the
 	// per-packet bound and was truncated (Size is the clipped tail length).
 	TraceEackClipped = trace.EackClipped
+	// TraceRetrySent marks a SYN answered statelessly with a RETRY
+	// address-validation challenge (serve engine under load or with
+	// AlwaysValidate; Reason distinguishes a failed cookie or a denied
+	// eviction from a plain challenge).
+	TraceRetrySent = trace.RetrySent
+	// TraceAmpCapped marks a transmission suppressed by the 3x
+	// anti-amplification budget toward a not-yet-validated peer.
+	TraceAmpCapped = trace.AmpCapped
 )
 
 // Histogram and postmortem types, re-exported. Setting Config.Hists (see
